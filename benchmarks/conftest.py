@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one figure (or ablation) of the paper,
+asserts the *shape* the paper reports — who wins, where curves collapse,
+where crossovers fall — and records the measured series in the
+pytest-benchmark ``extra_info`` so that saved benchmark JSON doubles as
+the reproduction record.
+
+The simulation is deterministic, so every benchmark runs its workload
+exactly once (``pedantic`` with one round); the benchmark timing then
+reports the wall-clock cost of regenerating that figure.
+"""
+
+from __future__ import annotations
+
+#: Trial timing used by all benchmarks: long enough for steady state,
+#: short enough that the full suite regenerates every figure in minutes.
+TRIAL_KWARGS = dict(duration_s=0.3, warmup_s=0.1)
+
+#: Rate grid for the throughput figures (pkt/s).
+BENCH_RATES = (1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 8_000, 10_000, 12_000)
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Run ``figure_fn`` once under the benchmark and attach its series."""
+    result = benchmark.pedantic(
+        lambda: figure_fn(**kwargs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["figure"] = result.figure_id
+    benchmark.extra_info["series"] = {
+        label: [[float(x), float(y)] for x, y in points]
+        for label, points in result.series.items()
+    }
+    return result
+
+
+def series_peak(points):
+    return max(y for _, y in points)
+
+
+def series_tail(points):
+    """Output at the highest measured input rate."""
+    return max(points)[1]

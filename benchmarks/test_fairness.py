@@ -1,0 +1,110 @@
+"""Round-robin fairness across interfaces (§5.2, §6.4) — ablation.
+
+"The polling thread passes the callback procedures a quota ... This
+allows the thread to round-robin between multiple interfaces ... to
+prevent a single input stream from monopolizing the CPU."
+
+Setup: both of the router's Ethernets carry inbound overload
+simultaneously (in0 -> out0 and out0 -> in0). With quota-based
+round-robin, the two flows share the forwarding capacity about equally;
+with no quota, whichever callback runs first hogs the thread.
+"""
+
+from conftest import TRIAL_KWARGS
+
+from repro.core import variants
+from repro.experiments.topology import DEST_HOST, Router, SOURCE_HOST
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+RATE_EACH = 8_000  # per direction; total far above capacity
+
+
+def run_bidirectional(quota):
+    config = variants.polling(quota=quota)
+    router = Router(config).start()
+    ConstantRateGenerator(
+        router.sim, router.nic_in, RATE_EACH, dst=DEST_HOST, flow="a->b"
+    ).start()
+    ConstantRateGenerator(
+        router.sim, router.nic_out, RATE_EACH, dst=SOURCE_HOST, flow="b->a"
+    ).start()
+    router.run_for(seconds(TRIAL_KWARGS["warmup_s"]))
+    out_fwd_before = router.nic_out.tx_completed.snapshot()
+    out_rev_before = router.nic_in.tx_completed.snapshot()
+    router.run_for(seconds(TRIAL_KWARGS["duration_s"]))
+    forward = router.nic_out.tx_completed.snapshot() - out_fwd_before
+    reverse = router.nic_in.tx_completed.snapshot() - out_rev_before
+    return forward, reverse
+
+
+def test_flooded_interface_cannot_starve_others(benchmark):
+    """Three input interfaces, one flooding: §5.2's fairness claim in
+    its sharpest form. The classic kernel silences the light flows; the
+    polled kernel serves them in full."""
+    from repro.core.quota import PollQuota
+    from repro.experiments.multitopology import (
+        MultiInputRouter,
+        input_source_address,
+    )
+
+    def flow_rates(config, quota=None):
+        router = MultiInputRouter(config, input_count=3, quota=quota).start()
+        for index, rate in enumerate((12_000, 800, 800)):
+            ConstantRateGenerator(
+                router.sim,
+                router.input_nics[index],
+                rate,
+                src=input_source_address(index),
+                dst="10.2.0.2",
+                flow="flow%d" % index,
+                name="gen%d" % index,
+            ).start()
+        router.run_for(seconds(TRIAL_KWARGS["warmup_s"]))
+        before = dict(router.delivered_by_flow())
+        router.run_for(seconds(TRIAL_KWARGS["duration_s"]))
+        after = router.delivered_by_flow()
+        duration = TRIAL_KWARGS["duration_s"]
+        return {
+            flow: (after.get(flow, 0) - before.get(flow, 0)) / duration
+            for flow in ("flow0", "flow1", "flow2")
+        }
+
+    def run_both():
+        classic = flow_rates(variants.unmodified())
+        polled = flow_rates(
+            variants.polling(quota=10), quota=PollQuota(rx=10, tx=None)
+        )
+        return classic, polled
+
+    classic, polled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("classic: %s" % classic)
+    print("polled:  %s" % polled)
+    benchmark.extra_info["classic"] = classic
+    benchmark.extra_info["polled"] = polled
+    assert classic["flow1"] + classic["flow2"] < 100  # starved
+    assert polled["flow1"] > 650 and polled["flow2"] > 650  # served
+
+
+def test_round_robin_fairness(benchmark):
+    forward, reverse = benchmark.pedantic(
+        lambda: run_bidirectional(10), rounds=1, iterations=1
+    )
+    print()
+    print("quota=10: forward=%d reverse=%d" % (forward, reverse))
+    benchmark.extra_info["forward"] = forward
+    benchmark.extra_info["reverse"] = reverse
+
+    total = forward + reverse
+    assert total > 0
+    # Both directions make real progress and share within 65/35.
+    assert min(forward, reverse) > 0.35 * total
+
+    # Without a quota, service becomes grossly unfair (and/or collapses).
+    forward_nq, reverse_nq = run_bidirectional(None)
+    print("no quota: forward=%d reverse=%d" % (forward_nq, reverse_nq))
+    total_nq = forward_nq + reverse_nq
+    assert total > 1.5 * total_nq or (
+        total_nq > 0 and min(forward_nq, reverse_nq) < 0.2 * total_nq
+    )

@@ -1,0 +1,46 @@
+"""Figure 6-1: forwarding performance of the unmodified kernel.
+
+Paper claims reproduced here (§6.2):
+
+* without screend the router peaks around 4,700 pkt/s and output then
+  *decreases* with increasing offered load (livelock-prone);
+* with screend, overload behaviour is poor above ~2,000 pkt/s and
+  complete livelock sets in at about 6,000 pkt/s.
+"""
+
+from conftest import BENCH_RATES, TRIAL_KWARGS, run_figure, series_peak, series_tail
+
+from repro.experiments.figures import figure_6_1
+from repro.experiments.results import format_table
+from repro.metrics import estimate_mlfrr, livelock_onset
+
+
+def test_figure_6_1(benchmark):
+    result = run_figure(
+        benchmark, figure_6_1, rates=BENCH_RATES, **TRIAL_KWARGS
+    )
+    print()
+    print(format_table(result))
+
+    no_screend = result.series["Without screend"]
+    with_screend = result.series["With screend"]
+
+    # Without screend: peak in the paper's ballpark (~4700 pkt/s)...
+    peak = series_peak(no_screend)
+    assert 4_000 <= peak <= 5_500, peak
+    # ...then throughput *falls* with offered load (the livelock signature)
+    tail = series_tail(no_screend)
+    assert tail < 0.6 * peak, (tail, peak)
+    # but has not fully livelocked within the Ethernet-rate range.
+    assert tail > 0, tail
+
+    # With screend: peak near 2000 pkt/s...
+    screend_peak = series_peak(with_screend)
+    assert 1_400 <= screend_peak <= 2_400, screend_peak
+    # ...and complete livelock by ~6000 pkt/s input.
+    onset = livelock_onset(with_screend)
+    assert onset is not None and onset <= 7_000, onset
+    assert series_tail(with_screend) < 50
+
+    # screend always reduces capacity (user-mode crossing per packet).
+    assert estimate_mlfrr(with_screend) < estimate_mlfrr(no_screend)

@@ -1,0 +1,44 @@
+"""Figure 6-4: modified kernel with screend.
+
+Paper claims reproduced here (§6.6.1):
+
+* the modified kernel *without* queue-state feedback performs about as
+  badly as the unmodified kernel (the screening queue overflows; screend
+  never runs);
+* with feedback from the screening queue there is no livelock and
+  throughput holds at its peak across the whole overload range.
+"""
+
+from conftest import BENCH_RATES, TRIAL_KWARGS, run_figure, series_peak, series_tail
+
+from repro.experiments.figures import figure_6_4
+from repro.experiments.results import format_table
+from repro.metrics import is_livelock_free, livelock_onset
+
+
+def test_figure_6_4(benchmark):
+    result = run_figure(
+        benchmark, figure_6_4, rates=BENCH_RATES, **TRIAL_KWARGS
+    )
+    print()
+    print(format_table(result))
+
+    unmodified = result.series["Unmodified"]
+    no_feedback = result.series["Polling, no feedback"]
+    feedback = result.series["Polling w/feedback"]
+
+    # Unmodified and no-feedback both livelock under heavy overload.
+    assert livelock_onset(unmodified) is not None
+    assert livelock_onset(no_feedback) is not None
+    assert series_tail(no_feedback) < 100
+    assert series_tail(unmodified) < 100
+
+    # Feedback: no livelock, flat at its peak.
+    assert is_livelock_free(feedback)
+    fb_peak = series_peak(feedback)
+    assert series_tail(feedback) > 0.9 * fb_peak
+    # Throughput comparable to the best the unmodified kernel ever does,
+    # sustained at *every* overload point.
+    assert fb_peak > 0.85 * series_peak(unmodified)
+    worst_overload = min(y for x, y in feedback if x >= 4_000)
+    assert worst_overload > 0.8 * fb_peak

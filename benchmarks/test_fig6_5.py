@@ -1,0 +1,44 @@
+"""Figure 6-5: effect of the packet-count quota, without screend.
+
+Paper claims reproduced here (§6.6.2):
+
+* small quotas (5/10/20) give stable, near-optimum behaviour;
+* "as the quota increases, livelock becomes more of a problem":
+  quota=100 degrades under overload, quota=infinity collapses;
+* 10-20 packets is a near-optimal setting.
+"""
+
+from conftest import BENCH_RATES, TRIAL_KWARGS, run_figure, series_peak, series_tail
+
+from repro.experiments.figures import figure_6_5
+from repro.experiments.results import format_table
+from repro.metrics import is_livelock_free
+
+
+def test_figure_6_5(benchmark):
+    result = run_figure(
+        benchmark, figure_6_5, rates=BENCH_RATES, **TRIAL_KWARGS
+    )
+    print()
+    print(format_table(result))
+
+    q5 = result.series["quota = 5 packets"]
+    q10 = result.series["quota = 10 packets"]
+    q20 = result.series["quota = 20 packets"]
+    q100 = result.series["quota = 100 packets"]
+    qinf = result.series["quota = infinity"]
+
+    # Small quotas: stable and near-optimum.
+    for series in (q5, q10, q20):
+        assert is_livelock_free(series)
+        assert series_tail(series) > 0.9 * series_peak(series)
+
+    # Larger quotas reintroduce livelock progressively.
+    assert not is_livelock_free(q100)
+    assert series_tail(q100) < 0.6 * series_peak(q10)
+    assert series_tail(qinf) < 0.1 * series_peak(q10)
+    assert series_tail(qinf) <= series_tail(q100)
+
+    # Quotas 10 and 20 are within a few per cent of each other (both
+    # "near-optimum" per the paper).
+    assert abs(series_peak(q10) - series_peak(q20)) < 0.1 * series_peak(q10)

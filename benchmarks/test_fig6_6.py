@@ -1,0 +1,44 @@
+"""Figure 6-6: effect of the packet-count quota, with screend.
+
+Paper claims reproduced here (§6.6.2):
+
+* with queue-state feedback active, *every* quota — even infinity — is
+  protected from livelock (the screening queue bounds input work);
+* small quotas cost a few per cent of peak throughput (polling overhead
+  amortised over fewer packets);
+* "tests both with and without screend suggest that a quota of between
+  10 and 20 packets yields stable and near-optimum behaviour".
+"""
+
+from conftest import BENCH_RATES, TRIAL_KWARGS, run_figure, series_peak, series_tail
+
+from repro.experiments.figures import figure_6_6
+from repro.experiments.results import format_table
+from repro.metrics import is_livelock_free
+
+
+def test_figure_6_6(benchmark):
+    result = run_figure(
+        benchmark, figure_6_6, rates=BENCH_RATES, **TRIAL_KWARGS
+    )
+    print()
+    print(format_table(result))
+
+    q5 = result.series["quota = 5 packets"]
+    q10 = result.series["quota = 10 packets"]
+    q20 = result.series["quota = 20 packets"]
+    q100 = result.series["quota = 100 packets"]
+    qinf = result.series["quota = infinity"]
+
+    # Feedback protects every quota setting from livelock.
+    for series in (q5, q10, q20, q100, qinf):
+        assert is_livelock_free(series)
+        assert series_tail(series) > 0.85 * series_peak(series)
+
+    # Small quota may shave a little off the peak, but only a little.
+    assert series_peak(q5) >= 0.9 * series_peak(qinf)
+    assert series_peak(q5) <= series_peak(qinf) * 1.02
+
+    # All quotas land in the same band (feedback dominates behaviour).
+    peaks = [series_peak(s) for s in (q5, q10, q20, q100, qinf)]
+    assert max(peaks) - min(peaks) < 0.15 * max(peaks)

@@ -1,0 +1,67 @@
+"""Transient overload from bursty arrivals (§9) — extension benchmark.
+
+"Such pathologies may be caused not only by long-term receive overload,
+but also by transient overload from short-term bursty arrivals."
+
+Measured: loss at a *mean* rate below the MLFRR, delivered in wire-speed
+bursts. The burst arrives faster than the classic kernel's ipintrq
+drains, so packets are lost (and device-level work wasted) even though
+the long-run average is sustainable. The modified kernel absorbs the
+same bursts: the polling thread drains the ring to completion and the
+only buffering is the interface's.
+"""
+
+from conftest import TRIAL_KWARGS
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+
+MEAN_RATE = 3_500  # well below both kernels' ~4,700+ capacity
+BURST = 64  # wire-speed burst: exceeds ipintrq (50) but not service+ring
+
+
+def run_pair():
+    rows = {}
+    for label, config in (
+        ("unmodified", variants.unmodified()),
+        ("polling q=10", variants.polling(quota=10)),
+    ):
+        trial = run_trial(
+            config, MEAN_RATE, workload="bursty", burst_size=BURST,
+            **TRIAL_KWARGS,
+        )
+        rows[label] = trial
+    return rows
+
+
+def test_transient_burst_overload(benchmark):
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print()
+    for label, trial in rows.items():
+        print(
+            "%-14s out=%7.0f loss=%5.1f%% drops=%s"
+            % (
+                label,
+                trial.output_rate_pps,
+                100 * trial.loss_fraction,
+                trial.drops,
+            )
+        )
+    benchmark.extra_info["loss"] = {
+        label: trial.loss_fraction for label, trial in rows.items()
+    }
+
+    unmod = rows["unmodified"]
+    polled = rows["polling q=10"]
+
+    # The mean rate is sustainable; steady traffic would be loss-free.
+    # Bursts still cost the classic kernel real loss...
+    assert unmod.loss_fraction > 0.05
+    # ...specifically late loss at ipintrq (wasted device work).
+    assert unmod.counters.get("queue.ipintrq.dropped", 0) > 50
+    # The modified kernel absorbs the same bursts without dropping a
+    # single packet anywhere ("letting the receiving interface buffer
+    # bursts"): its apparent loss_fraction is only end-of-window ring
+    # backlog, so check the drop counters themselves.
+    assert not polled.drops
+    assert polled.output_rate_pps > unmod.output_rate_pps

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Receive latency under bursts (§4.3) and the polling-frequency dilemma (§8).
+
+Part 1 — burst latency: when a burst arrives back-to-back at wire speed,
+the interrupt-driven kernel performs link-level processing of the whole
+burst at device IPL before the IP layer sees the first packet, so the
+first packet's delivery latency grows with the burst length.
+
+Part 2 — clocked interrupts: pure periodic polling (Traw & Smith) avoids
+per-packet interrupts, but the poll period is a latency floor at low
+load and an overhead tax at high frequency. The hybrid design (interrupt
+-initiated polling) gets interrupt-grade latency at low load *and*
+polling-grade throughput under overload.
+
+Run:  python examples/burst_latency.py
+"""
+
+from repro import run_trial, variants
+from repro.sim.units import NS_PER_MS
+
+LOW_RATE = 500  # pkt/s: low load, latency matters here
+
+
+def burst_part() -> None:
+    print("Median router residence latency (us) at %d pkt/s average load:\n" % LOW_RATE)
+    print("%12s %22s %22s" % ("burst size", "unmodified kernel", "polling kernel"))
+    for burst in (1, 8, 32):
+        unmod = run_trial(
+            variants.unmodified(), LOW_RATE, workload="bursty", burst_size=burst
+        )
+        poll = run_trial(
+            variants.polling(quota=10), LOW_RATE, workload="bursty", burst_size=burst
+        )
+        print(
+            "%12d %22.0f %22.0f"
+            % (burst, unmod.latency_us["median"], poll.latency_us["median"])
+        )
+    print(
+        "\nLatency grows with burst size in both kernels -- the whole burst\n"
+        "is link-level processed before the first packet is forwarded\n"
+        "(4.3's 'latency increased almost by the time to receive the burst').\n"
+    )
+
+
+def clocked_part() -> None:
+    print("Clocked interrupts: median latency and peak throughput vs poll period:\n")
+    print("%14s %16s %20s" % ("poll period", "latency @500/s", "output @12000/s"))
+    for period_ms in (0.25, 1.0, 4.0):
+        config = variants.clocked(poll_interval_ns=int(period_ms * NS_PER_MS))
+        low = run_trial(config, LOW_RATE)
+        high = run_trial(config, 12_000)
+        print(
+            "%11.2f ms %13.0f us %14.0f pkt/s"
+            % (period_ms, low.latency_us["median"], high.output_rate_pps)
+        )
+    hybrid = run_trial(variants.polling(quota=10), LOW_RATE)
+    hybrid_high = run_trial(variants.polling(quota=10), 12_000)
+    print(
+        "%14s %13.0f us %14.0f pkt/s"
+        % ("hybrid", hybrid.latency_us["median"], hybrid_high.output_rate_pps)
+    )
+    print(
+        "\nShort periods waste CPU on empty polls; long periods add latency.\n"
+        "The hybrid design needs no such tuning."
+    )
+
+
+def main() -> None:
+    burst_part()
+    clocked_part()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Where did the CPU go? — livelock as a CPU-attribution story.
+
+The paper's diagnosis (§4.2) is an attribution statement: under
+overload, an interrupt-driven kernel "will spend all of its time
+processing receiver interrupts" and nothing else runs. This example
+measures exactly that, per kernel, at rising input rates: the fraction
+of CPU time spent at interrupt level, in kernel threads, in user
+processes, in the idle loop, and unused.
+
+Run:  python examples/cpu_breakdown.py
+"""
+
+from repro import variants
+from repro.experiments.topology import Router
+from repro.metrics import (
+    CATEGORY_IDLE,
+    CATEGORY_INTERRUPT,
+    CATEGORY_KERNEL,
+    CATEGORY_UNUSED,
+    CATEGORY_USER,
+    CpuAccountant,
+)
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+RATES = (1_000, 5_000, 13_000)
+KERNELS = [
+    ("unmodified", variants.unmodified()),
+    ("polling q=10", variants.polling(quota=10)),
+    ("polling + limit 50%", variants.polling(quota=10, cycle_limit=0.5)),
+]
+
+
+def breakdown(config, rate):
+    router = Router(config)
+    router.add_compute_process()  # a user process competing for CPU
+    accountant = CpuAccountant(router.kernel.cpu)
+    router.start()
+    if rate:
+        ConstantRateGenerator(router.sim, router.nic_in, rate).start()
+    router.run_for(seconds(0.1))
+    window = accountant.window()
+    router.run_for(seconds(0.3))
+    return router, window.report()
+
+
+def main() -> None:
+    header = "%-21s %8s | %6s %6s %6s %6s %6s | %9s"
+    print(header % ("kernel", "input/s", "intr", "kern", "user",
+                    "idle", "unused", "fwd pkt/s"))
+    for label, config in KERNELS:
+        for rate in RATES:
+            router, report = breakdown(config, rate)
+            forwarded = router.delivered.snapshot() / 0.4
+            print(header % (
+                label,
+                rate,
+                "%5.1f%%" % (100 * report.fraction(CATEGORY_INTERRUPT)),
+                "%5.1f%%" % (100 * report.fraction(CATEGORY_KERNEL)),
+                "%5.1f%%" % (100 * report.fraction(CATEGORY_USER)),
+                "%5.1f%%" % (100 * report.fraction(CATEGORY_IDLE)),
+                "%5.1f%%" % (100 * report.fraction(CATEGORY_UNUSED)),
+                "%9.0f" % forwarded,
+            ))
+        print()
+    print(
+        "At 13,000 pkt/s the unmodified kernel lives at interrupt level\n"
+        "(and in the starved netisr thread) while the user row reads ~0%.\n"
+        "The polling kernel moves the work into a kernel thread — same\n"
+        "user starvation, better forwarding — and only the cycle limit\n"
+        "hands the user process its share back."
+    )
+
+
+if __name__ == "__main__":
+    main()

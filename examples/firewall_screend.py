@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""A screening firewall under attack: queue-state feedback in action.
+
+The router runs ``screend``, the user-mode packet-screening daemon used
+by 1990s UNIX firewalls (one system call per packet). Without feedback
+from the screening queue, an attacker who floods the router silences the
+firewall completely — receive livelock as a denial-of-service. With the
+paper's queue-state feedback, throughput holds at its peak no matter the
+offered load.
+
+This example also demonstrates a *selective* screening rule (the paper
+runs screend in accept-all mode): packets to the blocked destination
+port are dropped by the daemon.
+
+Run:  python examples/firewall_screend.py
+"""
+
+from repro import run_trial, variants
+from repro.experiments.topology import Router
+
+BLOCKED_PORT = 7  # echo — a classic thing for a firewall to drop
+
+RATES = (1_000, 2_000, 4_000, 8_000, 12_000)
+
+
+def screen_rule(packet) -> bool:
+    """Accept everything except the blocked port."""
+    return packet.dst_port != BLOCKED_PORT
+
+
+def main() -> None:
+    print("Firewall forwarding rate (pkt/s) under increasing attack load:\n")
+    print("%10s %22s %22s" % ("input", "unmodified kernel", "polling w/feedback"))
+    for rate in RATES:
+        unmod = run_trial(variants.unmodified(screend=True), rate)
+        fixed = run_trial(variants.polling(quota=10, screend=True), rate)
+        print(
+            "%10d %22.0f %22.0f"
+            % (rate, unmod.output_rate_pps, fixed.output_rate_pps)
+        )
+
+    print("\nWith a selective rule (drop udp port %d):" % BLOCKED_PORT)
+    router = Router(variants.polling(quota=10, screend=True), screen_rule=screen_rule)
+    trial = run_trial(
+        variants.polling(quota=10, screend=True), 1_000, router=router
+    )
+    rejected = trial.counters.get("screend.rejected", 0)
+    accepted = trial.counters.get("screend.accepted", 0)
+    print(
+        "  screend accepted %d packets, rejected %d (all traffic here "
+        "targets the allowed port)" % (accepted, rejected)
+    )
+
+
+if __name__ == "__main__":
+    main()

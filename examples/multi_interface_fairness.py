@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""One flooding interface must not silence the others (§5.2).
+
+A router with three input Ethernets: in0 carries a 12,000 pkt/s flood,
+in1 and in2 carry ordinary 800 pkt/s flows. The paper's round-robin
+polling with per-device quotas exists exactly for this case — "to
+prevent a single input stream from monopolizing the CPU".
+
+Also demonstrated: with several inputs feeding one output, the output
+callback's quota must not be smaller than the combined input admission
+per round, or the shared output queue overflows. PollQuota supports a
+split rx/tx quota for precisely this.
+
+Run:  python examples/multi_interface_fairness.py
+"""
+
+from repro import variants
+from repro.core.quota import PollQuota
+from repro.experiments.multitopology import (
+    MultiInputRouter,
+    input_source_address,
+)
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+RATES = (12_000, 800, 800)
+
+
+def measure(config, quota=None):
+    router = MultiInputRouter(config, input_count=len(RATES), quota=quota)
+    router.start()
+    for index, rate in enumerate(RATES):
+        ConstantRateGenerator(
+            router.sim,
+            router.input_nics[index],
+            rate,
+            src=input_source_address(index),
+            dst="10.2.0.2",
+            flow="in%d" % index,
+            name="gen%d" % index,
+        ).start()
+    router.run_for(seconds(0.1))
+    before = dict(router.delivered_by_flow())
+    router.run_for(seconds(0.3))
+    after = router.delivered_by_flow()
+    rates = {
+        flow: (after.get(flow, 0) - before.get(flow, 0)) / 0.3
+        for flow in ("in0", "in1", "in2")
+    }
+    drops = router.probes.dump().get("queue.out0.ifqueue.dropped", 0)
+    return rates, drops
+
+
+def main() -> None:
+    print("Offered: in0 = 12,000 pkt/s (flood), in1 = in2 = 800 pkt/s\n")
+    print("%-34s %9s %9s %9s %12s" % ("kernel", "in0", "in1", "in2", "outq drops"))
+    rows = [
+        ("unmodified", variants.unmodified(), None),
+        ("polling rx=10 tx=10", variants.polling(quota=10),
+         PollQuota(rx=10, tx=10)),
+        ("polling rx=10 tx=unlimited", variants.polling(quota=10),
+         PollQuota(rx=10, tx=None)),
+    ]
+    for label, config, quota in rows:
+        rates, drops = measure(config, quota)
+        print("%-34s %9.0f %9.0f %9.0f %12d" % (
+            label, rates["in0"], rates["in1"], rates["in2"], drops))
+    print(
+        "\nThe unmodified kernel delivers NOTHING for the light flows: the\n"
+        "flood owns the shared IP input queue. Round-robin polling serves\n"
+        "them in full -- provided the output callback's quota can drain\n"
+        "what three input callbacks admit per round."
+    )
+
+
+if __name__ == "__main__":
+    main()

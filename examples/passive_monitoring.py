@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Passive network monitoring under overload (§2).
+
+A monitoring host captures packets through a packet-filter tap (the BSD
+packet filter of the paper's reference [9]) into a user-mode monitor
+process. Under receive overload, the unmodified kernel starves the
+monitor: the tap queue overflows and capture loss explodes. The
+modified kernel keeps the monitor fed.
+
+Run:  python examples/passive_monitoring.py
+"""
+
+from repro import run_trial, variants
+from repro.experiments.topology import Router
+
+RATES = (1_000, 4_000, 8_000, 12_000)
+
+
+def run_with_monitor(config, rate):
+    router = Router(config)
+    monitor = router.add_monitor(queue_limit=32)
+    trial = run_trial(config, rate, router=router)
+    observed = trial.counters.get("monitor.observed", 0)
+    matched = trial.counters.get("pfilt.matched", 0)
+    lost = trial.counters.get("queue.pfilt.dropped", 0)
+    return trial, observed, matched, lost
+
+
+def main() -> None:
+    print("Passive monitor capture, cumulative over each trial:\n")
+    print(
+        "%8s | %28s | %28s"
+        % ("input", "unmodified (seen/tapped/lost)", "polling+limit (seen/tapped/lost)")
+    )
+    for rate in RATES:
+        _, seen_u, matched_u, lost_u = run_with_monitor(
+            variants.unmodified(), rate
+        )
+        _, seen_p, matched_p, lost_p = run_with_monitor(
+            variants.polling(quota=10, cycle_limit=0.75), rate
+        )
+        print(
+            "%8d | %10d/%7d/%7d | %10d/%7d/%7d"
+            % (rate, seen_u, matched_u, lost_u, seen_p, matched_p, lost_p)
+        )
+    print(
+        "\n'tapped' counts packets the kernel filter matched; 'lost' counts\n"
+        "those dropped at the tap queue because the monitor process was\n"
+        "starved of CPU. The cycle limit guarantees the monitor runs even\n"
+        "during floods."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""An NFS-style RPC server under a request flood (end-system livelock).
+
+The paper's §2 lists network file service among the motivating
+applications: RPC-based client-server traffic is not flow-controlled,
+so "fast clients and servers can generate heavy RPC loads" that drive
+the server into receive livelock. Here the consumer is the application
+itself (§3: useful throughput is delivery to the ultimate consumer),
+and kernel-level fixes alone are not enough — the application needs CPU.
+
+Four kernels serve the same 10,000 req/s flood:
+
+* unmodified            — the app starves; goodput collapses;
+* polling (quota 10)    — kernel healthy, app still starves;
+* polling + cycle limit — §7's mechanism guarantees app progress;
+* polling + socket-queue feedback — §6.6.1's feedback applied "to other
+  queues in the system": input stops while the app's backlog is full.
+
+Run:  python examples/rpc_server.py
+"""
+
+from repro import variants
+from repro.experiments.endhost import EndHost, HOST_ADDR, SERVICE_PORT
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+RATES = (1_000, 3_000, 6_000, 10_000)
+
+
+def goodput(config, rate, **host_kwargs):
+    host = EndHost(config, **host_kwargs).start()
+    ConstantRateGenerator(
+        host.sim, host.nic, rate, dst=HOST_ADDR, dst_port=SERVICE_PORT
+    ).start()
+    host.run_for(seconds(0.1))
+    before = host.requests_served
+    host.run_for(seconds(0.3))
+    return (host.requests_served - before) / 0.3
+
+
+def main() -> None:
+    kernels = [
+        ("unmodified", variants.unmodified(), {}),
+        ("polling q=10", variants.polling(quota=10), {}),
+        ("polling + limit 50%", variants.polling(quota=10, cycle_limit=0.5), {}),
+        ("polling + sockbuf feedback", variants.polling(quota=10),
+         {"socket_feedback": True}),
+    ]
+    print("RPC requests served per second (server capacity ~4,000 req/s):\n")
+    print("%-28s" % "offered (req/s):" + "".join("%9d" % r for r in RATES))
+    for label, config, kwargs in kernels:
+        row = [goodput(config, rate, **kwargs) for rate in RATES]
+        print("%-28s" % label + "".join("%9.0f" % v for v in row))
+    print(
+        "\nThe flood silences the unmodified server completely, and fixing\n"
+        "the kernel is not enough: the polling kernel drops the requests\n"
+        "at the socket queue instead of ipintrq, with the same goodput.\n"
+        "Only mechanisms that reserve CPU for the application -- the\n"
+        "cycle limit, or feedback from the socket queue -- keep the\n"
+        "server serving."
+    )
+
+
+if __name__ == "__main__":
+    main()

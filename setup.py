@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of Mogul & Ramakrishnan, "Eliminating Receive
+Livelock in an Interrupt-driven Kernel" (USENIX 1996).
+
+The package simulates a 1990s UNIX router at the scheduling level —
+a CPU with interrupt priority levels, NICs with bounded descriptor
+rings, the 4.2BSD/Digital-UNIX network stack — and implements the
+paper's fixes: interrupt-initiated polling with packet quotas,
+queue-state feedback, and CPU cycle limits.
+
+Quick start::
+
+    from repro import variants, run_trial
+
+    result = run_trial(variants.unmodified(), rate_pps=8_000)
+    print(result.output_rate_pps)        # livelocked: far below 8000
+
+    result = run_trial(variants.polling(quota=5), rate_pps=8_000)
+    print(result.output_rate_pps)        # stays at the MLFRR
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure.
+"""
+
+from . import core, drivers, experiments, hw, kernel, metrics, net, sim, workloads
+from .core import (
+    CycleLimiter,
+    PollQuota,
+    PollingSystem,
+    QueueStateFeedback,
+    variants,
+)
+from .experiments import (
+    ALL_FIGURES,
+    FigureResult,
+    Router,
+    TrialResult,
+    run_sweep,
+    run_trial,
+    sweep_series,
+)
+from .kernel import CostModel, DEFAULT_COSTS, KernelConfig
+from .metrics import estimate_mlfrr, is_livelock_free, livelock_onset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_FIGURES",
+    "CostModel",
+    "CycleLimiter",
+    "DEFAULT_COSTS",
+    "FigureResult",
+    "KernelConfig",
+    "PollQuota",
+    "PollingSystem",
+    "QueueStateFeedback",
+    "Router",
+    "TrialResult",
+    "core",
+    "drivers",
+    "estimate_mlfrr",
+    "experiments",
+    "hw",
+    "is_livelock_free",
+    "kernel",
+    "livelock_onset",
+    "metrics",
+    "net",
+    "run_sweep",
+    "run_trial",
+    "sim",
+    "sweep_series",
+    "variants",
+    "workloads",
+]

@@ -1,0 +1,16 @@
+"""User-level applications: screend, compute-bound probe, packet sink,
+passive monitor."""
+
+from .compute import ComputeBoundProcess
+from .monitor import PacketFilterTap, PassiveMonitor
+from .screend import Screend, accept_all
+from .sink import PacketSink
+
+__all__ = [
+    "ComputeBoundProcess",
+    "PacketFilterTap",
+    "PacketSink",
+    "PassiveMonitor",
+    "Screend",
+    "accept_all",
+]

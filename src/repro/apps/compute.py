@@ -1,0 +1,64 @@
+"""Compute-bound user process — the §7 progress probe.
+
+The paper measures user-level starvation by "running a compute-bound
+process on our modified router, and then flooding the router with
+minimum-sized packets": the unmodified router forwards at full speed
+while the process makes "no measurable progress". This process performs
+pure CPU work in fixed-size chunks and counts completed cycles, so the
+experiment harness can compute the fraction of the CPU it obtained over
+a measurement window (fig 7-1's y-axis).
+"""
+
+from __future__ import annotations
+
+from ..kernel.kernel import Kernel
+from ..sim.process import Work
+
+#: One scheduling chunk of user computation, in microseconds. Small
+#: enough that availability is sampled smoothly, large enough not to
+#: dominate the event count.
+COMPUTE_CHUNK_US = 500
+
+
+class ComputeBoundProcess:
+    """An infinite pure-CPU loop, instrumented for progress accounting."""
+
+    def __init__(self, kernel: Kernel, chunk_us: int = COMPUTE_CHUNK_US) -> None:
+        if chunk_us <= 0:
+            raise ValueError("chunk must be positive")
+        self.kernel = kernel
+        self.chunk_cycles = kernel.costs.cpu_hz // 1_000_000 * chunk_us
+        self.task = None
+        self.chunks_completed = kernel.probes.counter("compute.chunks")
+
+    def start(self) -> None:
+        if self.task is not None:
+            raise RuntimeError("compute process already started")
+        self.task = self.kernel.user_process(self._body(), "compute")
+
+    def _body(self):
+        while True:
+            yield Work(self.chunk_cycles)
+            self.chunks_completed.increment()
+
+    # ------------------------------------------------------------------
+    # Progress measurement
+    # ------------------------------------------------------------------
+
+    def cycles_used(self) -> int:
+        """Total CPU cycles this process has actually executed."""
+        if self.task is None:
+            return 0
+        return self.task.cycles_used
+
+    def cpu_share(self, window_start_cycles: int, window_cycles: int) -> float:
+        """Fraction of a window's CPU cycles obtained by this process.
+
+        ``window_start_cycles`` is a :meth:`cycles_used` snapshot taken at
+        the window start; ``window_cycles`` is the window length in CPU
+        cycles.
+        """
+        if window_cycles <= 0:
+            return 0.0
+        used = self.cycles_used() - window_start_cycles
+        return max(0.0, min(1.0, used / window_cycles))

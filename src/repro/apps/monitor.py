@@ -1,0 +1,86 @@
+"""Passive network monitoring (§2: one of the motivating applications).
+
+A packet-filter tap copies (matching) packets traversing IP input into a
+bounded queue — the analogue of the BSD packet filter of [9] — and a
+user-mode monitor process consumes them. Under receive overload an
+unmodified kernel starves this process exactly like it starves screend;
+the tap's drop counter shows the monitoring loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..kernel.kernel import Kernel
+from ..kernel.queues import PacketQueue
+from ..kernel.syscalls import BlockingQueueReader
+from ..net.packet import Packet
+from ..sim.process import Work
+from ..sim.signals import Signal
+
+#: A capture filter: packet -> capture?
+CaptureFilter = Callable[[Packet], bool]
+
+
+class PacketFilterTap:
+    """Kernel-side tap: bounded queue fed from IP input processing."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str = "pfilt",
+        queue_limit: int = 32,
+        capture: Optional[CaptureFilter] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.capture = capture
+        self.queue = PacketQueue(name, queue_limit, kernel.probes)
+        self.data_signal = Signal(kernel.sim, "%s.data" % name)
+        self.matched = kernel.probes.counter("%s.matched" % name)
+
+    def deliver(self, packet: Packet) -> bool:
+        """Called from IP input (CPU already charged by the caller)."""
+        if self.capture is not None and not self.capture(packet):
+            return False
+        self.matched.increment()
+        accepted = self.queue.enqueue(packet)
+        if accepted:
+            self.data_signal.fire()
+        return accepted
+
+
+class PassiveMonitor:
+    """User-mode monitor consuming captured packets from a tap."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        tap: PacketFilterTap,
+        per_packet_cycles: int = 3_000,
+    ) -> None:
+        self.kernel = kernel
+        self.tap = tap
+        self.per_packet_cycles = per_packet_cycles
+        self.reader = BlockingQueueReader(
+            tap.queue, tap.data_signal, kernel.costs, charge_syscall=True
+        )
+        self.task = None
+        self.observed = kernel.probes.counter("monitor.observed")
+
+    def start(self) -> None:
+        if self.task is not None:
+            raise RuntimeError("monitor already started")
+        self.task = self.kernel.user_process(self._body(), "monitor")
+
+    def _body(self):
+        while True:
+            yield from self.reader.read()
+            if self.per_packet_cycles:
+                yield Work(self.per_packet_cycles)
+            self.observed.increment()
+
+    @property
+    def capture_loss(self) -> int:
+        """Packets matched by the filter but dropped at the tap queue."""
+        return self.tap.queue.drop_count

@@ -1,0 +1,50 @@
+"""Packet sink: a user process consuming datagrams from a UDP socket.
+
+Models the "ultimate consumer" of §3 for end-system scenarios (NFS-like
+request sinks, monitoring consumers): each read is a system call, each
+packet costs some user-mode processing. Throughput *to this process* is
+the paper's definition of useful throughput for a receiving host.
+"""
+
+from __future__ import annotations
+
+from ..kernel.kernel import Kernel
+from ..kernel.syscalls import BlockingQueueReader
+from ..net.udp import UdpSocket
+from ..sim.process import Work
+
+#: Default user-mode work per consumed packet, cycles (≈ 50 µs at 150 MHz).
+DEFAULT_WORK_CYCLES = 7_500
+
+
+class PacketSink:
+    """Reads packets from a socket, does per-packet work, counts them."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        socket: UdpSocket,
+        per_packet_cycles: int = DEFAULT_WORK_CYCLES,
+    ) -> None:
+        self.kernel = kernel
+        self.socket = socket
+        self.per_packet_cycles = per_packet_cycles
+        self.reader = BlockingQueueReader(
+            socket.queue, socket.data_signal, kernel.costs, charge_syscall=True
+        )
+        self.task = None
+        self.consumed = kernel.probes.counter("sink.%d.consumed" % socket.port)
+
+    def start(self) -> None:
+        if self.task is not None:
+            raise RuntimeError("sink already started")
+        self.task = self.kernel.user_process(
+            self._body(), "sink:%d" % self.socket.port
+        )
+
+    def _body(self):
+        while True:
+            yield from self.reader.read()
+            if self.per_packet_cycles:
+                yield Work(self.per_packet_cycles)
+            self.consumed.increment()

@@ -1,0 +1,159 @@
+"""Command-line interface: regenerate any figure from the paper.
+
+Examples::
+
+    repro-livelock list
+    repro-livelock figure 6-1
+    repro-livelock figure 6-5 --fast --csv
+    repro-livelock trial --variant polling --quota 5 --rate 12000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import variants
+from .experiments.extensions import EXTENSION_EXPERIMENTS
+from .experiments.figures import ALL_FIGURES
+from .experiments.harness import (
+    DEFAULT_RATE_GRID,
+    FAST_RATE_GRID,
+    run_trial,
+)
+from .experiments.results import render_report, to_csv
+
+#: Everything `figure` can regenerate: the paper's figures plus the
+#: extension experiments.
+ALL_EXPERIMENTS = dict(ALL_FIGURES)
+ALL_EXPERIMENTS.update(EXTENSION_EXPERIMENTS)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-livelock",
+        description=(
+            "Reproduce figures from 'Eliminating Receive Livelock in an "
+            "Interrupt-driven Kernel' (Mogul & Ramakrishnan, USENIX 1996)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures")
+
+    fig = sub.add_parser("figure", help="regenerate one figure/experiment")
+    fig.add_argument("figure_id", choices=sorted(ALL_EXPERIMENTS))
+    fig.add_argument(
+        "--fast", action="store_true", help="coarser rate grid, shorter trials"
+    )
+    fig.add_argument("--csv", action="store_true", help="emit CSV instead of a report")
+    fig.add_argument("--seed", type=int, default=0)
+
+    trial = sub.add_parser("trial", help="run a single measurement")
+    trial.add_argument(
+        "--variant",
+        choices=[
+            "unmodified",
+            "modified_no_polling",
+            "polling",
+            "clocked",
+            "high_ipl",
+        ],
+        default="unmodified",
+    )
+    trial.add_argument(
+        "--input-feedback",
+        action="store_true",
+        help="classic kernel with §5.1 interrupt-rate limiting",
+    )
+    trial.add_argument("--rate", type=float, default=8_000)
+    trial.add_argument("--quota", type=int, default=None)
+    trial.add_argument("--screend", action="store_true")
+    trial.add_argument("--feedback", action="store_true")
+    trial.add_argument("--cycle-limit", type=float, default=None)
+    trial.add_argument("--duration", type=float, default=0.5)
+    trial.add_argument("--compute", action="store_true")
+    trial.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace):
+    if args.variant == "unmodified":
+        return variants.unmodified(
+            screend=args.screend, input_feedback=args.input_feedback
+        )
+    if args.variant == "modified_no_polling":
+        return variants.modified_no_polling(screend=args.screend)
+    if args.variant == "polling":
+        return variants.polling(
+            quota=args.quota if args.quota is not None else 10,
+            screend=args.screend,
+            feedback=args.feedback or None,
+            cycle_limit=args.cycle_limit,
+        )
+    if args.variant == "clocked":
+        return variants.clocked(quota=args.quota)
+    if args.variant == "high_ipl":
+        return variants.high_ipl(
+            quota=args.quota if args.quota is not None else 10,
+            screend=args.screend,
+        )
+    raise ValueError("unknown variant %r" % args.variant)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for figure_id in sorted(ALL_FIGURES):
+            print("figure %s" % figure_id)
+        for figure_id in sorted(EXTENSION_EXPERIMENTS):
+            print("experiment %s" % figure_id)
+        return 0
+
+    if args.command == "figure":
+        kwargs = {"seed": args.seed}
+        if args.fast:
+            kwargs["duration_s"] = 0.3
+            kwargs["warmup_s"] = 0.1
+            if args.figure_id not in ("7-1", "ext-endhost"):
+                kwargs["rates"] = FAST_RATE_GRID
+        result = ALL_EXPERIMENTS[args.figure_id](**kwargs)
+        sys.stdout.write(to_csv(result) if args.csv else render_report(result))
+        return 0
+
+    if args.command == "trial":
+        trial = run_trial(
+            _config_from_args(args),
+            args.rate,
+            duration_s=args.duration,
+            with_compute=args.compute,
+            seed=args.seed,
+        )
+        print("variant:        %s" % trial.variant)
+        print("offered rate:   %8.0f pkt/s" % trial.offered_rate_pps)
+        print("output rate:    %8.0f pkt/s" % trial.output_rate_pps)
+        print("loss fraction:  %8.3f" % trial.loss_fraction)
+        if trial.user_cpu_share is not None:
+            print("user CPU share: %8.1f %%" % (100 * trial.user_cpu_share))
+        if trial.latency_us.get("count"):
+            print(
+                "latency us:     mean %.0f  median %.0f  p99 %.0f"
+                % (
+                    trial.latency_us["mean"],
+                    trial.latency_us["median"],
+                    trial.latency_us["p99"],
+                )
+            )
+        if trial.drops:
+            print("drops:")
+            for name, value in sorted(trial.drops.items()):
+                print("  %-36s %d" % (name, value))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: interrupt-initiated polling with quotas,
+queue-state feedback, and CPU cycle limits (§5–§7)."""
+
+from .cyclelimit import CycleLimiter
+from .feedback import QueueStateFeedback
+from .polling import PollingSystem
+from .quota import UNLIMITED, PollQuota
+from .variants import (
+    CLOCKED,
+    HIGH_IPL,
+    MODIFIED_NO_POLLING,
+    POLLING,
+    UNMODIFIED,
+    clocked,
+    describe,
+    high_ipl,
+    modified_no_polling,
+    polling,
+    unmodified,
+)
+
+__all__ = [
+    "CLOCKED",
+    "CycleLimiter",
+    "HIGH_IPL",
+    "MODIFIED_NO_POLLING",
+    "POLLING",
+    "PollQuota",
+    "PollingSystem",
+    "QueueStateFeedback",
+    "UNLIMITED",
+    "UNMODIFIED",
+    "clocked",
+    "describe",
+    "high_ipl",
+    "modified_no_polling",
+    "polling",
+    "unmodified",
+]

@@ -1,0 +1,102 @@
+"""Queue-state feedback (§6.6.1).
+
+When the screening queue fills to its high watermark (75 % by default),
+further input processing — and input interrupts — are inhibited until
+either the queue drains to its low watermark (25 %) or a timeout expires
+("arbitrarily chosen as one clock tick, or about 1 msec ... in case the
+screend program is hung, so that packets for other consumers are not
+dropped indefinitely").
+
+The same mechanism may be attached to any :class:`PacketQueue`
+("the same queue-state feedback technique could be applied to other
+queues in the system", §6.6.1), which the ablation benches exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.callouts import Callout
+from ..kernel.kernel import Kernel
+from ..kernel.queues import PacketQueue
+from .polling import PollingSystem
+
+
+class QueueStateFeedback:
+    """Inhibit input processing based on one queue's occupancy."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        polling: PollingSystem,
+        queue: PacketQueue,
+        timeout_ticks: Optional[int] = 1,
+        reason: Optional[str] = None,
+    ) -> None:
+        if queue.high_watermark is None or queue.low_watermark is None:
+            raise ValueError(
+                "feedback queue %r needs high and low watermarks" % queue.name
+            )
+        self.kernel = kernel
+        self.polling = polling
+        self.queue = queue
+        self.timeout_ticks = timeout_ticks
+        self.reason = reason if reason is not None else "feedback:%s" % queue.name
+        self._timeout_callout: Optional[Callout] = None
+        self._dequeues_at_inhibit = 0
+        self.inhibits = kernel.probes.counter("feedback.%s.inhibits" % queue.name)
+        self.timeouts = kernel.probes.counter("feedback.%s.timeouts" % queue.name)
+        queue.on_high.append(self._on_high)
+        queue.on_low.append(self._on_low)
+
+    @property
+    def inhibited(self) -> bool:
+        return self.reason in self.polling._inhibit_reasons
+
+    # ------------------------------------------------------------------
+
+    def _on_high(self, queue: PacketQueue) -> None:
+        # Level-triggered: the queue re-fires on every congested enqueue,
+        # so bail out if we are already inhibiting.
+        if self.inhibited:
+            return
+        self.inhibits.increment()
+        self.polling.inhibit_input(self.reason)
+        if self.timeout_ticks is not None:
+            self._disarm_timeout()
+            self._dequeues_at_inhibit = self.queue.dequeue_count
+            self._timeout_callout = self.kernel.callout(
+                self.timeout_ticks, self._on_timeout
+            )
+
+    def _on_low(self, queue: PacketQueue) -> None:
+        self._disarm_timeout()
+        self.polling.allow_input(self.reason)
+
+    def _on_timeout(self) -> None:
+        """Failsafe: re-enable input if the consumer looks hung.
+
+        The timeout exists "in case the screend program is hung, so that
+        packets for other consumers are not dropped indefinitely". A
+        consumer that *is* draining the queue will reach the low
+        watermark on its own; re-enabling input mid-drain would only
+        steal the CPU back from it. So the timeout checks for progress:
+        no dequeues since inhibition -> consumer hung -> re-enable input;
+        otherwise re-arm and keep waiting for the low watermark.
+        """
+        self._timeout_callout = None
+        if not self.inhibited:
+            return
+        if self.queue.dequeue_count == self._dequeues_at_inhibit:
+            self.timeouts.increment()
+            self.polling.allow_input(self.reason)
+            return
+        self._dequeues_at_inhibit = self.queue.dequeue_count
+        self._timeout_callout = self.kernel.callout(
+            self.timeout_ticks, self._on_timeout
+        )
+
+    def _disarm_timeout(self) -> None:
+        if self._timeout_callout is not None:
+            self._timeout_callout.cancel()
+            self._timeout_callout = None

@@ -1,0 +1,151 @@
+"""The polling thread — the heart of the modified kernel (§6.4).
+
+Design, following the paper §5.2/§6.4 ("do almost nothing at high IPL"):
+
+* interrupts are used **only to initiate polling**: the device's stub
+  handler records a service need, leaves the device's interrupt-enable
+  flag clear, and schedules the polling thread if it is not already
+  scheduled;
+* the polling thread runs at IPL 0 as a kernel thread, checks every
+  registered device's flags, and invokes received-packet and
+  transmit-complete callbacks with a packet-count quota;
+* callbacks process packets **to completion** (no ipintrq);
+* round-robin over devices, and over input vs output work on each
+  device, provides fairness;
+* only when no work is pending does the thread invoke each driver's
+  interrupt-enable callback and sleep.
+
+Input processing can be *inhibited* by external controllers — the
+queue-state feedback of §6.6.1 and the CPU cycle limit of §7 — via
+:meth:`PollingSystem.inhibit_input` / :meth:`PollingSystem.allow_input`.
+While inhibited, received-packet callbacks are skipped and RX interrupts
+stay disabled; output processing continues (the paper's cycle limit
+"inhibits packet input processing but not output processing").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Union
+
+from ..kernel.kernel import Kernel
+from ..sim.process import WaitSignal, Work
+from ..sim.signals import Signal
+from .quota import PollQuota
+
+
+class PollingSystem:
+    """Registry of polled devices plus the polling thread itself."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        quota: Union[None, int, PollQuota] = 10,
+        cycle_limiter=None,
+    ) -> None:
+        self.kernel = kernel
+        self.costs = kernel.costs
+        self.quota = PollQuota.of(quota)
+        self.cycle_limiter = cycle_limiter
+        self.devices: List = []
+        self._signal = Signal(kernel.sim, "netpoll")
+        self._wake_pending = False
+        self._rr_index = 0
+        self._inhibit_reasons: Set[str] = set()
+        self.thread = None
+        probes = kernel.probes
+        self.poll_rounds = probes.counter("poll.rounds")
+        self.wakeups = probes.counter("poll.wakeups")
+        self.inhibit_events = probes.counter("poll.input_inhibits")
+        if cycle_limiter is not None:
+            cycle_limiter.attach(self)
+
+    # ------------------------------------------------------------------
+    # Registration and lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, driver) -> None:
+        """Register a polled driver ("At boot time, the modified interface
+        drivers register themselves with the polling system", §6.4)."""
+        self.devices.append(driver)
+        driver.polling = self
+
+    def start(self) -> None:
+        if self.thread is not None:
+            raise RuntimeError("polling system already started")
+        if not self.devices:
+            raise RuntimeError("no polled devices registered")
+        self.thread = self.kernel.kernel_thread(self._body(), "netpoll")
+
+    # ------------------------------------------------------------------
+    # Wake-up and inhibition interfaces
+    # ------------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Schedule the polling thread if it is not already scheduled."""
+        if not self._wake_pending:
+            self._wake_pending = True
+            self.wakeups.increment()
+            self._signal.fire()
+
+    @property
+    def input_allowed(self) -> bool:
+        return not self._inhibit_reasons
+
+    def inhibit_input(self, reason: str) -> None:
+        """Stop input processing (and keep RX interrupts off) until every
+        inhibitor calls :meth:`allow_input` with its reason."""
+        if reason not in self._inhibit_reasons:
+            self._inhibit_reasons.add(reason)
+            self.inhibit_events.increment()
+
+    def allow_input(self, reason: str) -> None:
+        """Withdraw one inhibition reason; wakes the thread when input
+        becomes allowed again and receive work may be pending."""
+        if reason in self._inhibit_reasons:
+            self._inhibit_reasons.remove(reason)
+            if not self._inhibit_reasons:
+                self.wake()
+
+    # ------------------------------------------------------------------
+    # The polling thread
+    # ------------------------------------------------------------------
+
+    def _body(self):
+        cpu = self.kernel.cpu
+        while True:
+            while True:
+                yield Work(self.costs.poll_loop_overhead)
+                if self.cycle_limiter is not None:
+                    yield Work(self.costs.cycle_accounting)
+                    pass_start = cpu.read_cycle_counter()
+                self.poll_rounds.increment()
+                any_work = False
+                count = len(self.devices)
+                for offset in range(count):
+                    driver = self.devices[(self._rr_index + offset) % count]
+                    yield Work(self.costs.poll_device_check)
+                    if self.input_allowed and driver.rx_pending():
+                        handled = yield from driver.rx_callback(self.quota.rx)
+                        if handled:
+                            any_work = True
+                    if driver.tx_pending():
+                        handled = yield from driver.tx_callback(self.quota.tx)
+                        if handled:
+                            any_work = True
+                self._rr_index = (self._rr_index + 1) % max(1, count)
+                if self.cycle_limiter is not None:
+                    yield Work(self.costs.cycle_accounting)
+                    self.cycle_limiter.charge(
+                        cpu.read_cycle_counter() - pass_start
+                    )
+                if not any_work:
+                    break
+            # No work pending anywhere: re-enable interrupts so the next
+            # packet event interrupts us, then sleep.
+            for driver in self.devices:
+                driver.enable_interrupts(rx_allowed=self.input_allowed)
+            if self._wake_pending:
+                self._wake_pending = False
+                continue
+            yield WaitSignal(self._signal)
+            self._wake_pending = False

@@ -1,0 +1,55 @@
+"""Packet-count quotas for polling callbacks (§6.6.2).
+
+The polling thread passes each callback "a quota on the number of packets
+they are allowed to handle"; once a callback uses its quota it must
+return, letting the thread round-robin between interfaces and between
+input and output work. The paper finds 10–20 near-optimal and shows that
+no quota at all reintroduces livelock (fig 6-3, 6-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: Sentinel accepted wherever a quota is expected: no limit (fig 6-3/6-5
+#: "quota = infinity").
+UNLIMITED = None
+
+
+@dataclass(frozen=True)
+class PollQuota:
+    """Per-callback packet quotas.
+
+    ``rx`` bounds packets a received-packet callback may process per poll
+    round; ``tx`` bounds packets moved to the transmit ring per round.
+    The paper uses a single knob for both; the split is exposed for the
+    ablation benches. ``None`` means unlimited.
+    """
+
+    rx: Optional[int] = 10
+    tx: Optional[int] = 10
+
+    def __post_init__(self) -> None:
+        for name, value in (("rx", self.rx), ("tx", self.tx)):
+            if value is not None and value <= 0:
+                raise ValueError("%s quota must be positive or None" % name)
+
+    @classmethod
+    def of(cls, quota: Union[None, int, "PollQuota"]) -> "PollQuota":
+        """Coerce an int / None / PollQuota into a PollQuota."""
+        if isinstance(quota, PollQuota):
+            return quota
+        return cls(rx=quota, tx=quota)
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rx is None and self.tx is None
+
+    def describe(self) -> str:
+        def fmt(value: Optional[int]) -> str:
+            return "inf" if value is None else str(value)
+
+        if self.rx == self.tx:
+            return "quota=%s" % fmt(self.rx)
+        return "quota=rx:%s/tx:%s" % (fmt(self.rx), fmt(self.tx))

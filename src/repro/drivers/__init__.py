@@ -1,0 +1,17 @@
+"""Device drivers: classic interrupt-driven (BSD), modified polled
+(the paper's contribution), and clocked periodic polling (related work)."""
+
+from .base import Driver
+from .bsd import BsdDriver, ClassicIPInput
+from .clocked import ClockedPollingDriver
+from .highipl import HighIplDriver
+from .polled import PolledDriver
+
+__all__ = [
+    "BsdDriver",
+    "ClassicIPInput",
+    "ClockedPollingDriver",
+    "Driver",
+    "HighIplDriver",
+    "PolledDriver",
+]

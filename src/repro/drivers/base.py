@@ -1,0 +1,109 @@
+"""Common driver structure shared by the classic and modified drivers.
+
+A driver binds one NIC to the kernel: it owns the interface's output
+queue (``ifqueue`` in fig 6-2), its RX/TX interrupt lines, and the entry
+points the IP layer uses to emit packets on that interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.cpu import IPL_DEVICE
+from ..hw.nic import NIC
+from ..kernel.kernel import Kernel
+from ..kernel.queues import PacketQueue, REDQueue
+from ..net.ip import IPLayer
+from ..net.packet import Packet
+from ..sim.process import Work
+
+
+class Driver:
+    """Base class: interface naming, ifqueue, and shared bookkeeping."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: NIC,
+        ip_layer: IPLayer,
+        name: str,
+        tx_ipl: int = IPL_DEVICE,
+    ) -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.ip = ip_layer
+        self.name = name
+        self.tx_ipl = tx_ipl
+        self.costs = kernel.costs
+        config = kernel.config
+        if config.output_queue_policy == "red":
+            self.ifqueue: PacketQueue = REDQueue(
+                "%s.ifqueue" % name,
+                config.ifqueue_limit,
+                kernel.streams.stream("red:%s" % name),
+                kernel.probes,
+                min_fraction=config.red_min_fraction,
+                max_fraction=config.red_max_fraction,
+                max_probability=config.red_max_probability,
+                weight=config.red_weight,
+            )
+        else:
+            self.ifqueue = PacketQueue(
+                "%s.ifqueue" % name, config.ifqueue_limit, kernel.probes
+            )
+        self.rx_packets_processed = kernel.probes.counter(
+            "driver.%s.rx_processed" % name
+        )
+        self.tx_packets_started = kernel.probes.counter(
+            "driver.%s.tx_started" % name
+        )
+
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Create interrupt lines / threads and register with the kernel.
+
+        Subclasses implement; must be called exactly once after the
+        router wiring is complete.
+        """
+        raise NotImplementedError
+
+    def output(self, packet: Packet) -> None:
+        """IP-layer output hook: queue ``packet`` for transmission on
+        this interface. Subclasses arrange for the TX path to run."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared TX service path (generator: charges CPU as it works)
+    # ------------------------------------------------------------------
+
+    def _tx_service(self, quota: Optional[int] = None):
+        """Release completed TX descriptors, then move up to ``quota``
+        packets from the ifqueue into free descriptors. Returns the
+        number of packets newly handed to the hardware.
+
+        This is the work whose starvation the paper describes in §4.4:
+        if this code never runs, completed descriptors are never
+        released and the transmitter idles with a full ring.
+        """
+        done = self.nic.tx_done_slots()
+        if done:
+            yield Work(self.costs.tx_reclaim_per_packet * done)
+            self.nic.tx_reclaim()
+        moved = 0
+        while (
+            (quota is None or moved < quota)
+            and self.nic.tx_free_slots() > 0
+            and not self.ifqueue.empty
+        ):
+            yield Work(self.costs.tx_start_per_packet)
+            packet = self.ifqueue.dequeue()
+            if packet is None:  # pragma: no cover - guarded by loop condition
+                break
+            self.nic.tx_enqueue(packet)
+            self.tx_packets_started.increment()
+            moved += 1
+        return moved
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.name)

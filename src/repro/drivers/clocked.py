@@ -1,0 +1,82 @@
+"""Clocked-interrupt driver: pure periodic polling (related work, §8).
+
+Traw & Smith's "clocked interrupts" poll the interface at a fixed period
+with no per-packet interrupts at all. The paper points out the dilemma:
+"too high, and the system spends all its time polling; too low, and the
+receive latency soars." This driver exists to reproduce that trade-off
+as an ablation against the hybrid interrupt-initiated polling design.
+
+The implementation reuses the polled driver's callbacks but drives them
+from a periodic kernel thread instead of the interrupt-initiated polling
+thread. Interrupt lines are created but permanently disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.cpu import IPL_DEVICE
+from ..hw.nic import NIC
+from ..kernel.kernel import Kernel
+from ..net.ip import IPLayer
+from ..net.packet import Packet
+from ..sim.process import Sleep, Work
+from .base import Driver
+
+
+class ClockedPollingDriver(Driver):
+    """Polls the NIC every ``poll_interval_ns`` from a kernel thread."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: NIC,
+        ip_layer: IPLayer,
+        name: str,
+        poll_interval_ns: int,
+        quota: Optional[int] = None,
+    ) -> None:
+        if poll_interval_ns <= 0:
+            raise ValueError("poll interval must be positive")
+        super().__init__(kernel, nic, ip_layer, name, tx_ipl=IPL_DEVICE)
+        self.poll_interval_ns = poll_interval_ns
+        self.quota = quota
+        self.thread = None
+        self.polls = kernel.probes.counter("driver.%s.clocked_polls" % name)
+        self.idle_polls = kernel.probes.counter("driver.%s.clocked_idle_polls" % name)
+
+    def attach(self) -> None:
+        self.thread = self.kernel.kernel_thread(
+            self._poll_body(), "clockedpoll:%s" % self.name
+        )
+
+    def _poll_body(self):
+        costs = self.costs
+        while True:
+            yield Sleep(self.poll_interval_ns)
+            self.polls.increment()
+            # Fixed cost of waking up and inspecting the device, paid on
+            # every period whether or not anything arrived — the polling
+            # overhead side of the dilemma.
+            yield Work(costs.poll_loop_overhead + costs.poll_device_check)
+            worked = False
+            handled = 0
+            while self.quota is None or handled < self.quota:
+                packet = self.nic.rx_pull()
+                if packet is None:
+                    break
+                yield Work(costs.polled_rx_per_packet)
+                self.rx_packets_processed.increment()
+                for command in self.ip.input_packet(packet):
+                    yield command
+                handled += 1
+                worked = True
+            moved = yield from self._tx_service(self.quota)
+            if moved:
+                worked = True
+            if not worked:
+                self.idle_polls.increment()
+
+    def output(self, packet: Packet) -> None:
+        # Output waits for the next poll period too — no kick, by design.
+        self.ifqueue.enqueue(packet)

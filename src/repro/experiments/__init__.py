@@ -1,0 +1,67 @@
+"""Experiment harness: topology, trial runner, figure definitions,
+result rendering."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure_6_1,
+    figure_6_3,
+    figure_6_4,
+    figure_6_5,
+    figure_6_6,
+    figure_7_1,
+)
+from .harness import (
+    DEFAULT_RATE_GRID,
+    FAST_RATE_GRID,
+    TrialResult,
+    run_sweep,
+    run_trial,
+    sweep_series,
+)
+from .endhost import EndHost, HOST_ADDR, SERVICE_PORT
+from .extensions import EXTENSION_EXPERIMENTS
+from .multitopology import MultiInputRouter
+from .results import ascii_plot, format_table, render_report, to_csv
+from .topology import (
+    DEST_HOST,
+    DEST_NET,
+    INPUT_IF,
+    OUTPUT_IF,
+    Router,
+    SOURCE_HOST,
+    SOURCE_NET,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "DEFAULT_RATE_GRID",
+    "DEST_HOST",
+    "DEST_NET",
+    "EXTENSION_EXPERIMENTS",
+    "EndHost",
+    "FAST_RATE_GRID",
+    "MultiInputRouter",
+    "FigureResult",
+    "HOST_ADDR",
+    "SERVICE_PORT",
+    "INPUT_IF",
+    "OUTPUT_IF",
+    "Router",
+    "SOURCE_HOST",
+    "SOURCE_NET",
+    "TrialResult",
+    "ascii_plot",
+    "figure_6_1",
+    "figure_6_3",
+    "figure_6_4",
+    "figure_6_5",
+    "figure_6_6",
+    "figure_7_1",
+    "format_table",
+    "render_report",
+    "run_sweep",
+    "run_trial",
+    "sweep_series",
+    "to_csv",
+]

@@ -1,0 +1,192 @@
+"""End-system topology: receive livelock on a server, not a router.
+
+The paper's motivating applications include network file service —
+"servers for protocols such as NFS are commonly built from UNIX
+systems" (§2) — and defines useful throughput as delivery "to their
+ultimate consumers", which for an end-system is "an application running
+on the receiving host" (§3).
+
+:class:`EndHost` builds that scenario: one interface, arriving UDP
+datagrams delivered locally through the UDP layer to a user-mode
+consumer process (an RPC-server stand-in doing fixed work per request).
+Goodput is requests *completed by the application*, so kernel-level
+fixes that merely move the drop point don't score; only fixes that let
+the application run do (the §7 cycle limit, primarily).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps.sink import PacketSink
+from ..core.cyclelimit import CycleLimiter
+from ..core.feedback import QueueStateFeedback
+from ..core.polling import PollingSystem
+from ..core.quota import PollQuota
+from ..drivers.bsd import BsdDriver, ClassicIPInput
+from ..drivers.clocked import ClockedPollingDriver
+from ..drivers.highipl import HighIplDriver
+from ..drivers.polled import PolledDriver
+from ..hw.nic import NIC
+from ..kernel.config import KernelConfig
+from ..kernel.kernel import Kernel
+from ..net.arp import ArpTable
+from ..net.ip import IPLayer
+from ..net.routing import RoutingTable
+from ..net.udp import UdpLayer
+from ..net.addresses import parse_ip
+from ..sim.probes import ProbeRegistry
+from ..sim.simulator import Simulator
+
+#: Addressing for the end-host scenario.
+HOST_IF = "eth0"
+HOST_ADDR = "10.1.0.1"
+CLIENT_NET = "10.1.0.0/16"
+SERVICE_PORT = 2049  # the NFS port, fittingly
+
+#: Default user-mode work per served request (≈ 80 µs at 150 MHz) —
+#: a cheap RPC handler; the kernel path still dominates per packet.
+DEFAULT_SERVICE_CYCLES = 12_000
+
+
+class EndHost:
+    """A receiving end-system with a user-mode consumer application."""
+
+    def __init__(
+        self,
+        config: KernelConfig,
+        sim: Optional[Simulator] = None,
+        service_cycles: int = DEFAULT_SERVICE_CYCLES,
+        socket_queue_limit: int = 64,
+        socket_feedback: bool = False,
+    ) -> None:
+        """``socket_feedback`` applies §6.6.1's queue-state feedback to
+        the *socket* queue ("the same queue-state feedback technique
+        could be applied to other queues in the system") — requires the
+        polling kernel."""
+        config.validate()
+        if config.screend_enabled:
+            raise ValueError("screend is a router-scenario application")
+        if socket_feedback and not (
+            config.use_polling and not config.emulate_unmodified
+        ):
+            raise ValueError("socket_feedback requires the polling kernel")
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.probes = ProbeRegistry(self.sim)
+        self.kernel = Kernel(self.sim, config, self.probes)
+
+        self.nic = NIC(
+            self.sim,
+            HOST_IF,
+            self.probes,
+            rx_ring_capacity=config.rx_ring_capacity,
+            tx_ring_capacity=config.tx_ring_capacity,
+        )
+        self.routing = RoutingTable()
+        self.routing.add(CLIENT_NET, HOST_IF)
+        self.arp = ArpTable()
+        self.ip = IPLayer(self.kernel, self.routing, self.arp)
+        self.udp = UdpLayer(self.sim, self.probes)
+        self.ip.set_udp(self.udp, [parse_ip(HOST_ADDR)])
+
+        watermarks = {}
+        if socket_feedback:
+            watermarks = dict(
+                high_watermark=max(1, int(socket_queue_limit * 0.75)),
+                low_watermark=int(socket_queue_limit * 0.25),
+            )
+        self.socket = self.udp.bind(
+            SERVICE_PORT, queue_limit=socket_queue_limit, **watermarks
+        )
+        self.server = PacketSink(
+            self.kernel, self.socket, per_packet_cycles=service_cycles
+        )
+
+        self.polling: Optional[PollingSystem] = None
+        self.cycle_limiter: Optional[CycleLimiter] = None
+        self.ip_input: Optional[ClassicIPInput] = None
+        self.socket_feedback: Optional[QueueStateFeedback] = None
+        self._build_driver()
+        if socket_feedback:
+            self.socket_feedback = QueueStateFeedback(
+                self.kernel,
+                self.polling,
+                self.socket.queue,
+                timeout_ticks=config.feedback_timeout_ticks,
+            )
+        self.ip.register_output(HOST_IF, self.driver.output)
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def _build_driver(self) -> None:
+        config = self.config
+        if config.use_clocked_polling:
+            self.driver = ClockedPollingDriver(
+                self.kernel,
+                self.nic,
+                self.ip,
+                HOST_IF,
+                poll_interval_ns=config.clocked_poll_interval_ns,
+                quota=config.poll_quota,
+            )
+        elif config.use_high_ipl:
+            self.driver = HighIplDriver(
+                self.kernel, self.nic, self.ip, HOST_IF, quota=config.poll_quota
+            )
+        elif config.use_polling and not config.emulate_unmodified:
+            if config.cycle_limit_fraction is not None:
+                self.cycle_limiter = CycleLimiter(
+                    self.kernel, config.cycle_limit_fraction
+                )
+            self.polling = PollingSystem(
+                self.kernel,
+                quota=PollQuota.of(config.poll_quota),
+                cycle_limiter=self.cycle_limiter,
+            )
+            self.driver = PolledDriver(self.kernel, self.nic, self.ip, HOST_IF)
+            self.polling.register(self.driver)
+        else:
+            self.ip_input = ClassicIPInput(self.kernel, self.ip)
+            extra = (
+                config.costs.modified_compat_overhead
+                if config.emulate_unmodified
+                else 0
+            )
+            self.driver = BsdDriver(
+                self.kernel,
+                self.nic,
+                self.ip,
+                self.ip_input,
+                HOST_IF,
+                extra_rx_cycles=extra,
+            )
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "EndHost":
+        if self._started:
+            raise RuntimeError("end host already started")
+        self._started = True
+        self.kernel.start()
+        self.driver.attach()
+        if self.ip_input is not None:
+            self.ip_input.attach()
+        if self.polling is not None:
+            self.polling.start()
+        self.server.start()
+        return self
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    @property
+    def requests_served(self) -> int:
+        """Useful throughput: requests completed by the application."""
+        return self.server.consumed.snapshot()
+
+    def __repr__(self) -> str:
+        from ..core.variants import describe
+
+        return "EndHost(%s)" % describe(self.config)

@@ -1,0 +1,204 @@
+"""Trial runner: one (kernel config, input rate) measurement.
+
+Follows the paper's methodology (§6.1): run traffic at a target rate
+through the router-under-test, let the system reach steady state
+(warm-up), then measure the delivered packet rate over a window by
+sampling the output interface counter before and after — the ``netstat``
+"Opkts" technique. Optionally a compute-bound process measures available
+user-mode CPU (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.variants import describe
+from ..kernel.config import KernelConfig
+from ..sim.randomness import RandomStreams
+from ..sim.units import NS_PER_SEC, ns_to_cycles, seconds
+from ..workloads.generators import (
+    BurstyGenerator,
+    ConstantRateGenerator,
+    PoissonGenerator,
+)
+from .topology import Router
+
+#: Workload names accepted by :func:`run_trial`.
+WORKLOAD_CONSTANT = "constant"
+WORKLOAD_POISSON = "poisson"
+WORKLOAD_BURSTY = "bursty"
+
+#: Default measurement timing (simulated seconds). Short relative to the
+#: paper's multi-second trials, but the simulation is noiseless apart
+#: from deliberate jitter, so windows converge much faster.
+DEFAULT_WARMUP_S = 0.2
+DEFAULT_DURATION_S = 0.5
+
+
+@dataclass
+class TrialResult:
+    """Everything measured in one trial."""
+
+    variant: str
+    target_rate_pps: float
+    offered_rate_pps: float
+    output_rate_pps: float
+    delivered: int
+    generated: int
+    duration_s: float
+    user_cpu_share: Optional[float] = None
+    latency_us: Dict[str, float] = field(default_factory=dict)
+    drops: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.generated == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.delivered / self.generated)
+
+    def as_point(self):
+        """(offered, delivered) rate pair for figure series."""
+        return (self.offered_rate_pps, self.output_rate_pps)
+
+
+def _make_generator(
+    workload: str,
+    router: Router,
+    rate_pps: float,
+    streams: RandomStreams,
+    burst_size: int,
+):
+    if workload == WORKLOAD_CONSTANT:
+        return ConstantRateGenerator(
+            router.sim,
+            router.nic_in,
+            rate_pps,
+            jitter_fraction=0.05,
+            rng=streams.stream("traffic"),
+        )
+    if workload == WORKLOAD_POISSON:
+        return PoissonGenerator(
+            router.sim, router.nic_in, rate_pps, rng=streams.stream("traffic")
+        )
+    if workload == WORKLOAD_BURSTY:
+        return BurstyGenerator(
+            router.sim,
+            router.nic_in,
+            rate_pps,
+            burst_size=burst_size,
+            rng=streams.stream("traffic"),
+        )
+    raise ValueError("unknown workload %r" % workload)
+
+
+def run_trial(
+    config: KernelConfig,
+    rate_pps: float,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    seed: int = 0,
+    workload: str = WORKLOAD_CONSTANT,
+    burst_size: int = 32,
+    with_compute: bool = False,
+    router: Optional[Router] = None,
+) -> TrialResult:
+    """Run one trial and return its measurements.
+
+    ``rate_pps`` of 0 runs an unloaded router (used for the fig 7-1
+    zero-load point). Pass ``router`` to reuse a pre-built topology
+    (e.g. one with a monitor attached); it must not be started yet.
+    """
+    if rate_pps < 0:
+        raise ValueError("rate must be non-negative")
+    if router is None:
+        router = Router(config)
+    if with_compute:
+        router.add_compute_process()
+    router.start()
+    streams = RandomStreams(seed)
+    generator = None
+    if rate_pps > 0:
+        generator = _make_generator(
+            workload, router, rate_pps, streams, burst_size
+        ).start()
+
+    router.run_for(seconds(warmup_s))
+
+    delivered_before = router.delivered.snapshot()
+    generated_before = generator.sent if generator is not None else 0
+    compute_before = (
+        router.compute.cycles_used() if router.compute is not None else 0
+    )
+    window_start_ns = router.sim.now
+    router.latency.start()
+
+    router.run_for(seconds(duration_s))
+
+    router.latency.stop()
+    window_ns = router.sim.now - window_start_ns
+    delivered = router.delivered.snapshot() - delivered_before
+    generated = (generator.sent if generator is not None else 0) - generated_before
+    output_rate = delivered * NS_PER_SEC / window_ns
+    offered_rate = generated * NS_PER_SEC / window_ns
+
+    user_share: Optional[float] = None
+    if router.compute is not None:
+        window_cycles = ns_to_cycles(window_ns, config.costs.cpu_hz)
+        user_share = router.compute.cpu_share(compute_before, window_cycles)
+
+    dump = router.probes.dump()
+    drops = {
+        name: value
+        for name, value in dump.items()
+        if ("drop" in name) and value > 0
+    }
+    return TrialResult(
+        variant=describe(config),
+        target_rate_pps=rate_pps,
+        offered_rate_pps=offered_rate,
+        output_rate_pps=output_rate,
+        delivered=delivered,
+        generated=generated,
+        duration_s=window_ns / NS_PER_SEC,
+        user_cpu_share=user_share,
+        latency_us=router.latency.summary_us(),
+        drops=drops,
+        counters=dump,
+    )
+
+
+def run_sweep(
+    config: KernelConfig,
+    rates: Sequence[float],
+    **trial_kwargs,
+) -> List[TrialResult]:
+    """Run one trial per input rate (fresh router each time)."""
+    return [run_trial(config, rate, **trial_kwargs) for rate in rates]
+
+
+def sweep_series(results: Sequence[TrialResult]):
+    """[(offered_rate, output_rate)] pairs from a sweep, sorted by rate."""
+    return sorted(result.as_point() for result in results)
+
+
+#: Input-rate grid used by the figure experiments (pkt/s), matching the
+#: x-extent of figures 6-1..6-6.
+DEFAULT_RATE_GRID = (
+    500,
+    1_000,
+    2_000,
+    3_000,
+    4_000,
+    4_500,
+    5_000,
+    6_000,
+    7_000,
+    8_000,
+    10_000,
+    12_000,
+)
+
+#: Coarser grid for quick runs and unit tests.
+FAST_RATE_GRID = (1_000, 3_000, 5_000, 8_000, 12_000)

@@ -1,0 +1,212 @@
+"""Multi-input router: fairness across event sources (§5.2).
+
+"We can provide fairness by carefully polling all sources of packet
+events, using a round-robin schedule ... to prevent a single input
+stream from monopolizing the CPU."
+
+:class:`MultiInputRouter` builds a router with N input interfaces, each
+on its own source network, all forwarding to one output Ethernet. The
+fairness experiments flood one input while others carry light traffic:
+
+* the classic kernel funnels every interface into the shared ``ipintrq``,
+  so the flood's packets crowd out the light flows (and the light flows'
+  device-level work is wasted on drops);
+* the polled kernel round-robins the interfaces with a quota, so light
+  flows ride through untouched while the flood takes all the drops — at
+  its own interface, for free.
+
+Per-flow delivered counters let experiments quantify exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.polling import PollingSystem
+from ..core.quota import PollQuota
+from ..drivers.bsd import BsdDriver, ClassicIPInput
+from ..drivers.polled import PolledDriver
+from ..hw.nic import NIC
+from ..kernel.config import KernelConfig
+from ..kernel.kernel import Kernel
+from ..metrics.latency import LatencyRecorder
+from ..net.arp import ArpTable
+from ..net.ip import IPLayer
+from ..net.routing import RoutingTable
+from ..sim.probes import ProbeRegistry
+from ..sim.simulator import Simulator
+
+OUTPUT_IF = "out0"
+DEST_NET = "10.2.0.0/16"
+DEST_HOST = "10.2.0.2"
+PHANTOM_LINK_ADDR = "08:00:2b:00:00:99"
+
+
+def input_interface_name(index: int) -> str:
+    return "in%d" % index
+
+
+def input_source_address(index: int) -> str:
+    """Source host address on input network ``index``."""
+    return "10.%d.0.2" % (10 + index)
+
+
+def input_source_network(index: int) -> str:
+    return "10.%d.0.0/16" % (10 + index)
+
+
+class MultiInputRouter:
+    """A router with ``input_count`` input Ethernets and one output."""
+
+    def __init__(
+        self,
+        config: KernelConfig,
+        input_count: int = 2,
+        sim: Optional[Simulator] = None,
+        quota=None,
+    ) -> None:
+        """``quota`` (int / None / :class:`PollQuota`) overrides the
+        config's single poll quota; a :class:`PollQuota` with unlimited
+        ``tx`` keeps the shared output queue drained when several inputs
+        feed one output (N x rx-quota admissions per round must not
+        outpace the output callback)."""
+        config.validate()
+        if input_count < 1:
+            raise ValueError("need at least one input interface")
+        if config.use_clocked_polling or config.use_high_ipl:
+            raise ValueError(
+                "MultiInputRouter supports the classic and polled kernels"
+            )
+        if config.screend_enabled:
+            raise ValueError("screend experiments use the two-port Router")
+        self.config = config
+        self.input_count = input_count
+        self._quota_override = quota
+        self.sim = sim if sim is not None else Simulator()
+        self.probes = ProbeRegistry(self.sim)
+        self.kernel = Kernel(self.sim, config, self.probes)
+
+        self.input_nics: List[NIC] = [
+            NIC(
+                self.sim,
+                input_interface_name(index),
+                self.probes,
+                rx_ring_capacity=config.rx_ring_capacity,
+                tx_ring_capacity=config.tx_ring_capacity,
+            )
+            for index in range(input_count)
+        ]
+        self.nic_out = NIC(
+            self.sim,
+            OUTPUT_IF,
+            self.probes,
+            rx_ring_capacity=config.rx_ring_capacity,
+            tx_ring_capacity=config.tx_ring_capacity,
+        )
+
+        self.routing = RoutingTable()
+        self.routing.add(DEST_NET, OUTPUT_IF)
+        for index in range(input_count):
+            self.routing.add(input_source_network(index), input_interface_name(index))
+        self.arp = ArpTable()
+        self.arp.add_entry(DEST_HOST, PHANTOM_LINK_ADDR)
+        self.ip = IPLayer(self.kernel, self.routing, self.arp)
+
+        self.polling: Optional[PollingSystem] = None
+        self.ip_input: Optional[ClassicIPInput] = None
+        self.input_drivers: List = []
+        self._build_drivers()
+        for index, driver in enumerate(self.input_drivers):
+            self.ip.register_output(input_interface_name(index), driver.output)
+        self.ip.register_output(OUTPUT_IF, self.driver_out.output)
+
+        self.delivered = self.probes.counter("router.delivered")
+        self.latency = LatencyRecorder(self.sim)
+        self.nic_out.on_transmit = self._on_output_transmit
+        self._flow_counters: Dict[str, int] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def _build_drivers(self) -> None:
+        config = self.config
+        if config.use_polling and not config.emulate_unmodified:
+            quota = (
+                PollQuota.of(self._quota_override)
+                if self._quota_override is not None
+                else PollQuota.of(config.poll_quota)
+            )
+            self.polling = PollingSystem(self.kernel, quota=quota)
+            for index, nic in enumerate(self.input_nics):
+                driver = PolledDriver(
+                    self.kernel, nic, self.ip, input_interface_name(index)
+                )
+                self.polling.register(driver)
+                self.input_drivers.append(driver)
+            self.driver_out = PolledDriver(
+                self.kernel, self.nic_out, self.ip, OUTPUT_IF
+            )
+            self.polling.register(self.driver_out)
+        else:
+            self.ip_input = ClassicIPInput(self.kernel, self.ip)
+            extra = (
+                config.costs.modified_compat_overhead
+                if config.emulate_unmodified
+                else 0
+            )
+            for index, nic in enumerate(self.input_nics):
+                self.input_drivers.append(
+                    BsdDriver(
+                        self.kernel,
+                        nic,
+                        self.ip,
+                        self.ip_input,
+                        input_interface_name(index),
+                        extra_rx_cycles=extra,
+                    )
+                )
+            self.driver_out = BsdDriver(
+                self.kernel,
+                self.nic_out,
+                self.ip,
+                self.ip_input,
+                OUTPUT_IF,
+                extra_rx_cycles=extra,
+            )
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MultiInputRouter":
+        if self._started:
+            raise RuntimeError("router already started")
+        self._started = True
+        self.kernel.start()
+        for driver in self.input_drivers:
+            driver.attach()
+        self.driver_out.attach()
+        if self.ip_input is not None:
+            self.ip_input.attach()
+        if self.polling is not None:
+            self.polling.start()
+        return self
+
+    def _on_output_transmit(self, packet) -> None:
+        self.delivered.increment()
+        self.latency.observe(packet)
+        flow = getattr(packet, "flow", "default")
+        self._flow_counters[flow] = self._flow_counters.get(flow, 0) + 1
+
+    def delivered_by_flow(self) -> Dict[str, int]:
+        """Packets delivered on the output wire, keyed by flow label."""
+        return dict(self._flow_counters)
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def __repr__(self) -> str:
+        from ..core.variants import describe
+
+        return "MultiInputRouter(%s, inputs=%d)" % (
+            describe(self.config),
+            self.input_count,
+        )

@@ -1,0 +1,86 @@
+"""Rendering of experiment results: tables, ASCII plots, CSV.
+
+The paper presents its results as scatter/line plots; in a terminal we
+render each figure as (a) a table of every series and (b) a coarse ASCII
+plot that makes the shapes — plateaus, collapses, crossovers — visible
+at a glance.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .figures import FigureResult
+
+Point = Tuple[float, float]
+
+
+def format_table(result: FigureResult) -> str:
+    """All series of a figure as one aligned table (rates as rows)."""
+    xs = sorted({x for points in result.series.values() for x, _ in points})
+    labels = list(result.series)
+    by_series = {
+        label: dict(points) for label, points in result.series.items()
+    }
+    out = io.StringIO()
+    out.write("Figure %s: %s\n" % (result.figure_id, result.title))
+    header = ["%14s" % result.xlabel.split(" (")[0]] + [
+        "%20s" % label[:20] for label in labels
+    ]
+    out.write(" ".join(header) + "\n")
+    for x in xs:
+        row = ["%14.0f" % x]
+        for label in labels:
+            value = by_series[label].get(x)
+            row.append("%20s" % ("-" if value is None else "%.0f" % value))
+        out.write(" ".join(row) + "\n")
+    if result.notes:
+        out.write("note: %s\n" % result.notes)
+    return out.getvalue()
+
+
+def ascii_plot(
+    result: FigureResult,
+    width: int = 64,
+    height: int = 16,
+    ymax: Optional[float] = None,
+) -> str:
+    """A coarse character plot of every series in the figure."""
+    marks = "ox+*#@%&"
+    all_points = [p for pts in result.series.values() for p in pts]
+    if not all_points:
+        return "(no data)\n"
+    xmax = max(x for x, _ in all_points) or 1.0
+    if ymax is None:
+        ymax = max(y for _, y in all_points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(result.series.items()):
+        mark = marks[index % len(marks)]
+        for x, y in points:
+            col = min(width - 1, int(x / xmax * (width - 1)))
+            row = min(height - 1, int(y / ymax * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    out = io.StringIO()
+    out.write("Figure %s (y max = %.0f)\n" % (result.figure_id, ymax))
+    for line in grid:
+        out.write("|" + "".join(line) + "\n")
+    out.write("+" + "-" * width + "> %s (max %.0f)\n" % (result.xlabel, xmax))
+    for index, label in enumerate(result.series):
+        out.write("  %s = %s\n" % (marks[index % len(marks)], label))
+    return out.getvalue()
+
+
+def to_csv(result: FigureResult) -> str:
+    """The figure's series in long-form CSV (figure,series,x,y)."""
+    out = io.StringIO()
+    out.write("figure,series,x,y\n")
+    for label, points in result.series.items():
+        for x, y in points:
+            out.write("%s,%s,%.3f,%.3f\n" % (result.figure_id, label, x, y))
+    return out.getvalue()
+
+
+def render_report(result: FigureResult) -> str:
+    """Table plus plot, for CLI / example output."""
+    return format_table(result) + "\n" + ascii_plot(result)

@@ -1,0 +1,284 @@
+"""Router-under-test topology (§6.1 methodology).
+
+"Our test configuration consisted of a router-under-test connecting two
+otherwise unloaded Ethernets. A source host generated IP/UDP packets at
+a variety of rates, and sent them via the router to a destination
+address. (The destination host did not exist; we fooled the router by
+inserting a phantom entry into its ARP table.)"
+
+:class:`Router` assembles one complete router from a
+:class:`~repro.kernel.config.KernelConfig`: kernel, two NICs, routing
+and ARP tables, the IP layer, the drivers matching the configured
+variant, and optionally screend, a compute-bound process, and taps.
+The traffic generator is attached by the harness to the input NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps.compute import ComputeBoundProcess
+from ..apps.monitor import PacketFilterTap, PassiveMonitor
+from ..apps.screend import Screend, ScreenRule
+from ..core.cyclelimit import CycleLimiter
+from ..core.feedback import QueueStateFeedback
+from ..core.polling import PollingSystem
+from ..core.quota import PollQuota
+from ..drivers.bsd import BsdDriver, ClassicIPInput
+from ..drivers.clocked import ClockedPollingDriver
+from ..drivers.highipl import HighIplDriver
+from ..drivers.polled import PolledDriver
+from ..hw.cpu import IPL_DEVICE
+from ..hw.nic import NIC
+from ..kernel.config import KernelConfig
+from ..kernel.kernel import Kernel
+from ..kernel.queues import PacketQueue
+from ..metrics.latency import LatencyRecorder
+from ..net.arp import ArpTable
+from ..net.ip import IPLayer, ScreenPath
+from ..net.routing import RoutingTable
+from ..sim.probes import ProbeRegistry
+from ..sim.signals import Signal
+from ..sim.simulator import Simulator
+
+#: Canonical addressing used by all experiments.
+INPUT_IF = "in0"
+OUTPUT_IF = "out0"
+SOURCE_NET = "10.1.0.0/16"
+DEST_NET = "10.2.0.0/16"
+SOURCE_HOST = "10.1.0.2"
+DEST_HOST = "10.2.0.2"  # does not exist; phantom ARP entry
+PHANTOM_LINK_ADDR = "08:00:2b:00:00:99"
+
+
+class Router:
+    """A fully wired router-under-test."""
+
+    def __init__(
+        self,
+        config: KernelConfig,
+        sim: Optional[Simulator] = None,
+        tx_ipl: int = IPL_DEVICE,
+        screen_rule: Optional[ScreenRule] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.probes = ProbeRegistry(self.sim)
+        self.kernel = Kernel(self.sim, config, self.probes)
+
+        # --- interfaces -------------------------------------------------
+        self.nic_in = NIC(
+            self.sim,
+            INPUT_IF,
+            self.probes,
+            rx_ring_capacity=config.rx_ring_capacity,
+            tx_ring_capacity=config.tx_ring_capacity,
+        )
+        self.nic_out = NIC(
+            self.sim,
+            OUTPUT_IF,
+            self.probes,
+            rx_ring_capacity=config.rx_ring_capacity,
+            tx_ring_capacity=config.tx_ring_capacity,
+        )
+
+        # --- network layer ----------------------------------------------
+        self.routing = RoutingTable()
+        self.routing.add(DEST_NET, OUTPUT_IF)
+        self.routing.add(SOURCE_NET, INPUT_IF)
+        self.arp = ArpTable()
+        self.arp.add_entry(DEST_HOST, PHANTOM_LINK_ADDR)  # the §6.1 trick
+        self.arp.add_entry(SOURCE_HOST, "08:00:2b:00:00:01")
+        self.ip = IPLayer(self.kernel, self.routing, self.arp)
+
+        # --- screend ------------------------------------------------------
+        self.screend: Optional[Screend] = None
+        self.screen_queue: Optional[PacketQueue] = None
+        if config.screend_enabled:
+            self.screen_queue = PacketQueue(
+                "screenq",
+                config.screen_queue_limit,
+                self.probes,
+                high_watermark=config.screen_queue_high,
+                low_watermark=config.screen_queue_low,
+            )
+            path = ScreenPath(
+                self.screen_queue, Signal(self.sim, "screenq.data")
+            )
+            self.ip.set_screen_path(path)
+            self.screend = Screend(self.kernel, self.ip, path, rule=screen_rule)
+
+        # --- drivers (variant-dependent) ----------------------------------
+        self.polling: Optional[PollingSystem] = None
+        self.cycle_limiter: Optional[CycleLimiter] = None
+        self.feedback: Optional[QueueStateFeedback] = None
+        self.ip_input: Optional[ClassicIPInput] = None
+        if config.use_clocked_polling:
+            self._build_clocked(tx_ipl)
+        elif config.use_high_ipl:
+            self._build_high_ipl()
+        elif config.use_polling and not config.emulate_unmodified:
+            self._build_polled(tx_ipl)
+        else:
+            self._build_classic(tx_ipl)
+        self.ip.register_output(INPUT_IF, self.driver_in.output)
+        self.ip.register_output(OUTPUT_IF, self.driver_out.output)
+
+        # --- measurement ---------------------------------------------------
+        self.delivered = self.probes.counter("router.delivered")
+        self.latency = LatencyRecorder(self.sim)
+        self.nic_out.on_transmit = self._on_output_transmit
+        self.compute: Optional[ComputeBoundProcess] = None
+        self.monitor: Optional[PassiveMonitor] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Variant wiring
+    # ------------------------------------------------------------------
+
+    def _build_classic(self, tx_ipl: int) -> None:
+        config = self.config
+        extra = (
+            config.costs.modified_compat_overhead
+            if config.emulate_unmodified
+            else 0
+        )
+        self.ip_input = ClassicIPInput(self.kernel, self.ip)
+        self.driver_in = BsdDriver(
+            self.kernel,
+            self.nic_in,
+            self.ip,
+            self.ip_input,
+            INPUT_IF,
+            tx_ipl=tx_ipl,
+            extra_rx_cycles=extra,
+        )
+        self.driver_out = BsdDriver(
+            self.kernel,
+            self.nic_out,
+            self.ip,
+            self.ip_input,
+            OUTPUT_IF,
+            tx_ipl=tx_ipl,
+            extra_rx_cycles=extra,
+        )
+
+    def _build_polled(self, tx_ipl: int) -> None:
+        config = self.config
+        if config.cycle_limit_fraction is not None:
+            self.cycle_limiter = CycleLimiter(
+                self.kernel, config.cycle_limit_fraction
+            )
+        self.polling = PollingSystem(
+            self.kernel,
+            quota=PollQuota.of(config.poll_quota),
+            cycle_limiter=self.cycle_limiter,
+        )
+        self.driver_in = PolledDriver(
+            self.kernel, self.nic_in, self.ip, INPUT_IF, tx_ipl=tx_ipl
+        )
+        self.driver_out = PolledDriver(
+            self.kernel, self.nic_out, self.ip, OUTPUT_IF, tx_ipl=tx_ipl
+        )
+        self.polling.register(self.driver_in)
+        self.polling.register(self.driver_out)
+        if config.feedback_enabled:
+            if self.screen_queue is None:
+                raise ValueError(
+                    "feedback_enabled requires screend (the screening queue)"
+                )
+            self.feedback = QueueStateFeedback(
+                self.kernel,
+                self.polling,
+                self.screen_queue,
+                timeout_ticks=config.feedback_timeout_ticks,
+            )
+
+    def _build_high_ipl(self) -> None:
+        config = self.config
+        self.driver_in = HighIplDriver(
+            self.kernel, self.nic_in, self.ip, INPUT_IF, quota=config.poll_quota
+        )
+        self.driver_out = HighIplDriver(
+            self.kernel, self.nic_out, self.ip, OUTPUT_IF, quota=config.poll_quota
+        )
+
+    def _build_clocked(self, tx_ipl: int) -> None:
+        config = self.config
+        self.driver_in = ClockedPollingDriver(
+            self.kernel,
+            self.nic_in,
+            self.ip,
+            INPUT_IF,
+            poll_interval_ns=config.clocked_poll_interval_ns,
+            quota=config.poll_quota,
+        )
+        self.driver_out = ClockedPollingDriver(
+            self.kernel,
+            self.nic_out,
+            self.ip,
+            OUTPUT_IF,
+            poll_interval_ns=config.clocked_poll_interval_ns,
+            quota=config.poll_quota,
+        )
+
+    # ------------------------------------------------------------------
+    # Optional applications
+    # ------------------------------------------------------------------
+
+    def add_compute_process(self) -> ComputeBoundProcess:
+        """Attach the §7 compute-bound progress probe."""
+        if self.compute is not None:
+            raise RuntimeError("compute process already attached")
+        self.compute = ComputeBoundProcess(self.kernel)
+        if self._started:
+            self.compute.start()
+        return self.compute
+
+    def add_monitor(self, queue_limit: int = 32) -> PassiveMonitor:
+        """Attach a passive packet-filter monitor (§2)."""
+        if self.monitor is not None:
+            raise RuntimeError("monitor already attached")
+        tap = PacketFilterTap(self.kernel, queue_limit=queue_limit)
+        self.ip.taps.append(tap)
+        self.monitor = PassiveMonitor(self.kernel, tap)
+        if self._started:
+            self.monitor.start()
+        return self.monitor
+
+    # ------------------------------------------------------------------
+    # Lifecycle and measurement
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Router":
+        if self._started:
+            raise RuntimeError("router already started")
+        self._started = True
+        self.kernel.start()
+        self.driver_in.attach()
+        self.driver_out.attach()
+        if self.ip_input is not None:
+            self.ip_input.attach()
+        if self.polling is not None:
+            self.polling.start()
+        if self.screend is not None:
+            self.screend.start()
+        if self.compute is not None:
+            self.compute.start()
+        if self.monitor is not None:
+            self.monitor.start()
+        return self
+
+    def _on_output_transmit(self, packet) -> None:
+        # "Opkts" on the output interface — the paper's measured quantity.
+        self.delivered.increment()
+        self.latency.observe(packet)
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def __repr__(self) -> str:
+        from ..core.variants import describe
+
+        return "Router(%s)" % describe(self.config)

@@ -1,0 +1,46 @@
+"""Hardware models: CPU with IPL preemption, interrupt controller, NICs
+with bounded descriptor rings, Ethernet wire timing, and the periodic
+clock device."""
+
+from .clock import ClockDevice
+from .cpu import (
+    CLASS_IDLE,
+    CLASS_KERNEL,
+    CLASS_USER,
+    CPU,
+    CpuTask,
+    IPL_CLOCK,
+    IPL_DEVICE,
+    IPL_HIGH,
+    IPL_NONE,
+    IPL_SOFTNET,
+    Spl,
+)
+from .interrupts import InterruptController, InterruptLine
+from .link import (
+    MAX_PACKET_RATE_10MBPS,
+    MIN_PACKET_TIME_NS,
+    packet_time_ns,
+)
+from .nic import NIC
+
+__all__ = [
+    "CLASS_IDLE",
+    "CLASS_KERNEL",
+    "CLASS_USER",
+    "CPU",
+    "ClockDevice",
+    "CpuTask",
+    "IPL_CLOCK",
+    "IPL_DEVICE",
+    "IPL_HIGH",
+    "IPL_NONE",
+    "IPL_SOFTNET",
+    "InterruptController",
+    "InterruptLine",
+    "MAX_PACKET_RATE_10MBPS",
+    "MIN_PACKET_TIME_NS",
+    "NIC",
+    "Spl",
+    "packet_time_ns",
+]

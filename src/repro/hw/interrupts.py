@@ -1,0 +1,163 @@
+"""Interrupt controller and interrupt lines.
+
+An :class:`InterruptLine` models one device interrupt source with the
+three pieces of state that matter for the paper's mechanisms:
+
+* ``enabled`` — the device-level interrupt-enable flag. The modified
+  drivers of §6.4 clear it in the interrupt handler and set it again only
+  from the polling thread's interrupt-enable callback.
+* ``requested`` — the device is asserting the line (it has events).
+* ``in_service`` — a handler dispatched for this line has not returned.
+
+Delivery requires all of: requested, enabled, not in service, and the
+line's IPL strictly above the CPU's current effective IPL. Undeliverable
+requests stay pending and are retried whenever any of those inputs
+changes (enable, handler return, CPU IPL drop).
+
+Each delivery consumes the request (edge semantics) and spawns a fresh
+handler task at the line's IPL, with the configured dispatch cost charged
+before the handler body runs — this is the "dispatching an interrupt is a
+costly operation" of §4.1, and interrupt batching amortises exactly this
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.process import ProcessBody, Work
+from .cpu import CPU, CpuTask
+
+
+HandlerFactory = Callable[[], ProcessBody]
+
+
+class InterruptLine:
+    """One interrupt source attached to an :class:`InterruptController`."""
+
+    def __init__(
+        self,
+        controller: "InterruptController",
+        name: str,
+        ipl: int,
+        handler_factory: HandlerFactory,
+        dispatch_cycles: int = 0,
+    ) -> None:
+        self.controller = controller
+        self.name = name
+        self.ipl = ipl
+        self.handler_factory = handler_factory
+        self.dispatch_cycles = dispatch_cycles
+        self.enabled = True
+        self.requested = False
+        self.in_service = False
+        self.request_count = 0
+        self.dispatch_count = 0
+        self.suppressed_while_disabled = 0
+
+    # ------------------------------------------------------------------
+
+    def request(self) -> None:
+        """Assert the line (device has work). Idempotent while pending."""
+        self.request_count += 1
+        if not self.enabled:
+            self.suppressed_while_disabled += 1
+        if not self.requested:
+            self.requested = True
+        self.controller.try_deliver(self)
+
+    def enable(self) -> None:
+        """Set the device interrupt-enable flag and deliver if pending."""
+        if not self.enabled:
+            self.enabled = True
+            self.controller.try_deliver(self)
+
+    def disable(self) -> None:
+        """Clear the device interrupt-enable flag; requests latch silently."""
+        self.enabled = False
+
+    def acknowledge(self) -> None:
+        """Consume a pending request without dispatching (drivers use this
+        when a polled scan has already absorbed the events)."""
+        self.requested = False
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("E", self.enabled),
+                ("R", self.requested),
+                ("S", self.in_service),
+            )
+            if on
+        )
+        return "InterruptLine(%s, ipl=%d, %s)" % (self.name, self.ipl, flags or "-")
+
+
+class InterruptController:
+    """Routes interrupt requests to handler tasks on a CPU."""
+
+    def __init__(self, cpu: CPU) -> None:
+        self.cpu = cpu
+        self.lines: List[InterruptLine] = []
+        cpu.ipl_observers.append(self._on_ipl_change)
+
+    def line(
+        self,
+        name: str,
+        ipl: int,
+        handler_factory: HandlerFactory,
+        dispatch_cycles: int = 0,
+    ) -> InterruptLine:
+        """Create and register a new interrupt line."""
+        created = InterruptLine(self, name, ipl, handler_factory, dispatch_cycles)
+        self.lines.append(created)
+        return created
+
+    # ------------------------------------------------------------------
+
+    def try_deliver(self, line: InterruptLine) -> bool:
+        """Dispatch a handler for ``line`` if delivery conditions hold."""
+        if not (line.requested and line.enabled and not line.in_service):
+            return False
+        if line.ipl <= self.cpu.current_ipl:
+            return False
+        line.requested = False
+        line.in_service = True
+        line.dispatch_count += 1
+        task = self.cpu.task(
+            self._handler_body(line), name="irq:" + line.name, ipl=line.ipl
+        )
+        task.on_exit(lambda _proc, _line=line: self._handler_done(_line))
+        task.start()
+        return True
+
+    def _handler_body(self, line: InterruptLine) -> ProcessBody:
+        if line.dispatch_cycles > 0:
+            yield Work(line.dispatch_cycles)
+        handler = line.handler_factory()
+        if handler is not None:
+            for command in handler:
+                yield command
+
+    def _handler_done(self, line: InterruptLine) -> None:
+        line.in_service = False
+        # The device may have re-asserted during service (e.g. packets
+        # arrived after the handler's last ring scan).
+        self.try_deliver(line)
+        self._on_ipl_change(self.cpu.current_ipl)
+
+    def _on_ipl_change(self, ipl: int) -> None:
+        for line in self.lines:
+            if line.ipl > ipl:
+                self.try_deliver(line)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            line.name: {
+                "requests": line.request_count,
+                "dispatches": line.dispatch_count,
+                "suppressed_while_disabled": line.suppressed_while_disabled,
+            }
+            for line in self.lines
+        }

@@ -1,0 +1,43 @@
+"""Ethernet wire timing model.
+
+The paper's testbed uses two 10 Mb/s Ethernets; the maximum packet rate
+for minimum-size frames is about 14,880 packets/second (§6.2). On the
+wire a minimum frame occupies 64 bytes plus 8 bytes preamble plus the
+9.6 µs inter-frame gap: (72 * 8) bits / 10 Mb/s + 9.6 µs = 67.2 µs.
+
+Only serialization time matters for the experiments, so the wire model is
+a per-packet occupancy time used by the NIC transmitter and by paced
+traffic generators.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import NS_PER_SEC
+
+#: Bits on the wire for a minimum-size Ethernet frame (64B frame + 8B preamble).
+MIN_FRAME_WIRE_BITS = (64 + 8) * 8
+
+#: Inter-frame gap on 10 Mb/s Ethernet, in nanoseconds.
+INTERFRAME_GAP_NS = 9_600
+
+#: 10 Mb/s Ethernet bit time in nanoseconds.
+BIT_TIME_10MBPS_NS = 100
+
+
+def packet_time_ns(payload_bytes: int = 4, bandwidth_bps: int = 10_000_000) -> int:
+    """Wire occupancy of a UDP/IP packet with ``payload_bytes`` of data.
+
+    Headers: 14 B Ethernet + 20 B IP + 8 B UDP, padded to the 64-byte
+    minimum frame, plus preamble and inter-frame gap.
+    """
+    frame_bytes = max(64, 14 + 20 + 8 + payload_bytes) + 8
+    bits = frame_bytes * 8
+    return int(round(bits * NS_PER_SEC / bandwidth_bps)) + INTERFRAME_GAP_NS
+
+
+#: Wire time of a minimum-size frame on 10 Mb/s Ethernet (≈ 67.2 µs).
+MIN_PACKET_TIME_NS = packet_time_ns(payload_bytes=4)
+
+#: Maximum packet rate of 10 Mb/s Ethernet for minimum-size frames
+#: (≈ 14,880 packets/second; the paper quotes the same number).
+MAX_PACKET_RATE_10MBPS = NS_PER_SEC / MIN_PACKET_TIME_NS

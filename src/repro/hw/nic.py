@@ -1,0 +1,173 @@
+"""Network interface model with bounded RX/TX descriptor rings.
+
+The NIC is the boundary where the paper's "drop early" argument lives
+(§5.1, §6.4): packets that overflow the RX ring are dropped **before**
+the host has invested any CPU cycles, while packets dropped later (at
+ipintrq, the screening queue, or the output queue) waste everything spent
+on them so far. The model therefore tracks overflow drops explicitly.
+
+RX side
+    The wire delivers packets into a bounded ring. Every arrival asserts
+    the RX interrupt line; if the driver has disabled the line (the
+    modified kernels do, §6.4), packets simply accumulate — "the
+    interface's input buffer will soak up packets for a while".
+
+TX side
+    The driver occupies descriptor slots with :meth:`tx_enqueue`. The
+    transmitter serialises one packet at a time at wire speed, marks its
+    slot *done* and asserts the TX interrupt line — but the slot is only
+    freed when the driver calls :meth:`tx_reclaim`. A driver that never
+    gets to reclaim (transmit starvation, §4.4) idles the transmitter
+    with a full ring even though packets are queued upstream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from ..sim.probes import ProbeRegistry
+from ..sim.simulator import Simulator
+from .interrupts import InterruptLine
+from .link import MIN_PACKET_TIME_NS
+
+
+class _TxSlot:
+    __slots__ = ("packet", "done")
+
+    def __init__(self, packet: Any) -> None:
+        self.packet = packet
+        self.done = False
+
+
+class NIC:
+    """One network interface with RX and TX rings."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        probes: ProbeRegistry,
+        rx_ring_capacity: int = 64,
+        tx_ring_capacity: int = 32,
+        tx_packet_time_ns: int = MIN_PACKET_TIME_NS,
+    ) -> None:
+        if rx_ring_capacity <= 0 or tx_ring_capacity <= 0:
+            raise ValueError("ring capacities must be positive")
+        self.sim = sim
+        self.name = name
+        self.probes = probes
+        self.rx_ring_capacity = rx_ring_capacity
+        self.tx_ring_capacity = tx_ring_capacity
+        self.tx_packet_time_ns = tx_packet_time_ns
+
+        self._rx_ring: Deque[Any] = deque()
+        self._tx_slots: List[_TxSlot] = []
+        self._tx_busy = False
+
+        #: Attached by the driver / kernel after construction.
+        self.rx_line: Optional[InterruptLine] = None
+        self.tx_line: Optional[InterruptLine] = None
+        #: Invoked with each packet as its transmission completes; the
+        #: experiment topology uses it to count "Opkts" and deliver to the
+        #: destination. May be None for an unconnected interface.
+        self.on_transmit: Optional[Callable[[Any], None]] = None
+
+        self.rx_accepted = probes.counter("nic.%s.rx_accepted" % name)
+        self.rx_overflow_drops = probes.counter("nic.%s.rx_overflow_drops" % name)
+        self.tx_completed = probes.counter("nic.%s.tx_completed" % name)
+
+    # ------------------------------------------------------------------
+    # RX side (wire -> host)
+    # ------------------------------------------------------------------
+
+    def receive_from_wire(self, packet: Any) -> bool:
+        """Deliver one packet from the wire. Returns False on overflow."""
+        if len(self._rx_ring) >= self.rx_ring_capacity:
+            self.rx_overflow_drops.increment()
+            return False
+        if hasattr(packet, "mark_nic_arrival"):
+            packet.mark_nic_arrival(self.sim.now)
+        self._rx_ring.append(packet)
+        self.rx_accepted.increment()
+        if self.rx_line is not None:
+            self.rx_line.request()
+        return True
+
+    def rx_pending(self) -> int:
+        """Packets waiting in the RX ring."""
+        return len(self._rx_ring)
+
+    def rx_pull(self) -> Optional[Any]:
+        """Remove and return the oldest received packet, or None."""
+        if not self._rx_ring:
+            return None
+        return self._rx_ring.popleft()
+
+    # ------------------------------------------------------------------
+    # TX side (host -> wire)
+    # ------------------------------------------------------------------
+
+    def tx_free_slots(self) -> int:
+        return self.tx_ring_capacity - len(self._tx_slots)
+
+    def tx_done_slots(self) -> int:
+        return sum(1 for slot in self._tx_slots if slot.done)
+
+    def tx_enqueue(self, packet: Any) -> bool:
+        """Occupy a descriptor slot with ``packet``; False if ring full."""
+        if len(self._tx_slots) >= self.tx_ring_capacity:
+            return False
+        self._tx_slots.append(_TxSlot(packet))
+        self._kick_transmitter()
+        return True
+
+    def tx_reclaim(self) -> int:
+        """Free all *done* descriptor slots; returns how many were freed.
+
+        Only the driver calls this; until it does, completed slots keep
+        occupying the ring (the root of transmit starvation, §4.4).
+        """
+        before = len(self._tx_slots)
+        self._tx_slots = [slot for slot in self._tx_slots if not slot.done]
+        return before - len(self._tx_slots)
+
+    def _kick_transmitter(self) -> None:
+        if self._tx_busy:
+            return
+        pending = next((slot for slot in self._tx_slots if not slot.done), None)
+        if pending is None:
+            return
+        self._tx_busy = True
+        self.sim.schedule(
+            self.tx_packet_time_ns,
+            self._transmit_complete,
+            pending,
+            label="tx:" + self.name,
+        )
+
+    def _transmit_complete(self, slot: _TxSlot) -> None:
+        slot.done = True
+        self._tx_busy = False
+        self.tx_completed.increment()
+        packet = slot.packet
+        if hasattr(packet, "mark_transmitted"):
+            packet.mark_transmitted(self.sim.now)
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+        if self.tx_line is not None:
+            self.tx_line.request()
+        self._kick_transmitter()
+
+    @property
+    def tx_idle(self) -> bool:
+        return not self._tx_busy
+
+    def __repr__(self) -> str:
+        return "NIC(%s, rx=%d/%d, tx=%d/%d)" % (
+            self.name,
+            len(self._rx_ring),
+            self.rx_ring_capacity,
+            len(self._tx_slots),
+            self.tx_ring_capacity,
+        )

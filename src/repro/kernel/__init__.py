@@ -1,0 +1,24 @@
+"""Kernel substrate: configuration, cost model, queues, callouts, threads
+and syscall helpers."""
+
+from .callouts import Callout, CalloutTable
+from .config import IP_LAYER_SOFTIRQ, IP_LAYER_THREAD, KernelConfig
+from .costs import DEFAULT_COSTS, CostModel, us_to_cycles
+from .kernel import Kernel
+from .queues import PacketQueue, REDQueue
+from .syscalls import BlockingQueueReader
+
+__all__ = [
+    "BlockingQueueReader",
+    "Callout",
+    "CalloutTable",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "IP_LAYER_SOFTIRQ",
+    "IP_LAYER_THREAD",
+    "Kernel",
+    "KernelConfig",
+    "PacketQueue",
+    "REDQueue",
+    "us_to_cycles",
+]

@@ -1,0 +1,60 @@
+"""Kernel callout table (tick-granularity timers).
+
+BSD-style callouts: a function scheduled to run a whole number of clock
+ticks in the future, executed from the clock interrupt handler at clock
+IPL. The paper's feedback timeout ("one clock tick, or about 1 msec",
+§6.6.1) and the cycle-limit period timer (§7) are callouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class Callout:
+    """Handle for a scheduled callout; supports cancellation."""
+
+    __slots__ = ("deadline_tick", "seq", "func", "cancelled")
+
+    def __init__(self, deadline_tick: int, seq: int, func: Callable[[], None]) -> None:
+        self.deadline_tick = deadline_tick
+        self.seq = seq
+        self.func = func
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Callout") -> bool:
+        return (self.deadline_tick, self.seq) < (other.deadline_tick, other.seq)
+
+
+class CalloutTable:
+    """Pending callouts, drained once per clock tick."""
+
+    def __init__(self) -> None:
+        self._heap: List[Callout] = []
+        self._seq = 0
+        self.executed = 0
+
+    def schedule(self, now_tick: int, delay_ticks: int, func: Callable[[], None]) -> Callout:
+        """Run ``func`` ``delay_ticks`` ticks from ``now_tick`` (min 1)."""
+        if delay_ticks < 1:
+            raise ValueError("callout delay must be at least one tick")
+        callout = Callout(now_tick + delay_ticks, self._seq, func)
+        self._seq += 1
+        heapq.heappush(self._heap, callout)
+        return callout
+
+    def due(self, now_tick: int) -> List[Callout]:
+        """Pop every live callout whose deadline has arrived."""
+        ready: List[Callout] = []
+        while self._heap and self._heap[0].deadline_tick <= now_tick:
+            callout = heapq.heappop(self._heap)
+            if not callout.cancelled:
+                ready.append(callout)
+        return ready
+
+    def pending(self) -> int:
+        return sum(1 for c in self._heap if not c.cancelled)

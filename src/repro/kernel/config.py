@@ -1,0 +1,178 @@
+"""Kernel configuration: everything that distinguishes the paper's
+kernel variants, in one dataclass.
+
+Experiments never flip mechanisms directly; they construct a
+:class:`KernelConfig` (usually via :mod:`repro.core.variants`) and hand
+it to the router builder. Defaults model the stock Digital UNIX router
+(IP layer as a kernel thread, no polling, no feedback, no cycle limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..sim.units import NS_PER_MS
+from .costs import DEFAULT_COSTS, CostModel
+
+#: IP-layer placement for the classic kernel: 4.2BSD dispatches a software
+#: interrupt at SPLNET, Digital UNIX runs a separately scheduled kernel
+#: thread at IPL 0 (§6.3). Both suffer the same livelock; both are modelled.
+IP_LAYER_SOFTIRQ = "softirq"
+IP_LAYER_THREAD = "thread"
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Complete configuration of one simulated kernel."""
+
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    # ------------------------------------------------------------------
+    # Structure: which kernel is this?
+    # ------------------------------------------------------------------
+    #: Classic path: where the IP layer runs (fig 6-2).
+    ip_layer_mode: str = IP_LAYER_THREAD
+    #: True = the paper's modified kernel (§6.4): stub interrupt handlers,
+    #: polling thread, processing to completion, no ipintrq.
+    use_polling: bool = False
+    #: Modified kernel configured to act like the unmodified one
+    #: ("no polling" in fig 6-3); adds a small per-packet compat overhead.
+    emulate_unmodified: bool = False
+    #: Pure periodic polling with no interrupts (Traw & Smith, §8).
+    use_clocked_polling: bool = False
+    #: Poll period for the clocked-interrupt driver.
+    clocked_poll_interval_ns: int = 1_000_000
+    #: "Do (almost) everything at high IPL" (§5.3, first approach):
+    #: process packets to completion inside the device-IPL handler.
+    use_high_ipl: bool = False
+    #: §5.1 interrupt-rate limiting applied to the *classic* kernel:
+    #: disable input interrupts when ipintrq fills, re-enable when it
+    #: drains to ``ipintrq_low_fraction`` of its limit.
+    classic_input_feedback: bool = False
+    ipintrq_low_fraction: float = 0.25
+
+    # ------------------------------------------------------------------
+    # Polling-thread parameters (§6.4–§6.6)
+    # ------------------------------------------------------------------
+    #: Packets one callback may handle per poll round; None = unlimited
+    #: (the livelocking "no quota" configuration of fig 6-3).
+    poll_quota: Optional[int] = 10
+    #: Queue-state feedback from the screening queue (§6.6.1).
+    feedback_enabled: bool = False
+    #: Fraction of each period the packet-processing code may use
+    #: (§7); None disables the cycle-limit mechanism.
+    cycle_limit_fraction: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # screend (§6.1)
+    # ------------------------------------------------------------------
+    screend_enabled: bool = False
+    #: The paper configures screend to accept all packets.
+    screend_accept_all: bool = True
+
+    # ------------------------------------------------------------------
+    # Queue limits (classic BSD defaults; screening queue per §6.6.1)
+    # ------------------------------------------------------------------
+    ipintrq_limit: int = 50
+    ifqueue_limit: int = 50
+    screen_queue_limit: int = 32
+    screen_queue_high_fraction: float = 0.75
+    screen_queue_low_fraction: float = 0.25
+    #: Re-enable input this many clock ticks after feedback inhibited it,
+    #: in case screend hangs ("arbitrarily chosen as one clock tick").
+    feedback_timeout_ticks: int = 1
+
+    #: Drop policy of the interface output queues: "droptail" (the
+    #: paper's policy, §8) or "red" (the Floyd & Jacobson alternative
+    #: the paper cites as possibly better).
+    output_queue_policy: str = "droptail"
+    red_min_fraction: float = 0.25
+    red_max_fraction: float = 0.75
+    red_max_probability: float = 0.10
+    red_weight: float = 0.2
+
+    # ------------------------------------------------------------------
+    # Interface rings
+    # ------------------------------------------------------------------
+    rx_ring_capacity: int = 64
+    tx_ring_capacity: int = 32
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    clock_tick_ns: int = NS_PER_MS
+    #: Cycle-limit accounting period (§7: 10 ms, "chosen arbitrarily to
+    #: match the scheduler's quantum").
+    cycle_limit_period_ticks: int = 10
+    #: Round-robin quantum for user threads, in clock ticks.
+    quantum_ticks: int = 10
+    #: Run an idle thread (re-enables input and clears cycle totals, §7).
+    idle_thread: bool = True
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.ip_layer_mode not in (IP_LAYER_SOFTIRQ, IP_LAYER_THREAD):
+            raise ValueError("unknown ip_layer_mode %r" % self.ip_layer_mode)
+        if self.poll_quota is not None and self.poll_quota <= 0:
+            raise ValueError("poll_quota must be positive or None")
+        if self.cycle_limit_fraction is not None and not (
+            0.0 < self.cycle_limit_fraction <= 1.0
+        ):
+            raise ValueError("cycle_limit_fraction must be in (0, 1]")
+        if not (0.0 < self.screen_queue_low_fraction < self.screen_queue_high_fraction <= 1.0):
+            raise ValueError("screen queue watermark fractions out of order")
+        if self.emulate_unmodified and not self.use_polling:
+            raise ValueError("emulate_unmodified is a mode of the modified kernel")
+        exclusive_modes = sum(
+            (self.use_polling, self.use_clocked_polling, self.use_high_ipl)
+        )
+        if exclusive_modes > 1:
+            raise ValueError(
+                "use_polling, use_clocked_polling and use_high_ipl are exclusive"
+            )
+        if self.clocked_poll_interval_ns <= 0:
+            raise ValueError("clocked_poll_interval_ns must be positive")
+        if self.classic_input_feedback and (
+            self.use_polling or self.use_clocked_polling or self.use_high_ipl
+        ):
+            raise ValueError("classic_input_feedback applies to the classic kernel")
+        if not 0.0 < self.ipintrq_low_fraction < 1.0:
+            raise ValueError("ipintrq_low_fraction must be in (0, 1)")
+        if self.output_queue_policy not in ("droptail", "red"):
+            raise ValueError(
+                "output_queue_policy must be 'droptail' or 'red', got %r"
+                % self.output_queue_policy
+            )
+        for name in (
+            "ipintrq_limit",
+            "ifqueue_limit",
+            "screen_queue_limit",
+            "rx_ring_capacity",
+            "tx_ring_capacity",
+            "clock_tick_ns",
+            "cycle_limit_period_ticks",
+            "quantum_ticks",
+            "feedback_timeout_ticks",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError("%s must be positive" % name)
+
+    def with_options(self, **changes) -> "KernelConfig":
+        """A modified copy (convenience over dataclasses.replace)."""
+        updated = replace(self, **changes)
+        updated.validate()
+        return updated
+
+    @property
+    def screen_queue_high(self) -> int:
+        return max(1, int(self.screen_queue_limit * self.screen_queue_high_fraction))
+
+    @property
+    def screen_queue_low(self) -> int:
+        # Strictly below the high watermark even when a tiny queue makes
+        # both fractions round to the same integer.
+        low = int(self.screen_queue_limit * self.screen_queue_low_fraction)
+        return min(low, self.screen_queue_high - 1)

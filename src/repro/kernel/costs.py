@@ -1,0 +1,134 @@
+"""CPU cost model: cycles charged for each kernel operation.
+
+All per-operation CPU costs of the simulated kernel live here, expressed
+in cycles of the modelled CPU (150 MHz by default, the DECstation
+3000/300's Alpha 21064). The defaults are calibrated so the *unmodified*
+kernel reproduces the paper's measured operating points (see DESIGN.md §4):
+
+* kernel forwarding peak (MLFRR) ≈ 4,700 pkt/s without screend (§6.2):
+  60 + 95 + 55 µs per packet ⇒ 1 / 210 µs ≈ 4,760 pkt/s;
+* device-IPL saturation (full livelock) just below the 14,880 pkt/s
+  Ethernet limit: ≈ 64 µs of device-IPL work per packet at full batching;
+* screend livelock at ≈ 6,000 pkt/s (§6.2): device + IP-input work
+  60 + 105 µs ⇒ 1 / 165 µs ≈ 6,060 pkt/s;
+* screend peak ≈ 2,000 pkt/s: 60 + 105 + 235 + 45 + 55 µs ⇒ ≈ 2,000 pkt/s;
+* ≈ 94 % of the CPU available to a compute-bound user process at zero
+  input load (§7): 1 kHz clock × ~40 µs ≈ 4 %, plus scheduling overhead.
+
+Experiments may substitute their own :class:`CostModel` to explore other
+hardware points; every cost is an independent dataclass field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def us_to_cycles(us: float, hz: int) -> int:
+    """Microseconds of work to cycles on a ``hz``-Hz CPU."""
+    return int(round(us * hz / 1_000_000))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs of kernel operations (defaults: 150 MHz Alpha router)."""
+
+    cpu_hz: int = 150_000_000
+
+    # ------------------------------------------------------------------
+    # Interrupt plumbing
+    # ------------------------------------------------------------------
+    #: Taking one interrupt: PAL dispatch, save/restore, EOI (§4.1 "a
+    #: costly operation"); amortised over a batch by the drivers.
+    interrupt_dispatch: int = 1_500  # 10 µs
+    #: Posting a software interrupt / wakeup from the device driver.
+    softirq_post: int = 150  # 1 µs
+    #: Thread context switch (charged by the CPU model between threads).
+    context_switch: int = 750  # 5 µs
+
+    # ------------------------------------------------------------------
+    # Classic (unmodified) receive path, §4.1 / fig 6-2
+    # ------------------------------------------------------------------
+    #: Device-IPL work per received packet: buffer management, link-level
+    #: processing, and the ipintrq enqueue. Dominates livelock behaviour.
+    rx_device_per_packet: int = 7_200  # 48 µs
+    #: Dequeue from ipintrq at SPLNET.
+    ipintrq_dequeue: int = 300  # 2 µs
+    #: IP forwarding decision + output enqueue (kernel route, no screend).
+    ip_forward: int = 12_750  # 85 µs
+    #: IP input processing when handing to the screening queue (includes
+    #: queueing and waking the user process) — the screend path's kernel
+    #: share is deliberately larger than plain forwarding.
+    ip_input_to_screen_queue: int = 15_750  # 105 µs
+    #: IP output processing after a screend verdict (route + ifqueue).
+    ip_output_after_screen: int = 6_750  # 45 µs
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    #: Moving one packet from the output ifqueue into a TX descriptor.
+    tx_start_per_packet: int = 4_500  # 30 µs
+    #: Releasing one completed TX descriptor.
+    tx_reclaim_per_packet: int = 1_200  # 8 µs
+
+    # ------------------------------------------------------------------
+    # Modified (polling) path, §6.4
+    # ------------------------------------------------------------------
+    #: The stub interrupt handler: record service need, schedule the
+    #: polling thread, leave interrupts disabled. "almost no work at all".
+    polled_stub_handler: int = 750  # 5 µs
+    #: Per-packet RX work in the received-packet callback (replaces
+    #: rx_device_per_packet; slightly cheaper: no ipintrq, no softirq).
+    polled_rx_per_packet: int = 9_000  # 60 µs
+    #: Fixed cost of one polling-loop pass (flag checks, loop control).
+    poll_loop_overhead: int = 750  # 5 µs
+    #: Checking one registered device's service flags.
+    poll_device_check: int = 300  # 2 µs
+    #: Reading the cycle counter and updating the usage total (§7); the
+    #: Alpha PCC read is one instruction, the bookkeeping a few more.
+    cycle_accounting: int = 30  # 0.2 µs
+    #: Extra per-packet overhead when the modified kernel is configured
+    #: to *emulate* the unmodified path ("no polling" in fig 6-3, which
+    #: performed slightly worse than the true unmodified kernel).
+    modified_compat_overhead: int = 600  # 4 µs
+
+    # ------------------------------------------------------------------
+    # screend / user processes
+    # ------------------------------------------------------------------
+    #: One screend iteration: syscall in, filter evaluation, syscall out.
+    screend_per_packet: int = 35_250  # 235 µs
+    #: Generic syscall overhead for other applications (monitor, sink).
+    syscall_overhead: int = 3_000  # 20 µs
+    #: Copying one packet into a packet-filter tap queue (passive
+    #: monitoring, §2 / [8, 9]).
+    packet_filter_tap: int = 1_500  # 10 µs
+
+    # ------------------------------------------------------------------
+    # Clock and housekeeping
+    # ------------------------------------------------------------------
+    #: hardclock: timekeeping, callout scan, scheduler bookkeeping.
+    clock_tick: int = 5_250  # 35 µs
+    #: Executing one expired callout.
+    callout_run: int = 300  # 2 µs
+
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A uniformly faster/slower kernel (e.g. ``scaled(0.5)`` halves
+        every per-operation cost — a CPU twice as fast at the same Hz)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        fields = {}
+        for name in self.__dataclass_fields__:
+            if name == "cpu_hz":
+                continue
+            fields[name] = max(0, int(round(getattr(self, name) * factor)))
+        return replace(self, **fields)
+
+    def us(self, cycles: int) -> float:
+        """Convert a cycle count back to microseconds (for reports)."""
+        return cycles * 1_000_000 / self.cpu_hz
+
+
+#: The calibrated default model used by all paper-reproduction experiments.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,142 @@
+"""Kernel core: CPU, clock, callouts, threads, and idle loop.
+
+:class:`Kernel` owns the machine-level plumbing shared by every kernel
+variant. The network stack (drivers, IP layer, queues) is assembled on
+top of it by :class:`repro.experiments.topology.Router`, keeping this
+module free of networking concerns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..hw.clock import ClockDevice
+from ..hw.cpu import CLASS_IDLE, CLASS_KERNEL, CLASS_USER, CPU, CpuTask
+from ..hw.interrupts import InterruptController
+from ..sim.probes import ProbeRegistry
+from ..sim.process import ProcessBody, Work
+from ..sim.randomness import RandomStreams
+from ..sim.simulator import Simulator
+from .callouts import Callout, CalloutTable
+from .config import KernelConfig
+
+#: Size of one idle-loop work chunk, microseconds. Between chunks the
+#: idle thread runs its hooks (re-enable input, clear cycle totals, §7).
+IDLE_CHUNK_US = 100
+
+
+class Kernel:
+    """The simulated operating system kernel (machine layer)."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        config: Optional[KernelConfig] = None,
+        probes: Optional[ProbeRegistry] = None,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.config = config if config is not None else KernelConfig()
+        self.config.validate()
+        self.costs = self.config.costs
+        self.probes = probes if probes is not None else ProbeRegistry(self.sim)
+        self.cpu = CPU(
+            self.sim,
+            hz=self.costs.cpu_hz,
+            context_switch_cycles=self.costs.context_switch,
+        )
+        self.interrupts = InterruptController(self.cpu)
+        self.callout_table = CalloutTable()
+        self.ticks = 0
+        self.clock = ClockDevice(
+            self.sim,
+            self.interrupts,
+            self._clock_handler,
+            tick_ns=self.config.clock_tick_ns,
+            dispatch_cycles=self.costs.interrupt_dispatch,
+        )
+        #: Deterministic RNG streams for in-kernel randomness (RED).
+        self.streams = RandomStreams(0)
+        #: Hooks run from the idle thread (e.g. cycle-limit reset, §7).
+        self.on_idle: List[Callable[[], None]] = []
+        #: Hooks run once per clock tick, at clock IPL (cheap bookkeeping).
+        self.on_tick: List[Callable[[int], None]] = []
+        self.idle_task: Optional[CpuTask] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the clock and (optionally) the idle thread."""
+        if self._started:
+            raise RuntimeError("kernel already started")
+        self._started = True
+        self.clock.start()
+        if self.config.idle_thread:
+            self.idle_task = self.cpu.spawn(
+                self._idle_body(), "idle", priority_class=CLASS_IDLE
+            )
+
+    # ------------------------------------------------------------------
+    # Thread creation
+    # ------------------------------------------------------------------
+
+    def kernel_thread(self, body: ProcessBody, name: str) -> CpuTask:
+        """Spawn a kernel thread (beats every user process)."""
+        return self.cpu.spawn(body, name, priority_class=CLASS_KERNEL)
+
+    def user_process(self, body: ProcessBody, name: str) -> CpuTask:
+        """Spawn a user process (timeshared, below kernel threads)."""
+        return self.cpu.spawn(body, name, priority_class=CLASS_USER)
+
+    # ------------------------------------------------------------------
+    # Callouts
+    # ------------------------------------------------------------------
+
+    def callout(self, delay_ticks: int, func: Callable[[], None]) -> Callout:
+        """Run ``func`` from the clock handler ``delay_ticks`` ticks from now."""
+        return self.callout_table.schedule(self.ticks, delay_ticks, func)
+
+    # ------------------------------------------------------------------
+    # Clock interrupt handler (runs at IPL_CLOCK)
+    # ------------------------------------------------------------------
+
+    def _clock_handler(self) -> ProcessBody:
+        yield Work(self.costs.clock_tick)
+        self.ticks += 1
+        for hook in self.on_tick:
+            hook(self.ticks)
+        due = self.callout_table.due(self.ticks)
+        for callout in due:
+            yield Work(self.costs.callout_run)
+            callout.func()
+            self.callout_table.executed += 1
+        self._rotate_quantum()
+
+    def _rotate_quantum(self) -> None:
+        """Round-robin rotation of the interrupted user thread when its
+        quantum expires (sampled at clock ticks, like real hardclock)."""
+        if self.ticks % self.config.quantum_ticks != 0:
+            return
+        interrupted = self.cpu.last_thread
+        if (
+            interrupted is not None
+            and interrupted.priority_class == CLASS_USER
+            and interrupted.alive
+        ):
+            self.cpu.requeue_behind(interrupted)
+
+    # ------------------------------------------------------------------
+    # Idle thread
+    # ------------------------------------------------------------------
+
+    def _idle_body(self) -> ProcessBody:
+        chunk_cycles = self.costs.cpu_hz // 1_000_000 * IDLE_CHUNK_US
+        while True:
+            for hook in self.on_idle:
+                hook()
+            yield Work(chunk_cycles)
+
+    def __repr__(self) -> str:
+        return "Kernel(t=%d ns, ticks=%d)" % (self.sim.now, self.ticks)

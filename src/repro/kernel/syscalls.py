@@ -1,0 +1,56 @@
+"""Syscall helpers for simulated user processes.
+
+User processes cross into the kernel through these generator helpers
+(used with ``yield from`` inside a process body). Each crossing charges
+CPU in the calling process's context, exactly as a monolithic kernel
+does; a blocking read parks the process on the queue's data signal so it
+consumes no CPU while waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.process import WaitSignal, Work
+from ..sim.signals import Signal
+from .costs import CostModel
+from .queues import PacketQueue
+
+
+class BlockingQueueReader:
+    """Blocking, signal-driven reads from a kernel packet queue.
+
+    The kernel side enqueues packets and fires ``data_signal``; the user
+    side does ``packet = yield from reader.read()``. Used by screend and
+    the passive monitor.
+    """
+
+    def __init__(
+        self,
+        queue: PacketQueue,
+        data_signal: Signal,
+        costs: CostModel,
+        charge_syscall: bool = True,
+    ) -> None:
+        self.queue = queue
+        self.data_signal = data_signal
+        self.costs = costs
+        self.charge_syscall = charge_syscall
+        self.reads = 0
+        self.blocked_reads = 0
+
+    def read(self):
+        """Generator helper: returns the next packet, blocking if empty."""
+        if self.charge_syscall:
+            yield Work(self.costs.syscall_overhead)
+        while True:
+            packet = self.queue.dequeue()
+            if packet is not None:
+                self.reads += 1
+                return packet
+            self.blocked_reads += 1
+            yield WaitSignal(self.data_signal)
+
+    def try_read(self) -> Optional[Any]:
+        """Non-blocking dequeue (no syscall cost; for kernel-side use)."""
+        return self.queue.dequeue()

@@ -1,0 +1,51 @@
+"""Measurement: statistics, latency recording, throughput analysis."""
+
+from .cpuaccount import (
+    CATEGORIES,
+    CATEGORY_IDLE,
+    CATEGORY_INTERRUPT,
+    CATEGORY_KERNEL,
+    CATEGORY_UNUSED,
+    CATEGORY_USER,
+    CpuAccountant,
+    CpuBreakdownReport,
+    CpuBreakdownWindow,
+    categorize,
+)
+from .latency import LatencyRecorder
+from .sampling import DepthSampler
+from .stats import jitter, mean, median, percentile, stddev, summarize, variance
+from .throughput import (
+    degradation_ratio,
+    estimate_mlfrr,
+    is_livelock_free,
+    livelock_onset,
+    peak_rate,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CATEGORY_IDLE",
+    "CATEGORY_INTERRUPT",
+    "CATEGORY_KERNEL",
+    "CATEGORY_UNUSED",
+    "CATEGORY_USER",
+    "CpuAccountant",
+    "CpuBreakdownReport",
+    "CpuBreakdownWindow",
+    "DepthSampler",
+    "LatencyRecorder",
+    "categorize",
+    "degradation_ratio",
+    "estimate_mlfrr",
+    "is_livelock_free",
+    "jitter",
+    "livelock_onset",
+    "mean",
+    "median",
+    "peak_rate",
+    "percentile",
+    "stddev",
+    "summarize",
+    "variance",
+]

@@ -1,0 +1,146 @@
+"""CPU-time attribution: where did the cycles go?
+
+The paper's whole diagnosis is a CPU-attribution statement — "the system
+will spend all of its time processing receiver interrupts" (§4.2) — and
+its §7 mechanism meters one category of CPU use against a budget. This
+module measures the same thing for any simulation: every nanosecond the
+CPU charges to a task is attributed to a category (interrupt / kernel
+thread / user process / idle loop) and to the task's name, over explicit
+measurement windows.
+
+Typical use::
+
+    accountant = CpuAccountant(router.kernel.cpu)
+    ... warm-up ...
+    window = accountant.window()      # starts now
+    ... measurement period ...
+    report = window.report()
+    report.fraction(CATEGORY_INTERRUPT)   # e.g. 0.83 under overload
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hw.cpu import CLASS_IDLE, CLASS_KERNEL, CPU, CpuTask
+
+CATEGORY_INTERRUPT = "interrupt"
+CATEGORY_KERNEL = "kernel"
+CATEGORY_USER = "user"
+CATEGORY_IDLE = "idle"
+#: Wall time the CPU spent with nothing runnable at all (no idle thread).
+CATEGORY_UNUSED = "unused"
+
+CATEGORIES = (
+    CATEGORY_INTERRUPT,
+    CATEGORY_KERNEL,
+    CATEGORY_USER,
+    CATEGORY_IDLE,
+    CATEGORY_UNUSED,
+)
+
+
+def categorize(task: CpuTask) -> str:
+    """Attribution category of a CPU task."""
+    if task.effective_ipl > 0 or task.base_ipl > 0:
+        return CATEGORY_INTERRUPT
+    if task.priority_class == CLASS_IDLE:
+        return CATEGORY_IDLE
+    if task.priority_class >= CLASS_KERNEL:
+        return CATEGORY_KERNEL
+    return CATEGORY_USER
+
+
+class CpuAccountant:
+    """Cumulative per-category and per-task CPU time for one CPU."""
+
+    def __init__(self, cpu: CPU) -> None:
+        self.cpu = cpu
+        self.by_category: Dict[str, int] = {c: 0 for c in CATEGORIES}
+        self.by_task: Dict[str, int] = {}
+        cpu.account_observers.append(self._observe)
+
+    def _observe(self, task: CpuTask, elapsed_ns: int) -> None:
+        self.by_category[categorize(task)] += elapsed_ns
+        self.by_task[task.name] = self.by_task.get(task.name, 0) + elapsed_ns
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Cumulative nanoseconds per category (plus implicit unused)."""
+        snap = dict(self.by_category)
+        accounted = sum(snap.values())
+        snap[CATEGORY_UNUSED] = max(0, self.cpu.sim.now - accounted)
+        return snap
+
+    def task_snapshot(self) -> Dict[str, int]:
+        return dict(self.by_task)
+
+    def window(self) -> "CpuBreakdownWindow":
+        """Start a measurement window at the current instant."""
+        return CpuBreakdownWindow(self)
+
+
+class CpuBreakdownReport:
+    """Per-category CPU fractions over one closed window."""
+
+    def __init__(self, window_ns: int, by_category: Dict[str, int],
+                 by_task: Dict[str, int]) -> None:
+        self.window_ns = window_ns
+        self.by_category = by_category
+        self.by_task = by_task
+
+    def fraction(self, category: str) -> float:
+        if self.window_ns <= 0:
+            return 0.0
+        return self.by_category.get(category, 0) / self.window_ns
+
+    def task_fraction(self, name: str) -> float:
+        if self.window_ns <= 0:
+            return 0.0
+        return self.by_task.get(name, 0) / self.window_ns
+
+    def top_tasks(self, count: int = 5):
+        """[(name, fraction)] of the heaviest CPU consumers."""
+        ranked = sorted(self.by_task.items(), key=lambda kv: -kv[1])
+        return [
+            (name, ns / self.window_ns if self.window_ns else 0.0)
+            for name, ns in ranked[:count]
+        ]
+
+    def format(self) -> str:
+        lines = ["CPU breakdown over %.1f ms:" % (self.window_ns / 1e6)]
+        for category in CATEGORIES:
+            lines.append(
+                "  %-10s %6.1f %%" % (category, 100 * self.fraction(category))
+            )
+        return "\n".join(lines)
+
+
+class CpuBreakdownWindow:
+    """Snapshot-delta measurement window over a :class:`CpuAccountant`."""
+
+    def __init__(self, accountant: CpuAccountant) -> None:
+        self._accountant = accountant
+        self._start_ns = accountant.cpu.sim.now
+        self._start_categories = dict(accountant.by_category)
+        self._start_tasks = dict(accountant.by_task)
+
+    def report(self) -> CpuBreakdownReport:
+        """Close the window at the current instant."""
+        accountant = self._accountant
+        now = accountant.cpu.sim.now
+        window_ns = now - self._start_ns
+        by_category = {
+            category: accountant.by_category[category]
+            - self._start_categories.get(category, 0)
+            for category in accountant.by_category
+        }
+        accounted = sum(by_category.values())
+        by_category[CATEGORY_UNUSED] = max(0, window_ns - accounted)
+        by_task = {
+            name: total - self._start_tasks.get(name, 0)
+            for name, total in accountant.by_task.items()
+            if total - self._start_tasks.get(name, 0) > 0
+        }
+        return CpuBreakdownReport(window_ns, by_category, by_task)

@@ -1,0 +1,61 @@
+"""Per-packet latency recording.
+
+Latency here is **router residence time**: NIC arrival to transmit
+completion, the quantity §4.3 discusses ("the latency to deliver the
+first packet in a burst is increased almost by the time it takes to
+receive the entire burst"). The recorder hooks an output NIC's
+``on_transmit`` path and supports a measurement window so warm-up
+packets are excluded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.units import NS_PER_US
+from .stats import summarize
+
+
+class LatencyRecorder:
+    """Collects residence latencies of transmitted packets."""
+
+    def __init__(self, sim: Simulator, name: str = "latency") -> None:
+        self.sim = sim
+        self.name = name
+        self._samples_ns: List[int] = []
+        self._recording = False
+        self._window_start: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin recording (call at the end of warm-up)."""
+        self._recording = True
+        self._window_start = self.sim.now
+        self._samples_ns = []
+
+    def stop(self) -> None:
+        self._recording = False
+
+    def observe(self, packet: Packet) -> None:
+        """on_transmit hook: record the packet's residence latency."""
+        if not self._recording:
+            return
+        latency = packet.latency_ns()
+        if latency is not None:
+            self._samples_ns.append(latency)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._samples_ns)
+
+    def samples_us(self) -> List[float]:
+        return [ns / NS_PER_US for ns in self._samples_ns]
+
+    def summary_us(self) -> dict:
+        """Mean/median/p95/p99/max in microseconds."""
+        return summarize(self.samples_us())

@@ -1,0 +1,101 @@
+"""Throughput analysis: MLFRR estimation and livelock detection.
+
+The paper's vocabulary (§4.2):
+
+* **MLFRR** — Maximum Loss Free Receive Rate: throughput keeps up with
+  offered load up to this point;
+* a *well-behaved* system's throughput stays roughly flat above MLFRR;
+* a *livelock-prone* system's throughput **falls** with increasing load;
+* **livelock** — throughput effectively zero while overload persists.
+
+These functions classify a measured (input_rate, output_rate) sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: Output below this fraction of the peak counts as collapsed (livelock).
+LIVELOCK_FRACTION = 0.10
+
+
+def peak_rate(series: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
+    """(input_rate, output_rate) at the maximum observed output."""
+    if not series:
+        raise ValueError("empty rate series")
+    return max(series, key=lambda point: point[1])
+
+
+def estimate_mlfrr(
+    series: Sequence[Tuple[float, float]],
+    loss_tolerance: float = 0.05,
+) -> float:
+    """Highest input rate whose output keeps up within ``loss_tolerance``.
+
+    Loss-free is taken as output >= (1 - tolerance) * input; the MLFRR is
+    the largest input rate still satisfying it.
+    """
+    if not series:
+        raise ValueError("empty rate series")
+    eligible = [
+        input_rate
+        for input_rate, output_rate in series
+        if input_rate > 0 and output_rate >= (1.0 - loss_tolerance) * input_rate
+    ]
+    return max(eligible) if eligible else 0.0
+
+
+def livelock_onset(
+    series: Sequence[Tuple[float, float]],
+    collapse_fraction: float = LIVELOCK_FRACTION,
+) -> Optional[float]:
+    """Lowest input rate at/after which output has collapsed to below
+    ``collapse_fraction`` of the peak and never recovers. None if the
+    system never livelocks in the measured range."""
+    if not series:
+        raise ValueError("empty rate series")
+    ordered = sorted(series)
+    _, peak_output = peak_rate(ordered)
+    if peak_output <= 0:
+        return ordered[0][0]
+    threshold = peak_output * collapse_fraction
+    onset: Optional[float] = None
+    for input_rate, output_rate in ordered:
+        if output_rate < threshold and input_rate > 0:
+            if onset is None:
+                onset = input_rate
+        else:
+            onset = None
+    return onset
+
+
+def degradation_ratio(series: Sequence[Tuple[float, float]]) -> float:
+    """Output at the highest measured load divided by peak output — 1.0
+    means perfectly flat overload behaviour, 0.0 means full livelock."""
+    if not series:
+        raise ValueError("empty rate series")
+    ordered = sorted(series)
+    _, peak_output = peak_rate(ordered)
+    if peak_output <= 0:
+        return 0.0
+    return ordered[-1][1] / peak_output
+
+
+def is_livelock_free(
+    series: Sequence[Tuple[float, float]],
+    min_sustained_fraction: float = 0.7,
+) -> bool:
+    """True if output at every overload point stays above
+    ``min_sustained_fraction`` of the peak."""
+    ordered = sorted(series)
+    _, peak_output = peak_rate(ordered)
+    if peak_output <= 0:
+        return False
+    floor = peak_output * min_sustained_fraction
+    peak_seen = False
+    for _, output_rate in ordered:
+        if output_rate == peak_output:
+            peak_seen = True
+        if peak_seen and output_rate < floor:
+            return False
+    return True

@@ -1,0 +1,33 @@
+"""Network stack substrate: packets, addresses, ARP, routing, IP and UDP."""
+
+from .addresses import (
+    AddressError,
+    format_ip,
+    parse_ip,
+    parse_prefix,
+    prefix_contains,
+    prefix_mask,
+)
+from .arp import ArpTable
+from .ip import IPLayer, ScreenPath
+from .packet import PROTO_UDP, Packet
+from .routing import Route, RoutingTable
+from .udp import UdpLayer, UdpSocket
+
+__all__ = [
+    "AddressError",
+    "ArpTable",
+    "IPLayer",
+    "PROTO_UDP",
+    "Packet",
+    "Route",
+    "RoutingTable",
+    "ScreenPath",
+    "UdpLayer",
+    "UdpSocket",
+    "format_ip",
+    "parse_ip",
+    "parse_prefix",
+    "prefix_contains",
+    "prefix_mask",
+]

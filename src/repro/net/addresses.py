@@ -1,0 +1,62 @@
+"""IPv4-style addresses and prefixes (self-contained, no stdlib ipaddress
+dependency — the simulator needs only parsing, formatting and prefix
+matching)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad IPv4 text into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError("bad IPv4 address %r" % text)
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError("bad IPv4 address %r" % text)
+        octet = int(part)
+        if octet > 255:
+            raise AddressError("bad IPv4 address %r" % text)
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad text."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise AddressError("IPv4 value out of range: %r" % value)
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_prefix(text: str) -> Tuple[int, int]:
+    """Parse ``"10.1.0.0/16"`` into (network_int, prefix_len)."""
+    if "/" not in text:
+        raise AddressError("prefix must contain '/': %r" % text)
+    addr_text, len_text = text.rsplit("/", 1)
+    if not len_text.isdigit():
+        raise AddressError("bad prefix length in %r" % text)
+    prefix_len = int(len_text)
+    if prefix_len > 32:
+        raise AddressError("prefix length > 32 in %r" % text)
+    network = parse_ip(addr_text) & prefix_mask(prefix_len)
+    return network, prefix_len
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Netmask integer for a prefix length."""
+    if not 0 <= prefix_len <= 32:
+        raise AddressError("prefix length out of range: %d" % prefix_len)
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+
+def prefix_contains(network: int, prefix_len: int, address: int) -> bool:
+    """True if ``address`` falls inside ``network/prefix_len``."""
+    return (address & prefix_mask(prefix_len)) == network

@@ -1,0 +1,47 @@
+"""ARP-style neighbour table.
+
+The paper's methodology depends on a small ARP trick: the destination
+host did not exist, and the router was fooled "by inserting a phantom
+entry into its ARP table" (§6.1). The experiment topology does the same
+thing here: a static entry makes the output interface willing to transmit
+to a host that will never answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .addresses import format_ip, parse_ip
+
+
+class ArpTable:
+    """Static neighbour resolution (IP -> link address string)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, str] = {}
+        self.lookups = 0
+        self.failures = 0
+
+    def add_entry(self, ip_text: str, link_address: str) -> None:
+        """Insert a (possibly phantom) neighbour entry."""
+        self._entries[parse_ip(ip_text)] = link_address
+
+    def resolve(self, address: int) -> Optional[str]:
+        """Link address for ``address``, or None if unresolvable."""
+        self.lookups += 1
+        link = self._entries.get(address)
+        if link is None:
+            self.failures += 1
+        return link
+
+    def __contains__(self, ip_text: str) -> bool:
+        return parse_ip(ip_text) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            "%s->%s" % (format_ip(ip), link) for ip, link in sorted(self._entries.items())
+        )
+        return "ArpTable(%s)" % body

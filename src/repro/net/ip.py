@@ -1,0 +1,137 @@
+"""IP layer: forwarding, screening delivery, and local delivery.
+
+The methods that consume CPU are generator helpers, invoked with
+``yield from`` inside whatever context performs the work — the SPLNET
+software interrupt, the netisr kernel thread, the polling thread's
+received-packet callback, or a user process returning a screend verdict.
+The *same* IP logic therefore runs in every kernel variant; only the
+scheduling context (and hence the livelock behaviour) differs, which is
+precisely the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..kernel.costs import CostModel
+from ..kernel.kernel import Kernel
+from ..kernel.queues import PacketQueue
+from ..sim.process import Work
+from ..sim.signals import Signal
+from .arp import ArpTable
+from .packet import Packet
+from .routing import RoutingTable
+from .udp import UdpLayer
+
+#: Type of per-interface output hooks: enqueue the packet toward one
+#: egress interface (the driver's output path provides these).
+OutputHook = Callable[[Packet], None]
+
+
+class ScreenPath:
+    """The kernel/user boundary for screend: a bounded screening queue
+    plus the wake-up signal for the daemon (§6.6.1)."""
+
+    def __init__(self, queue: PacketQueue, data_signal: Signal) -> None:
+        self.queue = queue
+        self.data_signal = data_signal
+
+    def deliver(self, packet: Packet) -> bool:
+        accepted = self.queue.enqueue(packet)
+        if accepted:
+            self.data_signal.fire()
+        return accepted
+
+
+class IPLayer:
+    """Routing + dispatch for received packets."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        routing: RoutingTable,
+        arp: ArpTable,
+    ) -> None:
+        self.kernel = kernel
+        self.costs: CostModel = kernel.costs
+        self.routing = routing
+        self.arp = arp
+        self.outputs: Dict[str, OutputHook] = {}
+        #: Packet-filter taps (passive monitoring, §2); each receives a
+        #: copy of every packet passing IP input processing.
+        self.taps: list = []
+        self.screen_path: Optional[ScreenPath] = None
+        self.udp: Optional[UdpLayer] = None
+        self.local_addresses: set = set()
+        probes = kernel.probes
+        self.forwarded = probes.counter("ip.forwarded")
+        self.screened_in = probes.counter("ip.screened_in")
+        self.local_delivered = probes.counter("ip.local_delivered")
+        self.no_route_drops = probes.counter("ip.no_route_drops")
+        self.arp_failure_drops = probes.counter("ip.arp_failure_drops")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def register_output(self, interface: str, hook: OutputHook) -> None:
+        """Attach an egress interface's output path."""
+        self.outputs[interface] = hook
+
+    def set_screen_path(self, path: ScreenPath) -> None:
+        self.screen_path = path
+
+    def set_udp(self, udp: UdpLayer, local_addresses) -> None:
+        self.udp = udp
+        self.local_addresses = {addr for addr in local_addresses}
+
+    # ------------------------------------------------------------------
+    # Input processing (generator helpers — charge CPU via yield)
+    # ------------------------------------------------------------------
+
+    def input_packet(self, packet: Packet):
+        """Full IP input processing for one received packet.
+
+        In a screening kernel the packet goes to the screening queue for
+        the user-mode daemon; otherwise it is forwarded (or locally
+        delivered) in the kernel.
+        """
+        for tap in self.taps:
+            yield Work(self.costs.packet_filter_tap)
+            tap.deliver(packet)
+        if self.screen_path is not None:
+            yield Work(self.costs.ip_input_to_screen_queue)
+            if self.screen_path.deliver(packet):
+                self.screened_in.increment()
+            return
+        yield Work(self.costs.ip_forward)
+        self._dispatch(packet)
+
+    def output_after_screen(self, packet: Packet):
+        """Output-side processing once screend has accepted a packet."""
+        yield Work(self.costs.ip_output_after_screen)
+        self._dispatch(packet)
+
+    # ------------------------------------------------------------------
+    # Routing core (instantaneous; CPU already charged by callers)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, packet: Packet) -> None:
+        if packet.dst in self.local_addresses and self.udp is not None:
+            self.local_delivered.increment()
+            self.udp.deliver(packet)
+            return
+        interface = self.routing.lookup(packet.dst)
+        if interface is None:
+            self.no_route_drops.increment()
+            packet.mark_dropped("ip.no_route")
+            return
+        if self.arp.resolve(packet.dst) is None:
+            self.arp_failure_drops.increment()
+            packet.mark_dropped("ip.arp_failure")
+            return
+        hook = self.outputs.get(interface)
+        if hook is None:
+            raise RuntimeError("no output hook registered for %r" % interface)
+        self.forwarded.increment()
+        hook(packet)

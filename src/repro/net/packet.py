@@ -1,0 +1,98 @@
+"""Packet objects and their lifecycle timestamps.
+
+A packet carries addressing (for routing and UDP demux) plus the
+timestamps the metrics layer needs: wire arrival at the router's NIC,
+transmission completion, and — when dropped — *where* it was dropped.
+The drop location is the paper's wasted-work story in data form: a drop
+at the RX ring costs nothing, a drop at the output queue costs the whole
+forwarding path (§4.2, §6.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from .addresses import format_ip
+
+#: IP protocol numbers used by the simulation.
+PROTO_UDP = 17
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """One simulated IP/UDP packet."""
+
+    __slots__ = (
+        "packet_id",
+        "src",
+        "dst",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "payload_bytes",
+        "created_ns",
+        "nic_arrival_ns",
+        "transmitted_ns",
+        "dropped_at",
+        "flow",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        src_port: int = 0,
+        dst_port: int = 0,
+        protocol: int = PROTO_UDP,
+        payload_bytes: int = 4,
+        created_ns: int = 0,
+        flow: str = "default",
+    ) -> None:
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.protocol = protocol
+        self.payload_bytes = payload_bytes
+        self.created_ns = created_ns
+        self.nic_arrival_ns: Optional[int] = None
+        self.transmitted_ns: Optional[int] = None
+        self.dropped_at: Optional[str] = None
+        self.flow = flow
+
+    # ------------------------------------------------------------------
+    # Lifecycle marks (called by NIC / queues via duck typing)
+    # ------------------------------------------------------------------
+
+    def mark_nic_arrival(self, now_ns: int) -> None:
+        if self.nic_arrival_ns is None:
+            self.nic_arrival_ns = now_ns
+
+    def mark_transmitted(self, now_ns: int) -> None:
+        self.transmitted_ns = now_ns
+
+    def mark_dropped(self, where: str) -> None:
+        self.dropped_at = where
+
+    # ------------------------------------------------------------------
+
+    @property
+    def delivered(self) -> bool:
+        return self.transmitted_ns is not None
+
+    def latency_ns(self) -> Optional[int]:
+        """Router residence time: NIC arrival to transmit completion."""
+        if self.nic_arrival_ns is None or self.transmitted_ns is None:
+            return None
+        return self.transmitted_ns - self.nic_arrival_ns
+
+    def __repr__(self) -> str:
+        return "Packet(#%d %s -> %s, flow=%s)" % (
+            self.packet_id,
+            format_ip(self.src),
+            format_ip(self.dst),
+            self.flow,
+        )

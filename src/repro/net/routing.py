@@ -1,0 +1,59 @@
+"""Longest-prefix-match routing table."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .addresses import parse_ip, parse_prefix, prefix_contains
+
+
+class Route:
+    """One forwarding entry: destination prefix -> egress interface."""
+
+    __slots__ = ("network", "prefix_len", "interface")
+
+    def __init__(self, network: int, prefix_len: int, interface: str) -> None:
+        self.network = network
+        self.prefix_len = prefix_len
+        self.interface = interface
+
+    def matches(self, address: int) -> bool:
+        return prefix_contains(self.network, self.prefix_len, address)
+
+
+class RoutingTable:
+    """A small longest-prefix-match table (linear scan; tables in the
+    experiments have a handful of entries, like the paper's two-Ethernet
+    router)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+        self.lookups = 0
+        self.misses = 0
+
+    def add(self, prefix: str, interface: str) -> None:
+        """Add ``"10.1.0.0/16" -> interface`` (most specific wins)."""
+        network, prefix_len = parse_prefix(prefix)
+        self._routes.append(Route(network, prefix_len, interface))
+        self._routes.sort(key=lambda r: -r.prefix_len)
+
+    def add_default(self, interface: str) -> None:
+        self.add("0.0.0.0/0", interface)
+
+    def lookup(self, address: int) -> Optional[str]:
+        """Egress interface for ``address``, or None (no route)."""
+        self.lookups += 1
+        for route in self._routes:
+            if route.matches(address):
+                return route.interface
+        self.misses += 1
+        return None
+
+    def lookup_text(self, address: str) -> Optional[str]:
+        return self.lookup(parse_ip(address))
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def entries(self) -> List[Tuple[int, int, str]]:
+        return [(r.network, r.prefix_len, r.interface) for r in self._routes]

@@ -1,0 +1,95 @@
+"""Minimal UDP layer: port demux into per-socket receive queues.
+
+Used by end-system scenarios (packet sink, monitoring examples). UDP is
+datagram-oriented and **not flow-controlled** — exactly the property the
+paper blames for congestive collapse (§1) — so the receive queue is a
+bounded drop-tail queue like every other queue in the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.probes import ProbeRegistry
+from ..sim.signals import Signal
+from ..sim.simulator import Simulator
+from ..kernel.queues import PacketQueue
+from .packet import Packet
+
+
+class UdpSocket:
+    """One bound UDP socket with a bounded receive queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: int,
+        probes: ProbeRegistry,
+        queue_limit: int = 64,
+        high_watermark: int = None,
+        low_watermark: int = None,
+    ) -> None:
+        self.port = port
+        self.queue = PacketQueue(
+            "udp.%d" % port,
+            queue_limit,
+            probes,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        )
+        self.data_signal = Signal(sim, "udp.%d.data" % port)
+        self.received = probes.counter("udp.%d.received" % port)
+
+    def deliver(self, packet: Packet) -> bool:
+        """Kernel-side delivery; wakes any blocked reader."""
+        if not self.queue.enqueue(packet):
+            return False
+        self.received.increment()
+        self.data_signal.fire()
+        return True
+
+
+class UdpLayer:
+    """Demultiplexes received datagrams to bound sockets by port."""
+
+    def __init__(self, sim: Simulator, probes: ProbeRegistry) -> None:
+        self._sim = sim
+        self._probes = probes
+        self._sockets: Dict[int, UdpSocket] = {}
+        self.no_socket_drops = probes.counter("udp.no_socket_drops")
+
+    def bind(
+        self,
+        port: int,
+        queue_limit: int = 64,
+        high_watermark: int = None,
+        low_watermark: int = None,
+    ) -> UdpSocket:
+        if port in self._sockets:
+            raise ValueError("port %d already bound" % port)
+        socket = UdpSocket(
+            self._sim,
+            port,
+            self._probes,
+            queue_limit=queue_limit,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        )
+        self._sockets[port] = socket
+        return socket
+
+    def unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def socket(self, port: int) -> Optional[UdpSocket]:
+        return self._sockets.get(port)
+
+    def deliver(self, packet: Packet) -> bool:
+        """Deliver a datagram destined to this host. False if no socket
+        is bound or the socket queue overflowed."""
+        socket = self._sockets.get(packet.dst_port)
+        if socket is None:
+            self.no_socket_drops.increment()
+            packet.mark_dropped("udp.no_socket")
+            return False
+        return socket.deliver(packet)

@@ -1,0 +1,83 @@
+"""Discrete-event simulation engine (substrate).
+
+Public surface:
+
+* :class:`~repro.sim.simulator.Simulator` — event loop and virtual clock;
+* :class:`~repro.sim.process.Process` and the command objects
+  (:class:`~repro.sim.process.Sleep`, :class:`~repro.sim.process.WaitSignal`,
+  :class:`~repro.sim.process.Work`);
+* :class:`~repro.sim.signals.Signal` — condition-variable wake-ups;
+* :class:`~repro.sim.probes.ProbeRegistry` — counters and windows;
+* :class:`~repro.sim.randomness.RandomStreams` — deterministic RNG streams;
+* :mod:`~repro.sim.units` — time conversions.
+"""
+
+from .errors import ClockError, ProcessError, SchedulingError, SimulationError
+from .events import Event
+from .probes import Accumulator, Counter, CounterWindow, ProbeRegistry, TimeSeries
+from .process import (
+    ALIVE,
+    DONE,
+    FAILED,
+    KILLED,
+    NEW,
+    Command,
+    Process,
+    Sleep,
+    WaitSignal,
+    Work,
+)
+from .randomness import RandomStreams, derive_seed
+from .signals import Signal
+from .simulator import Simulator
+from .units import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    cycles_to_ns,
+    interval_to_rate,
+    microseconds,
+    milliseconds,
+    ns_to_cycles,
+    rate_to_interval_ns,
+    seconds,
+    to_seconds,
+)
+
+__all__ = [
+    "ALIVE",
+    "Accumulator",
+    "ClockError",
+    "Command",
+    "Counter",
+    "CounterWindow",
+    "DONE",
+    "Event",
+    "FAILED",
+    "KILLED",
+    "NEW",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "NS_PER_US",
+    "ProbeRegistry",
+    "Process",
+    "ProcessError",
+    "RandomStreams",
+    "SchedulingError",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Sleep",
+    "TimeSeries",
+    "WaitSignal",
+    "Work",
+    "cycles_to_ns",
+    "derive_seed",
+    "interval_to_rate",
+    "microseconds",
+    "milliseconds",
+    "ns_to_cycles",
+    "rate_to_interval_ns",
+    "seconds",
+    "to_seconds",
+]

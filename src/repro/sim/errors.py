@@ -1,0 +1,21 @@
+"""Exception hierarchy for the simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SchedulingError(SimulationError):
+    """Raised for invalid event scheduling (negative delay, reuse of a
+    cancelled event, scheduling into the past)."""
+
+
+class ProcessError(SimulationError):
+    """Raised when a simulation process misbehaves (yields an unknown
+    command, resumes a dead process, double-starts)."""
+
+
+class ClockError(SimulationError):
+    """Raised when the simulation clock would move backwards."""

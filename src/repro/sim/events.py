@@ -1,0 +1,63 @@
+"""Event objects for the discrete-event scheduler.
+
+Events are one-shot callbacks pinned to a simulation time. They support
+O(1) cancellation via tombstoning: a cancelled event stays in the heap but
+is skipped when popped. This is the standard technique for event heaps
+with frequent cancellation (here: CPU work-completion events cancelled on
+every preemption).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+#: State constants. An event moves PENDING -> {FIRED, CANCELLED} exactly once.
+PENDING = "pending"
+FIRED = "fired"
+CANCELLED = "cancelled"
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.simulator.Simulator.schedule`
+    and should be treated as opaque handles by client code; the only useful
+    client operation is passing them back to ``Simulator.cancel``.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "state", "label")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        label: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.state = PENDING
+        self.label = label
+
+    @property
+    def pending(self) -> bool:
+        return self.state == PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == CANCELLED
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Heap ordering: by time, ties broken by scheduling order so that
+        same-time events fire in FIFO order (deterministic)."""
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        name = self.label or getattr(self.callback, "__name__", "callback")
+        return "Event(t=%d, seq=%d, %s, %s)" % (self.time, self.seq, name, self.state)

@@ -1,0 +1,158 @@
+"""Measurement probes: counters and windowed accumulators.
+
+Experiments measure throughput the way the paper does: read a counter
+(``netstat`` "Opkts") before and after a trial window and divide by the
+window length. :class:`Counter` supports exactly that via
+:meth:`Counter.snapshot` / :meth:`CounterWindow.rate`. :class:`Accumulator`
+tracks a running total (e.g. CPU cycles consumed by a process) with the
+same snapshot discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .simulator import Simulator
+from .units import NS_PER_SEC
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Accumulator:
+    """A running sum that may only grow (cycles, bytes, drops...)."""
+
+    __slots__ = ("name", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0
+
+    def add(self, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("accumulator %s cannot decrease" % self.name)
+        self.total += amount
+
+    def snapshot(self) -> int:
+        return self.total
+
+
+class CounterWindow:
+    """Measures a counter's rate over an explicit start/stop window."""
+
+    def __init__(self, sim: Simulator, counter: Counter) -> None:
+        self._sim = sim
+        self._counter = counter
+        self._start_value: Optional[int] = None
+        self._start_time: Optional[int] = None
+        self._delta: Optional[int] = None
+        self._duration: Optional[int] = None
+
+    def start(self) -> None:
+        self._start_value = self._counter.snapshot()
+        self._start_time = self._sim.now
+        self._delta = None
+        self._duration = None
+
+    def stop(self) -> None:
+        if self._start_value is None or self._start_time is None:
+            raise RuntimeError("window stopped before being started")
+        self._delta = self._counter.snapshot() - self._start_value
+        self._duration = self._sim.now - self._start_time
+
+    @property
+    def delta(self) -> int:
+        if self._delta is None:
+            raise RuntimeError("window not stopped yet")
+        return self._delta
+
+    @property
+    def duration_ns(self) -> int:
+        if self._duration is None:
+            raise RuntimeError("window not stopped yet")
+        return self._duration
+
+    def rate(self) -> float:
+        """Events per second over the window."""
+        if self.duration_ns == 0:
+            return 0.0
+        return self.delta * NS_PER_SEC / self.duration_ns
+
+
+class TimeSeries:
+    """Records (time, value) samples, e.g. queue depth over time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[int, float]] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        self.samples.append((time_ns, value))
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.samples]
+
+    def last(self) -> Optional[float]:
+        return self.samples[-1][1] if self.samples else None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class ProbeRegistry:
+    """A namespace of counters/accumulators shared by one simulation.
+
+    Components create probes lazily by name; the experiment harness reads
+    them all out at the end of a trial.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._counters: Dict[str, Counter] = {}
+        self._accumulators: Dict[str, Accumulator] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator(name)
+        return self._accumulators[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def window(self, counter_name: str) -> CounterWindow:
+        return CounterWindow(self._sim, self.counter(counter_name))
+
+    def dump(self) -> Dict[str, int]:
+        """All counter and accumulator values, for reports and tests."""
+        out: Dict[str, int] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, acc in sorted(self._accumulators.items()):
+            out[name] = acc.total
+        return out

@@ -1,0 +1,81 @@
+"""Signals: lightweight condition variables for simulation processes.
+
+A :class:`Signal` is a named wake-up channel. Processes block on it with
+``yield WaitSignal(signal)``; any other component wakes them with
+:meth:`Signal.fire` (wake all) or :meth:`Signal.fire_one` (wake the
+longest-waiting process). Wake-ups are **deferred**: the woken process
+resumes via a zero-delay event, after the code that fired the signal has
+finished its current step. This keeps control flow non-reentrant and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .process import Process
+    from .simulator import Simulator
+
+
+class Signal:
+    """A wake-up channel for processes blocked in ``WaitSignal``."""
+
+    def __init__(self, sim: "Simulator", name: str = "signal") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: Deque["Process"] = deque()
+        self._fires: int = 0
+
+    # ------------------------------------------------------------------
+
+    def add_waiter(self, process: "Process") -> None:
+        """Register a process as blocked on this signal (engine-internal)."""
+        self._waiters.append(process)
+
+    def remove_waiter(self, process: "Process") -> bool:
+        """Withdraw a blocked process (e.g. when it is being killed)."""
+        try:
+            self._waiters.remove(process)
+            return True
+        except ValueError:
+            return False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def fire_count(self) -> int:
+        return self._fires
+
+    # ------------------------------------------------------------------
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every waiting process; returns the number woken.
+
+        Processes that start waiting *after* this call are unaffected
+        (edge-triggered semantics, like a condition-variable broadcast).
+        """
+        self._fires += 1
+        woken = 0
+        while self._waiters:
+            process = self._waiters.popleft()
+            self._sim.schedule(0, process.deliver, value, label="wake:" + self.name)
+            woken += 1
+        return woken
+
+    def fire_one(self, value: Any = None) -> bool:
+        """Wake the longest-waiting process, if any; returns True if woken."""
+        self._fires += 1
+        if not self._waiters:
+            return False
+        process = self._waiters.popleft()
+        self._sim.schedule(0, process.deliver, value, label="wake:" + self.name)
+        return True
+
+    def __repr__(self) -> str:
+        return "Signal(%s, waiters=%d)" % (self.name, len(self._waiters))

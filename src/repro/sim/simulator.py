@@ -1,0 +1,172 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the virtual clock (integer nanoseconds) and a
+binary heap of :class:`~repro.sim.events.Event` objects. Components
+schedule callbacks at relative delays; :meth:`run` drains the heap in
+time order until a deadline or until no events remain.
+
+The simulator itself knows nothing about CPUs, packets, or kernels — those
+are layered on top (see :mod:`repro.hw` and :mod:`repro.kernel`). It only
+guarantees:
+
+* the clock never moves backwards (:class:`~repro.sim.errors.ClockError`);
+* events scheduled for the same instant fire in scheduling order;
+* cancellation is O(1) and safe at any time before the event fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .errors import ClockError, SchedulingError
+from .events import CANCELLED, FIRED, PENDING, Event
+
+
+class Simulator:
+    """Event loop and virtual clock for one simulation run."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._fired: int = 0
+        self._scheduled: int = 0
+        self._cancelled: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        ``delay`` may be zero (the event fires after all events already
+        scheduled for the current instant), but never negative.
+        """
+        if delay < 0:
+            raise SchedulingError("cannot schedule into the past (delay=%d)" % delay)
+        event = Event(self._now + delay, self._seq, callback, args, label=label)
+        self._seq += 1
+        self._scheduled += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time`` ns."""
+        if time < self._now:
+            raise SchedulingError(
+                "cannot schedule at t=%d, now is t=%d" % (time, self._now)
+            )
+        return self.schedule(time - self._now, callback, *args, label=label)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event. Returns True if it was still pending."""
+        if event.state != PENDING:
+            return False
+        event.state = CANCELLED
+        self._cancelled += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next pending event. Returns False if none left."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.state == CANCELLED:
+                continue
+            if event.time < self._now:
+                raise ClockError(
+                    "event at t=%d behind clock t=%d" % (event.time, self._now)
+                )
+            self._now = event.time
+            event.state = FIRED
+            self._fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0].state == CANCELLED:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the clock reaches ``until`` ns (absolute), or until no
+        events remain if ``until`` is None. Returns the final clock value.
+
+        If a deadline is given the clock is advanced exactly to it, so
+        back-to-back ``run`` calls tile the timeline without gaps.
+        """
+        if until is not None and until < self._now:
+            raise SchedulingError(
+                "deadline t=%d is in the past (now t=%d)" % (until, self._now)
+            )
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_for(self, duration: int) -> int:
+        """Run for ``duration`` ns of simulated time from the current clock."""
+        return self.run(self._now + duration)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Counters describing scheduler activity (for tests/diagnostics)."""
+        return {
+            "scheduled": self._scheduled,
+            "fired": self._fired,
+            "cancelled": self._cancelled,
+            "pending": sum(1 for e in self._heap if e.state == PENDING),
+        }
+
+    def __repr__(self) -> str:
+        return "Simulator(now=%d ns, pending=%d)" % (
+            self._now,
+            self.stats["pending"],
+        )

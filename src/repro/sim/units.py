@@ -1,0 +1,68 @@
+"""Time and rate units for the simulator.
+
+The simulation clock is an integer count of **nanoseconds**. Integer time
+keeps the event heap deterministic across platforms and makes equality
+comparisons exact; at the paper's time scales (packet costs of tens of
+microseconds, trials of a few simulated seconds) nanosecond resolution is
+three orders of magnitude finer than anything we measure.
+
+CPU work is expressed in **cycles** and converted to nanoseconds using the
+modelled CPU frequency. The conversion rounds half-up so that a cost model
+expressed in cycles never silently loses work.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def to_seconds(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / NS_PER_SEC
+
+
+def cycles_to_ns(cycles: int, hz: int) -> int:
+    """Convert a cycle count on a ``hz``-Hz CPU to nanoseconds (>= 1 ns for
+    any positive cycle count, so work never completes instantaneously)."""
+    if cycles <= 0:
+        return 0
+    ns = (cycles * NS_PER_SEC + hz // 2) // hz
+    return max(ns, 1)
+
+
+def ns_to_cycles(ns: int, hz: int) -> int:
+    """Convert nanoseconds to cycles on a ``hz``-Hz CPU."""
+    if ns <= 0:
+        return 0
+    return (ns * hz + NS_PER_SEC // 2) // NS_PER_SEC
+
+
+def rate_to_interval_ns(packets_per_second: float) -> int:
+    """Inter-arrival interval in nanoseconds for a given packet rate."""
+    if packets_per_second <= 0:
+        raise ValueError("rate must be positive, got %r" % packets_per_second)
+    return max(1, int(round(NS_PER_SEC / packets_per_second)))
+
+
+def interval_to_rate(interval_ns: int) -> float:
+    """Packet rate corresponding to an inter-arrival interval."""
+    if interval_ns <= 0:
+        raise ValueError("interval must be positive, got %r" % interval_ns)
+    return NS_PER_SEC / interval_ns

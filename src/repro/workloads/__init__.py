@@ -1,0 +1,15 @@
+"""Traffic workloads (the off-CPU source host)."""
+
+from .generators import (
+    BurstyGenerator,
+    ConstantRateGenerator,
+    PoissonGenerator,
+    TrafficGenerator,
+)
+
+__all__ = [
+    "BurstyGenerator",
+    "ConstantRateGenerator",
+    "PoissonGenerator",
+    "TrafficGenerator",
+]

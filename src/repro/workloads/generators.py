@@ -1,0 +1,191 @@
+"""Traffic generators: the off-CPU source host.
+
+The paper's source host is a separate machine whose only visible effect
+is the arrival process at the router's input interface, so generators
+are environment processes that inject packets directly into a NIC's RX
+ring — no router CPU is consumed until the interrupt fires.
+
+Three arrival processes cover the experiments and the burst analyses:
+
+* :class:`ConstantRateGenerator` — paced stream at a target rate (the
+  paper's generator, "averaged over several seconds"), with optional
+  per-packet jitter ("short-term rates varied somewhat from the mean");
+* :class:`PoissonGenerator` — memoryless arrivals at a mean rate;
+* :class:`BurstyGenerator` — on/off bursts at wire speed (§4.3's
+  "transient overload from short-term bursty arrivals").
+
+Rates are silently capped at the wire's maximum packet rate: a 10 Mb/s
+Ethernet cannot deliver more than ~14,880 minimum-size packets/second no
+matter what the source does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..hw.link import MIN_PACKET_TIME_NS, packet_time_ns
+from ..hw.nic import NIC
+from ..net.addresses import parse_ip
+from ..net.packet import Packet
+from ..sim.process import Process, Sleep
+from ..sim.simulator import Simulator
+from ..sim.units import NS_PER_SEC
+
+
+class TrafficGenerator:
+    """Base generator: addressing, pacing floor, counters."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        src: str = "10.1.0.2",
+        dst: str = "10.2.0.2",
+        dst_port: int = 9,
+        payload_bytes: int = 4,
+        flow: str = "default",
+        name: str = "traffic",
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.src = parse_ip(src)
+        self.dst = parse_ip(dst)
+        self.dst_port = dst_port
+        self.payload_bytes = payload_bytes
+        self.flow = flow
+        self.name = name
+        #: Minimum spacing between packets: wire serialisation time.
+        self.min_interval_ns = packet_time_ns(payload_bytes)
+        self.sent = 0
+        self.process: Optional[Process] = None
+
+    def start(self) -> "TrafficGenerator":
+        if self.process is not None:
+            raise RuntimeError("generator %s already started" % self.name)
+        self.process = Process(self.sim, self._body(), name=self.name).start()
+        return self
+
+    def stop(self) -> None:
+        if self.process is not None:
+            self.process.kill()
+
+    def _emit(self) -> Packet:
+        packet = Packet(
+            src=self.src,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            payload_bytes=self.payload_bytes,
+            created_ns=self.sim.now,
+            flow=self.flow,
+        )
+        self.nic.receive_from_wire(packet)
+        self.sent += 1
+        return packet
+
+    def _body(self):
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the method a generator
+
+
+class ConstantRateGenerator(TrafficGenerator):
+    """Paced stream at ``rate_pps``, optionally jittered.
+
+    ``jitter_fraction`` perturbs each gap uniformly by ±fraction (mean
+    preserved), modelling the paper's "not a precisely paced stream".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        rate_pps: float,
+        jitter_fraction: float = 0.0,
+        rng: Optional[random.Random] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, nic, **kwargs)
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter fraction must be in [0, 1)")
+        if jitter_fraction > 0.0 and rng is None:
+            raise ValueError("jittered generator needs an rng stream")
+        self.rate_pps = rate_pps
+        self.jitter_fraction = jitter_fraction
+        self.rng = rng
+        self.interval_ns = max(
+            self.min_interval_ns, int(round(NS_PER_SEC / rate_pps))
+        )
+
+    def _body(self):
+        while True:
+            gap = self.interval_ns
+            if self.jitter_fraction > 0.0:
+                spread = self.jitter_fraction
+                gap = int(gap * self.rng.uniform(1.0 - spread, 1.0 + spread))
+                gap = max(self.min_interval_ns, gap)
+            yield Sleep(gap)
+            self._emit()
+
+
+class PoissonGenerator(TrafficGenerator):
+    """Poisson arrivals at mean ``rate_pps`` (floored at wire spacing)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        rate_pps: float,
+        rng: random.Random,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, nic, **kwargs)
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_pps = rate_pps
+        self.rng = rng
+        self.mean_interval_ns = NS_PER_SEC / rate_pps
+
+    def _body(self):
+        while True:
+            gap = int(self.rng.expovariate(1.0) * self.mean_interval_ns)
+            yield Sleep(max(self.min_interval_ns, gap))
+            self._emit()
+
+
+class BurstyGenerator(TrafficGenerator):
+    """On/off bursts: ``burst_size`` packets back-to-back at wire speed,
+    then a gap sized so the long-run average is ``rate_pps``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        rate_pps: float,
+        burst_size: int = 32,
+        rng: Optional[random.Random] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, nic, **kwargs)
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if burst_size <= 0:
+            raise ValueError("burst size must be positive")
+        self.rate_pps = rate_pps
+        self.burst_size = burst_size
+        self.rng = rng
+        burst_span_ns = burst_size * self.min_interval_ns
+        period_ns = burst_size * NS_PER_SEC / rate_pps
+        self.gap_ns = max(0, int(period_ns - burst_span_ns))
+
+    def _body(self):
+        while True:
+            for _ in range(self.burst_size):
+                yield Sleep(self.min_interval_ns)
+                self._emit()
+            gap = self.gap_ns
+            if self.rng is not None and gap > 0:
+                gap = int(gap * self.rng.uniform(0.5, 1.5))
+            if gap > 0:
+                yield Sleep(gap)

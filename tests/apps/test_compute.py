@@ -1,0 +1,72 @@
+"""Unit tests for the compute-bound progress probe."""
+
+import pytest
+
+from repro.apps.compute import ComputeBoundProcess
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.kernel import Kernel, KernelConfig
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def test_chunk_must_be_positive():
+    kernel = Kernel(config=KernelConfig())
+    with pytest.raises(ValueError):
+        ComputeBoundProcess(kernel, chunk_us=0)
+
+
+def test_consumes_nearly_all_idle_cpu():
+    kernel = Kernel(config=KernelConfig())
+    compute = ComputeBoundProcess(kernel)
+    kernel.start()
+    compute.start()
+    kernel.sim.run_for(seconds(0.1))
+    window_cycles = kernel.costs.cpu_hz // 10
+    share = compute.cpu_share(0, window_cycles)
+    assert 0.90 <= share <= 0.98  # the paper's ~94% zero-load point
+
+
+def test_double_start_rejected():
+    kernel = Kernel(config=KernelConfig())
+    compute = ComputeBoundProcess(kernel)
+    compute.start()
+    with pytest.raises(RuntimeError):
+        compute.start()
+
+
+def test_cycles_used_zero_before_start():
+    kernel = Kernel(config=KernelConfig())
+    compute = ComputeBoundProcess(kernel)
+    assert compute.cycles_used() == 0
+
+
+def test_cpu_share_clamps():
+    kernel = Kernel(config=KernelConfig())
+    compute = ComputeBoundProcess(kernel)
+    assert compute.cpu_share(0, 0) == 0.0
+
+
+def test_starves_on_unmodified_router_under_flood():
+    """§7 baseline: the router forwards at full rate while the user
+    process makes no measurable progress."""
+    router = Router(variants.unmodified())
+    compute = router.add_compute_process()
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, 10_000).start()
+    router.run_for(seconds(0.05))
+    before = compute.cycles_used()
+    router.run_for(seconds(0.3))
+    used = compute.cycles_used() - before
+    window_cycles = int(0.3 * router.config.costs.cpu_hz)
+    assert used / window_cycles < 0.02  # no measurable progress
+    assert router.delivered.snapshot() > 500  # router still forwards
+
+
+def test_chunk_counter_advances():
+    kernel = Kernel(config=KernelConfig())
+    compute = ComputeBoundProcess(kernel, chunk_us=100)
+    kernel.start()
+    compute.start()
+    kernel.sim.run_for(seconds(0.01))
+    assert compute.chunks_completed.snapshot() > 50

@@ -1,0 +1,67 @@
+"""Unit tests for the packet-filter tap and passive monitor."""
+
+from repro.apps.monitor import PacketFilterTap, PassiveMonitor
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.kernel import Kernel, KernelConfig
+from repro.net import Packet
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def test_tap_enqueues_matching_packets():
+    kernel = Kernel(config=KernelConfig())
+    tap = PacketFilterTap(kernel, capture=lambda p: p.dst_port == 9)
+    match = Packet(src=1, dst=2, dst_port=9)
+    miss = Packet(src=1, dst=2, dst_port=53)
+    assert tap.deliver(match)
+    assert not tap.deliver(miss)
+    assert tap.matched.snapshot() == 1
+    assert len(tap.queue) == 1
+
+
+def test_tap_overflow_counts_capture_loss():
+    kernel = Kernel(config=KernelConfig())
+    tap = PacketFilterTap(kernel, queue_limit=2)
+    monitor = PassiveMonitor(kernel, tap)
+    for _ in range(5):
+        tap.deliver(Packet(src=1, dst=2))
+    assert monitor.capture_loss == 3
+
+
+def test_monitor_consumes_from_tap():
+    config = variants.polling(quota=10)
+    router = Router(config)
+    monitor = router.add_monitor()
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, 1_000).start()
+    router.run_for(seconds(0.1))
+    dump = router.probes.dump()
+    assert dump["monitor.observed"] > 50
+    assert dump["pfilt.matched"] > 50
+    # At light load the monitor keeps up: no capture loss.
+    assert dump.get("queue.pfilt.dropped", 0) == 0
+
+
+def test_monitor_starves_on_unmodified_kernel_under_flood():
+    router = Router(variants.unmodified())
+    router.add_monitor()
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, 10_000).start()
+    router.run_for(seconds(0.3))
+    dump = router.probes.dump()
+    # The kernel tapped plenty of packets but the monitor process was
+    # starved, so the tap queue overflowed (capture loss).
+    assert dump["pfilt.matched"] > 500
+    assert dump["queue.pfilt.dropped"] > 100
+    assert dump["monitor.observed"] < 0.5 * dump["pfilt.matched"]
+
+
+def test_router_monitor_attachment_is_single():
+    router = Router(variants.unmodified())
+    router.add_monitor()
+    try:
+        router.add_monitor()
+        assert False, "second monitor should be rejected"
+    except RuntimeError:
+        pass

@@ -1,0 +1,58 @@
+"""Unit tests for the UDP packet sink (end-system consumer)."""
+
+from repro.apps.sink import PacketSink
+from repro.kernel import Kernel, KernelConfig
+from repro.net import Packet, UdpLayer
+from repro.sim.units import seconds
+
+
+def make_sink(per_packet_cycles=1_000):
+    kernel = Kernel(config=KernelConfig())
+    udp = UdpLayer(kernel.sim, kernel.probes)
+    socket = udp.bind(9)
+    sink = PacketSink(kernel, socket, per_packet_cycles=per_packet_cycles)
+    return kernel, udp, socket, sink
+
+
+def test_sink_consumes_delivered_packets():
+    kernel, udp, socket, sink = make_sink()
+    kernel.start()
+    sink.start()
+    for _ in range(5):
+        udp.deliver(Packet(src=1, dst=2, dst_port=9))
+    kernel.sim.run_for(seconds(0.01))
+    assert sink.consumed.snapshot() == 5
+    assert socket.queue.empty
+
+
+def test_sink_blocks_when_queue_empty():
+    kernel, udp, socket, sink = make_sink()
+    kernel.start()
+    sink.start()
+    kernel.sim.run_for(seconds(0.01))
+    assert sink.consumed.snapshot() == 0
+    # Deliver later: the sink wakes and consumes.
+    udp.deliver(Packet(src=1, dst=2, dst_port=9))
+    kernel.sim.run_for(seconds(0.01))
+    assert sink.consumed.snapshot() == 1
+
+
+def test_sink_charges_syscall_and_work():
+    kernel, udp, socket, sink = make_sink(per_packet_cycles=10_000)
+    kernel.start()
+    sink.start()
+    for _ in range(3):
+        udp.deliver(Packet(src=1, dst=2, dst_port=9))
+    kernel.sim.run_for(seconds(0.01))
+    expected_min = 3 * (kernel.costs.syscall_overhead + 10_000)
+    assert sink.task.cycles_used >= expected_min
+
+
+def test_double_start_rejected():
+    kernel, udp, socket, sink = make_sink()
+    sink.start()
+    try:
+        sink.start()
+        assert False
+    except RuntimeError:
+        pass

@@ -1,0 +1,115 @@
+"""Unit tests for the CPU cycle-limit mechanism (§7)."""
+
+import pytest
+
+from repro.core import CycleLimiter, PollingSystem, variants
+from repro.experiments.topology import Router
+from repro.kernel import Kernel, KernelConfig
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def make_limiter(fraction=0.5, period_ticks=10):
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    limiter = CycleLimiter(kernel, fraction, period_ticks=period_ticks)
+    polling = PollingSystem(kernel, quota=10, cycle_limiter=limiter)
+    return kernel, limiter, polling
+
+
+def test_fraction_validated():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    with pytest.raises(ValueError):
+        CycleLimiter(kernel, 0.0)
+    with pytest.raises(ValueError):
+        CycleLimiter(kernel, 1.5)
+
+
+def test_threshold_arithmetic():
+    kernel, limiter, polling = make_limiter(fraction=0.5, period_ticks=10)
+    # 10 ms at 150 MHz = 1.5 M cycles; half of that is the threshold.
+    assert limiter.period_cycles == 1_500_000
+    assert limiter.threshold_cycles == 750_000
+
+
+def test_charge_below_threshold_keeps_input_enabled():
+    kernel, limiter, polling = make_limiter()
+    limiter.charge(100_000)
+    assert polling.input_allowed
+    assert limiter.used_cycles == 100_000
+
+
+def test_charge_over_threshold_inhibits():
+    kernel, limiter, polling = make_limiter()
+    limiter.charge(800_000)
+    assert not polling.input_allowed
+    assert limiter.inhibitions.snapshot() == 1
+    # Further charges don't double-count inhibitions.
+    limiter.charge(10_000)
+    assert limiter.inhibitions.snapshot() == 1
+
+
+def test_negative_charge_rejected():
+    kernel, limiter, polling = make_limiter()
+    with pytest.raises(ValueError):
+        limiter.charge(-1)
+
+
+def test_period_boundary_resets_and_reenables():
+    kernel, limiter, polling = make_limiter(period_ticks=10)
+    kernel.start()
+    limiter.charge(800_000)
+    assert not polling.input_allowed
+    kernel.sim.run_for(seconds(0.011))  # cross the 10-tick boundary
+    assert polling.input_allowed
+    assert limiter.used_cycles == 0
+
+
+def test_idle_thread_resets_limiter():
+    kernel, limiter, polling = make_limiter()
+    kernel.start()  # config enables the idle thread
+    limiter.charge(800_000)
+    kernel.sim.run_for(seconds(0.0005))  # idle runs almost immediately
+    assert polling.input_allowed
+    assert limiter.used_cycles == 0
+
+
+def test_end_to_end_user_share_respects_threshold_ordering():
+    """Lower thresholds leave more CPU for the compute process."""
+    shares = {}
+    for fraction in (0.25, 0.75):
+        config = variants.polling(quota=5, cycle_limit=fraction)
+        router = Router(config)
+        compute = router.add_compute_process()
+        router.start()
+        ConstantRateGenerator(router.sim, router.nic_in, 8_000).start()
+        router.run_for(seconds(0.05))  # warm-up
+        before = compute.cycles_used()
+        start_ns = router.sim.now
+        router.run_for(seconds(0.3))
+        window_cycles = (router.sim.now - start_ns) * config.costs.cpu_hz // 10**9
+        shares[fraction] = compute.cpu_share(before, window_cycles)
+    assert shares[0.25] > shares[0.75] + 0.2
+
+
+def test_inhibition_caps_forwarding_throughput():
+    """With a competing user process, a 25% packet-processing budget
+    cannot sustain full-rate output. (Without one, the idle thread
+    legitimately resets the limiter — §7 — and forwarding continues.)"""
+    unlimited = Router(variants.polling(quota=5))
+    limited = Router(variants.polling(quota=5, cycle_limit=0.25))
+    for router in (unlimited, limited):
+        router.add_compute_process()
+        router.start()
+        ConstantRateGenerator(router.sim, router.nic_in, 8_000).start()
+        router.run_for(seconds(0.3))
+    assert limited.delivered.snapshot() < 0.6 * unlimited.delivered.snapshot()
+    assert limited.delivered.snapshot() > 0  # but it still forwards some
+
+
+def test_without_user_competition_idle_resets_dominate():
+    """No runnable user work -> the idle thread clears the limit, so
+    forwarding proceeds at (nearly) full speed despite a low threshold."""
+    limited = Router(variants.polling(quota=5, cycle_limit=0.25)).start()
+    ConstantRateGenerator(limited.sim, limited.nic_in, 8_000).start()
+    limited.run_for(seconds(0.3))
+    assert limited.delivered.snapshot() > 1_000

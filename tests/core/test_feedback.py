@@ -1,0 +1,123 @@
+"""Unit tests for queue-state feedback (§6.6.1)."""
+
+import pytest
+
+from repro.core import PollingSystem, QueueStateFeedback, variants
+from repro.experiments.topology import Router
+from repro.kernel import Kernel, KernelConfig, PacketQueue
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def make_feedback(timeout_ticks=1, limit=8, high=6, low=2):
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    queue = PacketQueue("screenq", limit, kernel.probes,
+                        high_watermark=high, low_watermark=low)
+    feedback = QueueStateFeedback(kernel, polling, queue,
+                                  timeout_ticks=timeout_ticks)
+    return kernel, polling, queue, feedback
+
+
+def test_requires_watermarks():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    plain = PacketQueue("q", 8, kernel.probes)
+    with pytest.raises(ValueError):
+        QueueStateFeedback(kernel, polling, plain)
+
+
+def test_inhibits_at_high_watermark():
+    kernel, polling, queue, feedback = make_feedback()
+    for index in range(6):
+        queue.enqueue(index)
+    assert feedback.inhibited
+    assert not polling.input_allowed
+    assert feedback.inhibits.snapshot() == 1
+
+
+def test_reenables_at_low_watermark():
+    kernel, polling, queue, feedback = make_feedback()
+    for index in range(6):
+        queue.enqueue(index)
+    for _ in range(4):
+        queue.dequeue()
+    assert not feedback.inhibited
+    assert polling.input_allowed
+
+
+def test_reinhibits_after_allow_if_still_congested():
+    """Level-triggered behaviour: once re-enabled by the timeout, the
+    next congested enqueue inhibits again."""
+    kernel, polling, queue, feedback = make_feedback()
+    for index in range(6):
+        queue.enqueue(index)
+    polling.allow_input(feedback.reason)  # simulate the timeout firing
+    assert polling.input_allowed
+    queue.enqueue("again")  # still >= high
+    assert not polling.input_allowed
+    assert feedback.inhibits.snapshot() == 2
+
+
+def test_timeout_reenables_when_consumer_hung():
+    kernel, polling, queue, feedback = make_feedback(timeout_ticks=1)
+    kernel.start()
+    for index in range(6):
+        queue.enqueue(index)
+    assert feedback.inhibited
+    # Nobody dequeues: the consumer is "hung". One tick later the
+    # failsafe re-enables input.
+    kernel.sim.run_for(seconds(0.003))
+    assert polling.input_allowed
+    assert feedback.timeouts.snapshot() == 1
+
+
+def test_timeout_rearms_while_consumer_progresses():
+    kernel, polling, queue, feedback = make_feedback(timeout_ticks=1)
+    kernel.start()
+    for index in range(6):
+        queue.enqueue(index)
+    # The consumer drains steadily: at least one packet per tick.
+    for step in range(3):
+        queue.dequeue()
+        kernel.sim.run_for(seconds(0.0009))
+    # Progress was made every tick, so no timeout fired...
+    assert feedback.timeouts.snapshot() == 0
+    # ...and input stays inhibited until the low watermark.
+    assert feedback.inhibited
+    queue.dequeue()  # down to 2 == low
+    assert not feedback.inhibited
+
+
+def test_low_watermark_cancels_timeout():
+    kernel, polling, queue, feedback = make_feedback(timeout_ticks=5)
+    kernel.start()
+    for index in range(6):
+        queue.enqueue(index)
+    for _ in range(4):
+        queue.dequeue()
+    kernel.sim.run_for(seconds(0.01))
+    assert feedback.timeouts.snapshot() == 0
+    assert polling.input_allowed
+
+
+def test_end_to_end_feedback_prevents_screenq_drops():
+    config = variants.polling(quota=10, screend=True, feedback=True)
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 8_000).start()
+    router.run_for(seconds(0.3))
+    dump = router.probes.dump()
+    # Feedback keeps the screening queue from overflowing: drops happen
+    # early (RX ring) instead of late (screen queue).
+    assert dump["queue.screenq.dropped"] < 30
+    assert dump["nic.in0.rx_overflow_drops"] > 500
+    assert router.delivered.snapshot() > 300
+
+
+def test_end_to_end_no_feedback_drops_at_screen_queue():
+    config = variants.polling(quota=10, screend=True, feedback=False)
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 8_000).start()
+    router.run_for(seconds(0.3))
+    dump = router.probes.dump()
+    assert dump["queue.screenq.dropped"] > 500  # late, wasteful drops

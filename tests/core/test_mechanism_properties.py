@@ -1,0 +1,92 @@
+"""Property-based tests for the feedback and cycle-limit state machines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CycleLimiter, PollingSystem, QueueStateFeedback
+from repro.kernel import Kernel, KernelConfig, PacketQueue
+
+LIMIT, HIGH, LOW = 16, 12, 4
+
+
+def make_feedback():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    queue = PacketQueue(
+        "q", LIMIT, kernel.probes, high_watermark=HIGH, low_watermark=LOW
+    )
+    feedback = QueueStateFeedback(kernel, polling, queue, timeout_ticks=None)
+    return kernel, polling, queue, feedback
+
+
+@given(st.lists(st.booleans(), max_size=400))
+@settings(max_examples=80)
+def test_feedback_state_machine_invariants(ops):
+    """Under arbitrary enqueue/dequeue interleavings (no timeout):
+
+    * occupancy >= high  =>  input inhibited;
+    * occupancy <= low   =>  input allowed;
+    * in between, the state is hysteretic (whatever the last crossing set).
+    """
+    kernel, polling, queue, feedback = make_feedback()
+    for enqueue in ops:
+        if enqueue:
+            queue.enqueue("p")
+        else:
+            queue.dequeue()
+        if len(queue) >= HIGH:
+            assert feedback.inhibited
+        elif len(queue) <= LOW:
+            assert not feedback.inhibited
+
+
+@given(st.lists(st.booleans(), max_size=400))
+@settings(max_examples=40)
+def test_feedback_never_wedges_input_permanently(ops):
+    """After fully draining the queue, input is always allowed again."""
+    kernel, polling, queue, feedback = make_feedback()
+    for enqueue in ops:
+        if enqueue:
+            queue.enqueue("p")
+        else:
+            queue.dequeue()
+    while not queue.empty:
+        queue.dequeue()
+    assert not feedback.inhibited
+    assert polling.input_allowed
+
+
+@given(st.lists(st.integers(min_value=0, max_value=400_000), max_size=50))
+@settings(max_examples=80)
+def test_cycle_limiter_inhibits_exactly_when_over_threshold(charges):
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    limiter = CycleLimiter(kernel, 0.5)
+    polling = PollingSystem(kernel, quota=10, cycle_limiter=limiter)
+    total = 0
+    for cycles in charges:
+        limiter.charge(cycles)
+        total += cycles
+        assert limiter.inhibited == (total > limiter.threshold_cycles)
+    # A reset always restores input, whatever came before.
+    limiter._reset()
+    assert not limiter.inhibited
+    assert limiter.used_cycles == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=60)
+def test_config_watermarks_always_ordered(limit, high_fraction, low_fraction):
+    """Any screen-queue config that validates yields usable watermarks."""
+    config = KernelConfig(
+        screen_queue_limit=limit,
+        screen_queue_high_fraction=max(high_fraction, low_fraction + 0.01),
+        screen_queue_low_fraction=min(low_fraction, high_fraction - 0.01),
+    )
+    try:
+        config.validate()
+    except ValueError:
+        return  # rejected configs are out of scope
+    assert 0 <= config.screen_queue_low < config.screen_queue_high <= limit

@@ -1,0 +1,94 @@
+"""Unit tests for the polling system (wake, inhibit, round-robin)."""
+
+import pytest
+
+from repro.core import PollingSystem, variants
+from repro.experiments.topology import Router
+from repro.kernel import Kernel, KernelConfig
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def test_start_requires_devices():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    with pytest.raises(RuntimeError):
+        polling.start()
+
+
+def test_double_start_rejected():
+    config = variants.polling(quota=10)
+    router = Router(config).start()
+    with pytest.raises(RuntimeError):
+        router.polling.start()
+
+
+def test_inhibit_and_allow_are_reason_scoped():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    assert polling.input_allowed
+    polling.inhibit_input("a")
+    polling.inhibit_input("b")
+    polling.allow_input("a")
+    assert not polling.input_allowed  # "b" still holds
+    polling.allow_input("b")
+    assert polling.input_allowed
+
+
+def test_inhibit_is_idempotent():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    polling.inhibit_input("x")
+    polling.inhibit_input("x")
+    assert polling.inhibit_events.snapshot() == 1
+    polling.allow_input("x")
+    polling.allow_input("x")  # harmless
+    assert polling.input_allowed
+
+
+def test_wake_is_collapsing():
+    kernel = Kernel(config=KernelConfig(use_polling=True))
+    polling = PollingSystem(kernel, quota=10)
+    polling.wake()
+    polling.wake()
+    polling.wake()
+    assert polling.wakeups.snapshot() == 1  # collapsed until consumed
+
+
+def test_inhibited_input_stops_forwarding_but_not_output():
+    config = variants.polling(quota=10)
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 3_000).start()
+    router.run_for(seconds(0.05))
+    delivered_before = router.delivered.snapshot()
+    router.polling.inhibit_input("test")
+    router.run_for(seconds(0.05))
+    inhibited_delta = router.delivered.snapshot() - delivered_before
+    # In-flight packets drain (a few), but forwarding of new input stops.
+    assert inhibited_delta < 30
+    # RX ring backs up instead.
+    assert router.nic_in.rx_pending() > 0
+
+    router.polling.allow_input("test")
+    router.run_for(seconds(0.05))
+    resumed_delta = router.delivered.snapshot() - delivered_before
+    assert resumed_delta > 100  # forwarding resumed
+
+
+def test_round_robin_rotates_start_index():
+    config = variants.polling(quota=10)
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 5_000).start()
+    start = router.polling._rr_index
+    router.run_for(seconds(0.05))
+    # The index advances every pass; with thousands of passes it moved.
+    assert router.polling.poll_rounds.snapshot() > 10
+    assert router.polling._rr_index in (0, 1)
+
+
+def test_poll_rounds_counted():
+    config = variants.polling(quota=10)
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 1_000).start()
+    router.run_for(seconds(0.1))
+    assert router.polling.poll_rounds.snapshot() >= 100

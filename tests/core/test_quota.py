@@ -1,0 +1,46 @@
+"""Unit tests for poll quotas."""
+
+import pytest
+
+from repro.core import PollQuota
+
+
+def test_default_quota():
+    quota = PollQuota()
+    assert quota.rx == 10 and quota.tx == 10
+    assert not quota.unlimited
+
+
+def test_of_coerces_int():
+    quota = PollQuota.of(5)
+    assert quota.rx == 5 and quota.tx == 5
+
+
+def test_of_coerces_none_to_unlimited():
+    quota = PollQuota.of(None)
+    assert quota.unlimited
+    assert quota.rx is None and quota.tx is None
+
+
+def test_of_passes_through_instances():
+    original = PollQuota(rx=3, tx=7)
+    assert PollQuota.of(original) is original
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PollQuota(rx=0)
+    with pytest.raises(ValueError):
+        PollQuota(tx=-1)
+
+
+def test_describe():
+    assert PollQuota.of(5).describe() == "quota=5"
+    assert PollQuota.of(None).describe() == "quota=inf"
+    assert PollQuota(rx=5, tx=None).describe() == "quota=rx:5/tx:inf"
+
+
+def test_split_quota_supported():
+    quota = PollQuota(rx=5, tx=20)
+    assert quota.rx == 5 and quota.tx == 20
+    assert not quota.unlimited

@@ -1,0 +1,84 @@
+"""Unit tests for the kernel-variant factories."""
+
+import pytest
+
+from repro.core import variants
+from repro.core.quota import PollQuota
+from repro.kernel.config import IP_LAYER_SOFTIRQ
+from repro.kernel.costs import CostModel
+
+
+def test_unmodified_defaults():
+    config = variants.unmodified()
+    assert not config.use_polling
+    assert not config.screend_enabled
+    assert not config.feedback_enabled
+
+
+def test_unmodified_with_screend():
+    config = variants.unmodified(screend=True)
+    assert config.screend_enabled
+
+
+def test_unmodified_softirq_mode():
+    config = variants.unmodified(ip_layer_mode=IP_LAYER_SOFTIRQ)
+    assert config.ip_layer_mode == IP_LAYER_SOFTIRQ
+
+
+def test_modified_no_polling():
+    config = variants.modified_no_polling()
+    assert config.use_polling and config.emulate_unmodified
+
+
+def test_polling_defaults():
+    config = variants.polling()
+    assert config.use_polling
+    assert config.poll_quota == 10
+    assert not config.feedback_enabled  # no screend -> no feedback
+
+
+def test_polling_feedback_follows_screend():
+    assert variants.polling(screend=True).feedback_enabled
+    assert not variants.polling(screend=False).feedback_enabled
+    assert not variants.polling(screend=True, feedback=False).feedback_enabled
+
+
+def test_polling_accepts_quota_forms():
+    assert variants.polling(quota=None).poll_quota is None
+    assert variants.polling(quota=PollQuota.of(7)).poll_quota == 7
+
+
+def test_polling_cycle_limit():
+    config = variants.polling(cycle_limit=0.5)
+    assert config.cycle_limit_fraction == 0.5
+    with pytest.raises(ValueError):
+        variants.polling(cycle_limit=2.0)
+
+
+def test_clocked_variant():
+    config = variants.clocked(poll_interval_ns=500_000, quota=8)
+    assert config.use_clocked_polling
+    assert config.clocked_poll_interval_ns == 500_000
+    assert config.poll_quota == 8
+
+
+def test_custom_costs_propagate():
+    costs = CostModel(ip_forward=1)
+    for factory in (variants.unmodified, variants.modified_no_polling,
+                    variants.polling, variants.clocked):
+        assert factory(costs=costs).costs.ip_forward == 1
+
+
+def test_describe_labels():
+    assert variants.describe(variants.unmodified()) == "unmodified"
+    assert variants.describe(variants.unmodified(screend=True)) == (
+        "unmodified + screend"
+    )
+    assert variants.describe(variants.modified_no_polling()) == (
+        "modified_no_polling"
+    )
+    assert "quota=5" in variants.describe(variants.polling(quota=5))
+    assert "quota=inf" in variants.describe(variants.polling(quota=None))
+    assert "feedback" in variants.describe(variants.polling(screend=True))
+    assert "limit=50%" in variants.describe(variants.polling(cycle_limit=0.5))
+    assert "clocked" in variants.describe(variants.clocked())

@@ -1,0 +1,77 @@
+"""Unit tests for shared driver plumbing (output queue policy, TX service)."""
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.kernel.queues import PacketQueue, REDQueue
+from repro.net.packet import Packet
+from repro.sim.units import seconds
+
+
+def test_droptail_policy_builds_plain_queue():
+    router = Router(variants.unmodified())
+    assert type(router.driver_out.ifqueue) is PacketQueue
+
+
+def test_red_policy_builds_red_queue():
+    config = variants.unmodified().with_options(output_queue_policy="red")
+    router = Router(config)
+    assert isinstance(router.driver_out.ifqueue, REDQueue)
+    assert router.driver_in.ifqueue is not router.driver_out.ifqueue
+
+
+def test_red_policy_rejected_for_unknown_name():
+    import pytest
+
+    with pytest.raises(ValueError):
+        variants.unmodified().with_options(output_queue_policy="fifo")
+
+
+def test_red_queues_use_independent_rng_streams():
+    config = variants.unmodified().with_options(output_queue_policy="red")
+    router = Router(config)
+    draws_in = [router.driver_in.ifqueue._rng.random() for _ in range(3)]
+    draws_out = [router.driver_out.ifqueue._rng.random() for _ in range(3)]
+    assert draws_in != draws_out
+
+
+def test_tx_service_respects_quota():
+    """Direct check on the generator: at most ``quota`` packets move from
+    the ifqueue to the ring per call. (The kernel is started but drivers
+    are left unattached so no interrupt-driven service interferes.)"""
+    router = Router(variants.polling(quota=10))
+    router.kernel.start()
+    driver = router.driver_out
+    for index in range(20):
+        driver.ifqueue.enqueue(Packet(src=1, dst=2))
+
+    moved_holder = {}
+
+    def runner():
+        moved_holder["moved"] = yield from driver._tx_service(quota=4)
+
+    router.kernel.kernel_thread(runner(), "probe")
+    router.run_for(seconds(0.01))
+    assert moved_holder["moved"] == 4
+    assert len(driver.ifqueue) == 16
+
+
+def test_tx_service_reclaims_before_refilling():
+    router = Router(variants.polling(quota=10))
+    router.kernel.start()
+    driver = router.driver_out
+    nic = router.nic_out
+    # Fill the ring and let every packet transmit (slots become "done").
+    for _ in range(nic.tx_ring_capacity):
+        nic.tx_enqueue(Packet(src=1, dst=2))
+    router.run_for(seconds(0.01))
+    assert nic.tx_done_slots() == nic.tx_ring_capacity
+    driver.ifqueue.enqueue(Packet(src=1, dst=2))
+
+    def runner():
+        yield from driver._tx_service(quota=None)
+
+    router.kernel.kernel_thread(runner(), "probe")
+    router.run_for(seconds(0.01))
+    # The done slots were released and the queued packet took a slot.
+    assert nic.tx_done_slots() < nic.tx_ring_capacity
+    assert driver.ifqueue.empty

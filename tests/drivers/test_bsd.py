@@ -1,0 +1,79 @@
+"""Behavioural tests for the classic interrupt-driven (BSD) driver."""
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.kernel.config import IP_LAYER_SOFTIRQ
+from repro.sim.units import seconds
+from repro.workloads.generators import BurstyGenerator, ConstantRateGenerator
+
+
+def run_router(config, rate, duration=0.1, burst=None):
+    router = Router(config).start()
+    if burst:
+        BurstyGenerator(router.sim, router.nic_in, rate, burst_size=burst).start()
+    else:
+        ConstantRateGenerator(router.sim, router.nic_in, rate).start()
+    router.run_for(seconds(duration))
+    return router
+
+
+def test_forwards_at_light_load():
+    router = run_router(variants.unmodified(), 1_000)
+    assert router.delivered.snapshot() >= 90  # ~100 expected in 0.1 s
+    assert router.probes.dump()["queue.ipintrq.dropped"] == 0
+
+
+def test_interrupt_batching_increases_with_load():
+    """The handler drains whole backlogs per dispatch, so the
+    interrupts-per-packet ratio falls as the system gets busier (§4.1:
+    batching amortises dispatch cost at high input rates)."""
+
+    def ratio(rate):
+        router = run_router(variants.unmodified(), rate, duration=0.2)
+        dispatches = router.kernel.interrupts.stats()["in0.rx"]["dispatches"]
+        accepted = router.nic_in.rx_accepted.snapshot()
+        assert accepted > 100
+        return dispatches / accepted
+
+    light, heavy = ratio(4_000), ratio(14_000)
+    assert heavy < light
+    assert heavy < 0.9  # real batching happens under overload
+
+
+def test_ipintrq_drops_under_overload():
+    """Above the MLFRR the classic kernel drops at ipintrq — late drops
+    that waste device-level work (§6.3)."""
+    router = run_router(variants.unmodified(), 10_000)
+    dump = router.probes.dump()
+    assert dump["queue.ipintrq.dropped"] > 100
+    # The receiving interface itself is drained fast (device IPL runs),
+    # so almost nothing is dropped early.
+    assert dump["nic.in0.rx_overflow_drops"] < dump["queue.ipintrq.dropped"]
+
+
+def test_device_work_continues_during_livelock():
+    """The livelock signature: rx processing churns while output stalls."""
+    router = run_router(variants.unmodified(screend=True), 10_000, duration=0.2)
+    dump = router.probes.dump()
+    assert dump["driver.in0.rx_processed"] > 1_000
+    assert router.delivered.snapshot() < 100
+
+
+def test_softirq_mode_forwards_equivalently():
+    router = run_router(
+        variants.unmodified(ip_layer_mode=IP_LAYER_SOFTIRQ), 1_000
+    )
+    assert router.delivered.snapshot() >= 90
+
+
+def test_output_path_counts():
+    router = run_router(variants.unmodified(), 1_000)
+    dump = router.probes.dump()
+    assert dump["driver.out0.tx_started"] == dump["queue.out0.ifqueue.dequeued"]
+    assert dump["nic.out0.tx_completed"] == router.delivered.snapshot()
+
+
+def test_no_reverse_traffic_interfaces_stay_quiet():
+    router = run_router(variants.unmodified(), 1_000)
+    assert router.nic_in.tx_completed.snapshot() == 0
+    assert router.nic_out.rx_accepted.snapshot() == 0

@@ -1,0 +1,63 @@
+"""Behavioural tests for the high-IPL driver (§5.3, first approach)."""
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def run_router(config, rate, duration=0.2, with_compute=False):
+    router = Router(config)
+    if with_compute:
+        router.add_compute_process()
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, rate).start()
+    router.run_for(seconds(duration))
+    return router
+
+
+def test_forwards_at_light_load():
+    router = run_router(variants.high_ipl(quota=10), 1_000, duration=0.1)
+    assert router.delivered.snapshot() >= 90
+
+
+def test_no_kernel_livelock_under_overload():
+    """'we guarantee that livelock does not occur within the kernel's
+    protocol stack' — forwarding stays at capacity."""
+    router = run_router(variants.high_ipl(quota=10), 12_000)
+    assert router.delivered.snapshot() > 900  # ~5000/s over 0.2 s
+
+
+def test_user_processes_starve_without_rate_control():
+    """'We still need to use a rate-control mechanism to ensure progress
+    by user-level applications.'"""
+    router = run_router(variants.high_ipl(quota=10), 12_000, with_compute=True)
+    window_cycles = int(0.2 * router.config.costs.cpu_hz)
+    assert router.compute.cpu_share(0, window_cycles) < 0.02
+
+
+def test_everything_runs_at_device_ipl():
+    """No ipintrq, no polling thread: the interrupt handler does it all."""
+    router = run_router(variants.high_ipl(quota=10), 2_000, duration=0.1)
+    dump = router.probes.dump()
+    assert "queue.ipintrq.enqueued" not in dump
+    assert router.polling is None
+    assert dump["driver.in0.highipl_rounds"] > 0
+    assert dump["driver.in0.rx_processed"] == dump["ip.forwarded"]
+
+
+def test_quota_still_round_robins_output():
+    """Without the in-handler quota alternation, output would starve."""
+    router = run_router(variants.high_ipl(quota=10), 12_000)
+    # Output keeps pace with input processing.
+    assert router.delivered.snapshot() > 0.8 * router.probes.dump()["ip.forwarded"] - 100
+
+
+def test_exclusive_with_other_modes():
+    import pytest
+    from repro.kernel import KernelConfig
+
+    with pytest.raises(ValueError):
+        KernelConfig(use_high_ipl=True, use_polling=True).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(use_high_ipl=True, use_clocked_polling=True).validate()

@@ -1,0 +1,63 @@
+"""Behavioural tests for §5.1 interrupt-rate limiting on the classic
+kernel (classic_input_feedback)."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.kernel import KernelConfig
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def run_router(config, rate, duration=0.2):
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, rate).start()
+    router.run_for(seconds(duration))
+    return router
+
+
+def test_config_only_valid_on_classic_kernel():
+    with pytest.raises(ValueError):
+        KernelConfig(classic_input_feedback=True, use_polling=True).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(ipintrq_low_fraction=0.0).validate()
+    KernelConfig(classic_input_feedback=True).validate()
+
+
+def test_light_load_unaffected():
+    router = run_router(variants.unmodified(input_feedback=True), 1_000)
+    assert router.delivered.snapshot() >= 180
+
+
+def test_overload_throughput_vastly_improved():
+    plain = run_router(variants.unmodified(), 12_000)
+    limited = run_router(variants.unmodified(input_feedback=True), 12_000)
+    assert limited.delivered.snapshot() > 1.8 * plain.delivered.snapshot()
+
+
+def test_input_interrupts_disabled_and_reenabled():
+    router = run_router(variants.unmodified(input_feedback=True), 12_000)
+    dump = router.probes.dump()
+    assert dump["ipintrq.input_inhibits"] > 5
+    # Drops move from ipintrq (late, wasteful) to the RX ring (early).
+    assert dump["nic.in0.rx_overflow_drops"] > dump["queue.ipintrq.dropped"]
+
+
+def test_drops_without_feedback_are_at_ipintrq():
+    router = run_router(variants.unmodified(), 12_000)
+    dump = router.probes.dump()
+    assert dump["queue.ipintrq.dropped"] > dump["nic.in0.rx_overflow_drops"]
+
+
+def test_does_not_beat_full_polling_design():
+    """Rate limiting fixes throughput but keeps the classic path's
+    per-packet costs; the full modification still wins."""
+    limited = run_router(variants.unmodified(input_feedback=True), 12_000)
+    polled = run_router(variants.polling(quota=10), 12_000)
+    assert polled.delivered.snapshot() >= limited.delivered.snapshot()
+
+
+def test_describe_mentions_feedback():
+    label = variants.describe(variants.unmodified(input_feedback=True))
+    assert label == "unmodified(input feedback)"

@@ -1,0 +1,92 @@
+"""Behavioural tests for the modified (polled) driver."""
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def run_router(config, rate, duration=0.1):
+    router = Router(config).start()
+    generator = ConstantRateGenerator(router.sim, router.nic_in, rate)
+    generator.start()
+    router.run_for(seconds(duration))
+    return router
+
+
+def test_forwards_at_light_load():
+    router = run_router(variants.polling(quota=10), 1_000)
+    assert router.delivered.snapshot() >= 90
+
+
+def test_interrupts_reenabled_when_idle():
+    """At light load the system returns to interrupt-driven operation
+    between packets ('re-enable interrupts when no work is pending')."""
+    router = run_router(variants.polling(quota=10), 500)
+    assert router.driver_in.rx_line.enabled
+    stats = router.kernel.interrupts.stats()
+    # Roughly one interrupt per packet at light load.
+    assert stats["in0.rx"]["dispatches"] >= 0.5 * router.nic_in.rx_accepted.snapshot()
+
+
+def test_interrupts_stay_disabled_under_overload():
+    """Under saturation the polling loop never sleeps, so RX interrupt
+    dispatches are rare ('the system will not be distracted')."""
+    router = run_router(variants.polling(quota=10), 12_000, duration=0.2)
+    stats = router.kernel.interrupts.stats()
+    accepted = router.nic_in.rx_accepted.snapshot()
+    assert accepted > 1_000
+    assert stats["in0.rx"]["dispatches"] < 0.05 * accepted
+
+
+def test_overload_drops_happen_at_the_interface():
+    """'any excess packets will be dropped by the interface before the
+    system has wasted any resources' (§6.4)."""
+    router = run_router(variants.polling(quota=10), 12_000, duration=0.2)
+    dump = router.probes.dump()
+    assert dump["nic.in0.rx_overflow_drops"] > 500
+    assert dump["queue.out0.ifqueue.dropped"] == 0
+
+
+def test_no_ipintrq_exists_in_polled_mode():
+    router = run_router(variants.polling(quota=10), 1_000)
+    assert "queue.ipintrq.enqueued" not in router.probes.dump()
+    assert router.ip_input is None
+
+
+def test_quota_bounds_packets_per_callback():
+    router = run_router(variants.polling(quota=5), 12_000, duration=0.2)
+    dump = router.probes.dump()
+    runs = dump["driver.in0.rx_callback_runs"]
+    processed = dump["driver.in0.rx_processed"]
+    assert runs > 0
+    assert processed / runs <= 5.0 + 1e-9
+
+
+def test_unlimited_quota_processes_ring_in_one_callback():
+    router = run_router(variants.polling(quota=None), 3_000, duration=0.1)
+    dump = router.probes.dump()
+    assert dump["driver.in0.rx_processed"] > 0
+
+
+def test_rx_stub_disables_line_until_service_complete():
+    """The stub 'does not set the device's interrupt-enable flag'; the
+    enable callback runs only when all pending work is done."""
+    config = variants.polling(quota=10)
+    router = Router(config).start()
+    # Saturate briefly, then stop traffic and drain.
+    generator = ConstantRateGenerator(router.sim, router.nic_in, 12_000)
+    generator.start()
+    router.run_for(seconds(0.05))
+    generator.stop()
+    assert not router.driver_in.rx_line.enabled  # mid-overload: disabled
+    router.run_for(seconds(0.05))
+    assert router.driver_in.rx_line.enabled  # drained: re-enabled
+    assert router.nic_in.rx_pending() == 0
+
+
+def test_processed_to_completion_counts_match():
+    router = run_router(variants.polling(quota=10), 2_000)
+    dump = router.probes.dump()
+    # Every rx-processed packet was IP-forwarded (no intermediate queue).
+    assert dump["driver.in0.rx_processed"] == dump["ip.forwarded"]

@@ -1,0 +1,94 @@
+"""Integration tests: the paper's headline operating points.
+
+These pin the calibrated behaviour end to end (slower than unit tests,
+but the whole point of the reproduction). Trials use short windows; the
+asserted bands are correspondingly generous.
+"""
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+
+FAST = dict(duration_s=0.2, warmup_s=0.1)
+
+
+def out_rate(config, rate, **kwargs):
+    return run_trial(config, rate, **FAST, **kwargs).output_rate_pps
+
+
+def test_unmodified_keeps_up_below_mlfrr():
+    assert out_rate(variants.unmodified(), 3_000) > 2_850
+
+
+def test_unmodified_peak_near_paper_4700():
+    peak = max(out_rate(variants.unmodified(), r) for r in (4_000, 4_500, 5_000))
+    assert 4_000 <= peak <= 5_300, peak
+
+
+def test_unmodified_throughput_falls_under_overload():
+    at_peak = out_rate(variants.unmodified(), 5_000)
+    at_overload = out_rate(variants.unmodified(), 12_000)
+    assert at_overload < 0.6 * at_peak
+
+
+def test_unmodified_screend_livelocks_by_6000():
+    assert out_rate(variants.unmodified(screend=True), 6_000) < 60
+    assert out_rate(variants.unmodified(screend=True), 8_000) < 60
+
+
+def test_unmodified_screend_peak_near_2000():
+    peak = max(
+        out_rate(variants.unmodified(screend=True), r) for r in (1_500, 2_000)
+    )
+    assert 1_400 <= peak <= 2_300, peak
+
+
+def test_polling_flat_under_extreme_overload():
+    config = variants.polling(quota=5)
+    plateau = [out_rate(config, r) for r in (6_000, 9_000, 12_000)]
+    assert min(plateau) > 0.95 * max(plateau)
+    assert 4_500 <= min(plateau) <= 5_800
+
+
+def test_polling_improves_on_unmodified_peak_slightly():
+    unmod_peak = max(
+        out_rate(variants.unmodified(), r) for r in (4_500, 5_000)
+    )
+    poll_peak = out_rate(variants.polling(quota=10), 6_000)
+    assert poll_peak > unmod_peak
+    assert poll_peak < 1.35 * unmod_peak
+
+
+def test_polling_no_quota_collapses():
+    assert out_rate(variants.polling(quota=None), 12_000) < 100
+
+
+def test_feedback_holds_screend_throughput_under_flood():
+    config = variants.polling(quota=10, screend=True)
+    flood = out_rate(config, 12_000)
+    assert flood > 1_400
+
+
+def test_no_feedback_with_screend_collapses():
+    config = variants.polling(quota=10, screend=True, feedback=False)
+    assert out_rate(config, 12_000) < 100
+
+
+def test_cycle_limit_user_share_bands():
+    for threshold, low, high in ((0.25, 0.5, 0.8), (1.0, 0.0, 0.05)):
+        trial = run_trial(
+            variants.polling(quota=5, cycle_limit=threshold),
+            8_000,
+            with_compute=True,
+            **FAST,
+        )
+        assert low <= trial.user_cpu_share <= high, (
+            threshold,
+            trial.user_cpu_share,
+        )
+
+
+def test_zero_load_user_share_is_about_94_percent():
+    trial = run_trial(
+        variants.polling(quota=5, cycle_limit=0.5), 0, with_compute=True, **FAST
+    )
+    assert 0.90 <= trial.user_cpu_share <= 0.98

@@ -1,0 +1,110 @@
+"""Tests for the end-system (server) topology."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.endhost import (
+    EndHost,
+    HOST_ADDR,
+    SERVICE_PORT,
+)
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def run_host(config, rate, duration=0.2, **host_kwargs):
+    host = EndHost(config, **host_kwargs).start()
+    if rate:
+        ConstantRateGenerator(
+            host.sim, host.nic, rate, dst=HOST_ADDR, dst_port=SERVICE_PORT
+        ).start()
+    host.run_for(seconds(duration))
+    return host
+
+
+def test_serves_requests_at_light_load():
+    host = run_host(variants.unmodified(), 1_000)
+    assert host.requests_served >= 180  # ~200 in 0.2 s
+
+
+def test_wrong_port_traffic_not_served():
+    host = EndHost(variants.unmodified()).start()
+    ConstantRateGenerator(
+        host.sim, host.nic, 1_000, dst=HOST_ADDR, dst_port=9999
+    ).start()
+    host.run_for(seconds(0.1))
+    assert host.requests_served == 0
+    assert host.probes.dump()["udp.no_socket_drops"] > 50
+
+
+def test_screend_rejected_on_end_host():
+    with pytest.raises(ValueError):
+        EndHost(variants.unmodified(screend=True))
+
+
+def test_socket_feedback_requires_polling_kernel():
+    with pytest.raises(ValueError):
+        EndHost(variants.unmodified(), socket_feedback=True)
+
+
+def test_unmodified_server_livelocks_under_flood():
+    """Receive livelock on an end-system: the application is the
+    ultimate consumer (§3) and it starves."""
+    host = run_host(variants.unmodified(), 10_000, duration=0.3)
+    served_under_flood = host.requests_served
+    assert served_under_flood < 100
+    # The kernel did plenty of work — it just never reached the app.
+    assert host.probes.dump()["driver.eth0.rx_processed"] > 1_000
+
+
+def test_polling_alone_does_not_save_the_application():
+    """§7: the polling mechanisms are 'indifferent to the needs of other
+    activities' — the app still starves (packets die at the socket)."""
+    host = run_host(variants.polling(quota=10), 10_000, duration=0.3)
+    assert host.requests_served < 100
+    assert host.probes.dump()["queue.udp.%d.dropped" % SERVICE_PORT] > 500
+
+
+def test_cycle_limit_restores_application_goodput():
+    host = run_host(
+        variants.polling(quota=10, cycle_limit=0.5), 10_000, duration=0.3
+    )
+    assert host.requests_served > 700  # ~3,700 req/s
+
+
+def test_socket_queue_feedback_restores_goodput_without_cycle_limit():
+    """§6.6.1: 'the same queue-state feedback technique could be applied
+    to other queues in the system' — here, the socket queue."""
+    host = run_host(
+        variants.polling(quota=10), 10_000, duration=0.3, socket_feedback=True
+    )
+    assert host.requests_served > 800
+    # Drops move from the socket queue (late) to the RX ring (early).
+    dump = host.probes.dump()
+    assert dump["nic.eth0.rx_overflow_drops"] > dump.get(
+        "queue.udp.%d.dropped" % SERVICE_PORT, 0
+    )
+
+
+def test_goodput_tracks_offered_load_below_capacity():
+    host = run_host(variants.polling(quota=10), 2_000, duration=0.3)
+    assert host.requests_served == pytest.approx(2_000 * 0.3, rel=0.1)
+
+
+def test_double_start_rejected():
+    host = EndHost(variants.unmodified()).start()
+    with pytest.raises(RuntimeError):
+        host.start()
+
+
+def test_variants_build_all_driver_kinds():
+    for config in (
+        variants.unmodified(),
+        variants.modified_no_polling(),
+        variants.polling(quota=10),
+        variants.high_ipl(quota=10),
+        variants.clocked(),
+    ):
+        host = EndHost(config).start()
+        host.run_for(seconds(0.01))
+        assert host.kernel.ticks >= 9

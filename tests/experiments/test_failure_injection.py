@@ -1,0 +1,90 @@
+"""Failure injection: the system must degrade, not wedge.
+
+Scenarios: a hung screend daemon (the §6.6.1 timeout's reason to
+exist), a consumer that dies mid-flood, and on/off traffic flapping.
+In every case the kernel must keep ticking, keep accounting, and
+recover when conditions improve.
+"""
+
+from repro.core import variants
+from repro.experiments.endhost import EndHost, HOST_ADDR, SERVICE_PORT
+from repro.experiments.topology import Router
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def test_hung_screend_triggers_failsafe_timeouts():
+    """Kill screend mid-flood: the feedback timeout must repeatedly
+    re-enable input ('in case the screend program is hung, so that
+    packets for other consumers are not dropped indefinitely')."""
+    config = variants.polling(quota=10, screend=True)
+    router = Router(config).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 6_000).start()
+    router.run_for(seconds(0.1))
+    served_before_hang = router.probes.dump()["screend.accepted"]
+    assert served_before_hang > 0
+
+    router.screend.task.kill()  # screend hangs (permanently)
+    ticks_at_hang = router.kernel.ticks
+    router.run_for(seconds(0.2))
+
+    dump = router.probes.dump()
+    # The failsafe fired (more than once) and input kept being accepted
+    # into the screening queue, where it now dies (late drops) — the
+    # best the kernel can do for hypothetical other consumers.
+    assert dump["feedback.screenq.timeouts"] >= 2
+    assert dump["queue.screenq.dropped"] > 50
+    # screend made no further progress...
+    assert dump["screend.accepted"] == served_before_hang
+    # ...but the system as a whole never wedged: the clock kept ticking.
+    assert router.kernel.ticks - ticks_at_hang >= 190
+
+
+def test_dead_server_process_leaves_kernel_responsive():
+    host = EndHost(variants.polling(quota=10)).start()
+    ConstantRateGenerator(
+        host.sim, host.nic, 5_000, dst=HOST_ADDR, dst_port=SERVICE_PORT
+    ).start()
+    host.run_for(seconds(0.1))
+    host.server.task.kill()
+    ticks = host.kernel.ticks
+    host.run_for(seconds(0.2))
+    assert host.kernel.ticks - ticks >= 190
+    # Packets now die at the socket queue; the counters say so.
+    assert host.probes.dump()["queue.udp.%d.dropped" % SERVICE_PORT] > 100
+
+
+def test_traffic_flapping_recovers_interrupt_mode():
+    """Overload on/off cycles: after each off period the polled kernel
+    must drain and return to interrupt-driven idle (rx line enabled)."""
+    config = variants.polling(quota=10)
+    router = Router(config).start()
+    for _ in range(3):
+        generator = ConstantRateGenerator(router.sim, router.nic_in, 12_000)
+        generator.start()
+        router.run_for(seconds(0.05))
+        generator.stop()
+        router.run_for(seconds(0.05))
+        assert router.nic_in.rx_pending() == 0
+        assert router.driver_in.rx_line.enabled
+    # And service remains correct afterwards.
+    final = ConstantRateGenerator(router.sim, router.nic_in, 1_000)
+    final.start()
+    before = router.delivered.snapshot()
+    router.run_for(seconds(0.1))
+    assert router.delivered.snapshot() - before >= 90
+
+
+def test_generator_stop_mid_burst_drains_cleanly():
+    from repro.workloads.generators import BurstyGenerator
+
+    config = variants.unmodified()
+    router = Router(config).start()
+    generator = BurstyGenerator(router.sim, router.nic_in, 4_000, burst_size=32)
+    generator.start()
+    router.run_for(seconds(0.0717))  # stops at an arbitrary mid-burst point
+    generator.stop()
+    router.run_for(seconds(0.3))
+    dump = router.probes.dump()
+    assert router.nic_in.rx_pending() == 0
+    assert dump["queue.ipintrq.enqueued"] == dump["queue.ipintrq.dequeued"]

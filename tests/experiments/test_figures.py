@@ -1,0 +1,70 @@
+"""Smoke tests for the figure experiment definitions (tiny grids)."""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure_6_1,
+    figure_6_5,
+    figure_7_1,
+)
+
+TINY = dict(duration_s=0.1, warmup_s=0.05)
+
+
+def test_registry_covers_every_reproduced_figure():
+    assert set(ALL_FIGURES) == {"6-1", "6-3", "6-4", "6-5", "6-6", "7-1"}
+
+
+def test_figure_6_1_structure():
+    result = figure_6_1(rates=(1_000, 8_000), **TINY)
+    assert result.figure_id == "6-1"
+    assert set(result.series) == {"Without screend", "With screend"}
+    for points in result.series.values():
+        assert len(points) == 2
+        assert points == sorted(points)
+    assert result.notes
+
+
+def test_figure_6_5_respects_quota_grid():
+    result = figure_6_5(rates=(8_000,), quotas=(5, None), **TINY)
+    assert set(result.series) == {"quota = 5 packets", "quota = infinity"}
+
+
+def test_figure_7_1_reports_percentages():
+    result = figure_7_1(rates=(0, 6_000), thresholds=(0.25,), **TINY)
+    (label, points), = result.series.items()
+    assert label == "threshold 25 %"
+    assert all(0.0 <= y <= 100.0 for _, y in points)
+    zero_load = min(points)[1]
+    assert zero_load > 85.0
+
+
+def test_extension_registry():
+    from repro.experiments.extensions import EXTENSION_EXPERIMENTS
+
+    assert set(EXTENSION_EXPERIMENTS) == {
+        "ext-rate-limit", "ext-high-ipl", "ext-endhost",
+    }
+
+
+def test_extension_endhost_structure():
+    from repro.experiments.extensions import extension_endhost
+
+    result = extension_endhost(rates=(1_000, 8_000), duration_s=0.1,
+                               warmup_s=0.05)
+    assert result.figure_id == "ext-endhost"
+    assert len(result.series) == 4
+    unmod = dict(result.series["Unmodified"])
+    assert unmod[1_000.0] > 800      # keeps up below capacity
+    assert unmod[8_000.0] < 200      # starves under flood
+    fed = dict(result.series["Polling + socket feedback"])
+    assert fed[8_000.0] > 2_000
+
+
+def test_extension_rate_limit_structure():
+    from repro.experiments.extensions import extension_rate_limiting
+
+    result = extension_rate_limiting(rates=(2_000, 12_000), duration_s=0.1,
+                                     warmup_s=0.05)
+    limited = dict(result.series["Rate-limited input"])
+    plain = dict(result.series["Unmodified"])
+    assert limited[max(limited)] > 1.5 * plain[max(plain)]

@@ -1,0 +1,125 @@
+"""Tests for the multi-input router and §5.2 fairness."""
+
+import pytest
+
+from repro.core import variants
+from repro.core.quota import PollQuota
+from repro.experiments.multitopology import (
+    MultiInputRouter,
+    input_interface_name,
+    input_source_address,
+    input_source_network,
+)
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def start_with_traffic(config, rates, quota=None):
+    router = MultiInputRouter(config, input_count=len(rates), quota=quota)
+    router.start()
+    for index, rate in enumerate(rates):
+        if rate:
+            ConstantRateGenerator(
+                router.sim,
+                router.input_nics[index],
+                rate,
+                src=input_source_address(index),
+                dst="10.2.0.2",
+                flow="flow%d" % index,
+                name="gen%d" % index,
+            ).start()
+    return router
+
+
+def flow_rates(router, duration=0.3):
+    router.run_for(seconds(0.1))
+    before = dict(router.delivered_by_flow())
+    router.run_for(seconds(duration))
+    after = router.delivered_by_flow()
+    return {
+        flow: (after.get(flow, 0) - before.get(flow, 0)) / duration
+        for flow in after
+    }
+
+
+def test_addressing_helpers():
+    assert input_interface_name(0) == "in0"
+    assert input_source_address(2) == "10.12.0.2"
+    assert input_source_network(1) == "10.11.0.0/16"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiInputRouter(variants.unmodified(), input_count=0)
+    with pytest.raises(ValueError):
+        MultiInputRouter(variants.clocked())
+    with pytest.raises(ValueError):
+        MultiInputRouter(variants.unmodified(screend=True))
+
+
+def test_light_load_forwards_from_every_input():
+    router = start_with_traffic(variants.unmodified(), [500, 500, 500])
+    rates = flow_rates(router)
+    for flow in ("flow0", "flow1", "flow2"):
+        assert rates[flow] == pytest.approx(500, rel=0.1), flow
+
+
+def test_classic_kernel_starves_light_flows_under_flood():
+    """One flooding interface silences the others completely (§5.2's
+    motivation: no fairness among event sources)."""
+    router = start_with_traffic(variants.unmodified(), [12_000, 800, 800])
+    rates = flow_rates(router)
+    assert rates.get("flow1", 0) + rates.get("flow2", 0) < 100
+    assert rates["flow0"] > 1_000  # the flood monopolises what's left
+
+
+def test_polled_kernel_preserves_light_flows_under_flood():
+    """Round-robin with a quota: light flows ride through untouched."""
+    router = start_with_traffic(
+        variants.polling(quota=10),
+        [12_000, 800, 800],
+        quota=PollQuota(rx=10, tx=None),
+    )
+    rates = flow_rates(router)
+    assert rates["flow1"] == pytest.approx(800, rel=0.15)
+    assert rates["flow2"] == pytest.approx(800, rel=0.15)
+    # The flood soaks up the remaining capacity and all the loss.
+    assert rates["flow0"] > 2_500
+    assert router.probes.dump()["nic.in0.rx_overflow_drops"] > 1_000
+    assert router.probes.dump().get("nic.in1.rx_overflow_drops", 0) == 0
+
+
+def test_symmetric_overload_is_shared_fairly():
+    router = start_with_traffic(
+        variants.polling(quota=10),
+        [8_000, 8_000],
+        quota=PollQuota(rx=10, tx=None),
+    )
+    rates = flow_rates(router)
+    total = rates["flow0"] + rates["flow1"]
+    assert total > 4_000
+    assert min(rates.values()) > 0.4 * total
+
+
+def test_shared_tx_quota_backpressures_output_queue():
+    """With a single shared output and per-device rx quotas, a tx quota
+    equal to the rx quota lets the output queue overflow; an unlimited
+    tx quota drains it (the reason PollQuota supports the split)."""
+    bounded = start_with_traffic(
+        variants.polling(quota=10), [12_000, 800, 800],
+        quota=PollQuota(rx=10, tx=10),
+    )
+    flow_rates(bounded)
+    unbounded = start_with_traffic(
+        variants.polling(quota=10), [12_000, 800, 800],
+        quota=PollQuota(rx=10, tx=None),
+    )
+    flow_rates(unbounded)
+    assert bounded.probes.dump()["queue.out0.ifqueue.dropped"] > 100
+    assert unbounded.probes.dump().get("queue.out0.ifqueue.dropped", 0) == 0
+
+
+def test_double_start_rejected():
+    router = MultiInputRouter(variants.unmodified()).start()
+    with pytest.raises(RuntimeError):
+        router.start()

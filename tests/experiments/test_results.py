@@ -1,0 +1,66 @@
+"""Unit tests for result rendering."""
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.results import ascii_plot, format_table, render_report, to_csv
+
+
+def sample_figure():
+    result = FigureResult(
+        figure_id="6-1",
+        title="Forwarding performance",
+        xlabel="Input packet rate (pkts/sec)",
+        ylabel="Output packet rate (pkts/sec)",
+        notes="sample",
+    )
+    result.series["Without screend"] = [(1_000, 1_000), (8_000, 4_500)]
+    result.series["With screend"] = [(1_000, 1_000), (8_000, 0)]
+    return result
+
+
+def test_format_table_contains_all_series_and_rates():
+    table = format_table(sample_figure())
+    assert "Figure 6-1" in table
+    assert "Without screend" in table and "With screend" in table
+    assert "8000" in table and "4500" in table
+    assert "note: sample" in table
+
+
+def test_format_table_handles_missing_points():
+    figure = sample_figure()
+    figure.series["Partial"] = [(1_000, 500)]
+    table = format_table(figure)
+    assert "-" in table  # the missing 8000-rate cell
+
+
+def test_ascii_plot_draws_marks_and_legend():
+    plot = ascii_plot(sample_figure())
+    assert "o = Without screend" in plot
+    assert "x = With screend" in plot
+    assert "o" in plot.splitlines()[1] or any(
+        "o" in line for line in plot.splitlines()[1:-3]
+    )
+
+
+def test_ascii_plot_empty():
+    empty = FigureResult("x", "t", "x", "y")
+    assert ascii_plot(empty) == "(no data)\n"
+
+
+def test_to_csv_long_form():
+    csv = to_csv(sample_figure())
+    lines = csv.strip().splitlines()
+    assert lines[0] == "figure,series,x,y"
+    assert len(lines) == 1 + 4
+    assert "6-1,Without screend,1000.000,1000.000" in csv
+
+
+def test_render_report_combines_table_and_plot():
+    report = render_report(sample_figure())
+    assert "Figure 6-1" in report
+    assert "o = Without screend" in report
+
+
+def test_figure_result_helpers():
+    figure = sample_figure()
+    assert figure.series_peak("Without screend") == 4_500
+    assert figure.series_at_max_x("With screend") == 0

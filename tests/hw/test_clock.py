@@ -1,0 +1,64 @@
+"""Unit tests for the periodic clock device."""
+
+import pytest
+
+from repro.hw import CPU, ClockDevice, IPL_DEVICE, InterruptController
+from repro.sim import Simulator, Work
+
+
+def make(tick_ns=1_000_000, handler_cycles=100):
+    sim = Simulator()
+    cpu = CPU(sim, hz=100_000_000)
+    ctrl = InterruptController(cpu)
+    ticks = []
+
+    def handler():
+        yield Work(handler_cycles)
+        ticks.append(sim.now)
+
+    clock = ClockDevice(sim, ctrl, handler, tick_ns=tick_ns)
+    return sim, cpu, clock, ticks
+
+
+def test_ticks_at_fixed_period():
+    sim, cpu, clock, ticks = make()
+    clock.start()
+    sim.run(until=5_500_000)
+    assert clock.ticks == 5
+    assert len(ticks) == 5
+
+
+def test_tick_period_validated():
+    sim = Simulator()
+    cpu = CPU(sim)
+    ctrl = InterruptController(cpu)
+    with pytest.raises(ValueError):
+        ClockDevice(sim, ctrl, lambda: iter(()), tick_ns=0)
+
+
+def test_double_start_rejected():
+    sim, cpu, clock, ticks = make()
+    clock.start()
+    with pytest.raises(RuntimeError):
+        clock.start()
+
+
+def test_clock_preempts_device_handler():
+    """Clock IPL is above device IPL (§5.1: clock interrupts preempt
+    device interrupt processing)."""
+    sim, cpu, clock, ticks = make(tick_ns=1_000_000)
+    log = []
+
+    def long_device_handler():
+        yield Work(500_000)  # 5 ms at 100 MHz — spans several ticks
+        log.append(sim.now)
+
+    ctrl = clock.line.controller
+    device = ctrl.line("dev", IPL_DEVICE, long_device_handler)
+    clock.start()
+    sim.schedule(100_000, device.request)
+    sim.run(until=8_500_000)
+    # The device handler's 5 ms of work is stretched by clock handlers.
+    assert log and log[0] > 100_000 + 5_000_000
+    # And the clock never missed a tick while the device handler ran.
+    assert len(ticks) == 8

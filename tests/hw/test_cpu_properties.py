@@ -1,0 +1,117 @@
+"""Property-based tests of the CPU model's conservation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import CPU, IPL_CLOCK, IPL_DEVICE
+from repro.sim import Simulator, Work
+from repro.sim.units import cycles_to_ns
+
+HZ = 100_000_000
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=50_000), min_size=1, max_size=10),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1_000_000),
+            st.integers(min_value=1, max_value=5_000),
+        ),
+        max_size=10,
+    ),
+)
+@settings(max_examples=60)
+def test_work_is_conserved_under_arbitrary_preemption(thread_chunks, interrupts):
+    """However interrupts slice the timeline, total busy time equals the
+    total work submitted, and every task finishes."""
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    finished = []
+
+    def thread_body(chunks):
+        for chunk in chunks:
+            yield Work(chunk)
+        finished.append("thread")
+
+    def irq_body(cycles):
+        yield Work(cycles)
+        finished.append("irq")
+
+    cpu.spawn(thread_body(thread_chunks), "thread")
+    for at, cycles in interrupts:
+        sim.schedule(
+            at, lambda c=cycles: cpu.spawn(irq_body(c), "irq", ipl=IPL_DEVICE)
+        )
+    sim.run()
+
+    total_cycles = sum(thread_chunks) + sum(c for _, c in interrupts)
+    # Rounding: each chunk converts to ns independently (half-up), so
+    # allow one ns of slack per chunk.
+    chunk_count = len(thread_chunks) + len(interrupts)
+    expected = sum(cycles_to_ns(c, HZ) for c in thread_chunks) + sum(
+        cycles_to_ns(c, HZ) for _, c in interrupts
+    )
+    assert abs(cpu.busy_ns - expected) <= chunk_count
+    assert finished.count("thread") == 1
+    assert finished.count("irq") == len(interrupts)
+    assert cpu.runnable_count == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([0, IPL_DEVICE, IPL_CLOCK]),
+            st.integers(min_value=1, max_value=2_000),
+            st.integers(min_value=0, max_value=100_000),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=60)
+def test_higher_ipl_always_finishes_first_when_started_together(tasks):
+    """Among tasks becoming runnable at the same instant, completion
+    order never inverts IPL order at that instant."""
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    completions = []
+
+    def body(ipl, cycles, tag):
+        yield Work(cycles)
+        completions.append((sim.now, ipl, tag))
+
+    for index, (ipl, cycles, at) in enumerate(tasks):
+        sim.schedule(
+            at,
+            lambda i=ipl, c=cycles, t=index: cpu.spawn(
+                body(i, c, t), "t%d" % t, ipl=i
+            ),
+        )
+    sim.run()
+    assert len(completions) == len(tasks)
+    # Invariant: at any completion instant, no *higher*-IPL task is still
+    # runnable (it would have preempted).
+    done = set()
+    for time, ipl, tag in completions:
+        done.add(tag)
+        for other_tag, (other_ipl, _c, other_at) in enumerate(tasks):
+            if other_tag in done or other_at >= time:
+                continue
+            assert other_ipl <= ipl, (
+                "task %d (ipl %d) finished while task %d (ipl %d) waited"
+                % (tag, ipl, other_tag, other_ipl)
+            )
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=20))
+def test_cycles_used_matches_submitted_work(chunks):
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+
+    def body():
+        for chunk in chunks:
+            yield Work(chunk)
+
+    task = cpu.spawn(body(), "t")
+    sim.run()
+    # Rounding slack: one cycle per chunk.
+    assert abs(task.cycles_used - sum(chunks)) <= len(chunks)

@@ -1,0 +1,130 @@
+"""Unit tests for the interrupt controller and lines."""
+
+from repro.hw import CPU, IPL_CLOCK, IPL_DEVICE, IPL_SOFTNET, InterruptController
+from repro.sim import Simulator, Work
+
+HZ = 100_000_000
+
+
+def make():
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    return sim, cpu, InterruptController(cpu)
+
+
+def handler_factory(log, sim, cycles=100, tag="irq"):
+    def factory():
+        yield Work(cycles)
+        log.append((tag, sim.now))
+    return factory
+
+
+def test_request_dispatches_handler():
+    sim, cpu, ctrl = make()
+    log = []
+    line = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim))
+    sim.schedule(10, line.request)
+    sim.run()
+    assert log == [("irq", 10 + 1_000)]
+    assert line.dispatch_count == 1
+
+
+def test_dispatch_cost_charged_before_handler_body():
+    sim, cpu, ctrl = make()
+    log = []
+    line = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim), dispatch_cycles=50)
+    sim.schedule(0, line.request)
+    sim.run()
+    assert log == [("irq", 1_500)]  # (50 + 100) cycles at 10 ns
+
+
+def test_disabled_line_latches_request():
+    sim, cpu, ctrl = make()
+    log = []
+    line = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim))
+    line.disable()
+    sim.schedule(10, line.request)
+    sim.schedule(5_000, line.enable)
+    sim.run()
+    assert log == [("irq", 6_000)]
+    assert line.suppressed_while_disabled == 1
+
+
+def test_requests_while_in_service_redeliver_after_completion():
+    sim, cpu, ctrl = make()
+    log = []
+    line = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim, cycles=1_000))
+    sim.schedule(0, line.request)
+    sim.schedule(100, line.request)  # arrives mid-service
+    sim.run()
+    assert len(log) == 2
+    assert line.dispatch_count == 2
+
+
+def test_acknowledge_consumes_pending_request():
+    sim, cpu, ctrl = make()
+    log = []
+    line = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim))
+    line.disable()
+    line.request()
+    line.acknowledge()
+    line.enable()
+    sim.run()
+    assert log == []
+
+
+def test_lower_ipl_line_masked_by_running_handler():
+    sim, cpu, ctrl = make()
+    log = []
+    device = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim, 1_000, "dev"))
+    soft = ctrl.line("soft", IPL_SOFTNET, handler_factory(log, sim, 100, "soft"))
+    sim.schedule(0, device.request)
+    sim.schedule(100, soft.request)  # must wait for the device handler
+    sim.run()
+    assert log == [("dev", 10_000), ("soft", 11_000)]
+
+
+def test_higher_ipl_line_preempts_running_handler():
+    sim, cpu, ctrl = make()
+    log = []
+    device = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim, 1_000, "dev"))
+    clock = ctrl.line("clk", IPL_CLOCK, handler_factory(log, sim, 100, "clk"))
+    sim.schedule(0, device.request)
+    sim.schedule(100, clock.request)
+    sim.run()
+    assert log == [("clk", 1_100), ("dev", 11_000)]
+
+
+def test_same_ipl_lines_serviced_fifo():
+    sim, cpu, ctrl = make()
+    log = []
+    line_a = ctrl.line("a", IPL_DEVICE, handler_factory(log, sim, 500, "a"))
+    line_b = ctrl.line("b", IPL_DEVICE, handler_factory(log, sim, 500, "b"))
+    sim.schedule(0, line_a.request)
+    sim.schedule(0, line_b.request)
+    sim.run()
+    assert [tag for tag, _ in log] == ["a", "b"]
+
+
+def test_own_line_rerequest_beats_other_pending_line():
+    """After a handler completes, its own re-request is tried first —
+    the behaviour that starves TX service under RX floods (§4.4)."""
+    sim, cpu, ctrl = make()
+    log = []
+    rx = ctrl.line("rx", IPL_DEVICE, handler_factory(log, sim, 500, "rx"))
+    tx = ctrl.line("tx", IPL_DEVICE, handler_factory(log, sim, 500, "tx"))
+    sim.schedule(0, rx.request)
+    sim.schedule(100, tx.request)
+    sim.schedule(200, rx.request)  # re-request while rx handler running
+    sim.run()
+    assert [tag for tag, _ in log] == ["rx", "rx", "tx"]
+
+
+def test_stats_shape():
+    sim, cpu, ctrl = make()
+    line = ctrl.line("rx", IPL_DEVICE, handler_factory([], sim))
+    sim.schedule(0, line.request)
+    sim.run()
+    stats = ctrl.stats()
+    assert stats["rx"]["requests"] == 1
+    assert stats["rx"]["dispatches"] == 1

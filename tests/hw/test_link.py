@@ -1,0 +1,34 @@
+"""Unit tests for Ethernet wire timing."""
+
+import pytest
+
+from repro.hw import MAX_PACKET_RATE_10MBPS, MIN_PACKET_TIME_NS, packet_time_ns
+
+
+def test_min_packet_time_matches_paper_rate():
+    # The paper quotes "the maximum Ethernet packet rate of about 14,880
+    # packets/second" for minimum-size packets on 10 Mb/s.
+    assert MIN_PACKET_TIME_NS == 67_200
+    assert MAX_PACKET_RATE_10MBPS == pytest.approx(14_880, abs=5)
+
+
+def test_small_payloads_pad_to_minimum_frame():
+    # 4-byte and 8-byte UDP payloads both fit inside the 64-byte minimum.
+    assert packet_time_ns(4) == packet_time_ns(8) == MIN_PACKET_TIME_NS
+
+
+def test_larger_payload_takes_longer():
+    assert packet_time_ns(1_000) > packet_time_ns(4)
+
+
+def test_faster_link_is_proportionally_faster():
+    slow = packet_time_ns(4, bandwidth_bps=10_000_000)
+    fast = packet_time_ns(4, bandwidth_bps=100_000_000)
+    # Serialisation shrinks 10x; the inter-frame gap term stays fixed.
+    assert fast < slow
+    assert fast >= 9_600  # never below the inter-frame gap
+
+
+def test_packet_time_includes_interframe_gap():
+    # 72 bytes * 8 bits * 100 ns/bit = 57,600 ns + 9,600 ns gap.
+    assert packet_time_ns(4) == 57_600 + 9_600

@@ -1,0 +1,158 @@
+"""Unit tests for the NIC model (rings, transmitter, drop accounting)."""
+
+import pytest
+
+from repro.hw import CPU, IPL_DEVICE, InterruptController, NIC
+from repro.net.packet import Packet
+from repro.sim import ProbeRegistry, Simulator, Work
+
+
+def make_nic(**kwargs):
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    nic = NIC(sim, "test0", probes, **kwargs)
+    return sim, probes, nic
+
+
+def make_packet():
+    return Packet(src=1, dst=2)
+
+
+def test_ring_capacities_validated():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    with pytest.raises(ValueError):
+        NIC(sim, "bad", probes, rx_ring_capacity=0)
+    with pytest.raises(ValueError):
+        NIC(sim, "bad", probes, tx_ring_capacity=0)
+
+
+def test_rx_accepts_until_ring_full_then_drops():
+    sim, probes, nic = make_nic(rx_ring_capacity=4)
+    packets = [make_packet() for _ in range(6)]
+    results = [nic.receive_from_wire(p) for p in packets]
+    assert results == [True] * 4 + [False] * 2
+    assert nic.rx_pending() == 4
+    assert nic.rx_overflow_drops.snapshot() == 2
+    assert nic.rx_accepted.snapshot() == 4
+
+
+def test_rx_pull_is_fifo_and_empties():
+    sim, probes, nic = make_nic()
+    first, second = make_packet(), make_packet()
+    nic.receive_from_wire(first)
+    nic.receive_from_wire(second)
+    assert nic.rx_pull() is first
+    assert nic.rx_pull() is second
+    assert nic.rx_pull() is None
+
+
+def test_rx_arrival_timestamps_packet():
+    sim, probes, nic = make_nic()
+    packet = make_packet()
+    sim.schedule(123, nic.receive_from_wire, packet)
+    sim.run()
+    assert packet.nic_arrival_ns == 123
+
+
+def test_rx_arrival_requests_interrupt_line():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    nic = NIC(sim, "test0", probes)
+    cpu = CPU(sim, hz=100_000_000)
+    ctrl = InterruptController(cpu)
+    fired = []
+
+    def handler():
+        fired.append(sim.now)
+        return
+        yield  # pragma: no cover
+
+    nic.rx_line = ctrl.line("rx", IPL_DEVICE, handler)
+    nic.receive_from_wire(make_packet())
+    sim.run()
+    assert fired
+
+
+def test_transmit_serialises_at_wire_speed():
+    sim, probes, nic = make_nic(tx_packet_time_ns=100)
+    sent = []
+    nic.on_transmit = lambda p: sent.append(sim.now)
+    assert nic.tx_enqueue(make_packet())
+    assert nic.tx_enqueue(make_packet())
+    sim.run()
+    assert sent == [100, 200]
+    assert nic.tx_completed.snapshot() == 2
+
+
+def test_tx_ring_full_rejects():
+    sim, probes, nic = make_nic(tx_ring_capacity=2, tx_packet_time_ns=100)
+    assert nic.tx_enqueue(make_packet())
+    assert nic.tx_enqueue(make_packet())
+    assert not nic.tx_enqueue(make_packet())
+    assert nic.tx_free_slots() == 0
+
+
+def test_done_slots_occupy_ring_until_reclaimed():
+    """The §4.4 mechanism: without reclaim, the ring stays full and the
+    transmitter cannot accept new packets even though it is idle."""
+    sim, probes, nic = make_nic(tx_ring_capacity=2, tx_packet_time_ns=100)
+    nic.tx_enqueue(make_packet())
+    nic.tx_enqueue(make_packet())
+    sim.run()
+    assert nic.tx_idle
+    assert nic.tx_done_slots() == 2
+    assert nic.tx_free_slots() == 0
+    assert not nic.tx_enqueue(make_packet())
+
+    assert nic.tx_reclaim() == 2
+    assert nic.tx_free_slots() == 2
+    assert nic.tx_enqueue(make_packet())
+
+
+def test_reclaim_only_frees_done_slots():
+    sim, probes, nic = make_nic(tx_packet_time_ns=1_000)
+    nic.tx_enqueue(make_packet())
+    nic.tx_enqueue(make_packet())
+    sim.run(until=1_500)  # first done, second in flight
+    assert nic.tx_reclaim() == 1
+    assert nic.tx_free_slots() == 31
+
+
+def test_transmit_marks_packet():
+    sim, probes, nic = make_nic(tx_packet_time_ns=100)
+    packet = make_packet()
+    nic.tx_enqueue(packet)
+    sim.run()
+    assert packet.transmitted_ns == 100
+    assert packet.delivered
+
+
+def test_tx_completion_requests_tx_line():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    nic = NIC(sim, "t", probes, tx_packet_time_ns=100)
+    cpu = CPU(sim, hz=100_000_000)
+    ctrl = InterruptController(cpu)
+    log = []
+
+    def handler():
+        yield Work(10)
+        log.append(sim.now)
+
+    nic.tx_line = ctrl.line("tx", IPL_DEVICE, handler)
+    nic.tx_enqueue(make_packet())
+    sim.run()
+    assert len(log) == 1
+
+
+def test_transmitter_restarts_after_idle():
+    sim, probes, nic = make_nic(tx_packet_time_ns=100)
+    sent = []
+    nic.on_transmit = lambda p: sent.append(sim.now)
+    nic.tx_enqueue(make_packet())
+    sim.run()
+    nic.tx_reclaim()
+    sim.schedule(0, lambda: nic.tx_enqueue(make_packet()))
+    sim.run()
+    assert sent == [100, 200]

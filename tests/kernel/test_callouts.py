@@ -1,0 +1,55 @@
+"""Unit tests for the callout table."""
+
+import pytest
+
+from repro.kernel.callouts import CalloutTable
+
+
+def test_callout_fires_at_deadline():
+    table = CalloutTable()
+    table.schedule(now_tick=0, delay_ticks=3, func=lambda: None)
+    assert table.due(2) == []
+    due = table.due(3)
+    assert len(due) == 1
+
+
+def test_minimum_one_tick_delay():
+    table = CalloutTable()
+    with pytest.raises(ValueError):
+        table.schedule(0, 0, lambda: None)
+
+
+def test_cancelled_callout_not_returned():
+    table = CalloutTable()
+    callout = table.schedule(0, 1, lambda: None)
+    callout.cancel()
+    assert table.due(5) == []
+    assert table.pending() == 0
+
+
+def test_due_is_ordered_by_deadline_then_fifo():
+    table = CalloutTable()
+    order = []
+    table.schedule(0, 2, lambda: order.append("b"))
+    table.schedule(0, 1, lambda: order.append("a"))
+    table.schedule(0, 2, lambda: order.append("c"))
+    for callout in table.due(10):
+        callout.func()
+    assert order == ["a", "b", "c"]
+
+
+def test_due_only_pops_expired():
+    table = CalloutTable()
+    table.schedule(0, 1, lambda: None)
+    table.schedule(0, 10, lambda: None)
+    assert len(table.due(5)) == 1
+    assert table.pending() == 1
+
+
+def test_pending_counts_live_only():
+    table = CalloutTable()
+    keep = table.schedule(0, 5, lambda: None)
+    cancel = table.schedule(0, 5, lambda: None)
+    cancel.cancel()
+    assert table.pending() == 1
+    assert keep.cancelled is False

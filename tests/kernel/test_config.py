@@ -1,0 +1,74 @@
+"""Unit tests for kernel configuration validation."""
+
+import pytest
+
+from repro.kernel import IP_LAYER_SOFTIRQ, IP_LAYER_THREAD, KernelConfig
+
+
+def test_defaults_validate():
+    KernelConfig().validate()
+
+
+def test_ip_layer_modes():
+    KernelConfig(ip_layer_mode=IP_LAYER_SOFTIRQ).validate()
+    KernelConfig(ip_layer_mode=IP_LAYER_THREAD).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(ip_layer_mode="bogus").validate()
+
+
+def test_poll_quota_validation():
+    KernelConfig(poll_quota=None).validate()
+    KernelConfig(poll_quota=1).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(poll_quota=0).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(poll_quota=-3).validate()
+
+
+def test_cycle_limit_fraction_range():
+    KernelConfig(cycle_limit_fraction=0.25).validate()
+    KernelConfig(cycle_limit_fraction=1.0).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(cycle_limit_fraction=0.0).validate()
+    with pytest.raises(ValueError):
+        KernelConfig(cycle_limit_fraction=1.5).validate()
+
+
+def test_watermark_fraction_ordering():
+    with pytest.raises(ValueError):
+        KernelConfig(
+            screen_queue_high_fraction=0.2, screen_queue_low_fraction=0.5
+        ).validate()
+
+
+def test_emulate_unmodified_requires_polling():
+    with pytest.raises(ValueError):
+        KernelConfig(emulate_unmodified=True).validate()
+    KernelConfig(use_polling=True, emulate_unmodified=True).validate()
+
+
+def test_polling_and_clocked_exclusive():
+    with pytest.raises(ValueError):
+        KernelConfig(use_polling=True, use_clocked_polling=True).validate()
+
+
+def test_positive_scalars_enforced():
+    for field in ("ipintrq_limit", "ifqueue_limit", "screen_queue_limit",
+                  "rx_ring_capacity", "tx_ring_capacity", "quantum_ticks"):
+        with pytest.raises(ValueError):
+            KernelConfig(**{field: 0}).validate()
+
+
+def test_with_options_returns_validated_copy():
+    base = KernelConfig()
+    modified = base.with_options(use_polling=True, poll_quota=5)
+    assert modified.use_polling and modified.poll_quota == 5
+    assert not base.use_polling  # frozen original untouched
+    with pytest.raises(ValueError):
+        base.with_options(poll_quota=-1)
+
+
+def test_screen_queue_watermark_properties():
+    config = KernelConfig(screen_queue_limit=32)
+    assert config.screen_queue_high == 24
+    assert config.screen_queue_low == 8

@@ -1,0 +1,104 @@
+"""Unit tests for the cost model and its calibration arithmetic."""
+
+import pytest
+
+from repro.kernel.costs import DEFAULT_COSTS, CostModel, us_to_cycles
+
+
+def test_us_to_cycles():
+    assert us_to_cycles(1, 150_000_000) == 150
+    assert us_to_cycles(10, 100_000_000) == 1_000
+
+
+def test_us_inverse():
+    costs = CostModel()
+    assert costs.us(150) == pytest.approx(1.0)
+
+
+def test_scaled_scales_everything_but_hz():
+    scaled = DEFAULT_COSTS.scaled(0.5)
+    assert scaled.cpu_hz == DEFAULT_COSTS.cpu_hz
+    assert scaled.ip_forward == round(DEFAULT_COSTS.ip_forward * 0.5)
+    assert scaled.clock_tick == round(DEFAULT_COSTS.clock_tick * 0.5)
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        DEFAULT_COSTS.scaled(0)
+    with pytest.raises(ValueError):
+        DEFAULT_COSTS.scaled(-1)
+
+
+def test_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COSTS.ip_forward = 1
+
+
+def test_calibration_unmodified_forwarding_budget():
+    """The classic per-packet forwarding budget must put the MLFRR in the
+    paper's ballpark (~4,700 pkt/s): between 180 and 230 us/packet."""
+    costs = DEFAULT_COSTS
+    per_packet_us = costs.us(
+        costs.rx_device_per_packet
+        + costs.interrupt_dispatch
+        + costs.softirq_post
+        + costs.ipintrq_dequeue
+        + costs.ip_forward
+        + costs.tx_start_per_packet
+        + costs.tx_reclaim_per_packet
+    )
+    assert 180 <= per_packet_us <= 230, per_packet_us
+
+
+def test_calibration_screend_livelock_point():
+    """Work that outranks screend must saturate near 6,000 pkt/s."""
+    costs = DEFAULT_COSTS
+    priority_us = costs.us(
+        costs.rx_device_per_packet
+        + costs.interrupt_dispatch
+        + costs.ipintrq_dequeue
+        + costs.ip_input_to_screen_queue
+    )
+    livelock_rate = 1e6 / priority_us
+    assert 5_300 <= livelock_rate <= 7_000, livelock_rate
+
+
+def test_calibration_screend_peak():
+    """The full screend path must cost ~500 us/packet (peak ~2,000/s)."""
+    costs = DEFAULT_COSTS
+    total_us = costs.us(
+        costs.rx_device_per_packet
+        + costs.interrupt_dispatch
+        + costs.ipintrq_dequeue
+        + costs.ip_input_to_screen_queue
+        + costs.screend_per_packet
+        + costs.ip_output_after_screen
+        + costs.tx_start_per_packet
+        + costs.tx_reclaim_per_packet
+    )
+    assert 430 <= total_us <= 560, total_us
+
+
+def test_calibration_device_saturation_below_wire_rate():
+    """Device-IPL work per packet must exceed the 67.2 us wire slot so
+    the unmodified kernel approaches livelock just below 14,880 pkt/s
+    (§6.2 'would probably livelock somewhat below the maximum Ethernet
+    packet rate')... but not by much."""
+    costs = DEFAULT_COSTS
+    device_us = costs.us(costs.rx_device_per_packet + costs.interrupt_dispatch)
+    assert 50 <= device_us <= 80
+
+
+def test_calibration_clock_overhead_allows_94_percent_user_cpu():
+    """Clock + housekeeping must cost ~4-6% of the CPU (the paper's
+    zero-load user share is ~94%)."""
+    costs = DEFAULT_COSTS
+    per_tick = costs.us(costs.clock_tick + costs.interrupt_dispatch)
+    fraction = per_tick / 1_000.0  # 1 kHz clock
+    assert 0.02 <= fraction <= 0.07, fraction
+
+
+def test_stub_handler_is_cheap():
+    """§6.4: the modified interrupt handler does 'almost no work'."""
+    costs = DEFAULT_COSTS
+    assert costs.polled_stub_handler < costs.rx_device_per_packet / 5

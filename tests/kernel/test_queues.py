@@ -1,0 +1,175 @@
+"""Unit and property tests for bounded drop-tail queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.queues import PacketQueue
+from repro.net.packet import Packet
+from repro.sim import ProbeRegistry, Simulator
+
+
+def test_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        PacketQueue("q", 0)
+
+
+def test_watermark_validation():
+    with pytest.raises(ValueError):
+        PacketQueue("q", 10, high_watermark=11)
+    with pytest.raises(ValueError):
+        PacketQueue("q", 10, high_watermark=5, low_watermark=5)
+    with pytest.raises(ValueError):
+        PacketQueue("q", 10, high_watermark=0)
+
+
+def test_fifo_order():
+    queue = PacketQueue("q", 10)
+    for value in (1, 2, 3):
+        assert queue.enqueue(value)
+    assert [queue.dequeue() for _ in range(3)] == [1, 2, 3]
+    assert queue.dequeue() is None
+
+
+def test_drop_tail_on_overflow():
+    queue = PacketQueue("q", 2)
+    assert queue.enqueue("a")
+    assert queue.enqueue("b")
+    assert not queue.enqueue("c")
+    assert queue.drop_count == 1
+    assert len(queue) == 2
+    assert queue.peek() == "a"
+
+
+def test_drop_marks_packet():
+    queue = PacketQueue("ipintrq", 1)
+    queue.enqueue(Packet(src=1, dst=2))
+    dropped = Packet(src=1, dst=2)
+    queue.enqueue(dropped)
+    assert dropped.dropped_at == "ipintrq"
+
+
+def test_probe_counters():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    queue = PacketQueue("q", 1, probes)
+    queue.enqueue("a")
+    queue.enqueue("b")
+    queue.dequeue()
+    dump = probes.dump()
+    assert dump["queue.q.enqueued"] == 1
+    assert dump["queue.q.dropped"] == 1
+    assert dump["queue.q.dequeued"] == 1
+
+
+def test_high_watermark_fires_on_reaching_level():
+    events = []
+    queue = PacketQueue("q", 10, high_watermark=3, low_watermark=1)
+    queue.on_high.append(lambda q: events.append(("high", len(q))))
+    queue.enqueue("a")
+    queue.enqueue("b")
+    assert events == []
+    queue.enqueue("c")
+    assert events == [("high", 3)]
+
+
+def test_high_watermark_is_level_triggered_on_each_enqueue():
+    """Every enqueue at/above the high watermark re-fires (the feedback
+    mechanism depends on re-inhibition after its timeout, §6.6.1)."""
+    events = []
+    queue = PacketQueue("q", 10, high_watermark=2, low_watermark=1)
+    queue.on_high.append(lambda q: events.append(len(q)))
+    queue.enqueue("a")
+    queue.enqueue("b")  # reaches high
+    queue.enqueue("c")  # still above high
+    assert events == [2, 3]
+
+
+def test_high_watermark_fires_even_on_full_drop():
+    events = []
+    queue = PacketQueue("q", 2, high_watermark=2, low_watermark=1)
+    queue.on_high.append(lambda q: events.append(len(q)))
+    queue.enqueue("a")
+    queue.enqueue("b")
+    queue.enqueue("c")  # dropped, but queue is congested -> fires
+    assert events == [2, 2]
+
+
+def test_low_watermark_fires_on_crossing_down():
+    events = []
+    queue = PacketQueue("q", 10, high_watermark=4, low_watermark=1)
+    queue.on_low.append(lambda q: events.append(len(q)))
+    for value in "abcd":
+        queue.enqueue(value)
+    queue.dequeue()  # 3
+    queue.dequeue()  # 2
+    assert events == []
+    queue.dequeue()  # 1 -> low crossing
+    assert events == [1]
+
+
+def test_clear_counts_drops():
+    queue = PacketQueue("q", 10)
+    packet = Packet(src=1, dst=2)
+    queue.enqueue(packet)
+    queue.enqueue("x")
+    assert queue.clear() == 2
+    assert queue.drop_count == 2
+    assert packet.dropped_at == "q"
+    assert queue.empty
+
+
+def test_max_depth_tracking():
+    queue = PacketQueue("q", 10)
+    for value in range(4):
+        queue.enqueue(value)
+    queue.dequeue()
+    queue.enqueue("again")
+    assert queue.max_depth == 4
+
+
+@given(st.lists(st.sampled_from(["enq", "deq"]), max_size=300),
+       st.integers(min_value=1, max_value=20))
+def test_queue_invariants_under_arbitrary_operations(ops, limit):
+    queue = PacketQueue("q", limit)
+    model = []
+    sequence = 0
+    for op in ops:
+        if op == "enq":
+            sequence += 1
+            accepted = queue.enqueue(sequence)
+            if len(model) < limit:
+                assert accepted
+                model.append(sequence)
+            else:
+                assert not accepted
+        else:
+            expected = model.pop(0) if model else None
+            assert queue.dequeue() == expected
+        assert len(queue) == len(model)
+        assert 0 <= len(queue) <= limit
+        assert queue.full == (len(model) == limit)
+        assert queue.empty == (not model)
+
+
+@given(
+    st.integers(min_value=4, max_value=40),
+    st.lists(st.booleans(), min_size=10, max_size=400),
+)
+def test_watermark_callbacks_bound_occupancy_signalling(limit, coin):
+    """If a consumer stops on high and resumes on low, occupancy seen at
+    'high' events is always >= high watermark, at 'low' always == low."""
+    high = max(2, int(limit * 0.75))
+    low = max(1, int(limit * 0.25))
+    if low >= high:
+        low = high - 1
+    queue = PacketQueue("q", limit, high_watermark=high, low_watermark=low)
+    highs, lows = [], []
+    queue.on_high.append(lambda q: highs.append(len(q)))
+    queue.on_low.append(lambda q: lows.append(len(q)))
+    for flip in coin:
+        if flip:
+            queue.enqueue("p")
+        else:
+            queue.dequeue()
+    assert all(depth >= high for depth in highs)
+    assert all(depth == low for depth in lows)

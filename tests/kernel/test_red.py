@@ -1,0 +1,103 @@
+"""Unit and property tests for the RED drop policy."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.queues import PacketQueue, REDQueue
+from repro.net.packet import Packet
+
+
+def make_red(limit=40, **kwargs):
+    return REDQueue("q", limit, random.Random(1), **kwargs)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        make_red(min_fraction=0.8, max_fraction=0.5)
+    with pytest.raises(ValueError):
+        make_red(max_probability=0.0)
+    with pytest.raises(ValueError):
+        make_red(weight=0.0)
+    with pytest.raises(ValueError):
+        make_red(weight=1.5)
+
+
+def test_no_early_drops_when_nearly_empty():
+    queue = make_red()
+    for index in range(5):
+        assert queue.enqueue(index)
+    assert queue.early_drops == 0
+
+
+def test_forced_drop_above_max_threshold():
+    queue = make_red(limit=40, max_fraction=0.5, weight=1.0)
+    admitted = 0
+    for index in range(40):
+        if queue.enqueue(index):
+            admitted += 1
+    # Once the (fully-weighted) average passes 20, everything drops.
+    assert admitted < 25
+    assert queue.early_drops > 0
+
+
+def test_early_drop_marks_packet_with_red_suffix():
+    queue = make_red(limit=10, min_fraction=0.1, max_fraction=0.2,
+                     max_probability=1.0, weight=1.0)
+    for _ in range(4):
+        queue.enqueue(Packet(src=1, dst=2))
+    victim = Packet(src=1, dst=2)
+    queue.enqueue(victim)
+    assert victim.dropped_at == "q.red"
+
+
+def test_dequeue_lowers_average_over_time():
+    queue = make_red(weight=0.5)
+    for index in range(20):
+        queue.enqueue(index)
+    avg_full = queue.average
+    for _ in range(15):
+        queue.dequeue()
+    for index in range(3):
+        queue.enqueue(index)
+    assert queue.average < avg_full
+
+
+def test_red_is_deterministic_per_rng_seed():
+    outcomes = []
+    for _ in range(2):
+        queue = REDQueue("q", 40, random.Random(7))
+        outcomes.append([queue.enqueue(i) for i in range(200)])
+        for _ in range(0):
+            pass
+    assert outcomes[0] == outcomes[1]
+
+
+def test_red_keeps_standing_queue_shorter_than_droptail():
+    """RED's purpose: under sustained pressure with a slow consumer, the
+    standing queue stays below the hard limit."""
+    rng = random.Random(3)
+    red = REDQueue("red", 50, rng)
+    tail = PacketQueue("tail", 50)
+    for index in range(2_000):
+        red.enqueue(index)
+        tail.enqueue(index)
+        if index % 3 == 0:  # consumer at 1/3 of arrival rate
+            red.dequeue()
+            tail.dequeue()
+    assert len(tail) == 50
+    assert len(red) < 45
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.lists(st.booleans(), max_size=300))
+def test_red_respects_hard_limit_invariant(seed, ops):
+    queue = REDQueue("q", 16, random.Random(seed))
+    for enqueue in ops:
+        if enqueue:
+            queue.enqueue("p")
+        else:
+            queue.dequeue()
+        assert 0 <= len(queue) <= 16
+        assert queue.average >= 0.0

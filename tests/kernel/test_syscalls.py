@@ -1,0 +1,92 @@
+"""Unit tests for the blocking queue reader (syscall layer)."""
+
+from repro.kernel import BlockingQueueReader, Kernel, KernelConfig, PacketQueue
+from repro.sim import Signal
+from repro.sim.units import seconds
+
+
+def make_reader(charge_syscall=True):
+    kernel = Kernel(config=KernelConfig(idle_thread=False))
+    queue = PacketQueue("q", 8)
+    signal = Signal(kernel.sim, "q.data")
+    reader = BlockingQueueReader(queue, signal, kernel.costs, charge_syscall)
+    return kernel, queue, signal, reader
+
+
+def consumer_process(kernel, reader, received):
+    def body():
+        while True:
+            packet = yield from reader.read()
+            received.append((kernel.sim.now, packet))
+    return body
+
+
+def test_read_returns_queued_packet():
+    kernel, queue, signal, reader = make_reader()
+    kernel.start()
+    received = []
+    kernel.user_process(consumer_process(kernel, reader, received)(), "app")
+    queue.enqueue("pkt-1")
+    signal.fire()
+    kernel.sim.run(until=seconds(0.001))
+    assert [p for _, p in received] == ["pkt-1"]
+    assert reader.reads == 1
+
+
+def test_read_blocks_until_signal():
+    kernel, queue, signal, reader = make_reader()
+    kernel.start()
+    received = []
+    kernel.user_process(consumer_process(kernel, reader, received)(), "app")
+    kernel.sim.run(until=seconds(0.005))
+    assert received == []
+    assert reader.blocked_reads == 1
+
+    queue.enqueue("late")
+    signal.fire()
+    kernel.sim.run(until=seconds(0.01))
+    assert [p for _, p in received] == ["late"]
+
+
+def test_reader_drains_backlog_without_extra_signals():
+    kernel, queue, signal, reader = make_reader()
+    kernel.start()
+    received = []
+    kernel.user_process(consumer_process(kernel, reader, received)(), "app")
+    for index in range(5):
+        queue.enqueue(index)
+    signal.fire()  # a single wakeup for the whole backlog
+    kernel.sim.run(until=seconds(0.01))
+    assert [p for _, p in received] == [0, 1, 2, 3, 4]
+
+
+def test_syscall_cost_charged_per_read():
+    kernel, queue, signal, reader = make_reader(charge_syscall=True)
+    kernel.start()
+    received = []
+    task = kernel.user_process(consumer_process(kernel, reader, received)(), "app")
+    for index in range(3):
+        queue.enqueue(index)
+    signal.fire()
+    kernel.sim.run(until=seconds(0.01))
+    # 3 completed reads plus the 4th read's syscall entry (now blocked).
+    assert task.cycles_used >= 3 * kernel.costs.syscall_overhead
+
+
+def test_uncharged_reader_consumes_no_cpu_for_reads():
+    kernel, queue, signal, reader = make_reader(charge_syscall=False)
+    kernel.start()
+    received = []
+    task = kernel.user_process(consumer_process(kernel, reader, received)(), "app")
+    queue.enqueue("x")
+    signal.fire()
+    kernel.sim.run(until=seconds(0.01))
+    assert received
+    assert task.cycles_used == 0
+
+
+def test_try_read_nonblocking():
+    kernel, queue, signal, reader = make_reader()
+    assert reader.try_read() is None
+    queue.enqueue("x")
+    assert reader.try_read() == "x"

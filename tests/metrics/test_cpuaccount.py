@@ -1,0 +1,145 @@
+"""Tests for CPU-time attribution."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.hw import CLASS_IDLE, CLASS_KERNEL, CLASS_USER, CPU, IPL_DEVICE
+from repro.metrics import (
+    CATEGORY_IDLE,
+    CATEGORY_INTERRUPT,
+    CATEGORY_KERNEL,
+    CATEGORY_UNUSED,
+    CATEGORY_USER,
+    CpuAccountant,
+    categorize,
+)
+from repro.sim import Simulator, Work
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+HZ = 100_000_000
+
+
+def test_categorize_by_ipl_and_class():
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+
+    def noop():
+        yield Work(1)
+
+    irq = cpu.task(noop(), "irq", ipl=IPL_DEVICE)
+    kernel = cpu.task(noop(), "kt", priority_class=CLASS_KERNEL)
+    user = cpu.task(noop(), "ut", priority_class=CLASS_USER)
+    idle = cpu.task(noop(), "idle", priority_class=CLASS_IDLE)
+    assert categorize(irq) == CATEGORY_INTERRUPT
+    assert categorize(kernel) == CATEGORY_KERNEL
+    assert categorize(user) == CATEGORY_USER
+    assert categorize(idle) == CATEGORY_IDLE
+
+
+def test_attribution_matches_work_submitted():
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    accountant = CpuAccountant(cpu)
+
+    def worker(cycles):
+        yield Work(cycles)
+
+    cpu.spawn(worker(1_000), "user-task", priority_class=CLASS_USER)
+    cpu.spawn(worker(500), "irq-task", ipl=IPL_DEVICE)
+    sim.run()
+    snap = accountant.snapshot()
+    assert snap[CATEGORY_USER] == 10_000
+    assert snap[CATEGORY_INTERRUPT] == 5_000
+    assert accountant.task_snapshot()["user-task"] == 10_000
+
+
+def test_unused_accounts_for_wall_gap():
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    accountant = CpuAccountant(cpu)
+
+    def worker():
+        yield Work(100)
+
+    sim.schedule(50_000, lambda: cpu.spawn(worker(), "late"))
+    sim.run()
+    snap = accountant.snapshot()
+    assert snap[CATEGORY_UNUSED] == 50_000
+    assert snap[CATEGORY_USER] == 1_000
+
+
+def test_window_isolates_interval():
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    accountant = CpuAccountant(cpu)
+
+    def worker(cycles):
+        yield Work(cycles)
+
+    cpu.spawn(worker(1_000), "before")
+    sim.run()
+    window = accountant.window()
+    cpu.spawn(worker(2_000), "inside")
+    sim.run()
+    report = window.report()
+    assert report.by_task == {"inside": 20_000}
+    assert report.window_ns == 20_000
+    assert report.fraction(CATEGORY_USER) == pytest.approx(1.0)
+
+
+def test_fractions_sum_to_one_on_router():
+    router = Router(variants.unmodified())
+    accountant = CpuAccountant(router.kernel.cpu)
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, 3_000).start()
+    router.run_for(seconds(0.05))
+    window = accountant.window()
+    router.run_for(seconds(0.2))
+    report = window.report()
+    total = sum(report.fraction(c) for c in report.by_category)
+    assert total == pytest.approx(1.0, abs=0.01)
+
+
+def test_unmodified_overload_is_interrupt_dominated():
+    """The paper's diagnosis, measured: under overload the unmodified
+    kernel spends most of its CPU at interrupt level."""
+    router = Router(variants.unmodified())
+    accountant = CpuAccountant(router.kernel.cpu)
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, 13_000).start()
+    router.run_for(seconds(0.05))
+    window = accountant.window()
+    router.run_for(seconds(0.2))
+    report = window.report()
+    assert report.fraction(CATEGORY_INTERRUPT) > 0.55
+    assert report.fraction(CATEGORY_IDLE) < 0.1
+
+
+def test_polling_overload_is_kernel_thread_dominated():
+    router = Router(variants.polling(quota=10))
+    accountant = CpuAccountant(router.kernel.cpu)
+    router.start()
+    ConstantRateGenerator(router.sim, router.nic_in, 13_000).start()
+    router.run_for(seconds(0.05))
+    window = accountant.window()
+    router.run_for(seconds(0.2))
+    report = window.report()
+    assert report.fraction(CATEGORY_KERNEL) > 0.7
+    assert report.fraction(CATEGORY_INTERRUPT) < 0.2
+    assert ("netpoll", pytest.approx(report.fraction(CATEGORY_KERNEL), abs=0.05)) in [
+        (name, frac) for name, frac in report.top_tasks(1)
+    ]
+
+
+def test_format_lists_all_categories():
+    sim = Simulator()
+    cpu = CPU(sim, hz=HZ)
+    accountant = CpuAccountant(cpu)
+    window = accountant.window()
+    sim.schedule(1_000, lambda: None)
+    sim.run()
+    text = window.report().format()
+    for category in ("interrupt", "kernel", "user", "idle", "unused"):
+        assert category in text

@@ -1,0 +1,54 @@
+"""Unit tests for the latency recorder."""
+
+from repro.metrics import LatencyRecorder
+from repro.net import Packet
+from repro.sim import Simulator
+
+
+def delivered_packet(arrive_ns, transmit_ns):
+    packet = Packet(src=1, dst=2)
+    packet.mark_nic_arrival(arrive_ns)
+    packet.mark_transmitted(transmit_ns)
+    return packet
+
+
+def test_records_only_while_started():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim)
+    recorder.observe(delivered_packet(0, 1_000))  # before start: ignored
+    recorder.start()
+    recorder.observe(delivered_packet(0, 2_000))
+    recorder.stop()
+    recorder.observe(delivered_packet(0, 3_000))  # after stop: ignored
+    assert recorder.count == 1
+    assert recorder.samples_us() == [2.0]
+
+
+def test_ignores_packets_without_marks():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim)
+    recorder.start()
+    recorder.observe(Packet(src=1, dst=2))  # never arrived/transmitted
+    assert recorder.count == 0
+
+
+def test_restart_clears_samples():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim)
+    recorder.start()
+    recorder.observe(delivered_packet(0, 5_000))
+    recorder.start()
+    assert recorder.count == 0
+
+
+def test_summary_us():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim)
+    recorder.start()
+    for latency_ns in (1_000, 2_000, 3_000):
+        recorder.observe(delivered_packet(0, latency_ns))
+    summary = recorder.summary_us()
+    assert summary["count"] == 3
+    assert summary["mean"] == 2.0
+    assert summary["median"] == 2.0
+    assert summary["max"] == 3.0

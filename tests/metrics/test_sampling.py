@@ -1,0 +1,82 @@
+"""Tests for the periodic depth sampler."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.kernel.queues import PacketQueue
+from repro.metrics.sampling import DepthSampler
+from repro.sim import Simulator
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+
+def test_period_validated():
+    with pytest.raises(ValueError):
+        DepthSampler(Simulator(), lambda: 0, 0)
+
+
+def test_samples_at_fixed_period():
+    sim = Simulator()
+    state = {"depth": 0}
+    sampler = DepthSampler(sim, lambda: state["depth"], 1_000).start()
+    sim.schedule(2_500, lambda: state.update(depth=7))
+    sim.run(until=5_000)
+    assert len(sampler.series) == 5
+    assert sampler.values()[:2] == [0.0, 0.0]
+    assert sampler.values()[2:] == [7.0, 7.0, 7.0]
+    assert sampler.max_depth() == 7.0
+
+
+def test_stop_halts_sampling():
+    sim = Simulator()
+    sampler = DepthSampler(sim, lambda: 1, 1_000).start()
+    sim.run(until=3_000)
+    sampler.stop()
+    sim.run(until=10_000)
+    assert len(sampler.series) == 3
+
+
+def test_for_queue_uses_len_and_name():
+    sim = Simulator()
+    queue = PacketQueue("screenq", 8)
+    queue.enqueue("a")
+    sampler = DepthSampler.for_queue(sim, queue, 1_000).start()
+    sim.run(until=1_000)
+    assert sampler.series.name == "screenq"
+    assert sampler.values() == [1.0]
+
+
+def test_oscillation_counting():
+    sim = Simulator()
+    sampler = DepthSampler(sim, lambda: 0, 1_000)
+    for time, value in enumerate([0, 9, 9, 2, 5, 10, 1, 9, 0]):
+        sampler.series.record(time, value)
+    assert sampler.oscillations(high=8, low=2) == 3
+
+
+def test_sparkline_shapes():
+    sim = Simulator()
+    sampler = DepthSampler(sim, lambda: 0, 1_000)
+    assert sampler.sparkline() == "(no samples)"
+    for time, value in enumerate([0, 5, 10]):
+        sampler.series.record(time, value)
+    line = sampler.sparkline()
+    assert len(line) == 3
+    assert line[0] == " " and line[-1] == "@"
+
+
+def test_screen_queue_sawtooth_under_feedback():
+    """End to end: the §6.6.1 feedback makes the screening queue saw
+    between its watermarks — visible in the sampled series."""
+    config = variants.polling(quota=10, screend=True)
+    router = Router(config).start()
+    sampler = DepthSampler.for_queue(
+        router.sim, router.screen_queue, period_ns=200_000
+    ).start()
+    ConstantRateGenerator(router.sim, router.nic_in, 8_000).start()
+    router.run_for(seconds(0.4))
+    # The queue repeatedly climbs to the high watermark and drains to
+    # the low one; several full cycles occur in 0.4 s.
+    assert sampler.oscillations(high=24, low=8) >= 3
+    assert sampler.max_depth() <= router.screen_queue.limit

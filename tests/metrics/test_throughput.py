@@ -1,0 +1,76 @@
+"""Unit tests for throughput analysis (MLFRR, livelock detection)."""
+
+import pytest
+
+from repro.metrics import (
+    degradation_ratio,
+    estimate_mlfrr,
+    is_livelock_free,
+    livelock_onset,
+    peak_rate,
+)
+
+# Canonical shapes from the paper (§4.2's three system behaviours).
+IDEAL = [(r, r) for r in (1_000, 3_000, 5_000, 8_000)]
+WELL_BEHAVED = [(1_000, 1_000), (3_000, 3_000), (5_000, 4_700),
+                (8_000, 4_650), (12_000, 4_700)]
+LIVELOCK_PRONE = [(1_000, 1_000), (2_000, 1_800), (4_000, 700),
+                  (6_000, 30), (8_000, 0), (12_000, 0)]
+
+
+def test_peak_rate():
+    # Ties on output resolve to the first (lowest-rate) point.
+    assert peak_rate(WELL_BEHAVED) == (5_000, 4_700)
+    assert peak_rate(LIVELOCK_PRONE) == (2_000, 1_800)
+    with pytest.raises(ValueError):
+        peak_rate([])
+
+
+def test_mlfrr_ideal_is_top_rate():
+    assert estimate_mlfrr(IDEAL) == 8_000
+
+
+def test_mlfrr_well_behaved():
+    assert estimate_mlfrr(WELL_BEHAVED) == 3_000
+
+
+def test_mlfrr_zero_when_nothing_keeps_up():
+    assert estimate_mlfrr([(1_000, 100), (2_000, 50)]) == 0.0
+
+
+def test_livelock_onset_detects_collapse():
+    onset = livelock_onset(LIVELOCK_PRONE)
+    assert onset == 6_000
+
+
+def test_livelock_onset_none_for_well_behaved():
+    assert livelock_onset(WELL_BEHAVED) is None
+    assert livelock_onset(IDEAL) is None
+
+
+def test_livelock_onset_requires_no_recovery():
+    dip_and_recover = [(1_000, 1_000), (2_000, 50), (4_000, 900)]
+    assert livelock_onset(dip_and_recover) is None
+
+
+def test_degradation_ratio():
+    assert degradation_ratio(IDEAL) == 1.0
+    assert degradation_ratio(WELL_BEHAVED) == 1.0
+    assert degradation_ratio(LIVELOCK_PRONE) == 0.0
+    assert degradation_ratio([(1, 100), (2, 60)]) == pytest.approx(0.6)
+
+
+def test_is_livelock_free():
+    assert is_livelock_free(IDEAL)
+    assert is_livelock_free(WELL_BEHAVED)
+    assert not is_livelock_free(LIVELOCK_PRONE)
+
+
+def test_is_livelock_free_with_all_zero_series():
+    assert not is_livelock_free([(1_000, 0), (2_000, 0)])
+
+
+def test_empty_series_rejected():
+    for fn in (estimate_mlfrr, livelock_onset, degradation_ratio):
+        with pytest.raises(ValueError):
+            fn([])

@@ -1,0 +1,85 @@
+"""Unit and property tests for address parsing and prefix matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    AddressError,
+    format_ip,
+    parse_ip,
+    parse_prefix,
+    prefix_contains,
+    prefix_mask,
+)
+
+
+def test_parse_ip_basic():
+    assert parse_ip("0.0.0.0") == 0
+    assert parse_ip("255.255.255.255") == 0xFFFFFFFF
+    assert parse_ip("10.1.0.2") == (10 << 24) | (1 << 16) | 2
+
+
+def test_parse_ip_rejects_malformed():
+    for bad in ("10.1.2", "10.1.2.3.4", "256.0.0.1", "a.b.c.d", "", "10..0.1"):
+        with pytest.raises(AddressError):
+            parse_ip(bad)
+
+
+def test_format_ip():
+    assert format_ip(0) == "0.0.0.0"
+    assert format_ip(parse_ip("192.168.1.10")) == "192.168.1.10"
+
+
+def test_format_ip_rejects_out_of_range():
+    with pytest.raises(AddressError):
+        format_ip(-1)
+    with pytest.raises(AddressError):
+        format_ip(2**32)
+
+
+def test_parse_prefix():
+    network, length = parse_prefix("10.2.0.0/16")
+    assert length == 16
+    assert format_ip(network) == "10.2.0.0"
+
+
+def test_parse_prefix_normalises_host_bits():
+    network, length = parse_prefix("10.2.3.4/16")
+    assert format_ip(network) == "10.2.0.0"
+
+
+def test_parse_prefix_rejects_malformed():
+    for bad in ("10.0.0.0", "10.0.0.0/33", "10.0.0.0/x", "/8"):
+        with pytest.raises(AddressError):
+            parse_prefix(bad)
+
+
+def test_prefix_mask():
+    assert prefix_mask(0) == 0
+    assert prefix_mask(8) == 0xFF000000
+    assert prefix_mask(32) == 0xFFFFFFFF
+    with pytest.raises(AddressError):
+        prefix_mask(33)
+
+
+def test_prefix_contains():
+    network, length = parse_prefix("10.2.0.0/16")
+    assert prefix_contains(network, length, parse_ip("10.2.200.7"))
+    assert not prefix_contains(network, length, parse_ip("10.3.0.1"))
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_format_parse_roundtrip(value):
+    assert parse_ip(format_ip(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=32))
+def test_address_always_inside_its_own_prefix(value, length):
+    network = value & prefix_mask(length)
+    assert prefix_contains(network, length, value)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_default_prefix_contains_everything(value):
+    assert prefix_contains(0, 0, value)

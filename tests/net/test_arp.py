@@ -1,0 +1,34 @@
+"""Unit tests for the ARP neighbour table."""
+
+from repro.net import ArpTable, parse_ip
+
+
+def test_resolve_known_entry():
+    arp = ArpTable()
+    arp.add_entry("10.2.0.2", "08:00:2b:00:00:99")
+    assert arp.resolve(parse_ip("10.2.0.2")) == "08:00:2b:00:00:99"
+
+
+def test_resolve_unknown_returns_none_and_counts():
+    arp = ArpTable()
+    assert arp.resolve(parse_ip("10.9.9.9")) is None
+    assert arp.failures == 1
+    assert arp.lookups == 1
+
+
+def test_phantom_entry_workflow():
+    """The §6.1 trick: a phantom entry makes a nonexistent destination
+    routable."""
+    arp = ArpTable()
+    assert "10.2.0.2" not in arp
+    arp.add_entry("10.2.0.2", "phantom")
+    assert "10.2.0.2" in arp
+    assert len(arp) == 1
+
+
+def test_entry_overwrite():
+    arp = ArpTable()
+    arp.add_entry("10.2.0.2", "old")
+    arp.add_entry("10.2.0.2", "new")
+    assert arp.resolve(parse_ip("10.2.0.2")) == "new"
+    assert len(arp) == 1

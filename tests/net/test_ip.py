@@ -1,0 +1,131 @@
+"""Unit tests for the IP layer (forwarding, screening, taps, locals)."""
+
+from repro.kernel import Kernel, KernelConfig, PacketQueue
+from repro.net import ArpTable, IPLayer, Packet, RoutingTable, ScreenPath, UdpLayer
+from repro.net.addresses import parse_ip
+from repro.sim import Signal
+from repro.sim.units import seconds
+
+
+def make_ip(screend=False):
+    kernel = Kernel(config=KernelConfig(idle_thread=False))
+    routing = RoutingTable()
+    routing.add("10.2.0.0/16", "out0")
+    arp = ArpTable()
+    arp.add_entry("10.2.0.2", "phantom")
+    ip = IPLayer(kernel, routing, arp)
+    outputs = []
+    ip.register_output("out0", outputs.append)
+    screen_queue = None
+    if screend:
+        screen_queue = PacketQueue("screenq", 32, kernel.probes,
+                                   high_watermark=24, low_watermark=8)
+        ip.set_screen_path(ScreenPath(screen_queue, Signal(kernel.sim, "s")))
+    return kernel, ip, outputs, screen_queue
+
+
+def drive(kernel, generator):
+    """Run an IP-layer generator helper inside a kernel thread."""
+    def body():
+        for command in generator:
+            yield command
+    kernel.kernel_thread(body(), "driver-context")
+    kernel.sim.run_for(seconds(0.01))
+
+
+def make_packet(dst="10.2.0.2"):
+    return Packet(src=parse_ip("10.1.0.2"), dst=parse_ip(dst))
+
+
+def test_forwarding_reaches_output_hook():
+    kernel, ip, outputs, _ = make_ip()
+    kernel.start()
+    packet = make_packet()
+    drive(kernel, ip.input_packet(packet))
+    assert outputs == [packet]
+    assert ip.forwarded.snapshot() == 1
+
+
+def test_forwarding_charges_ip_cost():
+    kernel, ip, outputs, _ = make_ip()
+    kernel.start()
+    start = kernel.cpu.busy_ns
+    drive(kernel, ip.input_packet(make_packet()))
+    consumed = kernel.cpu.busy_ns - start
+    expected_ns = kernel.costs.ip_forward * 1_000_000_000 // kernel.costs.cpu_hz
+    assert consumed >= expected_ns
+
+
+def test_no_route_drops():
+    kernel, ip, outputs, _ = make_ip()
+    kernel.start()
+    packet = make_packet(dst="11.0.0.1")
+    drive(kernel, ip.input_packet(packet))
+    assert outputs == []
+    assert ip.no_route_drops.snapshot() == 1
+    assert packet.dropped_at == "ip.no_route"
+
+
+def test_arp_failure_drops():
+    kernel, ip, outputs, _ = make_ip()
+    kernel.start()
+    packet = make_packet(dst="10.2.0.99")  # routed but unresolvable
+    drive(kernel, ip.input_packet(packet))
+    assert outputs == []
+    assert ip.arp_failure_drops.snapshot() == 1
+
+
+def test_screening_path_diverts_to_queue():
+    kernel, ip, outputs, screen_queue = make_ip(screend=True)
+    kernel.start()
+    packet = make_packet()
+    drive(kernel, ip.input_packet(packet))
+    assert outputs == []  # not forwarded directly
+    assert screen_queue.dequeue() is packet
+    assert ip.screened_in.snapshot() == 1
+
+
+def test_screen_queue_overflow_drops():
+    kernel, ip, outputs, screen_queue = make_ip(screend=True)
+    kernel.start()
+    for _ in range(40):
+        drive(kernel, ip.input_packet(make_packet()))
+    assert screen_queue.drop_count == 40 - 32
+
+
+def test_output_after_screen_forwards():
+    kernel, ip, outputs, _ = make_ip(screend=True)
+    kernel.start()
+    packet = make_packet()
+    drive(kernel, ip.output_after_screen(packet))
+    assert outputs == [packet]
+
+
+def test_local_delivery_to_udp():
+    kernel, ip, outputs, _ = make_ip()
+    udp = UdpLayer(kernel.sim, kernel.probes)
+    socket = udp.bind(9)
+    ip.set_udp(udp, [parse_ip("10.2.0.2")])
+    kernel.start()
+    packet = make_packet()
+    packet.dst_port = 9
+    drive(kernel, ip.input_packet(packet))
+    assert outputs == []
+    assert len(socket.queue) == 1
+    assert ip.local_delivered.snapshot() == 1
+
+
+def test_taps_receive_copies():
+    kernel, ip, outputs, _ = make_ip()
+    kernel.start()
+    seen = []
+
+    class FakeTap:
+        def deliver(self, packet):
+            seen.append(packet)
+
+    ip.taps.append(FakeTap())
+    packet = make_packet()
+    drive(kernel, ip.input_packet(packet))
+    assert seen == [packet]
+    assert outputs == [packet]  # tap does not consume the packet

@@ -1,0 +1,45 @@
+"""Unit tests for packet lifecycle bookkeeping."""
+
+from repro.net import Packet
+
+
+def test_packets_get_unique_ids():
+    first, second = Packet(src=1, dst=2), Packet(src=1, dst=2)
+    assert first.packet_id != second.packet_id
+
+
+def test_arrival_mark_is_first_write_wins():
+    packet = Packet(src=1, dst=2)
+    packet.mark_nic_arrival(100)
+    packet.mark_nic_arrival(999)  # e.g. forwarded into a second ring
+    assert packet.nic_arrival_ns == 100
+
+
+def test_latency_requires_both_marks():
+    packet = Packet(src=1, dst=2)
+    assert packet.latency_ns() is None
+    packet.mark_nic_arrival(100)
+    assert packet.latency_ns() is None
+    packet.mark_transmitted(350)
+    assert packet.latency_ns() == 250
+    assert packet.delivered
+
+
+def test_drop_mark_records_location():
+    packet = Packet(src=1, dst=2)
+    packet.mark_dropped("ipintrq")
+    assert packet.dropped_at == "ipintrq"
+    assert not packet.delivered
+
+
+def test_flow_and_ports_carried():
+    packet = Packet(src=1, dst=2, src_port=1234, dst_port=9, flow="burst")
+    assert packet.flow == "burst"
+    assert packet.dst_port == 9
+    assert packet.protocol == 17  # UDP
+
+
+def test_repr_contains_addresses():
+    packet = Packet(src=(10 << 24) | 1, dst=(10 << 24) | 2)
+    text = repr(packet)
+    assert "10.0.0.1" in text and "10.0.0.2" in text

@@ -1,0 +1,52 @@
+"""Unit tests for the routing table."""
+
+from repro.net import RoutingTable, parse_ip
+
+
+def test_lookup_matches_prefix():
+    table = RoutingTable()
+    table.add("10.2.0.0/16", "out0")
+    assert table.lookup_text("10.2.5.5") == "out0"
+    assert table.lookup_text("10.3.0.1") is None
+
+
+def test_longest_prefix_wins():
+    table = RoutingTable()
+    table.add("10.0.0.0/8", "coarse")
+    table.add("10.2.0.0/16", "fine")
+    table.add("10.2.3.0/24", "finest")
+    assert table.lookup_text("10.2.3.4") == "finest"
+    assert table.lookup_text("10.2.9.1") == "fine"
+    assert table.lookup_text("10.9.9.9") == "coarse"
+
+
+def test_insertion_order_does_not_matter():
+    table = RoutingTable()
+    table.add("10.2.3.0/24", "finest")
+    table.add("10.0.0.0/8", "coarse")
+    assert table.lookup_text("10.2.3.4") == "finest"
+
+
+def test_default_route():
+    table = RoutingTable()
+    table.add_default("gw")
+    table.add("10.2.0.0/16", "out0")
+    assert table.lookup_text("8.8.8.8") == "gw"
+    assert table.lookup_text("10.2.0.1") == "out0"
+
+
+def test_miss_counting():
+    table = RoutingTable()
+    table.add("10.2.0.0/16", "out0")
+    table.lookup(parse_ip("10.2.0.1"))
+    table.lookup(parse_ip("11.0.0.1"))
+    assert table.lookups == 2
+    assert table.misses == 1
+
+
+def test_len_and_entries():
+    table = RoutingTable()
+    table.add("10.2.0.0/16", "out0")
+    table.add("10.1.0.0/16", "in0")
+    assert len(table) == 2
+    assert {iface for _, _, iface in table.entries()} == {"in0", "out0"}

@@ -1,0 +1,69 @@
+"""Unit tests for the UDP layer."""
+
+import pytest
+
+from repro.net import Packet, UdpLayer
+from repro.sim import ProbeRegistry, Simulator
+
+
+def make_udp():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    return sim, probes, UdpLayer(sim, probes)
+
+
+def test_bind_and_deliver():
+    sim, probes, udp = make_udp()
+    socket = udp.bind(9)
+    packet = Packet(src=1, dst=2, dst_port=9)
+    assert udp.deliver(packet)
+    assert socket.received.snapshot() == 1
+    assert socket.queue.dequeue() is packet
+
+
+def test_double_bind_rejected():
+    sim, probes, udp = make_udp()
+    udp.bind(9)
+    with pytest.raises(ValueError):
+        udp.bind(9)
+
+
+def test_no_socket_drops_counted():
+    sim, probes, udp = make_udp()
+    packet = Packet(src=1, dst=2, dst_port=5353)
+    assert not udp.deliver(packet)
+    assert udp.no_socket_drops.snapshot() == 1
+    assert packet.dropped_at == "udp.no_socket"
+
+
+def test_unbind_releases_port():
+    sim, probes, udp = make_udp()
+    udp.bind(9)
+    udp.unbind(9)
+    assert udp.socket(9) is None
+    udp.bind(9)  # rebind works
+
+
+def test_socket_queue_overflow_is_drop_tail():
+    sim, probes, udp = make_udp()
+    socket = udp.bind(9, queue_limit=2)
+    results = [udp.deliver(Packet(src=1, dst=2, dst_port=9)) for _ in range(3)]
+    assert results == [True, True, False]
+    assert socket.queue.drop_count == 1
+
+
+def test_delivery_fires_data_signal():
+    sim, probes, udp = make_udp()
+    socket = udp.bind(9)
+    fired_before = socket.data_signal.fire_count
+    udp.deliver(Packet(src=1, dst=2, dst_port=9))
+    assert socket.data_signal.fire_count == fired_before + 1
+
+
+def test_demux_by_port():
+    sim, probes, udp = make_udp()
+    sock_a = udp.bind(9)
+    sock_b = udp.bind(53)
+    udp.deliver(Packet(src=1, dst=2, dst_port=53))
+    assert len(sock_a.queue) == 0
+    assert len(sock_b.queue) == 1

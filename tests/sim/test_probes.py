@@ -1,0 +1,99 @@
+"""Unit tests for counters, accumulators and measurement windows."""
+
+import pytest
+
+from repro.sim import Counter, CounterWindow, ProbeRegistry, Simulator, TimeSeries
+from repro.sim.probes import Accumulator
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.increment()
+    counter.increment(5)
+    assert counter.snapshot() == 6
+
+
+def test_counter_rejects_decrease():
+    counter = Counter("c")
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_accumulator():
+    acc = Accumulator("a")
+    acc.add(10)
+    acc.add(0)
+    assert acc.snapshot() == 10
+    with pytest.raises(ValueError):
+        acc.add(-1)
+
+
+def test_registry_returns_same_probe_for_same_name():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    assert probes.counter("x") is probes.counter("x")
+    assert probes.accumulator("y") is probes.accumulator("y")
+    assert probes.series("z") is probes.series("z")
+
+
+def test_registry_dump_merges_counters_and_accumulators():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    probes.counter("events").increment(3)
+    probes.accumulator("cycles").add(100)
+    dump = probes.dump()
+    assert dump == {"cycles": 100, "events": 3}
+
+
+def test_window_measures_rate():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    counter = probes.counter("packets")
+    window = probes.window("packets")
+
+    # 100 events over 0.5 simulated seconds -> 200/sec.
+    sim.schedule(0, window.start)
+    for i in range(100):
+        sim.schedule(i * 5_000_000, counter.increment)
+    sim.schedule(500_000_000, window.stop)
+    sim.run()
+    assert window.delta == 100
+    assert window.duration_ns == 500_000_000
+    assert window.rate() == pytest.approx(200.0)
+
+
+def test_window_requires_start_before_stop():
+    sim = Simulator()
+    window = CounterWindow(sim, Counter("c"))
+    with pytest.raises(RuntimeError):
+        window.stop()
+
+
+def test_window_rate_before_stop_raises():
+    sim = Simulator()
+    window = CounterWindow(sim, Counter("c"))
+    window.start()
+    with pytest.raises(RuntimeError):
+        window.rate()
+
+
+def test_window_excludes_events_before_start():
+    sim = Simulator()
+    counter = Counter("c")
+    window = CounterWindow(sim, counter)
+    counter.increment(42)
+    window.start()
+    sim.schedule(10, counter.increment)
+    sim.schedule(20, window.stop)
+    sim.run()
+    assert window.delta == 1
+
+
+def test_timeseries_records_and_reports():
+    series = TimeSeries("depth")
+    assert series.last() is None
+    series.record(10, 1.0)
+    series.record(20, 3.0)
+    assert len(series) == 2
+    assert series.values() == [1.0, 3.0]
+    assert series.last() == 3.0

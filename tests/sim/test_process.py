@@ -1,0 +1,213 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim import (
+    Process,
+    ProcessError,
+    Signal,
+    Simulator,
+    Sleep,
+    WaitSignal,
+    Work,
+)
+
+
+def test_sleep_advances_time():
+    sim = Simulator()
+    log = []
+
+    def body():
+        yield Sleep(100)
+        log.append(sim.now)
+        yield Sleep(50)
+        log.append(sim.now)
+
+    Process(sim, body(), name="sleeper").start()
+    sim.run()
+    assert log == [100, 150]
+
+
+def test_process_states():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(10)
+
+    proc = Process(sim, body(), name="p")
+    assert proc.state == "new"
+    proc.start()
+    assert proc.alive
+    sim.run()
+    assert proc.state == "done"
+    assert proc.finished
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(10)
+
+    proc = Process(sim, body(), name="p").start()
+    with pytest.raises(ProcessError):
+        proc.start()
+
+
+def test_non_generator_body_rejected():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Process(sim, lambda: None, name="bad")
+
+
+def test_wait_signal_blocks_until_fire():
+    sim = Simulator()
+    log = []
+    signal = Signal(sim, "go")
+
+    def waiter():
+        value = yield WaitSignal(signal)
+        log.append((sim.now, value))
+
+    Process(sim, waiter(), name="w").start()
+    sim.schedule(500, signal.fire, "hello")
+    sim.run()
+    assert log == [(500, "hello")]
+
+
+def test_signal_fire_wakes_all_waiters():
+    sim = Simulator()
+    woken = []
+    signal = Signal(sim, "go")
+
+    def waiter(tag):
+        yield WaitSignal(signal)
+        woken.append(tag)
+
+    for tag in ("a", "b", "c"):
+        Process(sim, waiter(tag), name=tag).start()
+    sim.schedule(10, signal.fire)
+    sim.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_signal_fire_one_wakes_fifo():
+    sim = Simulator()
+    woken = []
+    signal = Signal(sim, "go")
+
+    def waiter(tag):
+        yield WaitSignal(signal)
+        woken.append(tag)
+
+    for tag in ("first", "second"):
+        Process(sim, waiter(tag), name=tag).start()
+    sim.schedule(10, signal.fire_one)
+    sim.run()
+    assert woken == ["first"]
+    assert signal.waiter_count == 1
+
+
+def test_signal_fire_with_no_waiters_is_noop():
+    sim = Simulator()
+    signal = Signal(sim, "go")
+    assert signal.fire() == 0
+    assert signal.fire_one() is False
+
+
+def test_signal_is_edge_triggered():
+    """A process that waits after the fire stays blocked."""
+    sim = Simulator()
+    woken = []
+    signal = Signal(sim, "go")
+
+    def late_waiter():
+        yield Sleep(100)
+        yield WaitSignal(signal)
+        woken.append("late")
+
+    Process(sim, late_waiter(), name="late").start()
+    sim.schedule(10, signal.fire)
+    sim.run()
+    assert woken == []
+
+
+def test_kill_removes_waiter():
+    sim = Simulator()
+    signal = Signal(sim, "go")
+
+    def waiter():
+        yield WaitSignal(signal)
+
+    proc = Process(sim, waiter(), name="w").start()
+    sim.run()
+    assert signal.waiter_count == 1
+    proc.kill()
+    assert proc.state == "killed"
+    assert signal.waiter_count == 0
+    # Firing afterwards must not resurrect the process.
+    signal.fire()
+    sim.run()
+    assert proc.state == "killed"
+
+
+def test_on_exit_callback_runs_once():
+    sim = Simulator()
+    exits = []
+
+    def body():
+        yield Sleep(10)
+
+    proc = Process(sim, body(), name="p")
+    proc.on_exit(lambda p: exits.append(p.name))
+    proc.start()
+    sim.run()
+    assert exits == ["p"]
+
+
+def test_body_exception_propagates_as_process_error():
+    sim = Simulator()
+
+    def body():
+        yield Sleep(10)
+        raise ValueError("boom")
+
+    proc = Process(sim, body(), name="p").start()
+    with pytest.raises(ProcessError):
+        sim.run()
+    assert proc.state == "failed"
+    assert isinstance(proc.exception, ValueError)
+
+
+def test_plain_process_rejects_work():
+    sim = Simulator()
+
+    def body():
+        yield Work(100)
+
+    proc = Process(sim, body(), name="p")
+    with pytest.raises(ProcessError):
+        proc.start()
+    assert proc.state == "failed"
+
+
+def test_unknown_command_rejected():
+    sim = Simulator()
+
+    def body():
+        yield "not-a-command"
+
+    proc = Process(sim, body(), name="p")
+    with pytest.raises(ProcessError):
+        proc.start()
+    assert proc.state == "failed"
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(ValueError):
+        Sleep(-5)
+
+
+def test_negative_work_rejected():
+    with pytest.raises(ValueError):
+        Work(-5)

@@ -1,0 +1,49 @@
+"""Unit tests for deterministic random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import RandomStreams, derive_seed
+
+
+def test_same_seed_same_stream_draws():
+    a = RandomStreams(42).stream("traffic")
+    b = RandomStreams(42).stream("traffic")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(42)
+    first = [streams.stream("a").random() for _ in range(5)]
+    second = [streams.stream("b").random() for _ in range(5)]
+    assert first != second
+
+
+def test_adding_a_stream_does_not_perturb_existing():
+    solo = RandomStreams(7)
+    solo_draws = [solo.stream("x").random() for _ in range(5)]
+
+    mixed = RandomStreams(7)
+    mixed.stream("y").random()  # interleaved consumer
+    mixed_draws = [mixed.stream("x").random() for _ in range(5)]
+    assert solo_draws == mixed_draws
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("s") is streams.stream("s")
+    assert "s" in streams
+    assert "t" not in streams
+
+
+def test_derive_seed_is_stable():
+    # Regression pin: derivation must not change across releases, or
+    # recorded experiment results become unreproducible.
+    assert derive_seed(0, "traffic") == derive_seed(0, "traffic")
+    assert derive_seed(0, "traffic") != derive_seed(1, "traffic")
+    assert derive_seed(0, "a") != derive_seed(0, "b")
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=32))
+def test_derive_seed_in_64_bit_range(seed, name):
+    value = derive_seed(seed, name)
+    assert 0 <= value < 2**64

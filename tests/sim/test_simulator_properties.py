@@ -1,0 +1,88 @@
+"""Property-based tests of the event scheduler's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=200))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=100))
+def test_clock_never_moves_backwards(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    last = -1
+    while sim.step():
+        assert sim.now >= last
+        last = sim.now
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+        max_size=100,
+    )
+)
+def test_cancelled_events_never_fire(spec):
+    sim = Simulator()
+    fired = []
+    expected = 0
+    for delay, keep in spec:
+        event = sim.schedule(delay, lambda d=delay: fired.append(d))
+        if keep:
+            expected += 1
+        else:
+            sim.cancel(event)
+    sim.run()
+    assert len(fired) == expected
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=50),
+    st.integers(min_value=0, max_value=600),
+)
+@settings(max_examples=50)
+def test_run_until_is_a_clean_partition(delays, split):
+    """Running to a deadline then to completion fires every event exactly
+    once, same as a single run."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run(until=split)
+    early = list(fired)
+    assert all(d <= split for d in early)
+    sim.run()
+    assert sorted(fired) == sorted(delays)
+
+
+@given(st.data())
+def test_nested_scheduling_preserves_order(data):
+    """Events scheduled from inside callbacks still respect time order."""
+    sim = Simulator()
+    fired = []
+    first_delays = data.draw(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=20)
+    )
+
+    def chain(delay):
+        fired.append(sim.now)
+        nested = data.draw(st.integers(min_value=0, max_value=50))
+        if len(fired) < 60:
+            sim.schedule(nested, chain, nested)
+
+    for delay in first_delays:
+        sim.schedule(delay, chain, delay)
+    sim.run()
+    assert fired == sorted(fired)

@@ -1,0 +1,83 @@
+"""Unit tests for time/rate conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import units
+
+
+def test_seconds_to_ns():
+    assert units.seconds(1) == 1_000_000_000
+    assert units.seconds(0.5) == 500_000_000
+
+
+def test_milliseconds_and_microseconds():
+    assert units.milliseconds(1) == 1_000_000
+    assert units.microseconds(1) == 1_000
+    assert units.microseconds(0.5) == 500
+
+
+def test_to_seconds_roundtrip():
+    assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+
+
+def test_cycles_to_ns_exact():
+    # 100 MHz: 1 cycle = 10 ns.
+    assert units.cycles_to_ns(1, 100_000_000) == 10
+    assert units.cycles_to_ns(150, 150_000_000) == 1_000
+
+
+def test_cycles_to_ns_zero_and_negative():
+    assert units.cycles_to_ns(0, 100_000_000) == 0
+    assert units.cycles_to_ns(-5, 100_000_000) == 0
+
+
+def test_cycles_to_ns_never_rounds_positive_work_to_zero():
+    # One cycle on a very fast CPU still takes at least 1 ns.
+    assert units.cycles_to_ns(1, 10_000_000_000) >= 1
+
+
+def test_ns_to_cycles():
+    assert units.ns_to_cycles(1_000, 150_000_000) == 150
+    assert units.ns_to_cycles(0, 150_000_000) == 0
+
+
+def test_rate_to_interval():
+    assert units.rate_to_interval_ns(1_000) == 1_000_000
+    assert units.rate_to_interval_ns(14_880) == pytest.approx(67_204, abs=1)
+
+
+def test_rate_to_interval_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.rate_to_interval_ns(0)
+    with pytest.raises(ValueError):
+        units.rate_to_interval_ns(-1)
+
+
+def test_interval_to_rate_roundtrip():
+    rate = units.interval_to_rate(units.rate_to_interval_ns(5_000))
+    assert rate == pytest.approx(5_000, rel=1e-3)
+
+
+def test_interval_to_rate_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.interval_to_rate(0)
+
+
+@given(st.integers(min_value=1, max_value=10**9),
+       st.sampled_from([100_000_000, 150_000_000, 1_000_000_000]))
+def test_cycles_ns_roundtrip_within_one_cycle(cycles, hz):
+    """ns->cycles of cycles->ns loses at most one cycle to rounding."""
+    back = units.ns_to_cycles(units.cycles_to_ns(cycles, hz), hz)
+    assert abs(back - cycles) <= 1
+
+
+@given(st.floats(min_value=0.001, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_rate_interval_inverse(rate):
+    interval = units.rate_to_interval_ns(rate)
+    assert interval >= 1
+    recovered = units.interval_to_rate(interval)
+    # Coarse for very high rates (1 ns floor), tight otherwise.
+    if rate < 1e8:
+        assert recovered == pytest.approx(rate, rel=0.01)

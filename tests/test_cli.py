@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_figures(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for figure_id in ("6-1", "6-3", "6-4", "6-5", "6-6", "7-1"):
+        assert "figure %s" % figure_id in out
+
+
+def test_trial_unmodified(capsys):
+    code = main(["trial", "--variant", "unmodified", "--rate", "1000",
+                 "--duration", "0.1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "output rate" in out
+    assert "unmodified" in out
+
+
+def test_trial_polling_with_options(capsys):
+    code = main([
+        "trial", "--variant", "polling", "--quota", "5",
+        "--rate", "12000", "--duration", "0.1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "polling(quota=5)" in out
+    assert "drops:" in out
+
+
+def test_trial_with_compute_reports_share(capsys):
+    code = main([
+        "trial", "--variant", "polling", "--cycle-limit", "0.5",
+        "--rate", "6000", "--duration", "0.1", "--compute",
+    ])
+    assert code == 0
+    assert "user CPU share" in capsys.readouterr().out
+
+
+def test_trial_clocked_variant(capsys):
+    code = main(["trial", "--variant", "clocked", "--rate", "1000",
+                 "--duration", "0.1"])
+    assert code == 0
+    assert "clocked" in capsys.readouterr().out
+
+
+def test_figure_fast_csv(capsys):
+    code = main(["figure", "6-1", "--fast", "--csv"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("figure,series,x,y")
+    assert "Without screend" in out
+
+
+def test_figure_unknown_id_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "9-9"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_trial_high_ipl_variant(capsys):
+    code = main(["trial", "--variant", "high_ipl", "--rate", "1000",
+                 "--duration", "0.1"])
+    assert code == 0
+    assert "high_ipl" in capsys.readouterr().out
+
+
+def test_trial_input_feedback(capsys):
+    code = main(["trial", "--variant", "unmodified", "--input-feedback",
+                 "--rate", "12000", "--duration", "0.1"])
+    assert code == 0
+    assert "input feedback" in capsys.readouterr().out
+
+
+def test_list_includes_extensions(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "experiment ext-endhost" in out
+
+
+def test_figure_extension_runs(capsys):
+    code = main(["figure", "ext-rate-limit", "--fast", "--csv"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Rate-limited input" in out

@@ -1,0 +1,139 @@
+"""Unit tests for traffic generators."""
+
+import pytest
+
+from repro.hw import NIC
+from repro.sim import ProbeRegistry, RandomStreams, Simulator
+from repro.sim.units import seconds
+from repro.workloads import (
+    BurstyGenerator,
+    ConstantRateGenerator,
+    PoissonGenerator,
+)
+
+
+def make_target(rx_capacity=100_000):
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    nic = NIC(sim, "in0", probes, rx_ring_capacity=rx_capacity)
+    return sim, nic
+
+
+def test_constant_rate_hits_target():
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 5_000).start()
+    sim.run(until=seconds(1.0))
+    assert gen.sent == pytest.approx(5_000, rel=0.01)
+
+
+def test_constant_rate_is_capped_at_wire_speed():
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 1_000_000)
+    assert gen.interval_ns >= gen.min_interval_ns
+    gen.start()
+    sim.run(until=seconds(0.1))
+    assert gen.sent <= 0.1 * 14_900
+
+
+def test_jitter_requires_rng():
+    sim, nic = make_target()
+    with pytest.raises(ValueError):
+        ConstantRateGenerator(sim, nic, 1_000, jitter_fraction=0.1)
+
+
+def test_jittered_rate_preserves_mean():
+    sim, nic = make_target()
+    rng = RandomStreams(7).stream("traffic")
+    gen = ConstantRateGenerator(
+        sim, nic, 5_000, jitter_fraction=0.2, rng=rng
+    ).start()
+    sim.run(until=seconds(1.0))
+    assert gen.sent == pytest.approx(5_000, rel=0.05)
+
+
+def test_invalid_rates_rejected():
+    sim, nic = make_target()
+    for cls in (ConstantRateGenerator, BurstyGenerator):
+        with pytest.raises(ValueError):
+            cls(sim, nic, 0)
+    with pytest.raises(ValueError):
+        PoissonGenerator(sim, nic, -1, rng=RandomStreams(0).stream("t"))
+
+
+def test_poisson_mean_rate():
+    sim, nic = make_target()
+    rng = RandomStreams(3).stream("traffic")
+    gen = PoissonGenerator(sim, nic, 4_000, rng=rng).start()
+    sim.run(until=seconds(2.0))
+    assert gen.sent == pytest.approx(8_000, rel=0.08)
+
+
+def test_poisson_is_deterministic_per_seed():
+    counts = []
+    for _ in range(2):
+        sim, nic = make_target()
+        rng = RandomStreams(11).stream("traffic")
+        gen = PoissonGenerator(sim, nic, 4_000, rng=rng).start()
+        sim.run(until=seconds(0.5))
+        counts.append(gen.sent)
+    assert counts[0] == counts[1]
+
+
+def test_bursty_long_run_average():
+    sim, nic = make_target()
+    gen = BurstyGenerator(sim, nic, 3_000, burst_size=16).start()
+    sim.run(until=seconds(2.0))
+    assert gen.sent == pytest.approx(6_000, rel=0.05)
+
+
+def test_bursty_packets_arrive_back_to_back():
+    sim, nic = make_target()
+    arrivals = []
+    original = nic.receive_from_wire
+
+    def spy(packet):
+        arrivals.append(sim.now)
+        return original(packet)
+
+    nic.receive_from_wire = spy
+    BurstyGenerator(sim, nic, 1_000, burst_size=8).start()
+    sim.run(until=seconds(0.1))
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    # Within a burst, gaps equal the wire slot (~67.2 us).
+    assert min(gaps) == 67_200
+
+
+def test_burst_size_validated():
+    sim, nic = make_target()
+    with pytest.raises(ValueError):
+        BurstyGenerator(sim, nic, 1_000, burst_size=0)
+
+
+def test_stop_halts_emission():
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 10_000).start()
+    sim.run(until=seconds(0.05))
+    sent_at_stop = gen.sent
+    gen.stop()
+    sim.run(until=seconds(0.2))
+    assert gen.sent == sent_at_stop
+
+
+def test_double_start_rejected():
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 1_000).start()
+    with pytest.raises(RuntimeError):
+        gen.start()
+
+
+def test_packets_carry_addressing():
+    sim, nic = make_target()
+    ConstantRateGenerator(
+        sim, nic, 1_000, dst="10.2.0.2", dst_port=9, flow="f1"
+    ).start()
+    sim.run(until=seconds(0.01))
+    packet = nic.rx_pull()
+    assert packet is not None
+    assert packet.dst_port == 9
+    assert packet.flow == "f1"
+    assert packet.nic_arrival_ns is not None
