@@ -1,0 +1,66 @@
+"""Performance benchmarks for the sweep engine and the simulator core.
+
+Asserts the PR's perf floors where the hardware allows it:
+
+* the fused ``Simulator.run`` drain is >= 1.15x the pre-PR loop
+  (events/sec on the raw scheduler);
+* a warm result cache replays a figure 6-1 sweep >= 10x faster than the
+  cold run;
+* with >= 4 cores, ``jobs=4`` runs the sweep >= 2x faster than serial
+  (skipped on smaller runners — process fan-out cannot beat serial on a
+  single core).
+
+``scripts/bench_simcore.py`` records the same measurements to
+``BENCH_simcore.json`` for cross-PR tracking.
+"""
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_simcore import bench_event_loop, bench_fig61_sweep  # noqa: E402
+
+from repro.experiments.figures import figure_6_1  # noqa: E402
+
+SWEEP_KWARGS = dict(rates=(1_000, 5_000, 12_000), duration_s=0.1, warmup_s=0.05)
+
+
+def test_fused_run_loop_beats_pre_pr_loop():
+    result = bench_event_loop(total_events=400_000)
+    assert result["fused_vs_legacy_speedup"] >= 1.15, result
+
+
+def test_warm_cache_at_least_10x_faster_than_cold():
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = figure_6_1(cache=True, cache_dir=cache_dir, **SWEEP_KWARGS)
+        cold_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = figure_6_1(cache=True, cache_dir=cache_dir, **SWEEP_KWARGS)
+        warm_elapsed = time.perf_counter() - start
+    assert warm.series == cold.series
+    assert cold_elapsed >= 10 * warm_elapsed, (cold_elapsed, warm_elapsed)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup floor requires a >= 4-core runner",
+)
+def test_parallel_sweep_at_least_2x_faster_on_4_cores():
+    result = bench_fig61_sweep(jobs=4, smoke=False)
+    assert result["parallel_speedup"] >= 2.0, result
+
+
+def test_parallel_and_cached_sweeps_match_serial_exactly():
+    serial = figure_6_1(**SWEEP_KWARGS)
+    parallel = figure_6_1(jobs=2, **SWEEP_KWARGS)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cached = figure_6_1(cache=True, cache_dir=cache_dir, **SWEEP_KWARGS)
+        warm = figure_6_1(cache=True, cache_dir=cache_dir, **SWEEP_KWARGS)
+    assert serial.series == parallel.series == cached.series == warm.series

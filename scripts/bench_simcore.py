@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Simulator-core and sweep-engine microbenchmark.
+
+Emits ``BENCH_simcore.json`` so the performance trajectory is tracked
+across PRs. Three measurements:
+
+* **event loop** — events/sec of the raw scheduler drain, comparing the
+  fused ``Simulator.run`` loop against a frozen copy of the pre-PR
+  implementation (``peek_time()`` + ``step()`` per event, tuple-building
+  ``Event.__lt__``), so the speedup is measured against a fixed baseline
+  on identical hardware;
+* **fig 6-1 sweep** — wall-clock for a figure 6-1 fast sweep run
+  serially, with ``jobs=4`` worker processes, and from a warm result
+  cache;
+* **cancellation** — a cancel-heavy timer workload exercising tombstone
+  compaction.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_simcore.py          # full run
+    PYTHONPATH=src python scripts/bench_simcore.py --smoke  # CI-sized
+    python scripts/bench_simcore.py -o somewhere.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.figures import figure_6_1
+from repro.experiments.harness import FAST_RATE_GRID
+from repro.sim.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# Pre-PR baseline, frozen here for cross-version comparison
+# ----------------------------------------------------------------------
+
+class _LegacyEvent:
+    """The pre-optimization Event: __lt__ built a fresh key tuple on
+    every heap comparison."""
+
+    __slots__ = ("time", "seq", "callback", "args", "state")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.state = "pending"
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class _LegacySimulator:
+    """The pre-optimization drain strategy: ``run`` called ``peek_time``
+    then ``step`` for every event — two heap-top inspections and two
+    method dispatches per fire."""
+
+    def __init__(self):
+        self._now = 0
+        self._heap = []
+        self._seq = 0
+        self._fired = 0
+
+    def schedule(self, delay, callback, *args):
+        import heapq
+
+        event = _LegacyEvent(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self):
+        import heapq
+
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.state == "cancelled":
+                continue
+            self._now = event.time
+            event.state = "fired"
+            self._fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def peek_time(self):
+        import heapq
+
+        while self._heap and self._heap[0].state == "cancelled":
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self):
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            self.step()
+        return self._now
+
+    @property
+    def stats(self):
+        return {"fired": self._fired}
+
+
+# ----------------------------------------------------------------------
+# Raw event-loop throughput
+# ----------------------------------------------------------------------
+
+def _build_chains(sim: Simulator, chains: int, fires_per_chain: int) -> None:
+    """``chains`` interleaved self-rescheduling callbacks — the schedule/
+    fire pattern of NICs, wires and timers, minus their packet work."""
+    remaining = [fires_per_chain] * chains
+
+    def tick(index: int, period: int) -> None:
+        remaining[index] -= 1
+        if remaining[index] > 0:
+            sim.schedule(period, tick, index, period)
+
+    for index in range(chains):
+        sim.schedule(index + 1, tick, index, 7 + (index % 13))
+
+
+def bench_event_loop(total_events: int, chains: int = 64) -> dict:
+    fires_per_chain = max(1, total_events // chains)
+
+    fused_sim = Simulator()
+    _build_chains(fused_sim, chains, fires_per_chain)
+    start = time.perf_counter()
+    fused_sim.run()
+    fused_elapsed = time.perf_counter() - start
+    fired = fused_sim.stats["fired"]
+
+    legacy_sim = _LegacySimulator()
+    _build_chains(legacy_sim, chains, fires_per_chain)
+    start = time.perf_counter()
+    legacy_sim.run()
+    legacy_elapsed = time.perf_counter() - start
+    assert legacy_sim.stats["fired"] == fired
+
+    return {
+        "events": fired,
+        "fused_s": round(fused_elapsed, 6),
+        "legacy_s": round(legacy_elapsed, 6),
+        "fused_events_per_sec": round(fired / fused_elapsed),
+        "legacy_events_per_sec": round(fired / legacy_elapsed),
+        "fused_vs_legacy_speedup": round(legacy_elapsed / fused_elapsed, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# Cancellation-heavy workload (tombstone compaction)
+# ----------------------------------------------------------------------
+
+def bench_cancellation(timers: int) -> dict:
+    sim = Simulator()
+    start = time.perf_counter()
+    events = [sim.schedule(10**9 + i, lambda: None) for i in range(timers)]
+    for event in events:
+        sim.cancel(event)
+    elapsed = time.perf_counter() - start
+    return {
+        "timers": timers,
+        "cancel_s": round(elapsed, 6),
+        "final_heap_size": sim.stats["heap_size"],
+        "compactions": sim.stats["compactions"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 6-1 sweep: serial vs parallel vs warm cache
+# ----------------------------------------------------------------------
+
+def bench_fig61_sweep(jobs: int, smoke: bool) -> dict:
+    kwargs = dict(rates=FAST_RATE_GRID, duration_s=0.3, warmup_s=0.1)
+    if smoke:
+        kwargs = dict(rates=(1_000, 8_000), duration_s=0.05, warmup_s=0.02)
+
+    start = time.perf_counter()
+    serial = figure_6_1(**kwargs)
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = figure_6_1(jobs=jobs, **kwargs)
+    parallel_elapsed = time.perf_counter() - start
+    assert parallel.series == serial.series, "parallel sweep diverged"
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        start = time.perf_counter()
+        cold = figure_6_1(cache=True, cache_dir=cache_dir, **kwargs)
+        cold_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = figure_6_1(cache=True, cache_dir=cache_dir, **kwargs)
+        warm_elapsed = time.perf_counter() - start
+    assert warm.series == cold.series == serial.series, "cached sweep diverged"
+
+    return {
+        "trials": 2 * len(kwargs["rates"]),
+        "jobs": jobs,
+        "serial_s": round(serial_elapsed, 4),
+        "parallel_s": round(parallel_elapsed, 4),
+        "cold_cache_s": round(cold_elapsed, 4),
+        "warm_cache_s": round(warm_elapsed, 4),
+        "parallel_speedup": round(serial_elapsed / parallel_elapsed, 3),
+        "warm_cache_speedup": round(cold_elapsed / warm_elapsed, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_simcore.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    events = 200_000 if args.smoke else 2_000_000
+    timers = 20_000 if args.smoke else 200_000
+
+    report = {
+        "benchmark": "simcore",
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "event_loop": bench_event_loop(events),
+        "cancellation": bench_cancellation(timers),
+        "fig_6_1_sweep": bench_fig61_sweep(args.jobs, args.smoke),
+    }
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    loop = report["event_loop"]
+    sweep = report["fig_6_1_sweep"]
+    print(
+        "\nevent loop: %.2fM events/s fused (%.2fx vs pre-PR loop)"
+        % (loop["fused_events_per_sec"] / 1e6, loop["fused_vs_legacy_speedup"]),
+        file=sys.stderr,
+    )
+    print(
+        "fig 6-1:    serial %.2fs | jobs=%d %.2fs (%.2fx) | warm cache %.3fs (%.1fx)"
+        % (
+            sweep["serial_s"],
+            sweep["jobs"],
+            sweep["parallel_s"],
+            sweep["parallel_speedup"],
+            sweep["warm_cache_s"],
+            sweep["warm_cache_speedup"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

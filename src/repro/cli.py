@@ -4,8 +4,16 @@ Examples::
 
     repro-livelock list
     repro-livelock figure 6-1
-    repro-livelock figure 6-5 --fast --csv
+    repro-livelock figure 6-1 --jobs 4            # parallel trials
+    repro-livelock figure 6-5 --fast --csv --no-cache
     repro-livelock trial --variant polling --quota 5 --rate 12000
+
+Figure and trial runs go through the sweep engine
+(:mod:`repro.experiments.engine`): ``--jobs N`` fans independent trials
+across N worker processes, and results are cached on disk keyed by the
+full kernel configuration (``--no-cache`` recomputes, ``--cache-dir``
+relocates the cache). Serial, parallel and cached runs print identical
+output.
 """
 
 from __future__ import annotations
@@ -15,12 +23,12 @@ import sys
 from typing import List, Optional
 
 from .core import variants
+from .experiments.engine import run_trials
 from .experiments.extensions import EXTENSION_EXPERIMENTS
 from .experiments.figures import ALL_FIGURES
 from .experiments.harness import (
     DEFAULT_RATE_GRID,
     FAST_RATE_GRID,
-    run_trial,
 )
 from .experiments.results import render_report, to_csv
 
@@ -42,6 +50,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list reproducible figures")
 
+    def add_engine_flags(command):
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="fan trials across N worker processes (default: serial)",
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute every trial instead of using the on-disk cache",
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="result cache location (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-livelock)",
+        )
+
     fig = sub.add_parser("figure", help="regenerate one figure/experiment")
     fig.add_argument("figure_id", choices=sorted(ALL_EXPERIMENTS))
     fig.add_argument(
@@ -49,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument("--csv", action="store_true", help="emit CSV instead of a report")
     fig.add_argument("--seed", type=int, default=0)
+    add_engine_flags(fig)
 
     trial = sub.add_parser("trial", help="run a single measurement")
     trial.add_argument(
@@ -75,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trial.add_argument("--duration", type=float, default=0.5)
     trial.add_argument("--compute", action="store_true")
     trial.add_argument("--seed", type=int, default=0)
+    add_engine_flags(trial)
     return parser
 
 
@@ -105,6 +136,14 @@ def _config_from_args(args: argparse.Namespace):
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    try:
+        return _dispatch(args)
+    except NotADirectoryError as exc:
+        print("repro-livelock: error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for figure_id in sorted(ALL_FIGURES):
             print("figure %s" % figure_id)
@@ -113,7 +152,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "figure":
-        kwargs = {"seed": args.seed}
+        kwargs = {
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "cache": not args.no_cache,
+            "cache_dir": args.cache_dir,
+        }
         if args.fast:
             kwargs["duration_s"] = 0.3
             kwargs["warmup_s"] = 0.1
@@ -124,12 +168,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "trial":
-        trial = run_trial(
-            _config_from_args(args),
-            args.rate,
-            duration_s=args.duration,
-            with_compute=args.compute,
-            seed=args.seed,
+        [trial] = run_trials(
+            [
+                (
+                    _config_from_args(args),
+                    args.rate,
+                    {
+                        "duration_s": args.duration,
+                        "with_compute": args.compute,
+                        "seed": args.seed,
+                    },
+                )
+            ],
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
         )
         print("variant:        %s" % trial.variant)
         print("offered rate:   %8.0f pkt/s" % trial.offered_rate_pps)

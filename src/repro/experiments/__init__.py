@@ -20,9 +20,24 @@ from .harness import (
     sweep_series,
 )
 from .endhost import EndHost, HOST_ADDR, SERVICE_PORT
+from .engine import (
+    CACHE_VERSION,
+    ResultCache,
+    default_cache_dir,
+    parallel_map,
+    run_trials,
+    trial_fingerprint,
+)
 from .extensions import EXTENSION_EXPERIMENTS
 from .multitopology import MultiInputRouter
-from .results import ascii_plot, format_table, render_report, to_csv
+from .results import (
+    ascii_plot,
+    format_table,
+    render_report,
+    to_csv,
+    trial_from_dict,
+    trial_to_dict,
+)
 from .topology import (
     DEST_HOST,
     DEST_NET,
@@ -35,6 +50,7 @@ from .topology import (
 
 __all__ = [
     "ALL_FIGURES",
+    "CACHE_VERSION",
     "DEFAULT_RATE_GRID",
     "DEST_HOST",
     "DEST_NET",
@@ -47,11 +63,13 @@ __all__ = [
     "SERVICE_PORT",
     "INPUT_IF",
     "OUTPUT_IF",
+    "ResultCache",
     "Router",
     "SOURCE_HOST",
     "SOURCE_NET",
     "TrialResult",
     "ascii_plot",
+    "default_cache_dir",
     "figure_6_1",
     "figure_6_3",
     "figure_6_4",
@@ -59,9 +77,14 @@ __all__ = [
     "figure_6_6",
     "figure_7_1",
     "format_table",
+    "parallel_map",
     "render_report",
     "run_sweep",
     "run_trial",
+    "run_trials",
     "sweep_series",
     "to_csv",
+    "trial_fingerprint",
+    "trial_from_dict",
+    "trial_to_dict",
 ]

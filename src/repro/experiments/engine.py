@@ -1,0 +1,233 @@
+"""Sweep engine: parallel, cached execution of independent trials.
+
+Every figure in the reproduction is a sweep of independent measurements —
+the paper's methodology (§6.1) builds one fresh router per operating
+point — so trials are embarrassingly parallel, and because each trial is
+deterministic given ``(config, rate, seed, workload, ...)`` its result is
+perfectly cacheable. This module exploits both:
+
+* :func:`run_trials` fans trial specs out across a
+  ``ProcessPoolExecutor`` (``jobs`` worker processes) with
+  order-preserving results: the returned list matches the spec order and
+  is bit-identical to a serial run;
+* a content-addressed on-disk cache keyed by a SHA-256 fingerprint of
+  the full :class:`~repro.kernel.config.KernelConfig` (including the
+  cost model), the trial kwargs, and :data:`CACHE_VERSION`. Bump the
+  version tag whenever simulation semantics change — every old entry
+  then misses and the cache re-fills. Entries live under
+  ``$REPRO_CACHE_DIR`` (or ``$XDG_CACHE_HOME``/``~/.cache`` +
+  ``repro-livelock/``) as one JSON file per trial;
+* :func:`parallel_map` is the generic order-preserving fan-out for
+  experiments whose unit of work is not a plain trial (e.g. the
+  end-host extension).
+
+``run_sweep`` here is the real implementation behind
+:func:`repro.experiments.harness.run_sweep`; the harness delegates so
+existing callers pick up ``jobs=``/``cache=`` without code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.config import KernelConfig
+
+#: Bump whenever trial semantics, the cost model defaults, or the
+#: TrialResult schema change: the fingerprint embeds this tag, so a bump
+#: invalidates every existing cache entry without touching the files.
+CACHE_VERSION = "1"
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: A trial spec: (kernel config, input rate, run_trial keyword args).
+TrialSpec = Tuple[KernelConfig, float, Dict[str, Any]]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` wins, then
+    ``$XDG_CACHE_HOME/repro-livelock``, then ``~/.cache/repro-livelock``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-livelock"
+
+
+def trial_fingerprint(
+    config: KernelConfig, rate_pps: float, kwargs: Dict[str, Any]
+) -> str:
+    """Content hash addressing one trial's cached result.
+
+    Covers everything the result depends on: the complete config
+    (``asdict`` recurses into the cost model), the rate, every trial
+    keyword, and the code/schema version tag. ``sort_keys`` makes the
+    JSON canonical; ``default=repr`` keeps hashing total for exotic
+    values (same value → same repr → same key).
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "config": asdict(config),
+        "rate_pps": rate_pps,
+        "kwargs": kwargs,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of TrialResults, one JSON file per trial.
+
+    Malformed, truncated, or version-skewed entries read as misses, so a
+    cache directory can always be deleted or shared safely. Writes are
+    atomic (temp file + rename) so parallel workers never expose a
+    half-written entry.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                "cache path %s exists and is not a directory" % self.root
+            ) from None
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / (key + ".json")
+
+    def get(self, key: str):
+        from .results import trial_from_dict
+
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("version") != CACHE_VERSION:
+                raise ValueError("cache version skew")
+            result = trial_from_dict(entry["result"])
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        from .results import trial_to_dict
+
+        entry = {"version": CACHE_VERSION, "result": trial_to_dict(result)}
+        blob = json.dumps(entry, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def _resolve_cache(cache, cache_dir) -> Optional[ResultCache]:
+    """``cache`` may be a ResultCache, True (open the default/-given dir),
+    or False/None (caching off)."""
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache:
+        return ResultCache(Path(cache_dir) if cache_dir is not None else None)
+    return None
+
+
+def _run_spec(spec: TrialSpec):
+    """Top-level worker so ProcessPoolExecutor can pickle it."""
+    from .harness import run_trial
+
+    config, rate_pps, kwargs = spec
+    return run_trial(config, rate_pps, **kwargs)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Order-preserving map, fanned across ``jobs`` worker processes.
+
+    ``jobs`` of None/0/1 runs in-process (no executor overhead); ``fn``
+    and every payload must be picklable when ``jobs > 1``. Results come
+    back in payload order regardless of completion order, which is what
+    makes parallel sweeps reproduce serial output exactly.
+    """
+    payloads = list(payloads)
+    if jobs is None or jobs <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    workers = min(jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, payloads))
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    jobs: Optional[int] = None,
+    cache=False,
+    cache_dir=None,
+) -> List:
+    """Run every trial spec, in parallel and/or from cache.
+
+    Results are returned in spec order and are field-for-field identical
+    whether they were computed serially, across ``jobs`` processes, or
+    read back from the cache. Specs carrying a pre-built ``router``
+    cannot cross a process boundary or be fingerprinted, so they always
+    run serially and uncached.
+    """
+    specs = list(specs)
+    store = _resolve_cache(cache, cache_dir)
+
+    results: List[Any] = [None] * len(specs)
+    pending: List[int] = []
+    keys: Dict[int, str] = {}
+    for index, (config, rate_pps, kwargs) in enumerate(specs):
+        if "router" in kwargs and kwargs["router"] is not None:
+            results[index] = _run_spec(specs[index])
+            continue
+        if store is not None:
+            key = trial_fingerprint(config, rate_pps, kwargs)
+            keys[index] = key
+            cached = store.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+        pending.append(index)
+
+    fresh = parallel_map(_run_spec, [specs[i] for i in pending], jobs=jobs)
+    for index, result in zip(pending, fresh):
+        results[index] = result
+        if store is not None:
+            store.put(keys[index], result)
+    return results
+
+
+def run_sweep(
+    config: KernelConfig,
+    rates: Sequence[float],
+    jobs: Optional[int] = None,
+    cache=False,
+    cache_dir=None,
+    **trial_kwargs,
+) -> List:
+    """One trial per input rate (fresh router each time), engine-backed."""
+    specs = [(config, rate, dict(trial_kwargs)) for rate in rates]
+    return run_trials(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)

@@ -13,6 +13,7 @@ from ..core import variants
 from ..sim.units import seconds
 from ..workloads.generators import ConstantRateGenerator
 from .endhost import EndHost, HOST_ADDR, SERVICE_PORT
+from .engine import parallel_map
 from .figures import FigureResult
 from .harness import (
     DEFAULT_DURATION_S,
@@ -76,13 +77,35 @@ def extension_high_ipl(
     return result
 
 
+def _endhost_point(payload):
+    """One end-host measurement; top-level so worker processes can run it."""
+    config, host_kwargs, rate, duration_s, warmup_s = payload
+    host = EndHost(config, **host_kwargs).start()
+    ConstantRateGenerator(
+        host.sim, host.nic, rate, dst=HOST_ADDR, dst_port=SERVICE_PORT
+    ).start()
+    host.run_for(seconds(warmup_s))
+    before = host.requests_served
+    host.run_for(seconds(duration_s))
+    served = (host.requests_served - before) / duration_s
+    return (float(rate), served)
+
+
 def extension_endhost(
     rates: Sequence[float] = (1_000, 2_000, 3_000, 4_000, 6_000, 8_000, 10_000),
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache=False,
+    cache_dir=None,
 ) -> FigureResult:
-    """Server goodput under request floods (end-system livelock)."""
+    """Server goodput under request floods (end-system livelock).
+
+    ``jobs`` fans the (kernel, rate) grid across worker processes; the
+    end-host measurement is not a plain router trial, so it bypasses the
+    TrialResult cache (``cache``/``cache_dir`` accepted for CLI symmetry).
+    """
     result = FigureResult(
         figure_id="ext-endhost",
         title="RPC server goodput under receive overload",
@@ -103,19 +126,14 @@ def extension_endhost(
             {"socket_feedback": True},
         ),
     )
-    for label, config, host_kwargs in kernels:
-        points = []
-        for rate in rates:
-            host = EndHost(config, **host_kwargs).start()
-            ConstantRateGenerator(
-                host.sim, host.nic, rate, dst=HOST_ADDR, dst_port=SERVICE_PORT
-            ).start()
-            host.run_for(seconds(warmup_s))
-            before = host.requests_served
-            host.run_for(seconds(duration_s))
-            served = (host.requests_served - before) / duration_s
-            points.append((float(rate), served))
-        result.series[label] = points
+    payloads = [
+        (config, host_kwargs, rate, duration_s, warmup_s)
+        for _, config, host_kwargs in kernels
+        for rate in rates
+    ]
+    points = parallel_map(_endhost_point, payloads, jobs=jobs)
+    for row, (label, _, _) in enumerate(kernels):
+        result.series[label] = points[row * len(rates) : (row + 1) * len(rates)]
     result.notes = (
         "Useful throughput for an end-system is delivery to the application "
         "(§3). Kernel-side fixes alone move the drop point without feeding "

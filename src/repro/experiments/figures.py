@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import variants
 from ..kernel.config import KernelConfig
+from .engine import run_trials
 from .harness import DEFAULT_RATE_GRID, run_sweep, run_trial, sweep_series
 
 Point = Tuple[float, float]
@@ -215,6 +216,9 @@ def figure_7_1(
     rates: Sequence[float] = FIG_7_1_RATES,
     thresholds: Sequence[float] = THRESHOLD_GRID,
     quota: int = 5,
+    jobs: Optional[int] = None,
+    cache=False,
+    cache_dir=None,
     **trial_kwargs,
 ) -> FigureResult:
     """Available user-mode CPU vs input rate per cycle threshold (§7)."""
@@ -224,17 +228,24 @@ def figure_7_1(
         xlabel="Input packet rate (pkts/sec)",
         ylabel="Available CPU time (per cent)",
     )
-    for threshold in thresholds:
+    # One flat spec list so the engine can fan the whole threshold x rate
+    # grid out at once, not one row at a time.
+    specs = [
+        (
+            variants.polling(quota=quota, cycle_limit=threshold),
+            rate,
+            dict(trial_kwargs, with_compute=True),
+        )
+        for threshold in thresholds
+        for rate in rates
+    ]
+    trials = run_trials(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    for row, threshold in enumerate(thresholds):
         label = "threshold %d %%" % round(threshold * 100)
-        points: List[Point] = []
-        for rate in rates:
-            trial = run_trial(
-                variants.polling(quota=quota, cycle_limit=threshold),
-                rate,
-                with_compute=True,
-                **trial_kwargs,
-            )
-            points.append((trial.offered_rate_pps, 100.0 * trial.user_cpu_share))
+        points: List[Point] = [
+            (trial.offered_rate_pps, 100.0 * trial.user_cpu_share)
+            for trial in trials[row * len(rates) : (row + 1) * len(rates)]
+        ]
         result.series[label] = sorted(points)
     result.notes = (
         "Paper: ~94% available at zero load; curves stabilise as input rate "

@@ -172,10 +172,23 @@ def run_trial(
 def run_sweep(
     config: KernelConfig,
     rates: Sequence[float],
+    jobs: Optional[int] = None,
+    cache=False,
+    cache_dir=None,
     **trial_kwargs,
 ) -> List[TrialResult]:
-    """Run one trial per input rate (fresh router each time)."""
-    return [run_trial(config, rate, **trial_kwargs) for rate in rates]
+    """Run one trial per input rate (fresh router each time).
+
+    Delegates to :mod:`repro.experiments.engine`: ``jobs`` fans the
+    trials across worker processes, ``cache=True`` (optionally with
+    ``cache_dir``) reuses on-disk results. Output order and every
+    ``TrialResult`` field are identical regardless of jobs/cache.
+    """
+    from .engine import run_sweep as engine_run_sweep
+
+    return engine_run_sweep(
+        config, rates, jobs=jobs, cache=cache, cache_dir=cache_dir, **trial_kwargs
+    )
 
 
 def sweep_series(results: Sequence[TrialResult]):

@@ -1,19 +1,50 @@
-"""Rendering of experiment results: tables, ASCII plots, CSV.
+"""Rendering and serialization of experiment results.
 
 The paper presents its results as scatter/line plots; in a terminal we
 render each figure as (a) a table of every series and (b) a coarse ASCII
 plot that makes the shapes — plateaus, collapses, crossovers — visible
-at a glance.
+at a glance. :func:`trial_to_dict` / :func:`trial_from_dict` give
+:class:`~repro.experiments.harness.TrialResult` a lossless JSON form,
+used by the sweep engine's on-disk result cache.
 """
 
 from __future__ import annotations
 
 import io
+from dataclasses import asdict, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .figures import FigureResult
+from .harness import TrialResult
 
 Point = Tuple[float, float]
+
+
+# ----------------------------------------------------------------------
+# TrialResult (de)serialization
+# ----------------------------------------------------------------------
+
+def trial_to_dict(trial: TrialResult) -> Dict:
+    """A JSON-able dict capturing every field of ``trial``.
+
+    The round trip through :func:`trial_from_dict` is lossless: floats
+    survive exactly (JSON emits the shortest round-tripping repr), so a
+    cached trial compares equal to a freshly computed one.
+    """
+    return asdict(trial)
+
+
+def trial_from_dict(data: Dict) -> TrialResult:
+    """Rebuild a :class:`TrialResult` from :func:`trial_to_dict` output.
+
+    Raises ``TypeError``/``KeyError`` on malformed input — callers (the
+    result cache) treat any exception as a cache miss.
+    """
+    known = {f.name for f in fields(TrialResult)}
+    unknown = set(data) - known
+    if unknown:
+        raise KeyError("unknown TrialResult fields: %s" % sorted(unknown))
+    return TrialResult(**data)
 
 
 def format_table(result: FigureResult) -> str:

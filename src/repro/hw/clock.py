@@ -44,9 +44,11 @@ class ClockDevice:
         if self._started:
             raise RuntimeError("clock already started")
         self._started = True
-        self.sim.schedule(self.tick_ns, self._tick, label="clock-tick")
+        # One re-armed event for the lifetime of the run: the clock fires
+        # once per tick for the whole simulation, so a per-tick allocation
+        # would be the single largest source of event churn.
+        self.sim.schedule_periodic(self.tick_ns, self._tick, label="clock-tick")
 
     def _tick(self) -> None:
         self.ticks += 1
         self.line.request()
-        self.sim.schedule(self.tick_ns, self._tick, label="clock-tick")

@@ -33,6 +33,7 @@ class DepthSampler:
         self.period_ns = period_ns
         self.series = TimeSeries(name)
         self._running = False
+        self._timer = None
 
     @classmethod
     def for_queue(
@@ -45,17 +46,21 @@ class DepthSampler:
         if self._running:
             raise RuntimeError("sampler already running")
         self._running = True
-        self.sim.schedule(self.period_ns, self._tick, label="sample:" + self.series.name)
+        # One re-armed event for the sampler's lifetime (samplers tick for
+        # the whole run, often at sub-tick periods).
+        self._timer = self.sim.schedule_periodic(
+            self.period_ns, self._tick, label="sample:" + self.series.name
+        )
         return self
 
     def stop(self) -> None:
         self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     def _tick(self) -> None:
-        if not self._running:
-            return
         self.series.record(self.sim.now, float(self.probe()))
-        self.sim.schedule(self.period_ns, self._tick, label="sample:" + self.series.name)
 
     # ------------------------------------------------------------------
 

@@ -3,6 +3,9 @@
 Public surface:
 
 * :class:`~repro.sim.simulator.Simulator` — event loop and virtual clock;
+  recurring work uses :meth:`~repro.sim.simulator.Simulator.schedule_periodic`,
+  which re-arms a single :class:`~repro.sim.events.Event` per timer
+  (returns a cancellable :class:`~repro.sim.simulator.PeriodicEvent`);
 * :class:`~repro.sim.process.Process` and the command objects
   (:class:`~repro.sim.process.Sleep`, :class:`~repro.sim.process.WaitSignal`,
   :class:`~repro.sim.process.Work`);
@@ -29,7 +32,7 @@ from .process import (
 )
 from .randomness import RandomStreams, derive_seed
 from .signals import Signal
-from .simulator import Simulator
+from .simulator import PeriodicEvent, Simulator
 from .units import (
     NS_PER_MS,
     NS_PER_SEC,
@@ -59,6 +62,7 @@ __all__ = [
     "NS_PER_MS",
     "NS_PER_SEC",
     "NS_PER_US",
+    "PeriodicEvent",
     "ProbeRegistry",
     "Process",
     "ProcessError",

@@ -25,7 +25,7 @@ class Event:
     client operation is passing them back to ``Simulator.cancel``.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "state", "label")
+    __slots__ = ("time", "seq", "callback", "args", "state", "label", "_key")
 
     def __init__(
         self,
@@ -41,6 +41,18 @@ class Event:
         self.args = args
         self.state = PENDING
         self.label = label
+        self._key = (time, seq)
+
+    def _rearm(self, time: int, seq: int) -> None:
+        """Reuse this (fired) event object for a new firing time.
+
+        Only the simulator's periodic scheduling calls this; ``time`` and
+        ``seq`` must change together so the cached heap key stays valid.
+        """
+        self.time = time
+        self.seq = seq
+        self.state = PENDING
+        self._key = (time, seq)
 
     @property
     def pending(self) -> bool:
@@ -53,10 +65,13 @@ class Event:
     def sort_key(self) -> Tuple[int, int]:
         """Heap ordering: by time, ties broken by scheduling order so that
         same-time events fire in FIFO order (deterministic)."""
-        return (self.time, self.seq)
+        return self._key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        # The key tuple is precomputed at schedule time: heap sifts compare
+        # events many times per push/pop, and building the tuples on every
+        # comparison dominated the scheduler profile.
+        return self._key < other._key
 
     def __repr__(self) -> str:
         name = self.label or getattr(self.callback, "__name__", "callback")

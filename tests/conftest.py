@@ -1,0 +1,10 @@
+"""Shared test configuration."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the sweep engine's result cache out of the user's real
+    ~/.cache during tests: every test gets a private, empty cache dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -67,6 +67,36 @@ def test_run_until_is_a_clean_partition(delays, split):
     assert sorted(fired) == sorted(delays)
 
 
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+        max_size=150,
+    ),
+    st.integers(min_value=0, max_value=1100),
+)
+def test_pending_counter_matches_heap_scan(spec, deadline):
+    """stats["pending"] is maintained exactly (no heap scan), through any
+    mix of scheduling, cancellation, partial runs and compaction."""
+    from repro.sim.events import PENDING
+
+    sim = Simulator()
+    events = []
+    for delay, keep in spec:
+        event = sim.schedule(delay, lambda: None)
+        events.append(event)
+        if not keep:
+            sim.cancel(event)
+        assert sim.stats["pending"] == sum(
+            1 for e in sim._heap if e.state == PENDING
+        )
+    sim.run(until=deadline)
+    assert sim.stats["pending"] == sum(
+        1 for e in sim._heap if e.state == PENDING
+    )
+    sim.run()
+    assert sim.stats["pending"] == 0
+
+
 @given(st.data())
 def test_nested_scheduling_preserves_order(data):
     """Events scheduled from inside callbacks still respect time order."""

@@ -91,3 +91,27 @@ def test_figure_extension_runs(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "Rate-limited input" in out
+
+
+def test_figure_serial_parallel_cached_print_identical_series(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    args = ["figure", "6-1", "--fast", "--csv"]
+    assert main(args + ["--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--no-cache", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert main(args + ["--cache-dir", cache]) == 0  # cold, fills the cache
+    cold = capsys.readouterr().out
+    assert main(args + ["--cache-dir", cache]) == 0  # warm, all hits
+    warm = capsys.readouterr().out
+    assert serial == parallel == cold == warm
+
+
+def test_trial_uses_cache_between_runs(capsys, tmp_path):
+    args = ["trial", "--variant", "polling", "--rate", "4000",
+            "--duration", "0.05", "--cache-dir", str(tmp_path / "c")]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+    assert list((tmp_path / "c").glob("*.json"))
