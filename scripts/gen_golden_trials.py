@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate the golden TrialResult fixture used by the determinism tests.
+
+The fixture pins ``run_trial`` output — every field, including the
+``drops`` and ``counters`` dicts — for a matrix of kernel variants,
+workloads and rates at fixed seeds. The packet fast path (pooling,
+callback generators, NIC batching) must keep these bit-identical; any
+intentional semantic change must regenerate this file and explain why.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_golden_trials.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+
+OUTPUT = Path(__file__).resolve().parent.parent / "tests" / "experiments" / "golden_trials.json"
+
+#: The trial matrix: every kernel variant x every workload, at a light
+#: rate and an overload (livelock-regime) rate, two seeds.
+VARIANTS = {
+    "unmodified": variants.unmodified,
+    "polling": variants.polling,
+    "high_ipl": variants.high_ipl,
+    "clocked": variants.clocked,
+}
+WORKLOADS = ("constant", "poisson", "bursty")
+RATES = (3_000, 12_000)
+SEEDS = (0, 7)
+TIMING = dict(duration_s=0.08, warmup_s=0.03)
+
+
+def trial_key(variant, workload, rate, seed):
+    return "%s|%s|%d|%d" % (variant, workload, rate, seed)
+
+
+def generate():
+    golden = {}
+    for variant_name, factory in VARIANTS.items():
+        for workload in WORKLOADS:
+            for rate in RATES:
+                for seed in SEEDS:
+                    result = run_trial(
+                        factory(),
+                        rate,
+                        seed=seed,
+                        workload=workload,
+                        **TIMING,
+                    )
+                    golden[trial_key(variant_name, workload, rate, seed)] = asdict(
+                        result
+                    )
+    return golden
+
+
+def main():
+    golden = generate()
+    OUTPUT.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print("wrote %d golden trials to %s" % (len(golden), OUTPUT))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

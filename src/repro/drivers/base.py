@@ -57,6 +57,9 @@ class Driver:
         self.tx_packets_started = kernel.probes.counter(
             "driver.%s.tx_started" % name
         )
+        # Shared per-packet Work commands for the TX service loop (the
+        # CPU model only reads ``.cycles``, so reuse is safe).
+        self._tx_start_work = Work(self.costs.tx_start_per_packet)
 
     # ------------------------------------------------------------------
 
@@ -96,7 +99,7 @@ class Driver:
             and self.nic.tx_free_slots() > 0
             and not self.ifqueue.empty
         ):
-            yield Work(self.costs.tx_start_per_packet)
+            yield self._tx_start_work
             packet = self.ifqueue.dequeue()
             if packet is None:  # pragma: no cover - guarded by loop condition
                 break

@@ -128,25 +128,30 @@ class ClassicIPInput:
 
     def _softirq_body(self):
         """SPLNET handler: drain ipintrq completely, then return."""
+        dequeue_work = Work(self.costs.ipintrq_dequeue)
+        acknowledge = self._softnet_line.acknowledge
+        ipintrq_dequeue = self.ipintrq.dequeue
+        input_packet = self.ip.input_packet
         while True:
-            self._softnet_line.acknowledge()
-            packet = self.ipintrq.dequeue()
+            acknowledge()
+            packet = ipintrq_dequeue()
             if packet is None:
                 return
-            yield Work(self.costs.ipintrq_dequeue)
-            for command in self.ip.input_packet(packet):
-                yield command
+            yield dequeue_work
+            yield from input_packet(packet)
 
     def _netisr_body(self):
         """netisr kernel thread: drain ipintrq, sleep when empty."""
+        dequeue_work = Work(self.costs.ipintrq_dequeue)
+        ipintrq_dequeue = self.ipintrq.dequeue
+        input_packet = self.ip.input_packet
         while True:
-            packet = self.ipintrq.dequeue()
+            packet = ipintrq_dequeue()
             if packet is None:
                 yield WaitSignal(self._netisr_signal)
                 continue
-            yield Work(self.costs.ipintrq_dequeue)
-            for command in self.ip.input_packet(packet):
-                yield command
+            yield dequeue_work
+            yield from input_packet(packet)
 
 
 class BsdDriver(Driver):
@@ -192,24 +197,30 @@ class BsdDriver(Driver):
     # ------------------------------------------------------------------
 
     def _rx_handler(self):
-        per_packet = self.costs.rx_device_per_packet + self.extra_rx_cycles
+        per_packet_work = Work(
+            self.costs.rx_device_per_packet + self.extra_rx_cycles
+        )
+        softirq_post_work = Work(self.costs.softirq_post)
+        rx_line = self.rx_line
+        rx_pull = self.nic.rx_pull
+        rx_processed_inc = self.rx_packets_processed.increment
+        ip_enqueue = self.ip_input.enqueue
         while True:
             # §5.1 rate limiting: if feedback disabled our input
             # interrupts mid-batch, stop pulling — the RX ring buffers
             # ("additional incoming packets may accumulate there").
-            if not self.rx_line.enabled:
+            if not rx_line.enabled:
                 return
             # Consume the pending request before the emptiness check so a
             # packet arriving after the check re-raises the interrupt.
-            self.rx_line.acknowledge()
-            packet = self.nic.rx_pull()
+            rx_line.acknowledge()
+            packet = rx_pull()
             if packet is None:
                 return
-            yield Work(per_packet)
-            self.rx_packets_processed.increment()
-            accepted = self.ip_input.enqueue(packet)
-            if accepted:
-                yield Work(self.costs.softirq_post)
+            yield per_packet_work
+            rx_processed_inc()
+            if ip_enqueue(packet):
+                yield softirq_post_work
             # If ipintrq was full the packet is dropped *after* the
             # device-level work was spent on it — the wasted work at the
             # heart of §4.2 (the queue's drop counter records it).

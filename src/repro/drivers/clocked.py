@@ -52,25 +52,39 @@ class ClockedPollingDriver(Driver):
 
     def _poll_body(self):
         costs = self.costs
+        batch_pull = self.kernel.config.rx_batch_pull
+        rx_pull = self.nic.rx_pull
+        rx_processed_inc = self.rx_packets_processed.increment
+        input_packet = self.ip.input_packet
+        sleep_period = Sleep(self.poll_interval_ns)
+        poll_work = Work(costs.poll_loop_overhead + costs.poll_device_check)
+        per_packet_work = Work(costs.polled_rx_per_packet)
         while True:
-            yield Sleep(self.poll_interval_ns)
+            yield sleep_period
             self.polls.increment()
             # Fixed cost of waking up and inspecting the device, paid on
             # every period whether or not anything arrived — the polling
             # overhead side of the dilemma.
-            yield Work(costs.poll_loop_overhead + costs.poll_device_check)
+            yield poll_work
             worked = False
             handled = 0
-            while self.quota is None or handled < self.quota:
-                packet = self.nic.rx_pull()
-                if packet is None:
-                    break
-                yield Work(costs.polled_rx_per_packet)
-                self.rx_packets_processed.increment()
-                for command in self.ip.input_packet(packet):
-                    yield command
-                handled += 1
-                worked = True
+            if batch_pull:
+                for packet in self.nic.rx_pull_many(self.quota):
+                    yield per_packet_work
+                    rx_processed_inc()
+                    yield from input_packet(packet)
+                    handled += 1
+                    worked = True
+            else:
+                while self.quota is None or handled < self.quota:
+                    packet = rx_pull()
+                    if packet is None:
+                        break
+                    yield per_packet_work
+                    rx_processed_inc()
+                    yield from input_packet(packet)
+                    handled += 1
+                    worked = True
             moved = yield from self._tx_service(self.quota)
             if moved:
                 worked = True

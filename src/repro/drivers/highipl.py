@@ -70,20 +70,31 @@ class HighIplDriver(Driver):
     def _service_handler(self):
         """One handler serves both directions, alternating under the
         quota, until no work remains — all at device IPL."""
+        batch_pull = self.kernel.config.rx_batch_pull
+        per_packet_work = Work(self.costs.polled_rx_per_packet)
+        rx_processed_inc = self.rx_packets_processed.increment
+        input_packet = self.ip.input_packet
         while True:
             self.rx_line.acknowledge()
             self.tx_line.acknowledge()
             self.service_rounds.increment()
             handled = 0
-            while (self.quota is None or handled < self.quota):
-                packet = self.nic.rx_pull()
-                if packet is None:
-                    break
-                yield Work(self.costs.polled_rx_per_packet)
-                self.rx_packets_processed.increment()
-                for command in self.ip.input_packet(packet):
-                    yield command
-                handled += 1
+            if batch_pull:
+                for packet in self.nic.rx_pull_many(self.quota):
+                    yield per_packet_work
+                    rx_processed_inc()
+                    yield from input_packet(packet)
+                    handled += 1
+            else:
+                rx_pull = self.nic.rx_pull
+                while self.quota is None or handled < self.quota:
+                    packet = rx_pull()
+                    if packet is None:
+                        break
+                    yield per_packet_work
+                    rx_processed_inc()
+                    yield from input_packet(packet)
+                    handled += 1
             moved = yield from self._tx_service(self.quota)
             if handled == 0 and moved == 0:
                 return

@@ -109,24 +109,34 @@ class PolledDriver(Driver):
     # ------------------------------------------------------------------
 
     def rx_callback(self, quota: Optional[int]):
-        """Process up to ``quota`` received packets to completion."""
+        """Process up to ``quota`` received packets to completion.
+
+        Always pulls one descriptor at a time (never ``rx_pull_many``):
+        the feedback / cycle-limit check between packets must be able to
+        stop the drain with the backlog still *in the ring*, where it
+        either soaks or overflow-drops for free.
+        """
         self.rx_callback_runs.increment()
         self.rx_service_needed = False
+        polling = self.polling
+        rx_pull = self.nic.rx_pull
+        per_packet_work = Work(self.costs.polled_rx_per_packet)
+        rx_processed_inc = self.rx_packets_processed.increment
+        input_packet = self.ip.input_packet
         handled = 0
         while quota is None or handled < quota:
-            if self.polling is not None and not self.polling.input_allowed:
+            if polling is not None and not polling.input_allowed:
                 # Feedback or the cycle limit inhibited input mid-callback:
                 # stop immediately ("inhibit further input processing").
                 break
-            packet = self.nic.rx_pull()
+            packet = rx_pull()
             if packet is None:
                 break
-            yield Work(self.costs.polled_rx_per_packet)
-            self.rx_packets_processed.increment()
+            yield per_packet_work
+            rx_processed_inc()
             # Processed as far as possible in one go: IP input runs here,
             # in the polling thread — no ipintrq, no software interrupt.
-            for command in self.ip.input_packet(packet):
-                yield command
+            yield from input_packet(packet)
             handled += 1
         if self.nic.rx_pending() > 0:
             # Quota exhausted with backlog: ask to be polled again.

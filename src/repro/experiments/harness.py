@@ -70,6 +70,7 @@ def _make_generator(
     streams: RandomStreams,
     burst_size: int,
 ):
+    pool = getattr(router, "packet_pool", None)
     if workload == WORKLOAD_CONSTANT:
         return ConstantRateGenerator(
             router.sim,
@@ -77,10 +78,15 @@ def _make_generator(
             rate_pps,
             jitter_fraction=0.05,
             rng=streams.stream("traffic"),
+            pool=pool,
         )
     if workload == WORKLOAD_POISSON:
         return PoissonGenerator(
-            router.sim, router.nic_in, rate_pps, rng=streams.stream("traffic")
+            router.sim,
+            router.nic_in,
+            rate_pps,
+            rng=streams.stream("traffic"),
+            pool=pool,
         )
     if workload == WORKLOAD_BURSTY:
         return BurstyGenerator(
@@ -89,6 +95,7 @@ def _make_generator(
             rate_pps,
             burst_size=burst_size,
             rng=streams.stream("traffic"),
+            pool=pool,
         )
     raise ValueError("unknown workload %r" % workload)
 

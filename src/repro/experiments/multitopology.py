@@ -32,6 +32,7 @@ from ..kernel.kernel import Kernel
 from ..metrics.latency import LatencyRecorder
 from ..net.arp import ArpTable
 from ..net.ip import IPLayer
+from ..net.packet import PacketPool
 from ..net.routing import RoutingTable
 from ..sim.probes import ProbeRegistry
 from ..sim.simulator import Simulator
@@ -123,6 +124,9 @@ class MultiInputRouter:
         self.delivered = self.probes.counter("router.delivered")
         self.latency = LatencyRecorder(self.sim)
         self.nic_out.on_transmit = self._on_output_transmit
+        #: Shared freelist for all of this router's traffic generators
+        #: (multi-NIC trials multiply the per-packet allocation cost).
+        self.packet_pool = PacketPool()
         self._flow_counters: Dict[str, int] = {}
         self._started = False
 
@@ -195,6 +199,9 @@ class MultiInputRouter:
         self.latency.observe(packet)
         flow = getattr(packet, "flow", "default")
         self._flow_counters[flow] = self._flow_counters.get(flow, 0) + 1
+        pool = self.packet_pool
+        if pool.enabled:
+            pool.release(packet)
 
     def delivered_by_flow(self) -> Dict[str, int]:
         """Packets delivered on the output wire, keyed by flow label."""

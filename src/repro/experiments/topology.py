@@ -36,6 +36,7 @@ from ..kernel.queues import PacketQueue
 from ..metrics.latency import LatencyRecorder
 from ..net.arp import ArpTable
 from ..net.ip import IPLayer, ScreenPath
+from ..net.packet import PacketPool
 from ..net.routing import RoutingTable
 from ..sim.probes import ProbeRegistry
 from ..sim.signals import Signal
@@ -60,12 +61,20 @@ class Router:
         sim: Optional[Simulator] = None,
         tx_ipl: int = IPL_DEVICE,
         screen_rule: Optional[ScreenRule] = None,
+        recycle_packets: bool = True,
     ) -> None:
         config.validate()
         self.config = config
         self.sim = sim if sim is not None else Simulator()
         self.probes = ProbeRegistry(self.sim)
         self.kernel = Kernel(self.sim, config, self.probes)
+        #: Freelist for the per-packet fast path: generators draw from
+        #: it, and the router returns each packet once its transmission
+        #: on the output wire completes (RX-overflow rejects are
+        #: returned by the generator itself). Pass
+        #: ``recycle_packets=False`` — or call ``packet_pool.disable()``
+        #: — when test code retains packet references past those points.
+        self.packet_pool = PacketPool(enabled=recycle_packets)
 
         # --- interfaces -------------------------------------------------
         self.nic_in = NIC(
@@ -240,6 +249,9 @@ class Router:
         """Attach a passive packet-filter monitor (§2)."""
         if self.monitor is not None:
             raise RuntimeError("monitor already attached")
+        # The tap queues references to forwarded packets beyond the
+        # transmit-complete release point, so recycling is unsafe here.
+        self.packet_pool.disable()
         tap = PacketFilterTap(self.kernel, queue_limit=queue_limit)
         self.ip.taps.append(tap)
         self.monitor = PassiveMonitor(self.kernel, tap)
@@ -274,6 +286,12 @@ class Router:
         # "Opkts" on the output interface — the paper's measured quantity.
         self.delivered.increment()
         self.latency.observe(packet)
+        # The packet has left the router: nothing downstream holds a
+        # reference (the phantom destination host does not exist), so it
+        # goes back to the freelist for the generator to reuse.
+        pool = self.packet_pool
+        if pool.enabled:
+            pool.release(packet)
 
     def run_for(self, duration_ns: int) -> None:
         self.sim.run_for(duration_ns)

@@ -87,14 +87,26 @@ class CpuTask(Process):
         self.priority_class = priority_class
         self.cycles_used = 0
         self._ready_seq = 0  # FIFO order among equal-priority tasks
+        # The dispatcher compares tasks on every reschedule, so the
+        # effective IPL and the sort key are cached and maintained at
+        # their (rare) change points instead of recomputed per pick.
+        self._eff_ipl = ipl
+        self._key = (ipl, priority_class, 0)
+        self._work_label = "work:" + name
 
     @property
     def effective_ipl(self) -> int:
-        return max(self.base_ipl, self.spl_level)
+        return self._eff_ipl
+
+    def _refresh_key(self) -> None:
+        self._eff_ipl = (
+            self.base_ipl if self.base_ipl >= self.spl_level else self.spl_level
+        )
+        self._key = (self._eff_ipl, self.priority_class, -self._ready_seq)
 
     def runnable_key(self):
         """Sort key maximised by the dispatcher."""
-        return (self.effective_ipl, self.priority_class, -self._ready_seq)
+        return self._key
 
     def kill(self) -> None:
         """Terminate the task, withdrawing any queued CPU work."""
@@ -102,13 +114,16 @@ class CpuTask(Process):
         super().kill()
 
     def _dispatch(self, command: Command) -> None:
-        if isinstance(command, Work):
+        if type(command) is Work:
             self.cpu.add_work(self, command.cycles)
         elif isinstance(command, Spl):
-            old = self.effective_ipl
+            old = self._eff_ipl
             self.spl_level = command.level
+            self._refresh_key()
             self.cpu.on_task_ipl_changed(self, old)
             self.deliver(None)
+        elif isinstance(command, Work):
+            self.cpu.add_work(self, command.cycles)
         else:
             super()._dispatch(command)
 
@@ -190,7 +205,7 @@ class CPU:
 
     @property
     def current_ipl(self) -> int:
-        return self._current.effective_ipl if self._current is not None else IPL_NONE
+        return self._current._eff_ipl if self._current is not None else IPL_NONE
 
     @property
     def runnable_count(self) -> int:
@@ -203,11 +218,14 @@ class CPU:
     def add_work(self, task: CpuTask, cycles: int) -> None:
         """Queue ``cycles`` of work for ``task`` and reschedule."""
         ns = cycles_to_ns(cycles, self.hz)
-        if task not in self._remaining:
+        remaining = self._remaining
+        if task in remaining:
+            remaining[task] += ns
+        else:
             self._seq += 1
             task._ready_seq = self._seq
-            self._remaining[task] = 0
-        self._remaining[task] += ns
+            task._refresh_key()
+            remaining[task] = ns
         self._reschedule()
 
     def requeue_behind(self, task: CpuTask) -> None:
@@ -216,12 +234,13 @@ class CPU:
         if task in self._remaining:
             self._seq += 1
             task._ready_seq = self._seq
+            task._refresh_key()
             self._reschedule()
 
     def on_task_ipl_changed(self, task: CpuTask, old_ipl: int) -> None:
         """React to an spl change of a (possibly running) task."""
         self._reschedule()
-        if task.effective_ipl < old_ipl:
+        if task._eff_ipl < old_ipl:
             self._notify_ipl()
 
     def remove_task(self, task: CpuTask) -> None:
@@ -239,7 +258,7 @@ class CPU:
         best: Optional[CpuTask] = None
         best_key = None
         for task in self._remaining:
-            key = task.runnable_key()
+            key = task._key
             if best_key is None or key > best_key:
                 best, best_key = task, key
         return best
@@ -276,21 +295,22 @@ class CPU:
         # Charge a context-switch penalty when control moves between
         # different IPL-0 threads (interrupt entry/exit costs are part of
         # the interrupt dispatch cost instead).
-        if (
-            best.effective_ipl == IPL_NONE
-            and self.context_switch_cycles > 0
-            and self._last_thread is not best
-            and self._last_thread is not None
-        ):
-            self._remaining[best] += cycles_to_ns(self.context_switch_cycles, self.hz)
-            self.switches += 1
-        if best.effective_ipl == IPL_NONE:
+        if best._eff_ipl == IPL_NONE:
+            if (
+                self.context_switch_cycles > 0
+                and self._last_thread is not best
+                and self._last_thread is not None
+            ):
+                self._remaining[best] += cycles_to_ns(
+                    self.context_switch_cycles, self.hz
+                )
+                self.switches += 1
             self._last_thread = best
         self._current = best
         self._chunk_started = self.sim.now
         remaining = self._remaining[best]
         self._completion = self.sim.schedule(
-            remaining, self._complete, best, label="work:" + best.name
+            remaining, self._complete, best, label=best._work_label
         )
 
     def _complete(self, task: CpuTask) -> None:
@@ -305,12 +325,13 @@ class CPU:
                 observer(task, elapsed)
         self._current = None
         del self._remaining[task]
-        was_ipl = task.effective_ipl
+        was_ipl = task._eff_ipl
         # Resume the task's generator; it may queue more work (for itself
         # or, via side effects, for others) before we pick the next task.
         task.deliver(None)
         self._reschedule()
-        if was_ipl > self.current_ipl:
+        current = self._current
+        if was_ipl > (current._eff_ipl if current is not None else IPL_NONE):
             self._notify_ipl()
 
     def _notify_ipl(self) -> None:

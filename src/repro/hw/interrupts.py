@@ -48,6 +48,9 @@ class InterruptLine:
         self.ipl = ipl
         self.handler_factory = handler_factory
         self.dispatch_cycles = dispatch_cycles
+        # Every dispatch charges the same cost, so one Work command is
+        # shared across dispatches instead of allocated per interrupt.
+        self._dispatch_work = Work(dispatch_cycles) if dispatch_cycles > 0 else None
         self.enabled = True
         self.requested = False
         self.in_service = False
@@ -62,9 +65,11 @@ class InterruptLine:
         self.request_count += 1
         if not self.enabled:
             self.suppressed_while_disabled += 1
-        if not self.requested:
             self.requested = True
-        self.controller.try_deliver(self)
+            return
+        self.requested = True
+        if not self.in_service:
+            self.controller.try_deliver(self)
 
     def enable(self) -> None:
         """Set the device interrupt-enable flag and deliver if pending."""
@@ -120,7 +125,8 @@ class InterruptController:
         """Dispatch a handler for ``line`` if delivery conditions hold."""
         if not (line.requested and line.enabled and not line.in_service):
             return False
-        if line.ipl <= self.cpu.current_ipl:
+        current = self.cpu._current
+        if line.ipl <= (current._eff_ipl if current is not None else 0):
             return False
         line.requested = False
         line.in_service = True
@@ -133,12 +139,15 @@ class InterruptController:
         return True
 
     def _handler_body(self, line: InterruptLine) -> ProcessBody:
-        if line.dispatch_cycles > 0:
-            yield Work(line.dispatch_cycles)
+        if line._dispatch_work is not None:
+            yield line._dispatch_work
         handler = line.handler_factory()
         if handler is not None:
-            for command in handler:
-                yield command
+            # ``yield from`` lets CPython resume the handler frame
+            # directly on every Work completion. CPU tasks are only ever
+            # resumed with None, so delegation is observably identical
+            # to the explicit trampoline loop.
+            yield from handler
 
     def _handler_done(self, line: InterruptLine) -> None:
         line.in_service = False
@@ -149,7 +158,13 @@ class InterruptController:
 
     def _on_ipl_change(self, ipl: int) -> None:
         for line in self.lines:
-            if line.ipl > ipl:
+            # Inline the cheap disqualifiers; try_deliver re-checks them.
+            if (
+                line.ipl > ipl
+                and line.requested
+                and line.enabled
+                and not line.in_service
+            ):
                 self.try_deliver(line)
 
     def stats(self) -> Dict[str, Dict[str, int]]:

@@ -19,6 +19,18 @@ TX side
     freed when the driver calls :meth:`tx_reclaim`. A driver that never
     gets to reclaim (transmit starvation, §4.4) idles the transmitter
     with a full ring even though packets are queued upstream.
+
+Hot-path notes (every simulated packet crosses this module twice):
+
+* the single transmitter completes descriptors strictly in FIFO order,
+  so *done* slots are always a prefix of the ring — ``tx_done_slots`` is
+  an integer read and ``tx_reclaim`` pops that prefix, instead of the
+  historical scan / rebuild of a slot list per call;
+* packet capability dispatch (``mark_nic_arrival`` / ``mark_transmitted``)
+  is resolved by attempting the call and catching ``AttributeError``
+  once for foreign objects, instead of a ``hasattr`` test per packet;
+* counter bumps and ring operations are bound to instance locals at
+  construction time.
 """
 
 from __future__ import annotations
@@ -30,14 +42,6 @@ from ..sim.probes import ProbeRegistry
 from ..sim.simulator import Simulator
 from .interrupts import InterruptLine
 from .link import MIN_PACKET_TIME_NS
-
-
-class _TxSlot:
-    __slots__ = ("packet", "done")
-
-    def __init__(self, packet: Any) -> None:
-        self.packet = packet
-        self.done = False
 
 
 class NIC:
@@ -62,7 +66,11 @@ class NIC:
         self.tx_packet_time_ns = tx_packet_time_ns
 
         self._rx_ring: Deque[Any] = deque()
-        self._tx_slots: List[_TxSlot] = []
+        #: TX descriptor ring: FIFO of enqueued packets. The transmitter
+        #: completes them in order, so the first ``_tx_done`` entries are
+        #: always exactly the completed-but-unreclaimed descriptors.
+        self._tx_ring: Deque[Any] = deque()
+        self._tx_done = 0
         self._tx_busy = False
 
         #: Attached by the driver / kernel after construction.
@@ -77,6 +85,13 @@ class NIC:
         self.rx_overflow_drops = probes.counter("nic.%s.rx_overflow_drops" % name)
         self.tx_completed = probes.counter("nic.%s.tx_completed" % name)
 
+        # Per-packet hot-path bindings.
+        self._rx_append = self._rx_ring.append
+        self._rx_popleft = self._rx_ring.popleft
+        self._rx_accepted_inc = self.rx_accepted.increment
+        self._rx_overflow_inc = self.rx_overflow_drops.increment
+        self._tx_completed_inc = self.tx_completed.increment
+
     # ------------------------------------------------------------------
     # RX side (wire -> host)
     # ------------------------------------------------------------------
@@ -84,14 +99,17 @@ class NIC:
     def receive_from_wire(self, packet: Any) -> bool:
         """Deliver one packet from the wire. Returns False on overflow."""
         if len(self._rx_ring) >= self.rx_ring_capacity:
-            self.rx_overflow_drops.increment()
+            self._rx_overflow_inc()
             return False
-        if hasattr(packet, "mark_nic_arrival"):
+        try:
             packet.mark_nic_arrival(self.sim.now)
-        self._rx_ring.append(packet)
-        self.rx_accepted.increment()
-        if self.rx_line is not None:
-            self.rx_line.request()
+        except AttributeError:
+            pass  # foreign payload without lifecycle marks (tests)
+        self._rx_append(packet)
+        self._rx_accepted_inc()
+        rx_line = self.rx_line
+        if rx_line is not None:
+            rx_line.request()
         return True
 
     def rx_pending(self) -> int:
@@ -100,26 +118,48 @@ class NIC:
 
     def rx_pull(self) -> Optional[Any]:
         """Remove and return the oldest received packet, or None."""
-        if not self._rx_ring:
-            return None
-        return self._rx_ring.popleft()
+        if self._rx_ring:
+            return self._rx_popleft()
+        return None
+
+    def rx_pull_many(self, limit: Optional[int] = None) -> List[Any]:
+        """Remove and return up to ``limit`` oldest received packets
+        (all pending when ``limit`` is None) in FIFO order.
+
+        One call replaces ``limit`` ``rx_pull`` round-trips for the
+        batching drivers. Note the visible semantic: the ring frees all
+        the returned descriptors *now*, at a single simulated instant,
+        where repeated ``rx_pull`` calls interleaved with processing
+        free them one at a time — under overload that admits arrivals
+        an incremental drain would have overflow-dropped. Batch pulling
+        is therefore opt-in on the driver side
+        (``KernelConfig.rx_batch_pull``).
+        """
+        ring = self._rx_ring
+        count = len(ring)
+        if limit is not None and limit < count:
+            count = limit
+        popleft = self._rx_popleft
+        return [popleft() for _ in range(count)]
 
     # ------------------------------------------------------------------
     # TX side (host -> wire)
     # ------------------------------------------------------------------
 
     def tx_free_slots(self) -> int:
-        return self.tx_ring_capacity - len(self._tx_slots)
+        return self.tx_ring_capacity - len(self._tx_ring)
 
     def tx_done_slots(self) -> int:
-        return sum(1 for slot in self._tx_slots if slot.done)
+        return self._tx_done
 
     def tx_enqueue(self, packet: Any) -> bool:
         """Occupy a descriptor slot with ``packet``; False if ring full."""
-        if len(self._tx_slots) >= self.tx_ring_capacity:
+        ring = self._tx_ring
+        if len(ring) >= self.tx_ring_capacity:
             return False
-        self._tx_slots.append(_TxSlot(packet))
-        self._kick_transmitter()
+        ring.append(packet)
+        if not self._tx_busy:
+            self._kick_transmitter()
         return True
 
     def tx_reclaim(self) -> int:
@@ -128,31 +168,41 @@ class NIC:
         Only the driver calls this; until it does, completed slots keep
         occupying the ring (the root of transmit starvation, §4.4).
         """
-        before = len(self._tx_slots)
-        self._tx_slots = [slot for slot in self._tx_slots if not slot.done]
-        return before - len(self._tx_slots)
+        freed = self._tx_done
+        if freed:
+            popleft = self._tx_ring.popleft
+            for _ in range(freed):
+                popleft()
+            self._tx_done = 0
+        return freed
 
     def _kick_transmitter(self) -> None:
         if self._tx_busy:
             return
-        pending = next((slot for slot in self._tx_slots if not slot.done), None)
-        if pending is None:
+        ring = self._tx_ring
+        done = self._tx_done
+        if done >= len(ring):
             return
         self._tx_busy = True
         self.sim.schedule(
             self.tx_packet_time_ns,
             self._transmit_complete,
-            pending,
+            ring[done],
             label="tx:" + self.name,
         )
 
-    def _transmit_complete(self, slot: _TxSlot) -> None:
-        slot.done = True
+    def _transmit_complete(self, packet: Any) -> None:
+        # ``packet`` is _tx_ring[_tx_done]: the descriptor that was the
+        # first not-done slot when the transmitter started on it, and
+        # still is — completions are FIFO and reclaim only removes the
+        # done prefix before it.
+        self._tx_done += 1
         self._tx_busy = False
-        self.tx_completed.increment()
-        packet = slot.packet
-        if hasattr(packet, "mark_transmitted"):
+        self._tx_completed_inc()
+        try:
             packet.mark_transmitted(self.sim.now)
+        except AttributeError:
+            pass  # foreign payload without lifecycle marks (tests)
         if self.on_transmit is not None:
             self.on_transmit(packet)
         if self.tx_line is not None:
@@ -168,6 +218,6 @@ class NIC:
             self.name,
             len(self._rx_ring),
             self.rx_ring_capacity,
-            len(self._tx_slots),
+            len(self._tx_ring),
             self.tx_ring_capacity,
         )

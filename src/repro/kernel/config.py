@@ -97,6 +97,13 @@ class KernelConfig:
     # ------------------------------------------------------------------
     rx_ring_capacity: int = 64
     tx_ring_capacity: int = 32
+    #: Drivers that drain to completion (high-IPL, clocked) may pull
+    #: their whole RX batch in one ``rx_pull_many`` call instead of one
+    #: ``rx_pull`` per packet. Opt-in, because freeing the descriptors
+    #: at a single instant can admit arrivals an incremental drain would
+    #: have overflow-dropped — replays of recorded trials must keep the
+    #: default.
+    rx_batch_pull: bool = False
 
     # ------------------------------------------------------------------
     # Clock and scheduling

@@ -6,10 +6,19 @@ first packet in a burst is increased almost by the time it takes to
 receive the entire burst"). The recorder hooks an output NIC's
 ``on_transmit`` path and supports a measurement window so warm-up
 packets are excluded.
+
+Memory is bounded: the first ``sample_cap`` latencies are kept exactly
+(so ``summary_us()`` is unchanged for every normal-length trial), after
+which the recorder switches to uniform reservoir sampling driven by its
+own fixed-seed RNG — deterministic for a given observation sequence, and
+independent of every other random stream in the trial. Week-long
+simulated runs therefore hold at most ``sample_cap`` samples instead of
+one float per delivered packet.
 """
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional
 
 from ..net.packet import Packet
@@ -17,16 +26,35 @@ from ..sim.simulator import Simulator
 from ..sim.units import NS_PER_US
 from .stats import summarize
 
+#: Exact-sample limit before reservoir sampling kicks in. Large enough
+#: that every paper-scale trial (seconds of simulated time) keeps exact
+#: percentiles; small enough that week-long runs stay at ~0.5 MB.
+DEFAULT_SAMPLE_CAP = 65_536
+
+#: Fixed reservoir seed: replacement decisions depend only on the
+#: observation sequence, never on the trial's seed or wall clock.
+_RESERVOIR_SEED = 0x1A7E9C
+
 
 class LatencyRecorder:
     """Collects residence latencies of transmitted packets."""
 
-    def __init__(self, sim: Simulator, name: str = "latency") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "latency",
+        sample_cap: int = DEFAULT_SAMPLE_CAP,
+    ) -> None:
+        if sample_cap <= 0:
+            raise ValueError("sample cap must be positive")
         self.sim = sim
         self.name = name
+        self.sample_cap = sample_cap
         self._samples_ns: List[int] = []
+        self._observed = 0
         self._recording = False
         self._window_start: Optional[int] = None
+        self._rng = random.Random(_RESERVOIR_SEED)
 
     # ------------------------------------------------------------------
 
@@ -35,6 +63,8 @@ class LatencyRecorder:
         self._recording = True
         self._window_start = self.sim.now
         self._samples_ns = []
+        self._observed = 0
+        self._rng = random.Random(_RESERVOIR_SEED)
 
     def stop(self) -> None:
         self._recording = False
@@ -43,19 +73,47 @@ class LatencyRecorder:
         """on_transmit hook: record the packet's residence latency."""
         if not self._recording:
             return
-        latency = packet.latency_ns()
-        if latency is not None:
-            self._samples_ns.append(latency)
+        arrival = packet.nic_arrival_ns
+        transmitted = packet.transmitted_ns
+        if arrival is None or transmitted is None:
+            return
+        latency = transmitted - arrival
+        self._observed += 1
+        samples = self._samples_ns
+        if len(samples) < self.sample_cap:
+            samples.append(latency)
+            return
+        # Algorithm R: keep each of the _observed latencies with equal
+        # probability cap/_observed.
+        slot = self._rng.randrange(self._observed)
+        if slot < self.sample_cap:
+            samples[slot] = latency
 
     # ------------------------------------------------------------------
 
     @property
     def count(self) -> int:
+        """Latencies observed (not the retained sample count)."""
+        return self._observed
+
+    @property
+    def samples_held(self) -> int:
+        """Samples actually retained (== ``count`` until the cap)."""
         return len(self._samples_ns)
 
     def samples_us(self) -> List[float]:
         return [ns / NS_PER_US for ns in self._samples_ns]
 
     def summary_us(self) -> dict:
-        """Mean/median/p95/p99/max in microseconds."""
-        return summarize(self.samples_us())
+        """Mean/median/p95/p99/max in microseconds.
+
+        Identical to the unbounded recorder whenever fewer than
+        ``sample_cap`` latencies were observed; beyond that, the summary
+        is computed over the reservoir and ``count`` reports the true
+        observation count with ``sampled`` recording the reservoir size.
+        """
+        summary = summarize(self.samples_us())
+        if self._observed > len(self._samples_ns):
+            summary["count"] = self._observed
+            summary["sampled"] = len(self._samples_ns)
+        return summary

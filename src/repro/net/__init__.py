@@ -10,7 +10,7 @@ from .addresses import (
 )
 from .arp import ArpTable
 from .ip import IPLayer, ScreenPath
-from .packet import PROTO_UDP, Packet
+from .packet import PROTO_UDP, Packet, PacketPool
 from .routing import Route, RoutingTable
 from .udp import UdpLayer, UdpSocket
 
@@ -20,6 +20,7 @@ __all__ = [
     "IPLayer",
     "PROTO_UDP",
     "Packet",
+    "PacketPool",
     "Route",
     "RoutingTable",
     "ScreenPath",

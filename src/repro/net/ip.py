@@ -63,6 +63,13 @@ class IPLayer:
         self.screen_path: Optional[ScreenPath] = None
         self.udp: Optional[UdpLayer] = None
         self.local_addresses: set = set()
+        # Input-processing costs are fixed at construction, so the Work
+        # commands are shared across packets rather than allocated per
+        # packet (the CPU model only reads ``.cycles``).
+        self._tap_work = Work(self.costs.packet_filter_tap)
+        self._screen_work = Work(self.costs.ip_input_to_screen_queue)
+        self._forward_work = Work(self.costs.ip_forward)
+        self._after_screen_work = Work(self.costs.ip_output_after_screen)
         probes = kernel.probes
         self.forwarded = probes.counter("ip.forwarded")
         self.screened_in = probes.counter("ip.screened_in")
@@ -97,19 +104,19 @@ class IPLayer:
         delivered) in the kernel.
         """
         for tap in self.taps:
-            yield Work(self.costs.packet_filter_tap)
+            yield self._tap_work
             tap.deliver(packet)
         if self.screen_path is not None:
-            yield Work(self.costs.ip_input_to_screen_queue)
+            yield self._screen_work
             if self.screen_path.deliver(packet):
                 self.screened_in.increment()
             return
-        yield Work(self.costs.ip_forward)
+        yield self._forward_work
         self._dispatch(packet)
 
     def output_after_screen(self, packet: Packet):
         """Output-side processing once screend has accepted a packet."""
-        yield Work(self.costs.ip_output_after_screen)
+        yield self._after_screen_work
         self._dispatch(packet)
 
     # ------------------------------------------------------------------

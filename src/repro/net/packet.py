@@ -1,4 +1,4 @@
-"""Packet objects and their lifecycle timestamps.
+"""Packet objects, their lifecycle timestamps, and the recycling pool.
 
 A packet carries addressing (for routing and UDP demux) plus the
 timestamps the metrics layer needs: wire arrival at the router's NIC,
@@ -6,12 +6,22 @@ transmission completion, and — when dropped — *where* it was dropped.
 The drop location is the paper's wasted-work story in data form: a drop
 at the RX ring costs nothing, a drop at the output queue costs the whole
 forwarding path (§4.2, §6.6).
+
+:class:`PacketPool` removes the per-packet allocation from the trial hot
+path: once a packet has left the system (transmitted on the output wire,
+or rejected at the RX ring before it ever entered), the owning topology
+returns it to a freelist and the traffic generators draw the next packet
+from there. Reused packets are fully re-initialised (fresh ``packet_id``
+included) so a recycled packet is indistinguishable from a new one.
+Tests or topologies that retain packet references past those release
+points (packet-filter taps, UDP sockets) must run with the pool disabled
+— see :meth:`PacketPool.disable`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import List, Optional
 
 from .addresses import format_ip
 
@@ -37,6 +47,7 @@ class Packet:
         "transmitted_ns",
         "dropped_at",
         "flow",
+        "_pooled",
     )
 
     def __init__(
@@ -50,6 +61,35 @@ class Packet:
         created_ns: int = 0,
         flow: str = "default",
     ) -> None:
+        self._pooled = False
+        self.reset(
+            src,
+            dst,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+            payload_bytes=payload_bytes,
+            created_ns=created_ns,
+            flow=flow,
+        )
+
+    def reset(
+        self,
+        src: int,
+        dst: int,
+        src_port: int = 0,
+        dst_port: int = 0,
+        protocol: int = PROTO_UDP,
+        payload_bytes: int = 4,
+        created_ns: int = 0,
+        flow: str = "default",
+    ) -> "Packet":
+        """Re-initialise every field, exactly as construction would.
+
+        The reuse-safety contract of the pool: a recycled packet gets a
+        fresh ``packet_id`` and cleared lifecycle marks, so no state from
+        its previous trip through the router can leak into the next one.
+        """
         self.packet_id = next(_packet_ids)
         self.src = src
         self.dst = dst
@@ -62,6 +102,7 @@ class Packet:
         self.transmitted_ns: Optional[int] = None
         self.dropped_at: Optional[str] = None
         self.flow = flow
+        return self
 
     # ------------------------------------------------------------------
     # Lifecycle marks (called by NIC / queues via duck typing)
@@ -95,4 +136,119 @@ class Packet:
             format_ip(self.src),
             format_ip(self.dst),
             self.flow,
+        )
+
+
+#: Default ceiling on the freelist; the steady-state working set of a
+#: two-port router is (rings + queues + in-flight) packets, far below
+#: this, so the cap only matters as a backstop against pathological
+#: release patterns.
+DEFAULT_POOL_CAP = 4_096
+
+
+class PacketPool:
+    """A freelist of :class:`Packet` objects for the per-packet hot path.
+
+    Ownership protocol:
+
+    * generators :meth:`acquire` every emitted packet;
+    * the topology :meth:`release`\\ s a packet when it is *done* — its
+      transmission on the output wire completed, or the RX ring rejected
+      it before it entered the system;
+    * packets dropped inside the router (ipintrq, screening queue,
+      output queue, routing failures) are **not** returned — nothing
+      holds a safe ownership claim at those points — and simply fall to
+      the garbage collector as before. Under overload most drops happen
+      at the RX ring anyway (the paper's "drop early" point), so the
+      steady-state allocation rate stays near zero.
+
+    Call :meth:`disable` (or construct with ``enabled=False``) when any
+    component retains packet references beyond the release points — a
+    packet-filter tap, a UDP socket queue, or a test that inspects
+    packets after the trial. A disabled pool hands out fresh packets and
+    ignores releases, restoring plain allocation semantics.
+    """
+
+    __slots__ = ("enabled", "max_free", "allocated", "reused", "_free")
+
+    def __init__(self, max_free: int = DEFAULT_POOL_CAP, enabled: bool = True) -> None:
+        if max_free < 0:
+            raise ValueError("pool cap must be non-negative")
+        self.enabled = enabled
+        self.max_free = max_free
+        #: Packets constructed because the freelist was empty.
+        self.allocated = 0
+        #: Acquisitions served from the freelist.
+        self.reused = 0
+        self._free: List[Packet] = []
+
+    def acquire(
+        self,
+        src: int,
+        dst: int,
+        src_port: int = 0,
+        dst_port: int = 0,
+        protocol: int = PROTO_UDP,
+        payload_bytes: int = 4,
+        created_ns: int = 0,
+        flow: str = "default",
+    ) -> Packet:
+        """Return a freshly initialised packet, recycled if possible."""
+        free = self._free
+        if free:
+            self.reused += 1
+            packet = free.pop()
+            packet._pooled = False
+            return packet.reset(
+                src,
+                dst,
+                src_port=src_port,
+                dst_port=dst_port,
+                protocol=protocol,
+                payload_bytes=payload_bytes,
+                created_ns=created_ns,
+                flow=flow,
+            )
+        self.allocated += 1
+        return Packet(
+            src,
+            dst,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+            payload_bytes=payload_bytes,
+            created_ns=created_ns,
+            flow=flow,
+        )
+
+    def release(self, packet: Packet) -> None:
+        """Return ``packet`` to the freelist (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if packet._pooled:
+            raise ValueError("packet %r released to the pool twice" % packet)
+        free = self._free
+        if len(free) < self.max_free:
+            packet._pooled = True
+            free.append(packet)
+
+    def disable(self) -> None:
+        """Opt out of recycling: retain-safe, allocation-per-packet mode.
+
+        Existing freelist entries are discarded so no already-recycled
+        packet can be handed out afterwards.
+        """
+        self.enabled = False
+        self._free.clear()
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def __repr__(self) -> str:
+        return "PacketPool(free=%d, allocated=%d, reused=%d%s)" % (
+            len(self._free),
+            self.allocated,
+            self.reused,
+            "" if self.enabled else ", disabled",
         )

@@ -129,15 +129,21 @@ class ProbeRegistry:
         self._counters: Dict[str, Counter] = {}
         self._accumulators: Dict[str, Accumulator] = {}
         self._series: Dict[str, TimeSeries] = {}
+        #: Name-sorted probe items, rebuilt lazily: probe registration
+        #: invalidates, ``dump()`` rebuilds at most once — repeated
+        #: trial-end dumps stop re-sorting both dicts every call.
+        self._sorted_probes: Optional[List[Tuple[str, object]]] = None
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
             self._counters[name] = Counter(name)
+            self._sorted_probes = None
         return self._counters[name]
 
     def accumulator(self, name: str) -> Accumulator:
         if name not in self._accumulators:
             self._accumulators[name] = Accumulator(name)
+            self._sorted_probes = None
         return self._accumulators[name]
 
     def series(self, name: str) -> TimeSeries:
@@ -149,10 +155,18 @@ class ProbeRegistry:
         return CounterWindow(self._sim, self.counter(counter_name))
 
     def dump(self) -> Dict[str, int]:
-        """All counter and accumulator values, for reports and tests."""
-        out: Dict[str, int] = {}
-        for name, counter in sorted(self._counters.items()):
-            out[name] = counter.value
-        for name, acc in sorted(self._accumulators.items()):
-            out[name] = acc.total
-        return out
+        """All counter and accumulator values, for reports and tests.
+
+        Counters come first (name-sorted), then accumulators
+        (name-sorted) — the historical ordering, now served from a
+        cached sort instead of re-sorting both dicts on every call.
+        """
+        probes = self._sorted_probes
+        if probes is None:
+            probes = [
+                (name, counter)
+                for name, counter in sorted(self._counters.items())
+            ]
+            probes.extend(sorted(self._accumulators.items()))
+            self._sorted_probes = probes
+        return {name: probe.snapshot() for name, probe in probes}

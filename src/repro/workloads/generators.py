@@ -17,6 +17,16 @@ Three arrival processes cover the experiments and the burst analyses:
 Rates are silently capped at the wire's maximum packet rate: a 10 Mb/s
 Ethernet cannot deliver more than ~14,880 minimum-size packets/second no
 matter what the source does.
+
+Generators are *callback-driven*: each one re-arms a single simulator
+callback per emission instead of trampolining a generator coroutine
+through ``Process.deliver`` / ``_body.send`` per packet. The callback
+structure mirrors the old coroutine wake-for-wake — RNG draws happen at
+the same instants, every ``schedule`` call happens at the same instant,
+and each firing performs the same number of ``schedule`` calls — so
+event sequence numbers, arrival timestamps, and therefore entire trials
+are bit-identical to the coroutine implementation (enforced by the
+golden determinism tests).
 """
 
 from __future__ import annotations
@@ -27,14 +37,21 @@ from typing import Optional
 from ..hw.link import MIN_PACKET_TIME_NS, packet_time_ns
 from ..hw.nic import NIC
 from ..net.addresses import parse_ip
-from ..net.packet import Packet
-from ..sim.process import Process, Sleep
+from ..net.packet import Packet, PacketPool
+from ..sim.events import Event
 from ..sim.simulator import Simulator
 from ..sim.units import NS_PER_SEC
 
 
 class TrafficGenerator:
-    """Base generator: addressing, pacing floor, counters."""
+    """Base generator: addressing, pacing floor, counters, lifecycle.
+
+    Lifecycle: ``start()`` arms the first emission callback; ``stop()``
+    cancels the pending callback and *retires* the generator — a stopped
+    generator cannot be restarted (its arrival process has a hole in it
+    that no restart semantics could make reproducible), and a second
+    ``start()`` says so explicitly.
+    """
 
     def __init__(
         self,
@@ -46,6 +63,7 @@ class TrafficGenerator:
         payload_bytes: int = 4,
         flow: str = "default",
         name: str = "traffic",
+        pool: Optional[PacketPool] = None,
     ) -> None:
         self.sim = sim
         self.nic = nic
@@ -55,37 +73,65 @@ class TrafficGenerator:
         self.payload_bytes = payload_bytes
         self.flow = flow
         self.name = name
+        self.pool = pool
         #: Minimum spacing between packets: wire serialisation time.
         self.min_interval_ns = packet_time_ns(payload_bytes)
         self.sent = 0
-        self.process: Optional[Process] = None
+        self.started = False
+        self.stopped = False
+        self._pending: Optional[Event] = None
+        # Hot-path bindings: one emission touches these every packet.
+        self._receive_from_wire = nic.receive_from_wire
 
     def start(self) -> "TrafficGenerator":
-        if self.process is not None:
+        if self.stopped:
+            raise RuntimeError(
+                "generator %s was stopped and cannot be restarted; "
+                "create a new generator instead" % self.name
+            )
+        if self.started:
             raise RuntimeError("generator %s already started" % self.name)
-        self.process = Process(self.sim, self._body(), name=self.name).start()
+        self.started = True
+        self._schedule_first()
         return self
 
     def stop(self) -> None:
-        if self.process is not None:
-            self.process.kill()
+        """Halt emission permanently (idempotent, ok before start)."""
+        self.stopped = True
+        if self._pending is not None:
+            self.sim.cancel(self._pending)
+            self._pending = None
 
     def _emit(self) -> Packet:
-        packet = Packet(
-            src=self.src,
-            dst=self.dst,
-            dst_port=self.dst_port,
-            payload_bytes=self.payload_bytes,
-            created_ns=self.sim.now,
-            flow=self.flow,
-        )
-        self.nic.receive_from_wire(packet)
+        pool = self.pool
+        if pool is not None:
+            packet = pool.acquire(
+                self.src,
+                self.dst,
+                dst_port=self.dst_port,
+                payload_bytes=self.payload_bytes,
+                created_ns=self.sim.now,
+                flow=self.flow,
+            )
+            if not self._receive_from_wire(packet):
+                # RX-ring overflow: the packet never entered the system,
+                # so ownership is still ours — recycle it immediately.
+                pool.release(packet)
+        else:
+            packet = Packet(
+                src=self.src,
+                dst=self.dst,
+                dst_port=self.dst_port,
+                payload_bytes=self.payload_bytes,
+                created_ns=self.sim.now,
+                flow=self.flow,
+            )
+            self._receive_from_wire(packet)
         self.sent += 1
         return packet
 
-    def _body(self):
+    def _schedule_first(self) -> None:
         raise NotImplementedError
-        yield  # pragma: no cover - makes the method a generator
 
 
 class ConstantRateGenerator(TrafficGenerator):
@@ -118,15 +164,24 @@ class ConstantRateGenerator(TrafficGenerator):
             self.min_interval_ns, int(round(NS_PER_SEC / rate_pps))
         )
 
-    def _body(self):
-        while True:
-            gap = self.interval_ns
-            if self.jitter_fraction > 0.0:
-                spread = self.jitter_fraction
-                gap = int(gap * self.rng.uniform(1.0 - spread, 1.0 + spread))
-                gap = max(self.min_interval_ns, gap)
-            yield Sleep(gap)
-            self._emit()
+    def _next_gap(self) -> int:
+        gap = self.interval_ns
+        if self.jitter_fraction > 0.0:
+            spread = self.jitter_fraction
+            gap = int(gap * self.rng.uniform(1.0 - spread, 1.0 + spread))
+            gap = max(self.min_interval_ns, gap)
+        return gap
+
+    def _schedule_first(self) -> None:
+        self._pending = self.sim.schedule(
+            self._next_gap(), self._tick, label="sleep:" + self.name
+        )
+
+    def _tick(self) -> None:
+        self._emit()
+        self._pending = self.sim.schedule(
+            self._next_gap(), self._tick, label="sleep:" + self.name
+        )
 
 
 class PoissonGenerator(TrafficGenerator):
@@ -147,16 +202,32 @@ class PoissonGenerator(TrafficGenerator):
         self.rng = rng
         self.mean_interval_ns = NS_PER_SEC / rate_pps
 
-    def _body(self):
-        while True:
-            gap = int(self.rng.expovariate(1.0) * self.mean_interval_ns)
-            yield Sleep(max(self.min_interval_ns, gap))
-            self._emit()
+    def _next_gap(self) -> int:
+        gap = int(self.rng.expovariate(1.0) * self.mean_interval_ns)
+        return max(self.min_interval_ns, gap)
+
+    def _schedule_first(self) -> None:
+        self._pending = self.sim.schedule(
+            self._next_gap(), self._tick, label="sleep:" + self.name
+        )
+
+    def _tick(self) -> None:
+        self._emit()
+        self._pending = self.sim.schedule(
+            self._next_gap(), self._tick, label="sleep:" + self.name
+        )
 
 
 class BurstyGenerator(TrafficGenerator):
     """On/off bursts: ``burst_size`` packets back-to-back at wire speed,
-    then a gap sized so the long-run average is ``rate_pps``."""
+    then a gap sized so the long-run average is ``rate_pps``.
+
+    The callback chain preserves the coroutine's exact wake structure:
+    emissions are one callback per packet at wire spacing, and a non-zero
+    inter-burst gap is its own intermediate callback (the coroutine's
+    ``Sleep(gap)`` wake-up, which emitted nothing) so that every event
+    keeps its original fire time *and* scheduling instant.
+    """
 
     def __init__(
         self,
@@ -178,14 +249,36 @@ class BurstyGenerator(TrafficGenerator):
         burst_span_ns = burst_size * self.min_interval_ns
         period_ns = burst_size * NS_PER_SEC / rate_pps
         self.gap_ns = max(0, int(period_ns - burst_span_ns))
+        self._burst_position = 0
 
-    def _body(self):
-        while True:
-            for _ in range(self.burst_size):
-                yield Sleep(self.min_interval_ns)
-                self._emit()
-            gap = self.gap_ns
-            if self.rng is not None and gap > 0:
-                gap = int(gap * self.rng.uniform(0.5, 1.5))
-            if gap > 0:
-                yield Sleep(gap)
+    def _schedule_first(self) -> None:
+        self._burst_position = 0
+        self._arm_emit()
+
+    def _arm_emit(self) -> None:
+        self._pending = self.sim.schedule(
+            self.min_interval_ns, self._tick, label="sleep:" + self.name
+        )
+
+    def _tick(self) -> None:
+        self._emit()
+        self._burst_position += 1
+        if self._burst_position < self.burst_size:
+            self._arm_emit()
+            return
+        # Burst over: compute the inter-burst gap (RNG draw at the same
+        # instant the coroutine drew it, i.e. right after the last
+        # emission of the burst).
+        self._burst_position = 0
+        gap = self.gap_ns
+        if self.rng is not None and gap > 0:
+            gap = int(gap * self.rng.uniform(0.5, 1.5))
+        if gap > 0:
+            self._pending = self.sim.schedule(
+                gap, self._gap_over, label="sleep:" + self.name
+            )
+        else:
+            self._arm_emit()
+
+    def _gap_over(self) -> None:
+        self._arm_emit()

@@ -47,6 +47,28 @@ def test_rx_pull_is_fifo_and_empties():
     assert nic.rx_pull() is None
 
 
+def test_rx_pull_many_is_fifo_and_respects_limit():
+    sim, probes, nic = make_nic()
+    packets = [make_packet() for _ in range(5)]
+    for packet in packets:
+        nic.receive_from_wire(packet)
+    batch = nic.rx_pull_many(3)
+    assert batch == packets[:3]
+    assert nic.rx_pending() == 2
+    rest = nic.rx_pull_many(10)
+    assert rest == packets[3:]
+    assert nic.rx_pull_many(3) == []
+
+
+def test_rx_pull_many_unlimited_drains_ring():
+    sim, probes, nic = make_nic()
+    packets = [make_packet() for _ in range(4)]
+    for packet in packets:
+        nic.receive_from_wire(packet)
+    assert nic.rx_pull_many(None) == packets
+    assert nic.rx_pending() == 0
+
+
 def test_rx_arrival_timestamps_packet():
     sim, probes, nic = make_nic()
     packet = make_packet()

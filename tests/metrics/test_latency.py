@@ -52,3 +52,69 @@ def test_summary_us():
     assert summary["mean"] == 2.0
     assert summary["median"] == 2.0
     assert summary["max"] == 3.0
+
+
+def test_memory_bounded_by_sample_cap():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim, sample_cap=8)
+    recorder.start()
+    for latency_ns in range(1_000, 101_000, 1_000):
+        recorder.observe(delivered_packet(0, latency_ns))
+    assert recorder.count == 100
+    assert recorder.samples_held == 8
+    summary = recorder.summary_us()
+    assert summary["count"] == 100
+    assert summary["sampled"] == 8
+
+
+def test_reservoir_is_deterministic():
+    def record():
+        recorder = LatencyRecorder(Simulator(), sample_cap=16)
+        recorder.start()
+        for latency_ns in range(1_000, 500_000, 1_000):
+            recorder.observe(delivered_packet(0, latency_ns))
+        return recorder.samples_us()
+
+    assert record() == record()
+
+
+def test_reservoir_samples_drawn_from_population():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim, sample_cap=4)
+    recorder.start()
+    for latency_ns in (1_000, 2_000, 3_000, 4_000, 5_000, 6_000):
+        recorder.observe(delivered_packet(0, latency_ns))
+    assert recorder.samples_held == 4
+    assert set(recorder.samples_us()) <= {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}
+
+
+def test_summary_exact_below_cap():
+    """No 'sampled' key and exact stats until the cap is exceeded —
+    normal-length trials are untouched by reservoir sampling."""
+    sim = Simulator()
+    recorder = LatencyRecorder(sim, sample_cap=10)
+    recorder.start()
+    for latency_ns in (1_000, 2_000, 3_000):
+        recorder.observe(delivered_packet(0, latency_ns))
+    summary = recorder.summary_us()
+    assert "sampled" not in summary
+    assert summary["count"] == 3
+    assert recorder.samples_held == 3
+
+
+def test_restart_resets_reservoir():
+    sim = Simulator()
+    recorder = LatencyRecorder(sim, sample_cap=4)
+    recorder.start()
+    for latency_ns in range(1_000, 21_000, 1_000):
+        recorder.observe(delivered_packet(0, latency_ns))
+    recorder.start()
+    assert recorder.count == 0
+    assert recorder.samples_held == 0
+
+
+def test_invalid_sample_cap_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        LatencyRecorder(Simulator(), sample_cap=0)

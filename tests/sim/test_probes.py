@@ -45,6 +45,27 @@ def test_registry_dump_merges_counters_and_accumulators():
     assert dump == {"cycles": 100, "events": 3}
 
 
+def test_dump_sees_probes_created_after_previous_dump():
+    """dump() caches its sorted probe list; creating a probe must
+    invalidate the cache."""
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    probes.counter("a").increment()
+    assert probes.dump() == {"a": 1}
+    probes.counter("b").increment(2)
+    probes.accumulator("c").add(3)
+    assert probes.dump() == {"a": 1, "b": 2, "c": 3}
+
+
+def test_dump_reflects_updates_between_dumps():
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    counter = probes.counter("hits")
+    assert probes.dump() == {"hits": 0}
+    counter.increment(7)
+    assert probes.dump() == {"hits": 7}
+
+
 def test_window_measures_rate():
     sim = Simulator()
     probes = ProbeRegistry(sim)

@@ -126,6 +126,50 @@ def test_double_start_rejected():
         gen.start()
 
 
+def test_stop_is_idempotent():
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 1_000).start()
+    gen.stop()
+    gen.stop()  # second stop must not raise
+
+
+def test_stop_before_start_then_start_rejected():
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 1_000)
+    gen.stop()
+    with pytest.raises(RuntimeError, match="cannot be restarted"):
+        gen.start()
+
+
+def test_restart_after_stop_raises_clear_error():
+    """Generators are single-shot: restarting one silently did nothing in
+    the coroutine implementation, so the lifecycle now fails loudly."""
+    sim, nic = make_target()
+    gen = ConstantRateGenerator(sim, nic, 1_000).start()
+    sim.run(until=seconds(0.01))
+    gen.stop()
+    with pytest.raises(RuntimeError, match="cannot be restarted"):
+        gen.start()
+
+
+def test_pooled_generator_recycles_rx_overflow_rejects():
+    """With a tiny RX ring that nothing drains, every overflowed packet
+    goes straight back to the pool — the freelist absorbs the entire
+    overload without new allocations."""
+    from repro.net.packet import PacketPool
+
+    sim, nic = make_target(rx_capacity=4)
+    pool = PacketPool()
+    gen = ConstantRateGenerator(sim, nic, 10_000, pool=pool).start()
+    sim.run(until=seconds(0.5))
+    assert gen.sent > 1_000
+    # 4 packets live in the ring forever; everything else is one recycled
+    # object bouncing between the generator and the freelist.
+    assert pool.allocated <= 5
+    assert pool.reused == gen.sent - pool.allocated
+    assert nic.rx_overflow_drops.snapshot() == gen.sent - 4
+
+
 def test_packets_carry_addressing():
     sim, nic = make_target()
     ConstantRateGenerator(
