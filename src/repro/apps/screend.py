@@ -54,6 +54,9 @@ class Screend:
             charge_syscall=False,
         )
         self.task = None
+        #: Packet dequeued from the screening queue but still inside the
+        #: suspended daemon frame; read by the teardown path.
+        self.in_flight = None
         probes = kernel.probes
         self.accepted = probes.counter("screend.accepted")
         self.rejected = probes.counter("screend.rejected")
@@ -66,6 +69,7 @@ class Screend:
     def _body(self):
         while True:
             packet = yield from self.reader.read()
+            self.in_flight = packet
             yield Work(self.kernel.costs.screend_per_packet)
             if self.rule(packet):
                 self.accepted.increment()
@@ -74,3 +78,4 @@ class Screend:
             else:
                 self.rejected.increment()
                 packet.mark_dropped("screend.rejected")
+            self.in_flight = None

@@ -23,7 +23,7 @@ import sys
 from typing import List, Optional
 
 from .core import variants
-from .experiments.engine import run_trials
+from .experiments.engine import SweepError, TrialFailure, run_trials
 from .experiments.extensions import EXTENSION_EXPERIMENTS
 from .experiments.figures import ALL_FIGURES
 from .experiments.harness import (
@@ -31,6 +31,7 @@ from .experiments.harness import (
     FAST_RATE_GRID,
 )
 from .experiments.results import render_report, to_csv
+from .faults import CANNED_PLANS
 
 #: Everything `figure` can regenerate: the paper's figures plus the
 #: extension experiments.
@@ -71,6 +72,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "~/.cache/repro-livelock)",
         )
 
+    def add_resilience_flags(command):
+        command.add_argument(
+            "--strict",
+            action="store_true",
+            help="fail fast: abort (nonzero exit) on the first trial "
+            "failure instead of recording it and continuing",
+        )
+        command.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="per-trial wall-clock limit in seconds (forces pool "
+            "execution so a hung trial can be abandoned)",
+        )
+        command.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="extra attempts for crashed/hung workers (default: 1)",
+        )
+
     fig = sub.add_parser("figure", help="regenerate one figure/experiment")
     fig.add_argument("figure_id", choices=sorted(ALL_EXPERIMENTS))
     fig.add_argument(
@@ -79,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--csv", action="store_true", help="emit CSV instead of a report")
     fig.add_argument("--seed", type=int, default=0)
     add_engine_flags(fig)
+    add_resilience_flags(fig)
 
     trial = sub.add_parser("trial", help="run a single measurement")
     trial.add_argument(
@@ -105,7 +130,41 @@ def _build_parser() -> argparse.ArgumentParser:
     trial.add_argument("--duration", type=float, default=0.5)
     trial.add_argument("--compute", action="store_true")
     trial.add_argument("--seed", type=int, default=0)
+    trial.add_argument(
+        "--fault-plan",
+        choices=sorted(CANNED_PLANS),
+        default=None,
+        help="inject a canned deterministic hardware-fault plan",
+    )
+    trial.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="attach the livelock watchdog and report its verdict",
+    )
+    trial.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the runtime invariant sanitizer during the trial",
+    )
     add_engine_flags(trial)
+    add_resilience_flags(trial)
+
+    matrix = sub.add_parser(
+        "faultmatrix",
+        help="smoke the driver x fault-plan matrix with watchdog + sanitizer",
+    )
+    matrix.add_argument("--rate", type=float, default=12_000)
+    matrix.add_argument("--duration", type=float, default=0.08)
+    matrix.add_argument("--warmup", type=float, default=0.03)
+    matrix.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless the clean column shows the expected "
+        "verdicts (unmodified livelocked, fixed variants healthy) and "
+        "every cell completes with zero leaked packets",
+    )
+    add_engine_flags(matrix)
+    add_resilience_flags(matrix)
     return parser
 
 
@@ -141,6 +200,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except NotADirectoryError as exc:
         print("repro-livelock: error: %s" % exc, file=sys.stderr)
         return 2
+    except SweepError as exc:
+        print("repro-livelock: error: %s" % exc, file=sys.stderr)
+        return 1
 
 
 def _dispatch(args) -> int:
@@ -157,6 +219,9 @@ def _dispatch(args) -> int:
             "jobs": args.jobs,
             "cache": not args.no_cache,
             "cache_dir": args.cache_dir,
+            "timeout_s": args.timeout,
+            "retries": args.retries,
+            "strict": args.strict,
         }
         if args.fast:
             kwargs["duration_s"] = 0.3
@@ -168,22 +233,32 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "trial":
+        trial_kwargs = {
+            "duration_s": args.duration,
+            "with_compute": args.compute,
+            "seed": args.seed,
+        }
+        if args.fault_plan is not None:
+            trial_kwargs["fault_plan"] = args.fault_plan
+        if args.watchdog:
+            trial_kwargs["watchdog"] = True
+        if args.sanitize:
+            trial_kwargs["sanitize"] = True
         [trial] = run_trials(
-            [
-                (
-                    _config_from_args(args),
-                    args.rate,
-                    {
-                        "duration_s": args.duration,
-                        "with_compute": args.compute,
-                        "seed": args.seed,
-                    },
-                )
-            ],
+            [(_config_from_args(args), args.rate, trial_kwargs)],
             jobs=args.jobs,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            strict=args.strict,
         )
+        if isinstance(trial, TrialFailure):
+            print(
+                "trial FAILED (%s after %d attempt(s)): %s"
+                % (trial.kind, trial.attempts, trial.error)
+            )
+            return 0
         print("variant:        %s" % trial.variant)
         print("offered rate:   %8.0f pkt/s" % trial.offered_rate_pps)
         print("output rate:    %8.0f pkt/s" % trial.output_rate_pps)
@@ -203,9 +278,134 @@ def _dispatch(args) -> int:
             print("drops:")
             for name, value in sorted(trial.drops.items()):
                 print("  %-36s %d" % (name, value))
+        if trial.watchdog is not None:
+            print(
+                "watchdog:       %s (%d/%d loaded windows healthy, "
+                "delivered fraction %s)"
+                % (
+                    trial.watchdog["verdict"],
+                    trial.watchdog["healthy_windows"],
+                    trial.watchdog["loaded_windows"],
+                    (
+                        "%.3f" % trial.watchdog["delivered_fraction"]
+                        if trial.watchdog["delivered_fraction"] is not None
+                        else "n/a"
+                    ),
+                )
+            )
+        if trial.faults is not None:
+            injected = ", ".join(
+                "%s=%d" % item for item in sorted(trial.faults["injected"].items())
+            )
+            print("faults:         %s" % (injected or "none fired"))
+            print(
+                "teardown:       %d recovered, leaked=%s"
+                % (
+                    trial.faults["teardown"]["recovered"],
+                    trial.faults["teardown"]["leaked"],
+                )
+            )
         return 0
 
+    if args.command == "faultmatrix":
+        return _run_faultmatrix(args)
+
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+#: The faultmatrix driver column: every driver architecture the paper
+#: compares.
+_MATRIX_VARIANTS = (
+    ("unmodified", variants.unmodified),
+    ("polling", variants.polling),
+    ("clocked", variants.clocked),
+    ("high_ipl", variants.high_ipl),
+)
+
+
+def _run_faultmatrix(args) -> int:
+    """Drivers x fault plans, each cell watched and sanitized.
+
+    With ``--check``, exits nonzero unless (a) every cell produced a
+    result with zero leaked packets and (b) the fault-free column shows
+    the paper's signature: the unmodified kernel livelocked above the
+    cliff, every fixed variant healthy.
+    """
+    plans = [None] + sorted(CANNED_PLANS)
+    specs = []
+    for _, factory in _MATRIX_VARIANTS:
+        for plan in plans:
+            kwargs = {
+                "duration_s": args.duration,
+                "warmup_s": args.warmup,
+                "watchdog": True,
+                "sanitize": True,
+            }
+            if plan is not None:
+                kwargs["fault_plan"] = plan
+            specs.append((factory(), args.rate, kwargs))
+    results = run_trials(
+        specs,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        strict=args.strict,
+    )
+
+    width = max(len(name) for name, _ in _MATRIX_VARIANTS)
+    header = ["%-*s" % (width, "driver")] + [
+        "%18s" % (plan or "clean") for plan in plans
+    ]
+    print(" ".join(header))
+    failures = []
+    clean_verdicts = {}
+    index = 0
+    for name, _ in _MATRIX_VARIANTS:
+        row = ["%-*s" % (width, name)]
+        for plan in plans:
+            result = results[index]
+            index += 1
+            if isinstance(result, TrialFailure):
+                row.append("%18s" % ("FAILED:" + result.kind))
+                failures.append((name, plan, result))
+                continue
+            verdict = result.watchdog["verdict"]
+            leaked = (
+                result.faults["teardown"]["leaked"]
+                if result.faults is not None
+                else 0
+            )
+            if leaked:
+                verdict += "+leak"
+                failures.append((name, plan, result))
+            if plan is None:
+                clean_verdicts[name] = verdict
+            row.append("%18s" % verdict)
+        print(" ".join(row))
+
+    if not args.check:
+        return 0
+    expected = dict.fromkeys(
+        (name for name, _ in _MATRIX_VARIANTS), "healthy"
+    )
+    expected["unmodified"] = "livelocked"
+    ok = not failures and clean_verdicts == expected
+    if not ok:
+        for name, plan, result in failures:
+            print(
+                "check failed: %s / %s -> %r"
+                % (name, plan or "clean", result),
+                file=sys.stderr,
+            )
+        if clean_verdicts != expected:
+            print(
+                "check failed: clean verdicts %r, expected %r"
+                % (clean_verdicts, expected),
+                file=sys.stderr,
+            )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -51,6 +51,11 @@ class Driver:
             self.ifqueue = PacketQueue(
                 "%s.ifqueue" % name, config.ifqueue_limit, kernel.probes
             )
+        #: The packet currently held by this driver's suspended receive
+        #: frame (pulled from the ring, not yet handed to a queue). The
+        #: teardown path reads it so a mid-flight abort cannot leak a
+        #: pooled packet inside a generator frame.
+        self.in_flight = None
         self.rx_packets_processed = kernel.probes.counter(
             "driver.%s.rx_processed" % name
         )

@@ -66,6 +66,10 @@ class ClassicIPInput:
             self.ipintrq.on_high.append(self._inhibit_all_input)
             self.ipintrq.on_low.append(self._resume_all_input)
         self.drivers: list = []
+        #: Packet dequeued from ipintrq but still inside the suspended
+        #: softirq/netisr frame; read by the teardown path (no leaks on
+        #: mid-flight abort).
+        self.in_flight = None
         self.input_inhibits = kernel.probes.counter("ipintrq.input_inhibits")
         self._softnet_line = None
         self._netisr_signal: Optional[Signal] = None
@@ -137,8 +141,10 @@ class ClassicIPInput:
             packet = ipintrq_dequeue()
             if packet is None:
                 return
+            self.in_flight = packet
             yield dequeue_work
             yield from input_packet(packet)
+            self.in_flight = None
 
     def _netisr_body(self):
         """netisr kernel thread: drain ipintrq, sleep when empty."""
@@ -150,8 +156,10 @@ class ClassicIPInput:
             if packet is None:
                 yield WaitSignal(self._netisr_signal)
                 continue
+            self.in_flight = packet
             yield dequeue_work
             yield from input_packet(packet)
+            self.in_flight = None
 
 
 class BsdDriver(Driver):
@@ -217,9 +225,12 @@ class BsdDriver(Driver):
             packet = rx_pull()
             if packet is None:
                 return
+            self.in_flight = packet
             yield per_packet_work
             rx_processed_inc()
-            if ip_enqueue(packet):
+            accepted = ip_enqueue(packet)
+            self.in_flight = None
+            if accepted:
                 yield softirq_post_work
             # If ipintrq was full the packet is dropped *after* the
             # device-level work was spent on it — the wasted work at the

@@ -69,20 +69,30 @@ class ClockedPollingDriver(Driver):
             worked = False
             handled = 0
             if batch_pull:
-                for packet in self.nic.rx_pull_many(self.quota):
+                # The pulled batch lives only in this frame, so expose it
+                # (oldest last, consumed by pop) for mid-flight teardown.
+                batch = self.nic.rx_pull_many(self.quota)
+                batch.reverse()
+                self.in_flight = batch
+                while batch:
+                    packet = batch[-1]
                     yield per_packet_work
                     rx_processed_inc()
                     yield from input_packet(packet)
+                    batch.pop()
                     handled += 1
                     worked = True
+                self.in_flight = None
             else:
                 while self.quota is None or handled < self.quota:
                     packet = rx_pull()
                     if packet is None:
                         break
+                    self.in_flight = packet
                     yield per_packet_work
                     rx_processed_inc()
                     yield from input_packet(packet)
+                    self.in_flight = None
                     handled += 1
                     worked = True
             moved = yield from self._tx_service(self.quota)

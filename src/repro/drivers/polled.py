@@ -132,11 +132,13 @@ class PolledDriver(Driver):
             packet = rx_pull()
             if packet is None:
                 break
+            self.in_flight = packet
             yield per_packet_work
             rx_processed_inc()
             # Processed as far as possible in one go: IP input runs here,
             # in the polling thread — no ipintrq, no software interrupt.
             yield from input_packet(packet)
+            self.in_flight = None
             handled += 1
         if self.nic.rx_pending() > 0:
             # Quota exhausted with backlog: ask to be polled again.

@@ -32,8 +32,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -42,13 +45,55 @@ from ..kernel.config import KernelConfig
 #: Bump whenever trial semantics, the cost model defaults, or the
 #: TrialResult schema change: the fingerprint embeds this tag, so a bump
 #: invalidates every existing cache entry without touching the files.
-CACHE_VERSION = "1"
+#: "2": TrialResult gained watchdog/faults fields; trials accept
+#: fault_plan/watchdog/sanitize.
+CACHE_VERSION = "2"
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: A trial spec: (kernel config, input rate, run_trial keyword args).
 TrialSpec = Tuple[KernelConfig, float, Dict[str, Any]]
+
+
+@dataclass
+class TrialFailure:
+    """Record of a trial that could not produce a result.
+
+    Non-strict sweeps degrade gracefully: a crashed worker, a hung
+    trial, or a trial that raised ends up as one of these in the result
+    list (position-for-position with its spec) instead of aborting the
+    whole sweep. ``kind`` is ``"timeout"`` (exceeded the per-trial
+    wall-clock limit), ``"crash"`` (the worker process died), or
+    ``"error"`` (the trial raised — deterministic, never retried).
+    """
+
+    variant: str
+    target_rate_pps: float
+    kind: str
+    error: str
+    attempts: int
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+
+class SweepError(RuntimeError):
+    """A strict sweep aborted on an unrecoverable trial failure."""
+
+    def __init__(self, failure: TrialFailure) -> None:
+        super().__init__(
+            "trial %s @ %.0f pps failed (%s after %d attempt(s)): %s"
+            % (
+                failure.variant,
+                failure.target_rate_pps,
+                failure.kind,
+                failure.attempts,
+                failure.error,
+            )
+        )
+        self.failure = failure
 
 
 def default_cache_dir() -> Path:
@@ -77,10 +122,25 @@ def trial_fingerprint(
         "version": CACHE_VERSION,
         "config": asdict(config),
         "rate_pps": rate_pps,
-        "kwargs": kwargs,
+        "kwargs": _canonical_kwargs(kwargs),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonical_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Kwargs with the fault plan in canonical dict form, so a canned-plan
+    name and the equivalent FaultPlan object address the same entry."""
+    plan = kwargs.get("fault_plan")
+    if plan is None:
+        return kwargs
+    from ..faults import canned_plan
+
+    if isinstance(plan, str):
+        plan = canned_plan(plan)
+    kwargs = dict(kwargs)
+    kwargs["fault_plan"] = plan.to_dict()
+    return kwargs
 
 
 class ResultCache:
@@ -102,6 +162,7 @@ class ResultCache:
             ) from None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path(self, key: str) -> Path:
         return self.root / (key + ".json")
@@ -109,14 +170,29 @@ class ResultCache:
     def get(self, key: str):
         from .results import trial_from_dict
 
+        path = self.path(key)
         try:
-            with open(self.path(key), "r", encoding="utf-8") as handle:
+            handle = open(path, "r", encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with handle:
                 entry = json.load(handle)
             if entry.get("version") != CACHE_VERSION:
                 raise ValueError("cache version skew")
             result = trial_from_dict(entry["result"])
         except Exception:
+            # Corrupt, truncated, or stale-schema entry: quarantine it so
+            # it cannot shadow the recomputed result (the recompute's
+            # atomic put will replace it anyway, but a crash between miss
+            # and put must not leave the bad file behind).
             self.misses += 1
+            self.evictions += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return result
@@ -156,7 +232,32 @@ def _run_spec(spec: TrialSpec):
     from .harness import run_trial
 
     config, rate_pps, kwargs = spec
+    chaos = kwargs.get("_chaos")
+    if chaos is not None:
+        kwargs = {k: v for k, v in kwargs.items() if k != "_chaos"}
+        _apply_chaos(chaos)
     return run_trial(config, rate_pps, **kwargs)
+
+
+def _apply_chaos(chaos: Dict[str, Any]) -> None:
+    """Engine-level failure injection, for testing the engine itself
+    (the simulator has :mod:`repro.faults`; the worker pool needs its
+    own seam, reached via a reserved ``_chaos`` trial kwarg).
+
+    ``crash_flag``: hard-kill the worker unless the flag file exists —
+    the file is created first, so exactly the first attempt dies and a
+    retry succeeds. ``hang_s``: sleep that long before running (trips
+    the per-trial timeout). ``raise``: raise a deterministic error.
+    """
+    flag = chaos.get("crash_flag")
+    if flag is not None and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(1)
+    hang = chaos.get("hang_s")
+    if hang:
+        time.sleep(hang)
+    if chaos.get("raise"):
+        raise RuntimeError("chaos: injected trial error")
 
 
 def parallel_map(
@@ -179,11 +280,132 @@ def parallel_map(
         return list(pool.map(fn, payloads))
 
 
+def _spec_failure(spec: TrialSpec, kind: str, error: str, attempts: int):
+    from ..core.variants import describe
+
+    config, rate_pps, _ = spec
+    return TrialFailure(
+        variant=describe(config),
+        target_rate_pps=rate_pps,
+        kind=kind,
+        error=error,
+        attempts=attempts,
+    )
+
+
+def _abandon_executor(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting: a hung or crashed worker must
+    not block the sweep's forward progress."""
+    for process in list(getattr(executor, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - pre-3.9 signature
+        executor.shutdown(wait=False)
+
+
+def _run_resilient(
+    indexed_specs: List[Tuple[int, TrialSpec]],
+    jobs: Optional[int],
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+    strict: bool,
+) -> Dict[int, Any]:
+    """Run specs across a worker pool, surviving crashes and hangs.
+
+    Returns {index: TrialResult | TrialFailure}. A worker crash poisons
+    its whole ProcessPoolExecutor and a hung worker never frees its
+    slot, so recovery is pool-granular: salvage every future that
+    already finished, charge one failed attempt to the spec being
+    waited on, tear the pool down, and resubmit the remainder to a
+    fresh one (after a linear backoff). Trials that *raise* are
+    deterministic and are never retried.
+    """
+    max_attempts = 1 + max(0, retries)
+    outcomes: Dict[int, Any] = {}
+    attempts = {index: 0 for index, _ in indexed_specs}
+    pending = list(indexed_specs)
+    round_number = 0
+    while pending:
+        if round_number > 0 and retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * round_number)
+        round_number += 1
+        workers = min(max(1, jobs or 1), len(pending))
+        executor = ProcessPoolExecutor(max_workers=workers)
+        submitted = [
+            (index, spec, executor.submit(_run_spec, spec))
+            for index, spec in pending
+        ]
+        pending = []
+        abandoned = False
+        for position, (index, spec, future) in enumerate(submitted):
+            try:
+                outcomes[index] = future.result(timeout=timeout_s)
+                attempts[index] += 1
+                continue
+            except FutureTimeoutError:
+                kind = "timeout"
+                error = "exceeded the %.1fs per-trial wall-clock limit" % (
+                    timeout_s or 0.0
+                )
+            except BrokenProcessPool as exc:
+                kind = "crash"
+                error = "worker process died: %r" % exc
+            except Exception as exc:
+                # The trial itself raised. It is deterministic, so a
+                # retry would fail identically — record (or raise) now.
+                attempts[index] += 1
+                if strict:
+                    _abandon_executor(executor)
+                    raise
+                outcomes[index] = _spec_failure(
+                    spec, "error", repr(exc), attempts[index]
+                )
+                continue
+            # Timeout or crash: the pool is no longer trustworthy.
+            attempts[index] += 1
+            if attempts[index] >= max_attempts:
+                failure = _spec_failure(spec, kind, error, attempts[index])
+                if strict:
+                    _abandon_executor(executor)
+                    raise SweepError(failure)
+                outcomes[index] = failure
+            else:
+                pending.append((index, spec))
+            # Salvage completed successes; everything else re-runs in a
+            # fresh pool with no attempt charged (it was not at fault).
+            for other_index, other_spec, other_future in submitted[position + 1:]:
+                salvaged = False
+                if other_future.done():
+                    try:
+                        outcomes[other_index] = other_future.result()
+                        attempts[other_index] += 1
+                        salvaged = True
+                    except Exception:
+                        salvaged = False
+                if not salvaged:
+                    pending.append((other_index, other_spec))
+            _abandon_executor(executor)
+            abandoned = True
+            break
+        if not abandoned:
+            executor.shutdown()
+    return outcomes
+
+
 def run_trials(
     specs: Sequence[TrialSpec],
     jobs: Optional[int] = None,
     cache=False,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    retry_backoff_s: float = 0.25,
+    strict: bool = True,
 ) -> List:
     """Run every trial spec, in parallel and/or from cache.
 
@@ -192,6 +414,16 @@ def run_trials(
     read back from the cache. Specs carrying a pre-built ``router``
     cannot cross a process boundary or be fingerprinted, so they always
     run serially and uncached.
+
+    Resilience: ``timeout_s`` bounds each trial's wall-clock time (it
+    forces pool execution, since an in-process trial cannot be
+    interrupted); crashed or hung workers are retried up to ``retries``
+    extra times with a linear ``retry_backoff_s`` delay. With
+    ``strict=True`` (the library default) the first unrecoverable
+    failure raises (:class:`SweepError`, or the trial's own exception);
+    ``strict=False`` degrades gracefully, leaving a
+    :class:`TrialFailure` in the result list at the failed spec's
+    position.
     """
     specs = list(specs)
     store = _resolve_cache(cache, cache_dir)
@@ -201,7 +433,16 @@ def run_trials(
     keys: Dict[int, str] = {}
     for index, (config, rate_pps, kwargs) in enumerate(specs):
         if "router" in kwargs and kwargs["router"] is not None:
-            results[index] = _run_spec(specs[index])
+            # Pre-built routers cannot cross a process boundary: run
+            # in-process (uncached, no timeout enforcement).
+            try:
+                results[index] = _run_spec(specs[index])
+            except Exception as exc:
+                if strict:
+                    raise
+                results[index] = _spec_failure(
+                    specs[index], "error", repr(exc), 1
+                )
             continue
         if store is not None:
             key = trial_fingerprint(config, rate_pps, kwargs)
@@ -212,10 +453,33 @@ def run_trials(
                 continue
         pending.append(index)
 
-    fresh = parallel_map(_run_spec, [specs[i] for i in pending], jobs=jobs)
-    for index, result in zip(pending, fresh):
+    if timeout_s is None and (jobs is None or jobs <= 1):
+        # Serial fast path: no pool, no pickling.
+        for index in pending:
+            try:
+                results[index] = _run_spec(specs[index])
+            except Exception as exc:
+                if strict:
+                    raise
+                results[index] = _spec_failure(
+                    specs[index], "error", repr(exc), 1
+                )
+            else:
+                if store is not None:
+                    store.put(keys[index], results[index])
+        return results
+
+    outcomes = _run_resilient(
+        [(index, specs[index]) for index in pending],
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
+        strict=strict,
+    )
+    for index, result in outcomes.items():
         results[index] = result
-        if store is not None:
+        if store is not None and not isinstance(result, TrialFailure):
             store.put(keys[index], result)
     return results
 
@@ -226,8 +490,21 @@ def run_sweep(
     jobs: Optional[int] = None,
     cache=False,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    retry_backoff_s: float = 0.25,
+    strict: bool = True,
     **trial_kwargs,
 ) -> List:
     """One trial per input rate (fresh router each time), engine-backed."""
     specs = [(config, rate, dict(trial_kwargs)) for rate in rates]
-    return run_trials(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return run_trials(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
+        strict=strict,
+    )

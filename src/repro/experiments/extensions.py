@@ -99,12 +99,17 @@ def extension_endhost(
     jobs: Optional[int] = None,
     cache=False,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    strict: bool = True,
 ) -> FigureResult:
     """Server goodput under request floods (end-system livelock).
 
     ``jobs`` fans the (kernel, rate) grid across worker processes; the
     end-host measurement is not a plain router trial, so it bypasses the
-    TrialResult cache (``cache``/``cache_dir`` accepted for CLI symmetry).
+    TrialResult cache and the engine's retry machinery
+    (``cache``/``cache_dir``/``timeout_s``/``retries``/``strict``
+    accepted for CLI symmetry — a failed point raises).
     """
     result = FigureResult(
         figure_id="ext-endhost",

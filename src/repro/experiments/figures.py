@@ -219,6 +219,9 @@ def figure_7_1(
     jobs: Optional[int] = None,
     cache=False,
     cache_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    strict: bool = True,
     **trial_kwargs,
 ) -> FigureResult:
     """Available user-mode CPU vs input rate per cycle threshold (§7)."""
@@ -239,12 +242,21 @@ def figure_7_1(
         for threshold in thresholds
         for rate in rates
     ]
-    trials = run_trials(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    trials = run_trials(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+        strict=strict,
+    )
     for row, threshold in enumerate(thresholds):
         label = "threshold %d %%" % round(threshold * 100)
         points: List[Point] = [
             (trial.offered_rate_pps, 100.0 * trial.user_cpu_share)
             for trial in trials[row * len(rates) : (row + 1) * len(rates)]
+            if not getattr(trial, "failed", False)
         ]
         result.series[label] = sorted(points)
     result.notes = (

@@ -51,6 +51,11 @@ class TrialResult:
     latency_us: Dict[str, float] = field(default_factory=dict)
     drops: Dict[str, int] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Structured livelock-watchdog verdict (None unless ``watchdog=True``).
+    watchdog: Optional[Dict] = None
+    #: Fault-injection record: the plan, injected-fault counts, and the
+    #: teardown reconciliation report (None for fault-free trials).
+    faults: Optional[Dict] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -71,6 +76,9 @@ def _make_generator(
     burst_size: int,
 ):
     pool = getattr(router, "packet_pool", None)
+    # Link faults interpose a wire between generator and NIC; fault-free
+    # routers leave wire_in as None and keep the direct NIC binding.
+    wire = getattr(router, "wire_in", None)
     if workload == WORKLOAD_CONSTANT:
         return ConstantRateGenerator(
             router.sim,
@@ -79,6 +87,7 @@ def _make_generator(
             jitter_fraction=0.05,
             rng=streams.stream("traffic"),
             pool=pool,
+            wire=wire,
         )
     if workload == WORKLOAD_POISSON:
         return PoissonGenerator(
@@ -87,6 +96,7 @@ def _make_generator(
             rate_pps,
             rng=streams.stream("traffic"),
             pool=pool,
+            wire=wire,
         )
     if workload == WORKLOAD_BURSTY:
         return BurstyGenerator(
@@ -96,8 +106,20 @@ def _make_generator(
             burst_size=burst_size,
             rng=streams.stream("traffic"),
             pool=pool,
+            wire=wire,
         )
     raise ValueError("unknown workload %r" % workload)
+
+
+def _resolve_fault_plan(fault_plan):
+    """Accept a FaultPlan, a canned-plan name, or None."""
+    if fault_plan is None:
+        return None
+    if isinstance(fault_plan, str):
+        from ..faults import canned_plan
+
+        return canned_plan(fault_plan)
+    return fault_plan
 
 
 def run_trial(
@@ -110,25 +132,58 @@ def run_trial(
     burst_size: int = 32,
     with_compute: bool = False,
     router: Optional[Router] = None,
+    fault_plan=None,
+    watchdog: bool = False,
+    sanitize: bool = False,
 ) -> TrialResult:
     """Run one trial and return its measurements.
 
     ``rate_pps`` of 0 runs an unloaded router (used for the fig 7-1
     zero-load point). Pass ``router`` to reuse a pre-built topology
     (e.g. one with a monitor attached); it must not be started yet.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan` or a canned-plan
+    name) arms deterministic hardware fault injection; the plan is part
+    of the trial's identity for caching. ``watchdog=True`` attaches the
+    livelock watchdog and records its verdict on the result;
+    ``sanitize=True`` runs the runtime invariant sanitizer throughout
+    the trial and reconciles packet-pool ownership at the end. Both are
+    opt-in: the watchdog schedules its own periodic event and so
+    perturbs event sequence numbers relative to a bare trial.
     """
     if rate_pps < 0:
         raise ValueError("rate must be non-negative")
+    plan = _resolve_fault_plan(fault_plan)
     if router is None:
         router = Router(config)
+    if plan is not None:
+        router.arm_faults(plan)
     if with_compute:
         router.add_compute_process()
+    sanitizer = None
+    if sanitize:
+        from ..sim.sanitize import InvariantSanitizer
+
+        sanitizer = InvariantSanitizer(router).attach()
     router.start()
     streams = RandomStreams(seed)
     generator = None
     if rate_pps > 0:
         generator = _make_generator(
             workload, router, rate_pps, streams, burst_size
+        ).start()
+    wd = None
+    if watchdog:
+        from ..sim.watchdog import LivelockWatchdog
+
+        wd = LivelockWatchdog(
+            router.sim,
+            router.delivered,
+            (router.nic_in.rx_accepted, router.nic_in.rx_overflow_drops),
+            window_ns=config.watchdog_window_ticks * config.clock_tick_ns,
+            user_cycles=(
+                router.compute.cycles_used if router.compute is not None else None
+            ),
         ).start()
 
     router.run_for(seconds(warmup_s))
@@ -155,12 +210,33 @@ def run_trial(
         window_cycles = ns_to_cycles(window_ns, config.costs.cpu_hz)
         user_share = router.compute.cpu_share(compute_before, window_cycles)
 
+    if wd is not None:
+        wd.stop()
     dump = router.probes.dump()
     drops = {
         name: value
         for name, value in dump.items()
         if ("drop" in name) and value > 0
     }
+
+    faults_record = None
+    if plan is not None or sanitize:
+        # End-of-trial reconciliation: stop the source, recover every
+        # in-flight packet, and balance the pool's books. Skipped for
+        # plain trials so their event streams stay byte-identical to
+        # the golden fixtures.
+        if generator is not None:
+            generator.stop()
+        report = router.teardown()
+        if sanitizer is not None:
+            sanitizer.detach()
+            sanitizer.check_trial_end(report)
+        if plan is not None:
+            faults_record = {
+                "plan": plan.to_dict(),
+                "injected": router.faults.summary(),
+                "teardown": report,
+            }
     return TrialResult(
         variant=describe(config),
         target_rate_pps=rate_pps,
@@ -173,6 +249,8 @@ def run_trial(
         latency_us=router.latency.summary_us(),
         drops=drops,
         counters=dump,
+        watchdog=wd.verdict() if wd is not None else None,
+        faults=faults_record,
     )
 
 
@@ -190,6 +268,10 @@ def run_sweep(
     trials across worker processes, ``cache=True`` (optionally with
     ``cache_dir``) reuses on-disk results. Output order and every
     ``TrialResult`` field are identical regardless of jobs/cache.
+    Resilience knobs (``timeout_s``, ``retries``, ``retry_backoff_s``,
+    ``strict``) pass through: with ``strict=False`` a failed trial
+    yields a :class:`repro.experiments.engine.TrialFailure` in place of
+    its result instead of aborting the sweep.
     """
     from .engine import run_sweep as engine_run_sweep
 
@@ -199,8 +281,16 @@ def run_sweep(
 
 
 def sweep_series(results: Sequence[TrialResult]):
-    """[(offered_rate, output_rate)] pairs from a sweep, sorted by rate."""
-    return sorted(result.as_point() for result in results)
+    """[(offered_rate, output_rate)] pairs from a sweep, sorted by rate.
+
+    Non-strict sweeps may leave :class:`~repro.experiments.engine.
+    TrialFailure` records in the list; failed points are omitted from
+    the series (the figure shows the trials that completed)."""
+    return sorted(
+        result.as_point()
+        for result in results
+        if not getattr(result, "failed", False)
+    )
 
 
 #: Input-rate grid used by the figure experiments (pkt/s), matching the

@@ -29,6 +29,7 @@ from ..drivers.clocked import ClockedPollingDriver
 from ..drivers.highipl import HighIplDriver
 from ..drivers.polled import PolledDriver
 from ..hw.cpu import IPL_DEVICE
+from ..hw.link import Wire
 from ..hw.nic import NIC
 from ..kernel.config import KernelConfig
 from ..kernel.kernel import Kernel
@@ -138,9 +139,15 @@ class Router:
         self.delivered = self.probes.counter("router.delivered")
         self.latency = LatencyRecorder(self.sim)
         self.nic_out.on_transmit = self._on_output_transmit
+        self.nic_in.on_transmit = self._on_input_transmit
         self.compute: Optional[ComputeBoundProcess] = None
         self.monitor: Optional[PassiveMonitor] = None
+        #: Armed fault injector (:meth:`arm_faults`) and the faulty input
+        #: wire generators should send through; both None fault-free.
+        self.faults = None
+        self.wire_in: Optional[Wire] = None
         self._started = False
+        self._teardown_report: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Variant wiring
@@ -260,6 +267,29 @@ class Router:
         return self.monitor
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def arm_faults(self, plan):
+        """Arm a :class:`~repro.faults.FaultPlan` into this router.
+
+        Must run before :meth:`start`. Returns the armed
+        :class:`~repro.faults.FaultInjector`; when the plan carries link
+        faults, :attr:`wire_in` is the faulty wire the harness hands to
+        the traffic generator.
+        """
+        from ..faults import FaultInjector
+
+        if self.faults is not None:
+            raise RuntimeError("faults already armed on this router")
+        injector = FaultInjector(plan, self.sim, self.probes)
+        injector.arm(self)
+        self.faults = injector
+        if plan.wire_armed:
+            self.wire_in = Wire(self.nic_in, pool=self.packet_pool, faults=injector)
+        return injector
+
+    # ------------------------------------------------------------------
     # Lifecycle and measurement
     # ------------------------------------------------------------------
 
@@ -272,6 +302,10 @@ class Router:
         self.driver_out.attach()
         if self.ip_input is not None:
             self.ip_input.attach()
+        if self.faults is not None:
+            # The drivers have created their interrupt lines by now, so
+            # the injector can attach its IRQ-fault hook.
+            self.faults.bind_lines()
         if self.polling is not None:
             self.polling.start()
         if self.screend is not None:
@@ -293,8 +327,110 @@ class Router:
         if pool.enabled:
             pool.release(packet)
 
+    def _on_input_transmit(self, packet) -> None:
+        # Traffic routed back out the input interface (none in the
+        # standard experiments, but possible with source-net destinations)
+        # also leaves the router for good here.
+        pool = self.packet_pool
+        if pool.enabled:
+            pool.release(packet)
+
     def run_for(self, duration_ns: int) -> None:
         self.sim.run_for(duration_ns)
+
+    # ------------------------------------------------------------------
+    # Teardown (mid-flight abort / end-of-trial reconciliation)
+    # ------------------------------------------------------------------
+
+    def teardown(self, drain_ns: int = 0) -> dict:
+        """End the trial: disarm faults, optionally let in-flight work
+        drain, recover every packet still parked in hardware rings or
+        kernel queues, and reconcile the packet pool's books.
+
+        The caller must stop its traffic generators first. After an
+        optional fault-free drain window of ``drain_ns`` (which lets
+        suspended handler/daemon frames finish the packets they hold),
+        the rings and queues are emptied and their packets released, so
+        the pool's ``outstanding`` count should equal exactly the
+        interior drops plus locally-delivered packets; the difference is
+        reported as ``leaked``. Idempotent — the first report is cached.
+        The simulation must not be resumed afterwards.
+        """
+        if self._teardown_report is not None:
+            return self._teardown_report
+        if self.faults is not None:
+            self.faults.disarm()
+        if drain_ns > 0:
+            self.sim.run_for(drain_ns)
+
+        pool = self.packet_pool
+        recovered = []
+        recovered.extend(self.nic_in.drain())
+        recovered.extend(self.nic_out.drain())
+        queues = [self.driver_in.ifqueue, self.driver_out.ifqueue]
+        if self.ip_input is not None:
+            queues.append(self.ip_input.ipintrq)
+        if self.screen_queue is not None:
+            queues.append(self.screen_queue)
+        for queue in queues:
+            recovered.extend(queue.drain())
+        # Packets trapped inside suspended processing frames (a handler,
+        # the netisr thread, screend) at the abort instant.
+        for context in (self.driver_in, self.driver_out, self.ip_input, self.screend):
+            if context is None:
+                continue
+            in_flight = context.in_flight
+            if in_flight is not None:
+                if isinstance(in_flight, list):
+                    recovered.extend(in_flight)
+                else:
+                    recovered.append(in_flight)
+                context.in_flight = None
+        if pool.enabled:
+            for packet in recovered:
+                try:
+                    pool.release(packet)
+                except AttributeError:
+                    pass  # foreign payload without pool bookkeeping (tests)
+
+        interior_drops = self._interior_drop_count()
+        retained = self.ip.local_delivered.value
+        report = {
+            "recovered": len(recovered),
+            "interior_drops": interior_drops,
+            "retained": retained,
+            "outstanding": pool.outstanding,
+            # Only meaningful with the pool enabled: a disabled pool
+            # ignores releases, so its books cannot balance.
+            "leaked": (
+                pool.outstanding - interior_drops - retained
+                if pool.enabled
+                else None
+            ),
+        }
+        self._teardown_report = report
+        return report
+
+    def _interior_drop_count(self) -> int:
+        """Packets dropped *inside* the router — the points where the
+        ownership protocol deliberately abandons pool packets to the GC.
+        An explicit enumeration: substring-matching counter names would
+        silently sweep in non-packet events (or miss new drop sites)."""
+        total = (
+            self.driver_in.ifqueue.drop_count
+            + self.driver_out.ifqueue.drop_count
+            + self.ip.no_route_drops.value
+            + self.ip.arp_failure_drops.value
+        )
+        if self.ip.corrupt_drops is not None:
+            total += self.ip.corrupt_drops.value
+        if self.ip_input is not None:
+            total += self.ip_input.ipintrq.drop_count
+        if self.screen_queue is not None:
+            total += self.screen_queue.drop_count
+        if self.screend is not None:
+            total += self.screend.rejected.value
+        return total
 
     def __repr__(self) -> str:
         from ..core.variants import describe

@@ -1,0 +1,31 @@
+"""Deterministic fault injection at the hardware seams.
+
+The paper's thesis is that a kernel must keep making forward progress
+under hostile *input*; this subsystem lets the reproduction be tested
+under hostile *conditions* as well: lost, spurious and duplicated RX
+interrupts, stuck DMA (RX descriptor stall windows), transmit-complete
+delay spikes, corrupt and dropped frames, link brown-outs, frame
+reordering, and clock-tick jitter/drift.
+
+Two pieces:
+
+* :class:`FaultPlan` — the *description* of the faults: a frozen,
+  seeded, serialisable dataclass. Plans enter the trial fingerprint, so
+  the sweep engine's result cache stays correct, and two runs of the
+  same (config, rate, seed, plan) are byte-identical.
+* :class:`FaultInjector` — the *runtime*: built from a plan, armed into
+  a router before ``start()``. It attaches itself to the hook points in
+  :mod:`repro.hw.nic`, :mod:`repro.hw.interrupts`, :mod:`repro.hw.link`
+  and :mod:`repro.hw.clock`; with no injector armed every hook is a
+  ``None`` check and the PR-2 fast path is untouched.
+"""
+
+from .plan import CANNED_PLANS, FaultPlan, canned_plan
+from .inject import FaultInjector
+
+__all__ = [
+    "CANNED_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "canned_plan",
+]

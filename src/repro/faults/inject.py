@@ -1,0 +1,329 @@
+"""The fault-injection runtime: one armed :class:`FaultInjector` per trial.
+
+The injector owns all mutable fault state — private RNG streams, the
+open/closed state of stall and brown-out windows, the held re-ordered
+frame — and exposes tiny decision hooks that the hardware models consult
+from their hot paths. Every hook site is guarded by a ``faults is None``
+check, so a disarmed run performs no draws, schedules no events, and
+executes the exact PR-2 instruction stream.
+
+Counter conventions: every injected fault increments a ``faults.*``
+probe, so fault activity shows up in ``TrialResult.counters`` next to
+the queues and NICs it perturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..sim.errors import FaultError
+from ..sim.randomness import RandomStreams
+from .plan import FaultPlan
+
+#: Fault decisions returned by :meth:`FaultInjector.on_irq_request`.
+IRQ_PASS = 0
+IRQ_DROP = -1
+IRQ_DUPLICATE = 1
+
+
+class FaultInjector:
+    """Runtime state for one armed :class:`FaultPlan`.
+
+    Build it with the topology's probe registry, then :meth:`arm` it into
+    a router **before** ``router.start()``. All randomness is drawn from
+    streams derived from ``plan.seed``, independent of the trial seed.
+    """
+
+    def __init__(self, plan: FaultPlan, sim, probes) -> None:
+        plan.validate()
+        self.plan = plan
+        self.sim = sim
+        self.probes = probes
+        self.armed = False
+        self._streams = RandomStreams(plan.seed)
+        self._irq_rng = self._streams.stream("faults.irq")
+        self._frame_rng = self._streams.stream("faults.frame")
+        self._tx_rng = self._streams.stream("faults.tx")
+        self._stall_rng = self._streams.stream("faults.stall")
+        self._wire_rng = self._streams.stream("faults.wire")
+        self._clock_rng = self._streams.stream("faults.clock")
+        self._spurious_rng = self._streams.stream("faults.spurious")
+
+        counter = probes.counter
+        self.rx_irq_lost = counter("faults.rx_irq_lost")
+        self.rx_irq_duplicated = counter("faults.rx_irq_duplicated")
+        self.spurious_irqs = counter("faults.spurious_irqs")
+        self.frame_drops = counter("faults.frame_drops")
+        self.frames_corrupted = counter("faults.frames_corrupted")
+        self.tx_spikes = counter("faults.tx_spikes")
+        self.rx_stall_windows = counter("faults.rx_stall_windows")
+        self.brownouts = counter("faults.brownouts")
+        self.wire_drops = counter("faults.wire_drops")
+        self.frames_reordered = counter("faults.frames_reordered")
+
+        self._rx_stalled = False
+        self._browned_out = False
+        self._held_frame: Optional[Any] = None
+        self._held_wire = None
+        self._nics: List[Any] = []
+        self._router = None
+        self._events: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Arming / disarming
+    # ------------------------------------------------------------------
+
+    def arm(self, router) -> "FaultInjector":
+        """Attach the hooks to ``router``'s hardware. Must run before the
+        router starts (the clock reads its fault source at start)."""
+        if self.armed:
+            raise FaultError("fault injector already armed")
+        if router._started:
+            raise FaultError("cannot arm faults into a started router")
+        self.armed = True
+        self._router = router
+        plan = self.plan
+        self._nics = [router.nic_in, router.nic_out]
+        for nic in self._nics:
+            nic.faults = self
+        if plan.clock_armed:
+            router.kernel.clock.faults = self
+        if plan.rx_stall_mean_interval_ns > 0:
+            self._schedule_stall_start()
+        if plan.brownout_mean_interval_ns > 0:
+            self._schedule_brownout_start()
+        if plan.spurious_rx_irq_rate_pps > 0:
+            self._schedule_spurious()
+        return self
+
+    def bind_lines(self) -> None:
+        """Attach the interrupt-fault hook to the RX lines. Called by
+        ``Router.start()`` once the drivers have created their lines."""
+        if not self.armed:
+            return
+        plan = self.plan
+        if not (plan.rx_irq_drop_prob or plan.rx_irq_duplicate_prob):
+            return
+        for line in self._rx_lines():
+            if line is not None:
+                line.faults = self
+
+    def disarm(self) -> None:
+        """Detach every hook and flush in-flight fault state. Used by the
+        teardown path so draining cannot be blocked by an open stall or
+        brown-out window."""
+        if not self.armed:
+            return
+        self.armed = False
+        for event in self._events:
+            self.sim.cancel(event)
+        self._events = []
+        self.flush_wire()
+        self._rx_stalled = False
+        self._browned_out = False
+        for nic in self._nics:
+            nic.faults = None
+            if len(nic._rx_ring) and nic.rx_line is not None:
+                nic.rx_line.request()
+        router = self._router
+        if router is not None and router.kernel.clock.faults is self:
+            router.kernel.clock.faults = None
+        for line in self._rx_lines():
+            if line is not None and line.faults is self:
+                line.faults = None
+
+    def _rx_lines(self):
+        router = self._router
+        if router is None:
+            return []
+        return [nic.rx_line for nic in self._nics]
+
+    def summary(self) -> dict:
+        """Injected-fault counts, keyed without the ``faults.`` prefix."""
+        return {
+            name[len("faults."):]: value
+            for name, value in self.probes.dump().items()
+            if name.startswith("faults.") and value > 0
+        }
+
+    # ------------------------------------------------------------------
+    # Interrupt-line hook (repro.hw.interrupts)
+    # ------------------------------------------------------------------
+
+    def on_irq_request(self, line) -> int:
+        """Fault decision for one RX interrupt assertion."""
+        plan = self.plan
+        if plan.rx_irq_drop_prob and self._irq_rng.random() < plan.rx_irq_drop_prob:
+            self.rx_irq_lost.increment()
+            return IRQ_DROP
+        if (
+            plan.rx_irq_duplicate_prob
+            and self._irq_rng.random() < plan.rx_irq_duplicate_prob
+        ):
+            self.rx_irq_duplicated.increment()
+            return IRQ_DUPLICATE
+        return IRQ_PASS
+
+    def _schedule_spurious(self) -> None:
+        gap = self._spurious_rng.expovariate(
+            self.plan.spurious_rx_irq_rate_pps
+        )
+        event = self.sim.schedule(
+            max(1, int(gap * 1e9)), self._fire_spurious, label="faults:spurious"
+        )
+        self._events.append(event)
+
+    def _fire_spurious(self) -> None:
+        if not self.armed:
+            return
+        router = self._router
+        line = router.nic_in.rx_line if router is not None else None
+        if line is not None:
+            self.spurious_irqs.increment()
+            # A genuine spurious assert: the handler will find nothing.
+            line.request()
+        self._schedule_spurious()
+
+    # ------------------------------------------------------------------
+    # NIC hooks (repro.hw.nic)
+    # ------------------------------------------------------------------
+
+    def on_wire_frame(self, nic, packet) -> bool:
+        """Frame-integrity decision as a frame reaches ``nic``. Returns
+        False when the frame is lost (caller rejects it, ownership stays
+        with the sender)."""
+        plan = self.plan
+        if plan.frame_drop_prob and self._frame_rng.random() < plan.frame_drop_prob:
+            self.frame_drops.increment()
+            return False
+        if (
+            plan.frame_corrupt_prob
+            and self._frame_rng.random() < plan.frame_corrupt_prob
+        ):
+            self.frames_corrupted.increment()
+            try:
+                packet.mark_corrupted()
+            except AttributeError:
+                pass  # foreign payload without lifecycle marks (tests)
+        return True
+
+    def rx_stalled(self) -> bool:
+        """True while a DMA stall window hides the RX ring from the host."""
+        return self._rx_stalled
+
+    def tx_extra_delay(self, nic) -> int:
+        """Extra transmit-complete latency for the next transmission."""
+        plan = self.plan
+        if plan.tx_spike_prob and self._tx_rng.random() < plan.tx_spike_prob:
+            self.tx_spikes.increment()
+            return plan.tx_spike_extra_ns
+        return 0
+
+    def _schedule_stall_start(self) -> None:
+        gap = self._stall_rng.expovariate(
+            1.0 / self.plan.rx_stall_mean_interval_ns
+        )
+        event = self.sim.schedule(
+            max(1, int(gap)), self._stall_start, label="faults:stall"
+        )
+        self._events.append(event)
+
+    def _stall_start(self) -> None:
+        if not self.armed:
+            return
+        self._rx_stalled = True
+        self.rx_stall_windows.increment()
+        event = self.sim.schedule(
+            self.plan.rx_stall_duration_ns, self._stall_end, label="faults:stall"
+        )
+        self._events.append(event)
+
+    def _stall_end(self) -> None:
+        self._rx_stalled = False
+        if not self.armed:
+            return
+        # The DMA engine catches up: the backlog becomes visible and the
+        # device re-asserts for it.
+        for nic in self._nics:
+            if len(nic._rx_ring) and nic.rx_line is not None:
+                nic.rx_line.request()
+        self._schedule_stall_start()
+
+    # ------------------------------------------------------------------
+    # Wire hooks (repro.hw.link)
+    # ------------------------------------------------------------------
+
+    def wire_deliver(self, wire, packet) -> bool:
+        """Deliver ``packet`` through a faulty wire. Returns False when
+        the frame is lost *now* and ownership stays with the caller; a
+        True return means the wire took responsibility (possibly holding
+        the frame briefly for reordering)."""
+        if self._browned_out:
+            self.wire_drops.increment()
+            return False
+        plan = self.plan
+        held = self._held_frame
+        if held is not None:
+            # Deliver the newcomer first, then the held frame: a pairwise
+            # swap on the wire. The wire takes ownership of both (the
+            # caller sees True), so rejections recycle through the wire.
+            self._held_frame = None
+            self.frames_reordered.increment()
+            wire.consume(packet)
+            wire.consume(held)
+            return True
+        if plan.reorder_prob and self._wire_rng.random() < plan.reorder_prob:
+            self._held_frame = packet
+            self._held_wire = wire
+            return True
+        return wire.pass_through(packet)
+
+    def flush_wire(self) -> None:
+        """Deliver any held (reordered) frame immediately."""
+        held, wire = self._held_frame, self._held_wire
+        self._held_frame = None
+        if held is not None and wire is not None:
+            wire.consume(held)
+
+    def _schedule_brownout_start(self) -> None:
+        gap = self._wire_rng.expovariate(
+            1.0 / self.plan.brownout_mean_interval_ns
+        )
+        event = self.sim.schedule(
+            max(1, int(gap)), self._brownout_start, label="faults:brownout"
+        )
+        self._events.append(event)
+
+    def _brownout_start(self) -> None:
+        if not self.armed:
+            return
+        self._browned_out = True
+        self.brownouts.increment()
+        event = self.sim.schedule(
+            self.plan.brownout_duration_ns, self._brownout_end, label="faults:brownout"
+        )
+        self._events.append(event)
+
+    def _brownout_end(self) -> None:
+        self._browned_out = False
+        if self.armed:
+            self._schedule_brownout_start()
+
+    # ------------------------------------------------------------------
+    # Clock hooks (repro.hw.clock)
+    # ------------------------------------------------------------------
+
+    def next_tick_interval(self, base_ns: int) -> int:
+        """The (jittered, drifted) interval before the next clock tick."""
+        plan = self.plan
+        interval = base_ns * (1.0 + plan.tick_drift_fraction)
+        jitter = plan.tick_jitter_fraction
+        if jitter:
+            interval *= self._clock_rng.uniform(1.0 - jitter, 1.0 + jitter)
+        return max(1, int(interval))
+
+    def __repr__(self) -> str:
+        return "FaultInjector(%s, %s)" % (
+            "armed" if self.armed else "disarmed",
+            self.plan,
+        )

@@ -1,0 +1,227 @@
+"""Fault plans: the serialisable description of what to break, when.
+
+A :class:`FaultPlan` is pure data — probabilities, window geometries and
+a seed — with no runtime state, so it can be hashed into the trial
+fingerprint, pickled across worker processes, written to JSON, and
+compared for equality. All defaults are inert: ``FaultPlan()`` describes
+a fault-free run and :meth:`FaultPlan.any_armed` is False for it.
+
+Determinism contract: every stochastic decision the injector makes is
+drawn from named :class:`~repro.sim.randomness.RandomStreams` derived
+from ``plan.seed`` — never from the trial's own streams — so arming a
+plan does not perturb the traffic generators' draws, and the same plan
+always breaks the same packets at the same instants.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict
+
+from ..sim.errors import FaultError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Description of one deterministic fault-injection scenario."""
+
+    #: Root seed for the injector's private random streams.
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # NIC interrupt faults (repro.hw.interrupts hooks)
+    # ------------------------------------------------------------------
+    #: Probability that an RX interrupt assertion is lost (the device
+    #: raised the line but the controller never saw it; packets sit in
+    #: the ring until a later arrival re-asserts).
+    rx_irq_drop_prob: float = 0.0
+    #: Probability that an RX interrupt assertion is duplicated (the
+    #: second assert latches and redelivers after the handler returns).
+    rx_irq_duplicate_prob: float = 0.0
+    #: Mean rate of spurious RX interrupts (assertions with no packet
+    #: behind them), as a Poisson process. 0 disables.
+    spurious_rx_irq_rate_pps: float = 0.0
+
+    # ------------------------------------------------------------------
+    # RX descriptor / DMA stalls (repro.hw.nic hooks)
+    # ------------------------------------------------------------------
+    #: Mean interval between DMA stall windows (exponential); 0 disables.
+    rx_stall_mean_interval_ns: int = 0
+    #: Length of each stall window. While stalled, received descriptors
+    #: are invisible to the host (``rx_pull`` returns nothing); the
+    #: backlog becomes visible, and the RX line re-asserts, at stall end.
+    rx_stall_duration_ns: int = 0
+
+    # ------------------------------------------------------------------
+    # Transmit-complete delay spikes (repro.hw.nic hooks)
+    # ------------------------------------------------------------------
+    #: Probability that one transmission takes ``tx_spike_extra_ns``
+    #: longer than wire time (PHY retraining, pause frames, ...).
+    tx_spike_prob: float = 0.0
+    tx_spike_extra_ns: int = 0
+
+    # ------------------------------------------------------------------
+    # Frame integrity (repro.hw.nic hooks)
+    # ------------------------------------------------------------------
+    #: Probability a frame is lost before the RX ring sees it.
+    frame_drop_prob: float = 0.0
+    #: Probability a frame arrives corrupted; it is accepted by the NIC
+    #: (our model's CRC covers only the link header) and dropped by IP
+    #: input after header validation — late enough to waste CPU on it.
+    frame_corrupt_prob: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Link faults (repro.hw.link hooks)
+    # ------------------------------------------------------------------
+    #: Mean interval between link brown-outs (exponential); 0 disables.
+    brownout_mean_interval_ns: int = 0
+    #: Length of each brown-out: frames offered while the link is browned
+    #: out are lost on the wire.
+    brownout_duration_ns: int = 0
+    #: Probability a frame is held on the wire and delivered immediately
+    #: after its successor (pairwise reordering burst).
+    reorder_prob: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Clock faults (repro.hw.clock hooks)
+    # ------------------------------------------------------------------
+    #: Uniform per-tick jitter: each tick interval is scaled by a factor
+    #: in [1 - j, 1 + j].
+    tick_jitter_fraction: float = 0.0
+    #: Constant multiplicative drift of the tick interval (positive =
+    #: slow clock, negative = fast clock).
+    tick_drift_fraction: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    _PROBS = (
+        "rx_irq_drop_prob",
+        "rx_irq_duplicate_prob",
+        "tx_spike_prob",
+        "frame_drop_prob",
+        "frame_corrupt_prob",
+        "reorder_prob",
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.sim.errors.FaultError` on a malformed plan."""
+        for name in self._PROBS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultError("%s must be in [0, 1], got %r" % (name, value))
+        for name in (
+            "rx_stall_mean_interval_ns",
+            "rx_stall_duration_ns",
+            "tx_spike_extra_ns",
+            "brownout_mean_interval_ns",
+            "brownout_duration_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise FaultError("%s must be non-negative" % name)
+        if self.rx_stall_mean_interval_ns > 0 and self.rx_stall_duration_ns <= 0:
+            raise FaultError("rx stall windows need a positive duration")
+        if self.brownout_mean_interval_ns > 0 and self.brownout_duration_ns <= 0:
+            raise FaultError("brown-out windows need a positive duration")
+        if not 0.0 <= self.tick_jitter_fraction < 1.0:
+            raise FaultError("tick_jitter_fraction must be in [0, 1)")
+        if not -0.5 <= self.tick_drift_fraction <= 0.5:
+            raise FaultError("tick_drift_fraction must be in [-0.5, 0.5]")
+        if self.tx_spike_prob > 0.0 and self.tx_spike_extra_ns <= 0:
+            raise FaultError("tx spikes need a positive tx_spike_extra_ns")
+
+    def any_armed(self) -> bool:
+        """True if this plan injects anything at all."""
+        return any(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "seed"
+        )
+
+    @property
+    def clock_armed(self) -> bool:
+        return bool(self.tick_jitter_fraction or self.tick_drift_fraction)
+
+    @property
+    def wire_armed(self) -> bool:
+        return bool(self.brownout_mean_interval_ns or self.reorder_prob)
+
+    # ------------------------------------------------------------------
+    # Serialisation (CLI fault-plan files; the fingerprint uses repr)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultError("unknown FaultPlan fields: %s" % sorted(unknown))
+        plan = cls(**data)
+        plan.validate()
+        return plan
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        try:
+            data = json.loads(blob)
+        except ValueError as exc:
+            raise FaultError("unparseable fault plan: %s" % exc) from None
+        if not isinstance(data, dict):
+            raise FaultError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    def with_options(self, **changes) -> "FaultPlan":
+        updated = replace(self, **changes)
+        updated.validate()
+        return updated
+
+
+#: Canned scenarios used by the CI fault matrix and the ``faultmatrix``
+#: CLI command. Three plans, together covering every injection site.
+CANNED_PLANS: Dict[str, FaultPlan] = {
+    # A NIC losing its mind: lost/duplicated interrupts, damaged frames.
+    "lossy-nic": FaultPlan(
+        seed=101,
+        rx_irq_drop_prob=0.10,
+        rx_irq_duplicate_prob=0.05,
+        frame_drop_prob=0.05,
+        frame_corrupt_prob=0.02,
+    ),
+    # Stuck DMA plus a congested link: stall windows, slow transmits,
+    # brown-outs.
+    "stalled-dma": FaultPlan(
+        seed=202,
+        rx_stall_mean_interval_ns=20_000_000,
+        rx_stall_duration_ns=2_000_000,
+        tx_spike_prob=0.01,
+        tx_spike_extra_ns=500_000,
+        brownout_mean_interval_ns=50_000_000,
+        brownout_duration_ns=5_000_000,
+    ),
+    # A flaky timebase and a noisy bus: jittered/drifting ticks,
+    # spurious interrupts, reordered frames.
+    "flaky-clock": FaultPlan(
+        seed=303,
+        tick_jitter_fraction=0.30,
+        tick_drift_fraction=0.05,
+        spurious_rx_irq_rate_pps=500.0,
+        reorder_prob=0.05,
+    ),
+}
+
+
+def canned_plan(name: str) -> FaultPlan:
+    """Look up a canned plan by name; raises FaultError on unknown names."""
+    try:
+        return CANNED_PLANS[name]
+    except KeyError:
+        raise FaultError(
+            "unknown canned fault plan %r (have: %s)"
+            % (name, ", ".join(sorted(CANNED_PLANS)))
+        ) from None

@@ -38,12 +38,21 @@ class ClockDevice:
             name, IPL_CLOCK, handler_factory, dispatch_cycles=dispatch_cycles
         )
         self._started = False
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`);
+        #: when set and armed for clock faults, tick intervals are drawn
+        #: through it (jitter/drift) instead of being exactly periodic.
+        self.faults = None
 
     def start(self) -> None:
         """Begin ticking (first interrupt one tick from now)."""
         if self._started:
             raise RuntimeError("clock already started")
         self._started = True
+        if self.faults is not None:
+            # Faulty timebase: each interval is drawn per tick, so the
+            # re-armed periodic event cannot be used.
+            self._arm_faulty_tick()
+            return
         # One re-armed event for the lifetime of the run: the clock fires
         # once per tick for the whole simulation, so a per-tick allocation
         # would be the single largest source of event churn.
@@ -52,3 +61,17 @@ class ClockDevice:
     def _tick(self) -> None:
         self.ticks += 1
         self.line.request()
+
+    def _arm_faulty_tick(self) -> None:
+        faults = self.faults
+        interval = (
+            faults.next_tick_interval(self.tick_ns)
+            if faults is not None
+            else self.tick_ns
+        )
+        self.sim.schedule(interval, self._faulty_tick, label="clock-tick")
+
+    def _faulty_tick(self) -> None:
+        self.ticks += 1
+        self.line.request()
+        self._arm_faulty_tick()

@@ -57,12 +57,41 @@ class InterruptLine:
         self.request_count = 0
         self.dispatch_count = 0
         self.suppressed_while_disabled = 0
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`),
+        #: bound by an armed injector; None on the fault-free fast path.
+        self.faults = None
 
     # ------------------------------------------------------------------
 
     def request(self) -> None:
         """Assert the line (device has work). Idempotent while pending."""
         self.request_count += 1
+        faults = self.faults
+        if faults is not None:
+            action = faults.on_irq_request(self)
+            if action < 0:
+                # Lost interrupt: the device asserted but the controller
+                # never saw it. Nothing latches; a later assertion (the
+                # next arrival, a stall-end kick) must re-raise.
+                return
+            if action > 0:
+                # Duplicated interrupt: deliver once now, and latch a
+                # second request that redelivers after the handler
+                # returns (edge semantics make the extra assert visible
+                # exactly then).
+                self.request_count += 1
+                self._assert_line()
+        if not self.enabled:
+            self.suppressed_while_disabled += 1
+            self.requested = True
+            return
+        self.requested = True
+        if not self.in_service:
+            self.controller.try_deliver(self)
+
+    def _assert_line(self) -> None:
+        """One raw assertion, bypassing the fault hook (used for the
+        duplicated-interrupt fault)."""
         if not self.enabled:
             self.suppressed_while_disabled += 1
             self.requested = True

@@ -41,3 +41,56 @@ MIN_PACKET_TIME_NS = packet_time_ns(payload_bytes=4)
 #: Maximum packet rate of 10 Mb/s Ethernet for minimum-size frames
 #: (≈ 14,880 packets/second; the paper quotes the same number).
 MAX_PACKET_RATE_10MBPS = NS_PER_SEC / MIN_PACKET_TIME_NS
+
+
+class Wire:
+    """The segment between a sender and one NIC — the link-fault seam.
+
+    Fault-free, :meth:`deliver` is a pass-through to
+    ``nic.receive_from_wire`` with identical semantics (True = accepted,
+    False = rejected and the caller keeps ownership). With a fault
+    injector attached, frames can be lost in a brown-out window or held
+    briefly and re-ordered; a frame the wire *holds* belongs to the wire,
+    which returns it to ``pool`` itself if the NIC later rejects it.
+
+    Traffic generators send through a wire only when one is passed in —
+    the fault-free fast path keeps their direct NIC binding.
+    """
+
+    __slots__ = ("nic", "pool", "faults", "delivered", "returned")
+
+    def __init__(self, nic, pool=None, faults=None) -> None:
+        self.nic = nic
+        self.pool = pool
+        self.faults = faults
+        #: Frames handed to the NIC / rejected frames recycled by the wire.
+        self.delivered = 0
+        self.returned = 0
+
+    def deliver(self, packet) -> bool:
+        """Offer one frame to the NIC through this wire. Returns False
+        when the frame is rejected *and the caller still owns it*."""
+        faults = self.faults
+        if faults is not None:
+            return faults.wire_deliver(self, packet)
+        return self.nic.receive_from_wire(packet)
+
+    def pass_through(self, packet) -> bool:
+        """Deliver a caller-owned frame: on rejection the caller keeps
+        ownership (mirrors ``receive_from_wire`` exactly)."""
+        if self.nic.receive_from_wire(packet):
+            self.delivered += 1
+            return True
+        return False
+
+    def consume(self, packet) -> None:
+        """Deliver a *wire-owned* frame (one the wire held for
+        reordering, or took responsibility for): on rejection the wire
+        recycles it, because the original sender already let go."""
+        if self.nic.receive_from_wire(packet):
+            self.delivered += 1
+            return
+        self.returned += 1
+        pool = self.pool
+        if pool is not None and pool.enabled:
+            pool.release(packet)

@@ -76,6 +76,9 @@ class NIC:
         #: Attached by the driver / kernel after construction.
         self.rx_line: Optional[InterruptLine] = None
         self.tx_line: Optional[InterruptLine] = None
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`),
+        #: set by an armed injector; None on the fault-free fast path.
+        self.faults = None
         #: Invoked with each packet as its transmission completes; the
         #: experiment topology uses it to count "Opkts" and deliver to the
         #: destination. May be None for an unconnected interface.
@@ -97,7 +100,11 @@ class NIC:
     # ------------------------------------------------------------------
 
     def receive_from_wire(self, packet: Any) -> bool:
-        """Deliver one packet from the wire. Returns False on overflow."""
+        """Deliver one packet from the wire. Returns False on overflow
+        (or when an armed fault plan loses the frame)."""
+        faults = self.faults
+        if faults is not None and not faults.on_wire_frame(self, packet):
+            return False  # frame lost before the ring; sender still owns it
         if len(self._rx_ring) >= self.rx_ring_capacity:
             self._rx_overflow_inc()
             return False
@@ -113,12 +120,19 @@ class NIC:
         return True
 
     def rx_pending(self) -> int:
-        """Packets waiting in the RX ring."""
+        """Packets waiting in the RX ring (0 during a DMA stall window:
+        descriptors the DMA engine has not completed are invisible)."""
+        faults = self.faults
+        if faults is not None and faults.rx_stalled():
+            return 0
         return len(self._rx_ring)
 
     def rx_pull(self) -> Optional[Any]:
         """Remove and return the oldest received packet, or None."""
         if self._rx_ring:
+            faults = self.faults
+            if faults is not None and faults.rx_stalled():
+                return None  # DMA stall: descriptors not ready yet
             return self._rx_popleft()
         return None
 
@@ -137,6 +151,10 @@ class NIC:
         """
         ring = self._rx_ring
         count = len(ring)
+        if count:
+            faults = self.faults
+            if faults is not None and faults.rx_stalled():
+                return []  # DMA stall: descriptors not ready yet
         if limit is not None and limit < count:
             count = limit
         popleft = self._rx_popleft
@@ -184,8 +202,12 @@ class NIC:
         if done >= len(ring):
             return
         self._tx_busy = True
+        delay = self.tx_packet_time_ns
+        faults = self.faults
+        if faults is not None:
+            delay += faults.tx_extra_delay(self)
         self.sim.schedule(
-            self.tx_packet_time_ns,
+            delay,
             self._transmit_complete,
             ring[done],
             label="tx:" + self.name,
@@ -212,6 +234,29 @@ class NIC:
     @property
     def tx_idle(self) -> bool:
         return not self._tx_busy
+
+    # ------------------------------------------------------------------
+    # Teardown (abort path only — never runs during a live simulation)
+    # ------------------------------------------------------------------
+
+    def drain(self) -> List[Any]:
+        """Remove and return every packet still held by the interface
+        (RX ring plus *not-yet-completed* TX descriptors), bypassing any
+        stall window. Completed-but-unreclaimed TX slots are excluded:
+        their packets already went through ``on_transmit`` and left the
+        ownership of this interface.
+
+        Only the teardown path calls this, after the simulator has
+        stopped for good: it invalidates the in-flight transmit event,
+        so the simulation must not be resumed afterwards.
+        """
+        drained = list(self._rx_ring)
+        drained.extend(list(self._tx_ring)[self._tx_done:])
+        self._rx_ring.clear()
+        self._tx_ring.clear()
+        self._tx_done = 0
+        self._tx_busy = False
+        return drained
 
     def __repr__(self) -> str:
         return "NIC(%s, rx=%d/%d, tx=%d/%d)" % (

@@ -118,6 +118,15 @@ class KernelConfig:
     idle_thread: bool = True
 
     # ------------------------------------------------------------------
+    # Diagnostics (livelock watchdog, invariant sanitizer)
+    # ------------------------------------------------------------------
+    #: Width of one livelock-watchdog progress window, in clock ticks.
+    watchdog_window_ticks: int = 50
+    #: Invariant-sanitizer sampling period (check every N simulator
+    #: events). Only consulted when the sanitizer is attached.
+    sanitize_every_events: int = 256
+
+    # ------------------------------------------------------------------
 
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
@@ -163,6 +172,8 @@ class KernelConfig:
             "cycle_limit_period_ticks",
             "quantum_ticks",
             "feedback_timeout_ticks",
+            "watchdog_window_ticks",
+            "sanitize_every_events",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError("%s must be positive" % name)

@@ -130,6 +130,15 @@ class PacketQueue:
     def peek(self) -> Optional[Any]:
         return self._items[0] if self._items else None
 
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items *without* counting them as
+        drops or dequeues. Teardown-only: the packets were neither lost
+        nor serviced — the trial simply ended around them — so the drop
+        accounting the wasted-work benches read must not move."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     def clear(self) -> int:
         """Discard all queued items (counts them as drops)."""
         discarded = len(self._items)

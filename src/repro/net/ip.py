@@ -76,6 +76,10 @@ class IPLayer:
         self.local_delivered = probes.counter("ip.local_delivered")
         self.no_route_drops = probes.counter("ip.no_route_drops")
         self.arp_failure_drops = probes.counter("ip.arp_failure_drops")
+        #: Registered lazily on the first corrupted frame: fault-free
+        #: trials must dump the exact historical counter set (the golden
+        #: fixtures compare it key-for-key).
+        self.corrupt_drops = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -103,6 +107,18 @@ class IPLayer:
         the user-mode daemon; otherwise it is forwarded (or locally
         delivered) in the kernel.
         """
+        if packet.corrupted:
+            # Header checksum failure (injected frame corruption): the
+            # packet is discarded after the work already spent getting it
+            # here — an interior drop, so the pool never sees it again.
+            counter = self.corrupt_drops
+            if counter is None:
+                counter = self.corrupt_drops = self.kernel.probes.counter(
+                    "ip.corrupt_drops"
+                )
+            counter.increment()
+            packet.mark_dropped("ip.corrupt")
+            return
         for tap in self.taps:
             yield self._tap_work
             tap.deliver(packet)

@@ -46,6 +46,7 @@ class Packet:
         "nic_arrival_ns",
         "transmitted_ns",
         "dropped_at",
+        "corrupted",
         "flow",
         "_pooled",
     )
@@ -101,6 +102,7 @@ class Packet:
         self.nic_arrival_ns: Optional[int] = None
         self.transmitted_ns: Optional[int] = None
         self.dropped_at: Optional[str] = None
+        self.corrupted = False
         self.flow = flow
         return self
 
@@ -117,6 +119,11 @@ class Packet:
 
     def mark_dropped(self, where: str) -> None:
         self.dropped_at = where
+
+    def mark_corrupted(self) -> None:
+        """Flag a frame-integrity fault; IP input discards the packet as
+        a failed checksum."""
+        self.corrupted = True
 
     # ------------------------------------------------------------------
 
@@ -169,7 +176,7 @@ class PacketPool:
     ignores releases, restoring plain allocation semantics.
     """
 
-    __slots__ = ("enabled", "max_free", "allocated", "reused", "_free")
+    __slots__ = ("enabled", "max_free", "allocated", "reused", "released", "_free")
 
     def __init__(self, max_free: int = DEFAULT_POOL_CAP, enabled: bool = True) -> None:
         if max_free < 0:
@@ -180,6 +187,10 @@ class PacketPool:
         self.allocated = 0
         #: Acquisitions served from the freelist.
         self.reused = 0
+        #: Packets returned through :meth:`release` (counted even when the
+        #: freelist cap discards them — the ownership claim was still
+        #: surrendered).
+        self.released = 0
         self._free: List[Packet] = []
 
     def acquire(
@@ -227,6 +238,7 @@ class PacketPool:
             return
         if packet._pooled:
             raise ValueError("packet %r released to the pool twice" % packet)
+        self.released += 1
         free = self._free
         if len(free) < self.max_free:
             packet._pooled = True
@@ -245,10 +257,19 @@ class PacketPool:
     def free_count(self) -> int:
         return len(self._free)
 
+    @property
+    def outstanding(self) -> int:
+        """Acquired-but-not-released packets. After teardown drains every
+        holding point, this must equal the number of interior drops (the
+        packets the ownership protocol deliberately lets fall to the GC);
+        anything more is a leak, anything less a double-release."""
+        return self.allocated + self.reused - self.released
+
     def __repr__(self) -> str:
-        return "PacketPool(free=%d, allocated=%d, reused=%d%s)" % (
+        return "PacketPool(free=%d, allocated=%d, reused=%d, released=%d%s)" % (
             len(self._free),
             self.allocated,
             self.reused,
+            self.released,
             "" if self.enabled else ", disabled",
         )

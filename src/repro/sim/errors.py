@@ -19,3 +19,19 @@ class ProcessError(SimulationError):
 
 class ClockError(SimulationError):
     """Raised when the simulation clock would move backwards."""
+
+
+class FaultError(SimulationError):
+    """Raised for an invalid fault-injection setup (malformed
+    :class:`~repro.faults.FaultPlan`, arming after start, arming twice)."""
+
+
+class WatchdogTimeout(SimulationError):
+    """Raised by the livelock watchdog when a trial makes no progress for
+    its configured number of windows and aborting was requested. The
+    sweep engine records the aborted trial as a ``TrialFailure``."""
+
+
+class InvariantViolation(SimulationError):
+    """Raised by the runtime invariant sanitizer when a checked invariant
+    (packet-pool ownership, ring bounds, IPL-mask consistency) is broken."""

@@ -1,0 +1,195 @@
+"""Runtime invariant sanitizer (opt-in, like a kernel's lock assertions).
+
+The simulator's hot paths lean on cached state for speed: cached task
+sort keys, the TX done-prefix representation, the packet-pool ownership
+flag. Each cache is an invariant that, if silently broken, corrupts
+results rather than crashing. The sanitizer re-derives those invariants
+from first principles every N fired events and raises
+:class:`~repro.sim.errors.InvariantViolation` at the first divergence —
+close to the event that broke it, instead of at the end of a trial.
+
+Checked invariants:
+
+* **packet pool** — release count never exceeds acquisitions; every
+  freelist entry carries the pooled flag; the freelist respects its cap;
+* **NIC rings** — RX/TX occupancy within capacity; the TX done-prefix
+  count never exceeds the ring population;
+* **IPL / dispatch** — every runnable task's cached effective IPL and
+  sort key match recomputation from ``base_ipl``/``spl_level``; the
+  running task has the maximum key; no interrupt line sits requested,
+  enabled, out of service, and above the CPU's IPL (such a line must
+  have been delivered before the event loop moved on).
+
+The hook runs from the simulator's instrumented drain loop (see
+``Simulator.set_sanitize_hook``), which is only selected while a hook is
+attached — a sanitizer-free run executes the original loop unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import InvariantViolation
+
+
+class InvariantSanitizer:
+    """Periodic invariant checks over one router's hardware and kernel."""
+
+    def __init__(self, router, every_events: Optional[int] = None) -> None:
+        self.router = router
+        self.every_events = (
+            every_events
+            if every_events is not None
+            else router.config.sanitize_every_events
+        )
+        if self.every_events <= 0:
+            raise ValueError("sanitize period must be positive")
+        self.checks_run = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "InvariantSanitizer":
+        if self._attached:
+            raise RuntimeError("sanitizer already attached")
+        self._attached = True
+        self.router.sim.set_sanitize_hook(self.check, self.every_events)
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self._attached = False
+            self.router.sim.clear_sanitize_hook()
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Run every invariant once (also callable directly from tests)."""
+        self.checks_run += 1
+        self._check_pool()
+        self._check_rings()
+        self._check_ipl()
+
+    def check_trial_end(self, teardown_report: dict) -> None:
+        """Post-teardown ownership check: with the pool enabled, every
+        acquired packet must be delivered, recovered, or accounted as an
+        interior drop — anything else is a leak or a double release."""
+        leaked = teardown_report.get("leaked")
+        if leaked is None:
+            return
+        if leaked > 0:
+            raise InvariantViolation(
+                "%d pooled packet(s) leaked at trial end (outstanding=%d, "
+                "interior drops=%d, retained=%d)"
+                % (
+                    leaked,
+                    teardown_report["outstanding"],
+                    teardown_report["interior_drops"],
+                    teardown_report["retained"],
+                )
+            )
+        if leaked < 0:
+            raise InvariantViolation(
+                "packet pool over-released by %d at trial end (double "
+                "release not caught at release time)" % -leaked
+            )
+
+    # ------------------------------------------------------------------
+
+    def _check_pool(self) -> None:
+        pool = self.router.packet_pool
+        acquired = pool.allocated + pool.reused
+        if pool.released > acquired:
+            raise InvariantViolation(
+                "packet pool released %d packets but only %d were acquired"
+                % (pool.released, acquired)
+            )
+        free = pool._free
+        if len(free) > pool.max_free:
+            raise InvariantViolation(
+                "packet pool freelist holds %d entries, cap is %d"
+                % (len(free), pool.max_free)
+            )
+        for packet in free:
+            if not packet._pooled:
+                raise InvariantViolation(
+                    "freelist entry %r lacks the pooled flag (it could be "
+                    "handed out while still referenced elsewhere)" % packet
+                )
+
+    def _check_rings(self) -> None:
+        for nic in (self.router.nic_in, self.router.nic_out):
+            rx = len(nic._rx_ring)
+            if rx > nic.rx_ring_capacity:
+                raise InvariantViolation(
+                    "NIC %s RX ring holds %d descriptors, capacity %d"
+                    % (nic.name, rx, nic.rx_ring_capacity)
+                )
+            tx = len(nic._tx_ring)
+            if tx > nic.tx_ring_capacity:
+                raise InvariantViolation(
+                    "NIC %s TX ring holds %d descriptors, capacity %d"
+                    % (nic.name, tx, nic.tx_ring_capacity)
+                )
+            if nic._tx_done > tx:
+                raise InvariantViolation(
+                    "NIC %s reports %d done TX descriptors with only %d in "
+                    "the ring" % (nic.name, nic._tx_done, tx)
+                )
+
+    def _check_ipl(self) -> None:
+        cpu = self.router.kernel.cpu
+        best_key = None
+        for task in cpu._remaining:
+            expected_ipl = (
+                task.base_ipl
+                if task.base_ipl >= task.spl_level
+                else task.spl_level
+            )
+            if task._eff_ipl != expected_ipl:
+                raise InvariantViolation(
+                    "task %s caches effective IPL %d, recomputation gives %d "
+                    "(base=%d, spl=%d)"
+                    % (
+                        task.name,
+                        task._eff_ipl,
+                        expected_ipl,
+                        task.base_ipl,
+                        task.spl_level,
+                    )
+                )
+            expected_key = (expected_ipl, task.priority_class, -task._ready_seq)
+            if task._key != expected_key:
+                raise InvariantViolation(
+                    "task %s caches sort key %r, recomputation gives %r"
+                    % (task.name, task._key, expected_key)
+                )
+            if best_key is None or task._key > best_key:
+                best_key = task._key
+        current = cpu._current
+        if current is not None and best_key is not None and current._key < best_key:
+            raise InvariantViolation(
+                "CPU runs %s (key %r) while a higher-key task is runnable "
+                "(best %r) — IPL preemption mask inconsistent"
+                % (current.name, current._key, best_key)
+            )
+        ipl = cpu.current_ipl
+        for line in self.router.kernel.interrupts.lines:
+            if (
+                line.requested
+                and line.enabled
+                and not line.in_service
+                and line.ipl > ipl
+            ):
+                raise InvariantViolation(
+                    "interrupt line %s is deliverable (ipl %d > cpu %d) but "
+                    "was not dispatched before the event loop moved on"
+                    % (line.name, line.ipl, ipl)
+                )
+
+    def __repr__(self) -> str:
+        return "InvariantSanitizer(every=%d, checks=%d%s)" % (
+            self.every_events,
+            self.checks_run,
+            ", attached" if self._attached else "",
+        )

@@ -105,6 +105,13 @@ class Simulator:
         #: Number of CANCELLED events still sitting in the heap.
         self._tombstones: int = 0
         self._compactions: int = 0
+        #: Optional invariant-sanitizer hook: ``(callable, every_n)``.
+        #: When set, :meth:`run` switches to an instrumented drain loop
+        #: that invokes the callable every ``every_n`` fired events; when
+        #: None the original loop runs, so a sanitizer-free simulation
+        #: pays nothing (checked once per ``run`` call, not per event).
+        self._sanitize_hook: Optional[Callable[[], None]] = None
+        self._sanitize_every: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -283,33 +290,85 @@ class Simulator:
         pop = heapq.heappop
         self._running = True
         try:
-            while True:
-                heap = self._heap
-                if not heap:
-                    break
-                event = heap[0]
-                if event.state == CANCELLED:
+            if self._sanitize_hook is not None:
+                self._drain_sanitized(deadline)
+            else:
+                while True:
+                    heap = self._heap
+                    if not heap:
+                        break
+                    event = heap[0]
+                    if event.state == CANCELLED:
+                        pop(heap)
+                        self._tombstones -= 1
+                        continue
+                    time = event.time
+                    if time > deadline:
+                        break
+                    if time < self._now:
+                        raise ClockError(
+                            "event at t=%d behind clock t=%d" % (time, self._now)
+                        )
                     pop(heap)
-                    self._tombstones -= 1
-                    continue
-                time = event.time
-                if time > deadline:
-                    break
-                if time < self._now:
-                    raise ClockError(
-                        "event at t=%d behind clock t=%d" % (time, self._now)
-                    )
-                pop(heap)
-                self._now = time
-                event.state = FIRED
-                self._fired += 1
-                self._pending -= 1
-                event.callback(*event.args)
+                    self._now = time
+                    event.state = FIRED
+                    self._fired += 1
+                    self._pending -= 1
+                    event.callback(*event.args)
         finally:
             self._running = False
         if until is not None:
             self._now = max(self._now, until)
         return self._now
+
+    def set_sanitize_hook(self, hook: Callable[[], None], every_events: int) -> None:
+        """Install an invariant-check hook invoked every ``every_events``
+        fired events. Only the instrumented drain loop consults it, so a
+        simulation without a hook runs the original loop unchanged."""
+        if every_events <= 0:
+            raise SchedulingError(
+                "sanitize period must be positive, got %d" % every_events
+            )
+        self._sanitize_hook = hook
+        self._sanitize_every = every_events
+
+    def clear_sanitize_hook(self) -> None:
+        self._sanitize_hook = None
+        self._sanitize_every = 0
+
+    def _drain_sanitized(self, deadline) -> None:
+        """The instrumented twin of :meth:`run`'s drain loop: identical
+        event semantics, plus the sanitizer hook every N fired events."""
+        pop = heapq.heappop
+        hook = self._sanitize_hook
+        every = self._sanitize_every
+        countdown = every
+        while True:
+            heap = self._heap
+            if not heap:
+                break
+            event = heap[0]
+            if event.state == CANCELLED:
+                pop(heap)
+                self._tombstones -= 1
+                continue
+            time = event.time
+            if time > deadline:
+                break
+            if time < self._now:
+                raise ClockError(
+                    "event at t=%d behind clock t=%d" % (time, self._now)
+                )
+            pop(heap)
+            self._now = time
+            event.state = FIRED
+            self._fired += 1
+            self._pending -= 1
+            event.callback(*event.args)
+            countdown -= 1
+            if countdown <= 0:
+                countdown = every
+                hook()
 
     def run_for(self, duration: int) -> int:
         """Run for ``duration`` ns of simulated time from the current clock."""

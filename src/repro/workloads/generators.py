@@ -64,9 +64,11 @@ class TrafficGenerator:
         flow: str = "default",
         name: str = "traffic",
         pool: Optional[PacketPool] = None,
+        wire=None,
     ) -> None:
         self.sim = sim
         self.nic = nic
+        self.wire = wire
         self.src = parse_ip(src)
         self.dst = parse_ip(dst)
         self.dst_port = dst_port
@@ -81,7 +83,12 @@ class TrafficGenerator:
         self.stopped = False
         self._pending: Optional[Event] = None
         # Hot-path bindings: one emission touches these every packet.
-        self._receive_from_wire = nic.receive_from_wire
+        # A wire is only interposed when link faults are armed; the
+        # fault-free fast path keeps the direct NIC binding.
+        if wire is not None:
+            self._receive_from_wire = wire.deliver
+        else:
+            self._receive_from_wire = nic.receive_from_wire
 
     def start(self) -> "TrafficGenerator":
         if self.stopped:

@@ -72,6 +72,17 @@ def test_fixture_covers_full_matrix():
     assert set(GOLDEN) == expected
 
 
+def _comparable(result):
+    """asdict(result) minus diagnostics fields that postdate the fixture.
+
+    Plain trials must leave both inert — anything else means the fault /
+    watchdog machinery leaked into the fault-free path."""
+    data = asdict(result)
+    assert data.pop("watchdog") is None
+    assert data.pop("faults") is None
+    return data
+
+
 @pytest.mark.parametrize(
     "variant,workload,rate,seed",
     MATRIX,
@@ -82,7 +93,7 @@ def test_trial_matches_golden(variant, workload, rate, seed):
         VARIANTS[variant](), rate, seed=seed, workload=workload, **TIMING
     )
     golden = GOLDEN["%s|%s|%d|%d" % (variant, workload, rate, seed)]
-    assert asdict(result) == golden
+    assert _comparable(result) == golden
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +115,7 @@ class _LegacyGenerator:
         flow: str = "default",
         name: str = "traffic",
         pool=None,
+        wire=None,
     ) -> None:
         self.sim = sim
         self.nic = nic
@@ -230,4 +242,4 @@ def test_legacy_generators_match_golden(monkeypatch, variant, workload):
         VARIANTS[variant](), 12_000, seed=0, workload=workload, **TIMING
     )
     golden = GOLDEN["%s|%s|%d|%d" % (variant, workload, 12_000, 0)]
-    assert asdict(result) == golden
+    assert _comparable(result) == golden

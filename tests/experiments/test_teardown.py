@@ -1,0 +1,98 @@
+"""Router.teardown: mid-flight abort without losing track of a packet.
+
+The reconciliation identity: every packet the pool ever handed out is,
+at teardown, either delivered (released at transmit-complete), parked
+somewhere recoverable (NIC ring, kernel queue, suspended frame),
+deliberately dropped inside the router, or retained by local delivery.
+``leaked`` is what's left over — and it must be zero for every driver,
+with and without faults, no matter when the trial is cut off.
+"""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.faults import CANNED_PLANS
+from repro.sim.units import seconds
+from repro.workloads.generators import ConstantRateGenerator
+
+VARIANTS = {
+    "unmodified": variants.unmodified,
+    "polling": variants.polling,
+    "clocked": variants.clocked,
+    "high_ipl": variants.high_ipl,
+}
+
+
+def _run_and_abort(config, plan=None, rate=10_000, run_s=0.035):
+    """Drive a router hard, then cut it off mid-flight."""
+    router = Router(config)
+    if plan is not None:
+        router.arm_faults(CANNED_PLANS[plan])
+    router.start()
+    generator = ConstantRateGenerator(
+        router.sim,
+        router.nic_in,
+        rate,
+        pool=router.packet_pool,
+        wire=router.wire_in,
+    ).start()
+    router.run_for(seconds(run_s))
+    generator.stop()
+    return router
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("plan", [None] + sorted(CANNED_PLANS))
+def test_abort_leaks_nothing(variant, plan):
+    router = _run_and_abort(VARIANTS[variant](), plan)
+    report = router.teardown()
+    assert report["leaked"] == 0, report
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_abort_with_screend_leaks_nothing(variant):
+    config = VARIANTS[variant]().with_options(screend_enabled=True)
+    router = _run_and_abort(config)
+    report = router.teardown()
+    assert report["leaked"] == 0, report
+
+
+def test_teardown_is_idempotent():
+    router = _run_and_abort(variants.unmodified())
+    first = router.teardown()
+    second = router.teardown()
+    assert first is second
+
+
+def test_teardown_with_drain_window_recovers_less():
+    """Giving in-flight work time to finish moves packets from the
+    'recovered' bucket to 'delivered', never into 'leaked'."""
+    aborted = _run_and_abort(variants.unmodified())
+    report_abrupt = aborted.teardown()
+
+    drained = _run_and_abort(variants.unmodified())
+    report_drained = drained.teardown(drain_ns=seconds(0.05))
+    assert report_drained["leaked"] == 0
+    assert report_drained["recovered"] <= report_abrupt["recovered"]
+
+
+def test_teardown_reports_components():
+    router = _run_and_abort(variants.unmodified())
+    report = router.teardown()
+    pool = router.packet_pool
+    assert report["outstanding"] == pool.allocated + pool.reused - pool.released
+    assert (
+        report["outstanding"]
+        == report["interior_drops"] + report["retained"] + report["leaked"]
+    )
+
+
+def test_teardown_with_pool_disabled_reports_no_leak_figure():
+    router = Router(variants.unmodified(), recycle_packets=False)
+    router.start()
+    generator = ConstantRateGenerator(router.sim, router.nic_in, 5_000).start()
+    router.run_for(seconds(0.02))
+    generator.stop()
+    report = router.teardown()
+    assert report["leaked"] is None

@@ -1,0 +1,93 @@
+"""FaultPlan: validation, serialisation, and the canned scenarios."""
+
+import pytest
+
+from repro.faults import CANNED_PLANS, FaultPlan, canned_plan
+from repro.sim.errors import FaultError
+
+
+def test_default_plan_is_inert():
+    plan = FaultPlan()
+    plan.validate()
+    assert not plan.any_armed()
+    assert not plan.wire_armed
+    assert not plan.clock_armed
+
+
+def test_every_canned_plan_is_valid_and_armed():
+    for name, plan in CANNED_PLANS.items():
+        plan.validate()
+        assert plan.any_armed(), name
+        assert canned_plan(name) is plan
+
+
+def test_canned_plans_cover_every_injection_site():
+    """Together the three scenarios must exercise every fault family,
+    so the CI fault matrix touches every hook."""
+    families = {
+        "irq": lambda p: p.rx_irq_drop_prob
+        or p.rx_irq_duplicate_prob
+        or p.spurious_rx_irq_rate_pps,
+        "stall": lambda p: p.rx_stall_mean_interval_ns,
+        "tx": lambda p: p.tx_spike_prob,
+        "frame": lambda p: p.frame_drop_prob or p.frame_corrupt_prob,
+        "wire": lambda p: p.brownout_mean_interval_ns or p.reorder_prob,
+        "clock": lambda p: p.tick_jitter_fraction or p.tick_drift_fraction,
+    }
+    for family, probe in families.items():
+        assert any(probe(plan) for plan in CANNED_PLANS.values()), family
+
+
+def test_unknown_canned_plan_raises():
+    with pytest.raises(FaultError):
+        canned_plan("no-such-plan")
+
+
+def test_json_round_trip_preserves_equality():
+    for plan in CANNED_PLANS.values():
+        assert FaultPlan.from_json(plan.to_json()) == plan
+    assert FaultPlan.from_dict(FaultPlan().to_dict()) == FaultPlan()
+
+
+@pytest.mark.parametrize(
+    "changes",
+    [
+        {"frame_drop_prob": 1.5},
+        {"reorder_prob": -0.1},
+        {"rx_stall_mean_interval_ns": -1},
+        {"rx_stall_mean_interval_ns": 1000, "rx_stall_duration_ns": 0},
+        {"brownout_mean_interval_ns": 1000, "brownout_duration_ns": 0},
+        {"tick_jitter_fraction": 1.0},
+        {"tick_drift_fraction": 0.6},
+        {"tx_spike_prob": 0.5, "tx_spike_extra_ns": 0},
+    ],
+    ids=lambda c: ",".join(sorted(c)),
+)
+def test_validate_rejects_malformed_plans(changes):
+    plan = FaultPlan(**changes)
+    with pytest.raises(FaultError):
+        plan.validate()
+    # with_options validates too
+    with pytest.raises(FaultError):
+        FaultPlan().with_options(**changes)
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(FaultError):
+        FaultPlan.from_dict({"seed": 1, "chaos_level": 11})
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(FaultError):
+        FaultPlan.from_json("{not json")
+    with pytest.raises(FaultError):
+        FaultPlan.from_json("[1, 2, 3]")
+
+
+def test_with_options_returns_new_frozen_plan():
+    base = FaultPlan()
+    noisy = base.with_options(frame_drop_prob=0.2)
+    assert base.frame_drop_prob == 0.0
+    assert noisy.frame_drop_prob == 0.2
+    with pytest.raises(Exception):
+        noisy.frame_drop_prob = 0.5  # frozen

@@ -1,0 +1,188 @@
+"""The repro.sim.errors hierarchy: every class, every raise site.
+
+Two guarantees: (a) every error is a :class:`SimulationError`, so one
+``except`` clause can bound a whole trial; (b) each documented raise
+site actually raises the documented type, so callers can rely on the
+taxonomy.
+"""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.topology import Router
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.errors import (
+    ClockError,
+    FaultError,
+    InvariantViolation,
+    ProcessError,
+    SchedulingError,
+    SimulationError,
+    WatchdogTimeout,
+)
+from repro.sim.process import Process, Sleep
+from repro.sim.sanitize import InvariantSanitizer
+from repro.sim.simulator import Simulator
+from repro.sim.watchdog import LivelockWatchdog
+
+
+def test_every_error_is_a_simulation_error():
+    for cls in (
+        SchedulingError,
+        ProcessError,
+        ClockError,
+        FaultError,
+        WatchdogTimeout,
+        InvariantViolation,
+    ):
+        assert issubclass(cls, SimulationError)
+        assert issubclass(cls, Exception)
+    # Siblings, not a ladder: catching one class must not swallow another.
+    assert not issubclass(FaultError, SchedulingError)
+    assert not issubclass(WatchdogTimeout, FaultError)
+
+
+# ----------------------------------------------------------------------
+# SchedulingError sites (repro.sim.simulator)
+# ----------------------------------------------------------------------
+
+
+def test_scheduling_error_sites():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1, lambda: None)  # negative delay
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(-5, lambda: None)  # absolute time in the past
+    with pytest.raises(SchedulingError):
+        sim.schedule_periodic(0, lambda: None)  # non-positive interval
+    with pytest.raises(SchedulingError):
+        sim.schedule_periodic(10, lambda: None, first_delay=-1)
+    sim.run_for(100)
+    with pytest.raises(SchedulingError):
+        sim.run(until=50)  # deadline behind the clock
+    with pytest.raises(SchedulingError):
+        sim.set_sanitize_hook(lambda: None, 0)  # non-positive period
+
+
+# ----------------------------------------------------------------------
+# ClockError sites (the event loop's monotonicity guard)
+# ----------------------------------------------------------------------
+
+
+def _corrupt_heap_time(sim):
+    event = sim.schedule(50, lambda: None)
+    sim.run_for(100)
+    # Smuggle a stale event back onto the heap: the drain loop must
+    # refuse to let the clock run backwards.
+    object.__setattr__(event, "time", 0)
+    object.__setattr__(event, "state", 0)  # SCHEDULED
+    sim._heap.append(event)
+    sim._pending += 1
+
+
+def test_clock_error_in_plain_drain_loop():
+    sim = Simulator()
+    _corrupt_heap_time(sim)
+    with pytest.raises(ClockError):
+        sim.run(until=200)
+
+
+def test_clock_error_in_sanitized_drain_loop():
+    sim = Simulator()
+    sim.set_sanitize_hook(lambda: None, 1000)
+    _corrupt_heap_time(sim)
+    with pytest.raises(ClockError):
+        sim.run(until=200)
+
+
+# ----------------------------------------------------------------------
+# ProcessError sites (repro.sim.process)
+# ----------------------------------------------------------------------
+
+
+def test_process_error_sites():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        Process(sim, lambda: None)  # body is not a generator
+
+    def body():
+        yield Sleep(10)
+
+    process = Process(sim, body()).start()
+    with pytest.raises(ProcessError):
+        process.start()  # double start
+
+    def crasher():
+        yield Sleep(1)
+        raise RuntimeError("boom")
+
+    Process(sim, crasher()).start()
+    with pytest.raises(ProcessError):
+        sim.run_for(10)  # body exception wrapped at the failure instant
+
+    def weird():
+        yield object()  # unknown command
+
+    sim2 = Simulator()
+    with pytest.raises(ProcessError):
+        Process(sim2, weird()).start()
+
+    from repro.sim.process import Work
+
+    def worker():
+        yield Work(100)  # Work outside a CPU task
+
+    sim3 = Simulator()
+    with pytest.raises(ProcessError):
+        Process(sim3, worker()).start()
+
+
+# ----------------------------------------------------------------------
+# FaultError sites (repro.faults)
+# ----------------------------------------------------------------------
+
+
+def test_fault_error_sites():
+    with pytest.raises(FaultError):
+        FaultPlan(frame_drop_prob=7.0).validate()  # malformed plan
+    with pytest.raises(FaultError):
+        FaultPlan.from_dict({"volume": 11})  # unknown field
+    router = Router(variants.unmodified())
+    injector = FaultInjector(FaultPlan(frame_drop_prob=0.1), router.sim, router.probes)
+    injector.arm(router)
+    with pytest.raises(FaultError):
+        injector.arm(router)  # double arm
+    started = Router(variants.unmodified()).start()
+    fresh = FaultInjector(FaultPlan(frame_drop_prob=0.1), started.sim, started.probes)
+    with pytest.raises(FaultError):
+        fresh.arm(started)  # arm after start
+
+
+# ----------------------------------------------------------------------
+# WatchdogTimeout / InvariantViolation (new in this layer)
+# ----------------------------------------------------------------------
+
+
+class _Counter:
+    def __init__(self):
+        self.value = 0
+
+
+def test_watchdog_timeout_site():
+    sim = Simulator()
+    arrivals = _Counter()
+    wd = LivelockWatchdog(
+        sim, _Counter(), [arrivals], window_ns=1000,
+        abort_after_stalled_windows=1,
+    )
+    arrivals.value = 100
+    with pytest.raises(WatchdogTimeout):
+        wd._sample()
+
+
+def test_invariant_violation_site():
+    sanitizer = InvariantSanitizer(Router(variants.unmodified()))
+    with pytest.raises(InvariantViolation):
+        sanitizer.check_trial_end(
+            {"leaked": 1, "outstanding": 1, "interior_drops": 0, "retained": 0}
+        )

@@ -1,0 +1,174 @@
+"""Runtime invariant sanitizer: clean runs stay silent, corruption is
+caught, and the instrumented drain loop changes nothing observable."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+from repro.experiments.topology import Router
+from repro.faults import CANNED_PLANS
+from repro.sim.errors import InvariantViolation, SchedulingError
+from repro.sim.sanitize import InvariantSanitizer
+from repro.sim.simulator import Simulator
+
+TIMING = dict(duration_s=0.05, warmup_s=0.02)
+
+VARIANTS = {
+    "unmodified": variants.unmodified,
+    "polling": variants.polling,
+    "clocked": variants.clocked,
+    "high_ipl": variants.high_ipl,
+}
+
+
+# ----------------------------------------------------------------------
+# The matrix: every driver, clean and under every canned fault plan,
+# with invariants checked throughout — nothing may trip.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("plan", [None] + sorted(CANNED_PLANS))
+def test_invariants_hold_across_driver_fault_matrix(variant, plan):
+    result = run_trial(
+        VARIANTS[variant](),
+        8_000,
+        fault_plan=plan,
+        sanitize=True,
+        **TIMING
+    )
+    assert result.delivered >= 0  # completing without raising is the test
+    if plan is not None:
+        assert result.faults["teardown"]["leaked"] == 0
+
+
+def test_sanitized_trial_measures_identically():
+    """The instrumented drain loop must be observationally equivalent:
+    same events, same order, same counters."""
+    plain = run_trial(variants.unmodified(), 6_000, **TIMING)
+    checked = run_trial(variants.unmodified(), 6_000, sanitize=True, **TIMING)
+    plain_dict = asdict(plain)
+    checked_dict = asdict(checked)
+    # The sanitized trial reconciles at teardown; the counters and
+    # measurements must match field for field.
+    for key in ("delivered", "generated", "counters", "drops", "latency_us"):
+        assert checked_dict[key] == plain_dict[key], key
+
+
+def test_sanitizer_runs_checks_periodically():
+    config = variants.unmodified().with_options(sanitize_every_events=64)
+    router = Router(config)
+    sanitizer = InvariantSanitizer(router).attach()
+    router.start()
+    router.run_for(10_000_000)
+    assert sanitizer.checks_run > 0
+
+
+# ----------------------------------------------------------------------
+# Detection: break an invariant, watch it trip
+# ----------------------------------------------------------------------
+
+
+def _running_router():
+    router = Router(variants.unmodified())
+    sanitizer = InvariantSanitizer(router, every_events=1)
+    router.start()
+    router.run_for(1_000_000)
+    return router, sanitizer
+
+
+def test_detects_pool_over_release():
+    router, sanitizer = _running_router()
+    router.packet_pool.released = (
+        router.packet_pool.allocated + router.packet_pool.reused + 1
+    )
+    with pytest.raises(InvariantViolation, match="released"):
+        sanitizer.check()
+
+
+def test_detects_freelist_overflow():
+    router, sanitizer = _running_router()
+    pool = router.packet_pool
+    pool.max_free = 0
+    pool._free.append(object())
+    with pytest.raises(InvariantViolation, match="freelist"):
+        sanitizer.check()
+
+
+def test_detects_unflagged_freelist_entry():
+    class Impostor:
+        _pooled = False
+
+    router, sanitizer = _running_router()
+    router.packet_pool._free.append(Impostor())
+    with pytest.raises(InvariantViolation, match="pooled flag"):
+        sanitizer.check()
+
+
+def test_detects_tx_done_prefix_overrun():
+    router, sanitizer = _running_router()
+    router.nic_out._tx_done = len(router.nic_out._tx_ring) + 1
+    with pytest.raises(InvariantViolation, match="done TX"):
+        sanitizer.check()
+
+
+def test_detects_stale_cached_task_key():
+    router, sanitizer = _running_router()
+    tasks = list(router.kernel.cpu._remaining)
+    assert tasks, "expected runnable tasks mid-trial"
+    task = tasks[0]
+    task._eff_ipl = task._eff_ipl + 1  # stale cache, bypassing the setter
+    with pytest.raises(InvariantViolation, match="effective IPL"):
+        sanitizer.check()
+
+
+def test_check_trial_end_raises_on_leak_and_over_release():
+    router = Router(variants.unmodified())
+    sanitizer = InvariantSanitizer(router)
+    with pytest.raises(InvariantViolation, match="leaked"):
+        sanitizer.check_trial_end(
+            {"leaked": 2, "outstanding": 5, "interior_drops": 2, "retained": 1}
+        )
+    with pytest.raises(InvariantViolation, match="over-released"):
+        sanitizer.check_trial_end(
+            {"leaked": -1, "outstanding": 0, "interior_drops": 0, "retained": 1}
+        )
+    # Disabled pool (leaked=None) and balanced books both pass.
+    sanitizer.check_trial_end({"leaked": None})
+    sanitizer.check_trial_end(
+        {"leaked": 0, "outstanding": 3, "interior_drops": 2, "retained": 1}
+    )
+
+
+# ----------------------------------------------------------------------
+# Attachment / configuration
+# ----------------------------------------------------------------------
+
+
+def test_attach_detach_select_the_instrumented_loop():
+    router = Router(variants.unmodified())
+    sanitizer = InvariantSanitizer(router, every_events=16)
+    assert router.sim._sanitize_hook is None
+    sanitizer.attach()
+    assert router.sim._sanitize_hook is not None
+    with pytest.raises(RuntimeError):
+        sanitizer.attach()
+    sanitizer.detach()
+    assert router.sim._sanitize_hook is None
+    sanitizer.detach()  # idempotent
+
+
+def test_period_validation():
+    router = Router(variants.unmodified())
+    with pytest.raises(ValueError):
+        InvariantSanitizer(router, every_events=0)
+    with pytest.raises(SchedulingError):
+        Simulator().set_sanitize_hook(lambda: None, 0)
+
+
+def test_period_defaults_from_config():
+    config = variants.unmodified().with_options(sanitize_every_events=77)
+    sanitizer = InvariantSanitizer(Router(config))
+    assert sanitizer.every_events == 77

@@ -1,0 +1,214 @@
+"""Livelock watchdog: window classification and trial-level verdicts.
+
+The discrimination test is the paper's headline claim restated as an
+assertion: above the cliff the unmodified kernel is *livelocked* while
+every fixed variant keeps delivering — the watchdog must tell them
+apart from progress counters alone.
+"""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+from repro.sim.errors import WatchdogTimeout
+from repro.sim.simulator import Simulator
+from repro.sim.watchdog import (
+    DEFAULT_LIVELOCK_FRACTION,
+    VERDICT_HEALTHY,
+    VERDICT_LIVELOCKED,
+    VERDICT_STALLED,
+    VERDICT_STARVED,
+    LivelockWatchdog,
+)
+
+TIMING = dict(duration_s=0.08, warmup_s=0.03)
+CLIFF_RATE = 12_000
+
+
+class FakeCounter:
+    def __init__(self, value=0):
+        self.value = value
+
+
+# ----------------------------------------------------------------------
+# Discrimination across kernel variants (the acceptance criterion)
+# ----------------------------------------------------------------------
+
+
+def test_unmodified_kernel_flagged_livelocked_above_cliff():
+    result = run_trial(
+        variants.unmodified(), CLIFF_RATE, watchdog=True, **TIMING
+    )
+    assert result.watchdog["verdict"] == VERDICT_LIVELOCKED
+    assert result.watchdog["delivered_fraction"] < DEFAULT_LIVELOCK_FRACTION
+
+
+@pytest.mark.parametrize(
+    "factory", [variants.polling, variants.clocked, variants.high_ipl]
+)
+def test_fixed_variants_stay_healthy_above_cliff(factory):
+    result = run_trial(factory(), CLIFF_RATE, watchdog=True, **TIMING)
+    assert result.watchdog["verdict"] == VERDICT_HEALTHY
+    assert result.watchdog["delivered_fraction"] > DEFAULT_LIVELOCK_FRACTION
+
+
+def test_watchdog_off_by_default():
+    result = run_trial(variants.unmodified(), CLIFF_RATE, **TIMING)
+    assert result.watchdog is None
+
+
+# ----------------------------------------------------------------------
+# Window classification on synthetic counters
+# ----------------------------------------------------------------------
+
+
+def _tick(wd, arrived, delivered):
+    wd.arrivals[0].value += arrived
+    wd.delivered.value += delivered
+    wd._sample()
+
+
+def _make_watchdog(**kwargs):
+    sim = Simulator()
+    delivered = FakeCounter()
+    arrivals = FakeCounter()
+    wd = LivelockWatchdog(sim, delivered, [arrivals], window_ns=1_000_000, **kwargs)
+    return wd
+
+
+def test_idle_windows_never_influence_the_verdict():
+    wd = _make_watchdog()
+    for _ in range(10):
+        _tick(wd, arrived=0, delivered=0)
+    assert wd.windows == 10
+    assert wd.loaded_windows == 0
+    assert wd.classification() == VERDICT_HEALTHY
+
+
+def test_majority_livelock_windows_yield_livelocked():
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=10)           # livelocked
+    _tick(wd, arrived=100, delivered=5)            # livelocked
+    assert wd.livelock_windows == 2
+    assert wd.classification() == VERDICT_LIVELOCKED
+
+
+def test_stall_windows_dominate_livelock_windows():
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=0)
+    _tick(wd, arrived=100, delivered=0)
+    _tick(wd, arrived=100, delivered=10)
+    assert wd.stall_windows == 2
+    assert wd.classification() == VERDICT_STALLED
+
+
+def test_mixed_stall_and_livelock_read_as_livelocked():
+    """Neither class alone has a majority, but together they show the
+    system is not doing useful work."""
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=0)            # stalled
+    _tick(wd, arrived=100, delivered=5)            # livelocked
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=5)            # livelocked
+    assert wd.classification() == VERDICT_LIVELOCKED
+
+
+def test_user_starvation_detected_via_progress_probe():
+    user = {"cycles": 0}
+
+    def user_cycles():
+        return user["cycles"]
+
+    sim = Simulator()
+    wd = LivelockWatchdog(
+        sim, FakeCounter(), [FakeCounter()], window_ns=1_000_000,
+        user_cycles=user_cycles,
+    )
+    # deliveries fine, user starved
+    for _ in range(3):
+        wd.arrivals[0].value += 100
+        wd.delivered.value += 90
+        wd._sample()
+    assert wd.starved_windows == 3
+    assert wd.classification() == VERDICT_STARVED
+    # user starts progressing again -> healthy windows
+    for _ in range(4):
+        wd.arrivals[0].value += 100
+        wd.delivered.value += 90
+        user["cycles"] += 1000
+        wd._sample()
+    assert wd.healthy_windows == 4
+    # 3 starved of 7 loaded is no longer a majority.
+    assert wd.classification() == VERDICT_HEALTHY
+
+
+def test_verdict_dict_is_json_shaped():
+    import json
+
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=80)
+    verdict = wd.verdict()
+    assert json.loads(json.dumps(verdict)) == verdict
+    assert verdict["windows"] == 1
+    assert verdict["delivered_fraction"] == pytest.approx(0.8)
+
+
+# ----------------------------------------------------------------------
+# Tripwire (abort_after_stalled_windows)
+# ----------------------------------------------------------------------
+
+
+def test_tripwire_raises_after_consecutive_stalled_windows():
+    wd = _make_watchdog(abort_after_stalled_windows=3)
+    _tick(wd, arrived=100, delivered=0)
+    _tick(wd, arrived=100, delivered=0)
+    with pytest.raises(WatchdogTimeout):
+        _tick(wd, arrived=100, delivered=0)
+
+
+def test_tripwire_resets_on_any_progress():
+    wd = _make_watchdog(abort_after_stalled_windows=3)
+    _tick(wd, arrived=100, delivered=0)
+    _tick(wd, arrived=100, delivered=0)
+    _tick(wd, arrived=100, delivered=50)  # progress clears the count
+    _tick(wd, arrived=100, delivered=0)
+    _tick(wd, arrived=100, delivered=0)
+    with pytest.raises(WatchdogTimeout):
+        _tick(wd, arrived=100, delivered=0)
+
+
+# ----------------------------------------------------------------------
+# Construction / lifecycle
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window_ns": 0},
+        {"window_ns": -5},
+        {"livelock_fraction": 0.0},
+        {"livelock_fraction": 1.0},
+        {"abort_after_stalled_windows": 0},
+    ],
+    ids=lambda k: ",".join(sorted(k)),
+)
+def test_invalid_construction_rejected(kwargs):
+    sim = Simulator()
+    base = dict(window_ns=1_000_000)
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        LivelockWatchdog(sim, FakeCounter(), [FakeCounter()], **base)
+
+
+def test_double_start_rejected_and_stop_cancels():
+    sim = Simulator()
+    wd = LivelockWatchdog(sim, FakeCounter(), [FakeCounter()], window_ns=1000)
+    wd.start()
+    with pytest.raises(RuntimeError):
+        wd.start()
+    wd.stop()
+    sim.run_for(10_000)
+    assert wd.windows == 0  # timer was cancelled before any window closed
