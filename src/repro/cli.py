@@ -72,6 +72,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "~/.cache/repro-livelock)",
         )
 
+    def add_profile_flags(command):
+        command.add_argument(
+            "--profile",
+            action="store_true",
+            help="run under cProfile and print the top 20 functions by "
+            "cumulative time to stderr (with --jobs, only the parent's "
+            "dispatch work is profiled, not the workers)",
+        )
+        command.add_argument(
+            "--profile-out",
+            default=None,
+            metavar="FILE",
+            help="dump raw profiling data to FILE for `python -m pstats` "
+            "(implies --profile)",
+        )
+
     def add_resilience_flags(command):
         command.add_argument(
             "--strict",
@@ -104,6 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=0)
     add_engine_flags(fig)
     add_resilience_flags(fig)
+    add_profile_flags(fig)
 
     trial = sub.add_parser("trial", help="run a single measurement")
     trial.add_argument(
@@ -148,6 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_engine_flags(trial)
     add_resilience_flags(trial)
+    add_profile_flags(trial)
 
     matrix = sub.add_parser(
         "faultmatrix",
@@ -166,6 +184,31 @@ def _build_parser() -> argparse.ArgumentParser:
     add_engine_flags(matrix)
     add_resilience_flags(matrix)
     return parser
+
+
+def _run_profiled(args, fn):
+    """Call ``fn()``, under cProfile when ``--profile``/``--profile-out``
+    was given. The report goes to stderr so ``--csv`` output stays
+    machine-readable."""
+    if not (getattr(args, "profile", False) or getattr(args, "profile_out", None)):
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(
+                "profile data written to %s" % args.profile_out, file=sys.stderr
+            )
+    return result
 
 
 def _config_from_args(args: argparse.Namespace):
@@ -228,7 +271,9 @@ def _dispatch(args) -> int:
             kwargs["warmup_s"] = 0.1
             if args.figure_id not in ("7-1", "ext-endhost"):
                 kwargs["rates"] = FAST_RATE_GRID
-        result = ALL_EXPERIMENTS[args.figure_id](**kwargs)
+        result = _run_profiled(
+            args, lambda: ALL_EXPERIMENTS[args.figure_id](**kwargs)
+        )
         sys.stdout.write(to_csv(result) if args.csv else render_report(result))
         return 0
 
@@ -244,14 +289,17 @@ def _dispatch(args) -> int:
             trial_kwargs["watchdog"] = True
         if args.sanitize:
             trial_kwargs["sanitize"] = True
-        [trial] = run_trials(
-            [(_config_from_args(args), args.rate, trial_kwargs)],
-            jobs=args.jobs,
-            cache=not args.no_cache,
-            cache_dir=args.cache_dir,
-            timeout_s=args.timeout,
-            retries=args.retries,
-            strict=args.strict,
+        [trial] = _run_profiled(
+            args,
+            lambda: run_trials(
+                [(_config_from_args(args), args.rate, trial_kwargs)],
+                jobs=args.jobs,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                strict=args.strict,
+            ),
         )
         if isinstance(trial, TrialFailure):
             print(

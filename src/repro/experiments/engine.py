@@ -6,10 +6,18 @@ point — so trials are embarrassingly parallel, and because each trial is
 deterministic given ``(config, rate, seed, workload, ...)`` its result is
 perfectly cacheable. This module exploits both:
 
-* :func:`run_trials` fans trial specs out across a
-  ``ProcessPoolExecutor`` (``jobs`` worker processes) with
-  order-preserving results: the returned list matches the spec order and
-  is bit-identical to a serial run;
+* :func:`run_trials` fans trial specs out across a persistent pool of
+  **warm workers** with order-preserving results: the returned list
+  matches the spec order and is bit-identical to a serial run. The pool
+  outlives individual sweeps (one figure's series, or several figures in
+  one process, reuse the same workers), each worker's initializer
+  pre-imports the simulation stack and runs one throwaway micro-trial so
+  the first real trial pays no import cost, specs are dispatched in
+  cost-balanced **chunks** (see
+  :func:`repro.experiments.harness.trial_cost_estimate`) to amortize
+  submission overhead without letting one slow trial straggle, and
+  results return as compact :mod:`~repro.experiments.wire` blobs instead
+  of pickled dataclasses;
 * a content-addressed on-disk cache keyed by a SHA-256 fingerprint of
   the full :class:`~repro.kernel.config.KernelConfig` (including the
   cost model), the trial kwargs, and :data:`CACHE_VERSION`. Bump the
@@ -19,7 +27,12 @@ perfectly cacheable. This module exploits both:
   ``repro-livelock/``) as one JSON file per trial;
 * :func:`parallel_map` is the generic order-preserving fan-out for
   experiments whose unit of work is not a plain trial (e.g. the
-  end-host extension).
+  end-host extension); it shares the warm pool.
+
+Workers are started with the ``spawn`` context by default (override via
+``$REPRO_MP_START``): fork is unsafe in threaded parents, stops being
+the Linux default in newer CPython, and the warm pool exists precisely
+to amortize spawn's higher startup cost to zero.
 
 ``run_sweep`` here is the real implementation behind
 :func:`repro.experiments.harness.run_sweep`; the harness delegates so
@@ -28,9 +41,12 @@ existing callers pick up ``jobs=``/``cache=`` without code changes.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
+import multiprocessing
 import os
+import pickle
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -51,6 +67,16 @@ CACHE_VERSION = "2"
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the multiprocessing start method for
+#: the warm worker pool ("spawn" default; "fork"/"forkserver" accepted).
+MP_START_ENV = "REPRO_MP_START"
+
+#: Target number of dispatch chunks per worker. >1 keeps workers busy
+#: when the cost estimate is off (a finished worker picks up another
+#: chunk); higher values shrink chunks toward per-spec submission and
+#: give the amortization back.
+CHUNKS_PER_WORKER = 2
 
 #: A trial spec: (kernel config, input rate, run_trial keyword args).
 TrialSpec = Tuple[KernelConfig, float, Dict[str, Any]]
@@ -260,12 +286,88 @@ def _apply_chaos(chaos: Dict[str, Any]) -> None:
         raise RuntimeError("chaos: injected trial error")
 
 
+# ----------------------------------------------------------------------
+# Warm worker pool
+# ----------------------------------------------------------------------
+
+_WARM_POOL: Optional[ProcessPoolExecutor] = None
+_WARM_WORKERS: int = 0
+
+
+def _mp_context():
+    return multiprocessing.get_context(os.environ.get(MP_START_ENV, "spawn"))
+
+
+def _warm_init() -> None:
+    """Worker initializer: pre-import the simulation stack and run one
+    throwaway micro-trial, so the worker's first real trial pays neither
+    import cost nor first-call setup (lazy imports, topology template
+    construction, bytecode warmup). Best-effort: a failure here just
+    means a cold first trial."""
+    try:
+        from ..core import variants
+        from .harness import run_trial
+
+        run_trial(variants.unmodified(), 0.0, duration_s=0.001, warmup_s=0.0)
+    except Exception:  # pragma: no cover - warmup is advisory
+        pass
+
+
+def warm_pool(jobs: int) -> ProcessPoolExecutor:
+    """The persistent worker pool, created on first use.
+
+    The pool is sized by the *requested* job count and survives across
+    sweeps — that is the point: with spawn workers, pool boot plus
+    per-worker interpreter/import startup costs ~1 s, which the old
+    pool-per-sweep design paid for every figure series. Asking for a
+    different size tears the old pool down first (callers in one run
+    overwhelmingly use one ``jobs`` value).
+    """
+    global _WARM_POOL, _WARM_WORKERS
+    workers = max(1, jobs)
+    if _WARM_POOL is not None and _WARM_WORKERS != workers:
+        shutdown_warm_pool()
+    if _WARM_POOL is None:
+        _WARM_POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=_warm_init,
+        )
+        _WARM_WORKERS = workers
+    return _WARM_POOL
+
+
+def _discard_warm_pool() -> None:
+    """Drop a pool that can no longer be trusted (crashed or hung
+    worker): terminate its processes and forget it, so the next round
+    boots a fresh one."""
+    global _WARM_POOL, _WARM_WORKERS
+    pool = _WARM_POOL
+    _WARM_POOL = None
+    _WARM_WORKERS = 0
+    if pool is not None:
+        _abandon_executor(pool)
+
+
+def shutdown_warm_pool(wait: bool = True) -> None:
+    """Cleanly stop the warm pool (tests, interpreter exit)."""
+    global _WARM_POOL, _WARM_WORKERS
+    pool = _WARM_POOL
+    _WARM_POOL = None
+    _WARM_WORKERS = 0
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_warm_pool, wait=False)
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     payloads: Sequence[Any],
     jobs: Optional[int] = None,
 ) -> List[Any]:
-    """Order-preserving map, fanned across ``jobs`` worker processes.
+    """Order-preserving map, fanned across the warm worker pool.
 
     ``jobs`` of None/0/1 runs in-process (no executor overhead); ``fn``
     and every payload must be picklable when ``jobs > 1``. Results come
@@ -275,9 +377,12 @@ def parallel_map(
     payloads = list(payloads)
     if jobs is None or jobs <= 1 or len(payloads) <= 1:
         return [fn(payload) for payload in payloads]
-    workers = min(jobs, len(payloads))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = warm_pool(jobs)
+    try:
         return list(pool.map(fn, payloads))
+    except BrokenProcessPool:
+        _discard_warm_pool()
+        raise
 
 
 def _spec_failure(spec: TrialSpec, kind: str, error: str, attempts: int):
@@ -307,6 +412,94 @@ def _abandon_executor(executor: ProcessPoolExecutor) -> None:
         executor.shutdown(wait=False)
 
 
+def _run_chunk(specs: List[TrialSpec]) -> List[Tuple[str, Any, Optional[str]]]:
+    """Top-level chunk worker: run each spec in order, return tagged,
+    wire-packed outcomes.
+
+    One worker round-trip carries many trials (submission overhead is
+    amortized), and a trial that raises comes back as data — tagged
+    ``("E", pickled_exception, repr)`` — instead of poisoning its
+    chunk-mates' finished results. Successes travel as
+    ``("R", wire_blob, None)``.
+    """
+    from .wire import pack_trial
+
+    out: List[Tuple[str, Any, Optional[str]]] = []
+    for spec in specs:
+        try:
+            result = _run_spec(spec)
+        except Exception as exc:
+            try:
+                blob = pickle.dumps(exc)
+            except Exception:
+                blob = None
+            out.append(("E", blob, repr(exc)))
+        else:
+            out.append(("R", pack_trial(result), None))
+    return out
+
+
+def _decode_outcome(tagged):
+    """(TrialResult, None) or (None, exception) from a worker tag."""
+    from .wire import unpack_trial
+
+    tag, blob, note = tagged
+    if tag == "R":
+        return unpack_trial(blob), None
+    exc = None
+    if blob is not None:
+        try:
+            exc = pickle.loads(blob)
+        except Exception:
+            exc = None
+    if exc is None:
+        # The original exception would not round-trip; re-raise its face.
+        exc = RuntimeError(note)
+    return None, exc
+
+
+def _build_chunks(
+    indexed_specs: List[Tuple[int, TrialSpec]],
+    workers: int,
+    timeout_s: Optional[float],
+) -> List[List[Tuple[int, TrialSpec]]]:
+    """Cut the spec list into contiguous, cost-balanced chunks.
+
+    With a per-trial ``timeout_s`` every chunk is a single spec, so
+    ``future.result(timeout=...)`` keeps its exact per-trial meaning and
+    a timeout is charged to precisely the trial that hung.
+    """
+    if timeout_s is not None:
+        return [[pair] for pair in indexed_specs]
+    from .harness import trial_cost_estimate
+
+    target = max(1, min(len(indexed_specs), workers * CHUNKS_PER_WORKER))
+    if target >= len(indexed_specs):
+        return [[pair] for pair in indexed_specs]
+    costs = [trial_cost_estimate(spec) for _, spec in indexed_specs]
+    budget = sum(costs) / target
+    chunks: List[List[Tuple[int, TrialSpec]]] = []
+    current: List[Tuple[int, TrialSpec]] = []
+    acc = 0.0
+    for pair, cost in zip(indexed_specs, costs):
+        current.append(pair)
+        acc += cost
+        if acc >= budget and len(chunks) < target - 1:
+            chunks.append(current)
+            current = []
+            acc = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _cancel_unstarted(submitted, start: int) -> None:
+    """Best-effort cancel of chunks not yet picked up by a worker, so a
+    strict abort does not leave queued work running in the warm pool."""
+    for _, future in submitted[start:]:
+        future.cancel()
+
+
 def _run_resilient(
     indexed_specs: List[Tuple[int, TrialSpec]],
     jobs: Optional[int],
@@ -315,15 +508,16 @@ def _run_resilient(
     retry_backoff_s: float,
     strict: bool,
 ) -> Dict[int, Any]:
-    """Run specs across a worker pool, surviving crashes and hangs.
+    """Run specs across the warm pool, surviving crashes and hangs.
 
     Returns {index: TrialResult | TrialFailure}. A worker crash poisons
-    its whole ProcessPoolExecutor and a hung worker never frees its
-    slot, so recovery is pool-granular: salvage every future that
-    already finished, charge one failed attempt to the spec being
-    waited on, tear the pool down, and resubmit the remainder to a
-    fresh one (after a linear backoff). Trials that *raise* are
-    deterministic and are never retried.
+    the whole pool and a hung worker never frees its slot, so recovery
+    is pool-granular: salvage every chunk that already finished, charge
+    one failed attempt to each spec of the chunk being waited on,
+    discard the pool, and resubmit the remainder to a fresh one (after
+    a linear backoff). Retry rounds use single-spec chunks so a repeat
+    failure is attributed to exactly the spec that caused it. Trials
+    that *raise* are deterministic and are never retried.
     """
     max_attempts = 1 + max(0, retries)
     outcomes: Dict[int, Any] = {}
@@ -333,20 +527,21 @@ def _run_resilient(
     while pending:
         if round_number > 0 and retry_backoff_s > 0:
             time.sleep(retry_backoff_s * round_number)
+        workers = max(1, jobs or 1)
+        if round_number == 0:
+            chunks = _build_chunks(pending, workers, timeout_s)
+        else:
+            chunks = [[pair] for pair in pending]
         round_number += 1
-        workers = min(max(1, jobs or 1), len(pending))
-        executor = ProcessPoolExecutor(max_workers=workers)
+        executor = warm_pool(workers)
         submitted = [
-            (index, spec, executor.submit(_run_spec, spec))
-            for index, spec in pending
+            (chunk, executor.submit(_run_chunk, [spec for _, spec in chunk]))
+            for chunk in chunks
         ]
         pending = []
-        abandoned = False
-        for position, (index, spec, future) in enumerate(submitted):
+        for position, (chunk, future) in enumerate(submitted):
             try:
-                outcomes[index] = future.result(timeout=timeout_s)
-                attempts[index] += 1
-                continue
+                payload = future.result(timeout=timeout_s)
             except FutureTimeoutError:
                 kind = "timeout"
                 error = "exceeded the %.1fs per-trial wall-clock limit" % (
@@ -356,44 +551,73 @@ def _run_resilient(
                 kind = "crash"
                 error = "worker process died: %r" % exc
             except Exception as exc:
-                # The trial itself raised. It is deterministic, so a
-                # retry would fail identically — record (or raise) now.
-                attempts[index] += 1
-                if strict:
-                    _abandon_executor(executor)
-                    raise
-                outcomes[index] = _spec_failure(
-                    spec, "error", repr(exc), attempts[index]
-                )
+                # Submission-layer failure (e.g. an unpicklable spec):
+                # deterministic, so a retry would fail identically.
+                for index, spec in chunk:
+                    attempts[index] += 1
+                    if strict:
+                        _cancel_unstarted(submitted, position + 1)
+                        raise
+                    outcomes[index] = _spec_failure(
+                        spec, "error", repr(exc), attempts[index]
+                    )
+                continue
+            else:
+                for (index, spec), tagged in zip(chunk, payload):
+                    attempts[index] += 1
+                    result, exc = _decode_outcome(tagged)
+                    if exc is None:
+                        outcomes[index] = result
+                        continue
+                    # The trial itself raised. It is deterministic, so a
+                    # retry would fail identically — record (or raise)
+                    # now. The pool is healthy; keep it warm.
+                    if strict:
+                        _cancel_unstarted(submitted, position + 1)
+                        raise exc
+                    outcomes[index] = _spec_failure(
+                        spec, "error", repr(exc), attempts[index]
+                    )
                 continue
             # Timeout or crash: the pool is no longer trustworthy.
-            attempts[index] += 1
-            if attempts[index] >= max_attempts:
-                failure = _spec_failure(spec, kind, error, attempts[index])
-                if strict:
-                    _abandon_executor(executor)
-                    raise SweepError(failure)
-                outcomes[index] = failure
-            else:
-                pending.append((index, spec))
-            # Salvage completed successes; everything else re-runs in a
+            for index, spec in chunk:
+                attempts[index] += 1
+                if attempts[index] >= max_attempts:
+                    failure = _spec_failure(spec, kind, error, attempts[index])
+                    if strict:
+                        _discard_warm_pool()
+                        raise SweepError(failure)
+                    outcomes[index] = failure
+                else:
+                    pending.append((index, spec))
+            # Salvage completed chunks; everything else re-runs in a
             # fresh pool with no attempt charged (it was not at fault).
-            for other_index, other_spec, other_future in submitted[position + 1:]:
-                salvaged = False
+            for other_chunk, other_future in submitted[position + 1 :]:
+                decoded = None
                 if other_future.done():
                     try:
-                        outcomes[other_index] = other_future.result()
-                        attempts[other_index] += 1
-                        salvaged = True
+                        decoded = [
+                            _decode_outcome(t) for t in other_future.result()
+                        ]
                     except Exception:
-                        salvaged = False
-                if not salvaged:
-                    pending.append((other_index, other_spec))
-            _abandon_executor(executor)
-            abandoned = True
+                        decoded = None
+                if decoded is None:
+                    pending.extend(other_chunk)
+                    continue
+                for (index, spec), (result, exc) in zip(other_chunk, decoded):
+                    attempts[index] += 1
+                    if exc is None:
+                        outcomes[index] = result
+                    elif strict:
+                        _discard_warm_pool()
+                        raise exc
+                    else:
+                        outcomes[index] = _spec_failure(
+                            spec, "error", repr(exc), attempts[index]
+                        )
+            _discard_warm_pool()
             break
-        if not abandoned:
-            executor.shutdown()
+        # A clean round leaves the pool warm for the next sweep.
     return outcomes
 
 

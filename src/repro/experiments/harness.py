@@ -254,6 +254,27 @@ def run_trial(
     )
 
 
+#: Event rate a zero-load trial still sustains (clock ticks, ring
+#: service, watchdog windows) — the floor of the cost estimate below.
+_IDLE_EVENT_RATE = 2_000.0
+
+
+def trial_cost_estimate(spec) -> float:
+    """Relative wall-clock cost of one trial spec (arbitrary units).
+
+    The event count of a trial is roughly linear in simulated time and
+    in the packet rate (each packet is a handful of events), with a
+    fixed per-second floor for clock ticks and housekeeping. The sweep
+    engine uses this to cut a spec list into equal-cost chunks, so one
+    slow 12k-pps trial does not serialize behind a chunk of idle ones.
+    """
+    _config, rate_pps, kwargs = spec
+    sim_seconds = kwargs.get("duration_s", DEFAULT_DURATION_S) + kwargs.get(
+        "warmup_s", DEFAULT_WARMUP_S
+    )
+    return max(0.0, sim_seconds) * (max(0.0, rate_pps) + _IDLE_EVENT_RATE)
+
+
 def run_sweep(
     config: KernelConfig,
     rates: Sequence[float],

@@ -1,0 +1,215 @@
+"""Compact binary wire format for :class:`TrialResult` transfer.
+
+Worker processes return trial results to the sweep engine as packed
+bytes instead of pickled dataclasses: the scalars are one ``struct``
+record, and each numeric dict (latency summary, drop counters, probe
+dump) becomes a key blob plus a per-value format string packed in a
+single ``struct.pack`` call. Byte strings cross the process boundary
+with near-zero pickling cost, which matters once warm workers make
+result transfer — not process startup — the per-trial overhead.
+
+The format is loss-free by construction:
+
+* ints travel as ``q`` (signed 64-bit) and floats as ``d`` (IEEE
+  double, Python's float), so every value round-trips bit-identically
+  and, crucially, *keeps its Python type* — an int count never comes
+  back as a float;
+* ``watchdog``/``faults`` are nested reports, not flat numeric dicts;
+  they travel as canonical JSON, which the on-disk result cache already
+  proves loss-free for them;
+* anything the binary layout cannot express exactly (non-string keys,
+  bools, ints beyond 64 bits, exotic value types) falls back to a
+  JSON-encoded record of the whole result — correctness never depends
+  on the fast path applying.
+
+This is a transport encoding only: the on-disk cache keeps its JSON
+format, and nothing here affects a trial's fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict
+
+MAGIC = b"RTW1"
+
+_FMT_SCALARS = "!dddqqd"
+_U32 = "!I"
+
+
+class WireError(ValueError):
+    """A blob that is not a valid packed TrialResult."""
+
+
+class _Fallback(Exception):
+    """Internal: value shape the binary layout cannot express exactly."""
+
+
+def _pack_str(out: list, text: str) -> None:
+    blob = text.encode("utf-8")
+    out.append(struct.pack(_U32, len(blob)))
+    out.append(blob)
+
+
+def _pack_numdict(out: list, mapping: Dict[str, Any]) -> None:
+    """count | key-blob | per-value kind chars | packed values."""
+    keys = list(mapping.keys())
+    kinds = []
+    for key in keys:
+        if type(key) is not str or "\x00" in key:
+            raise _Fallback
+        value = mapping[key]
+        if type(value) is int:
+            kinds.append("q")
+        elif type(value) is float:
+            kinds.append("d")
+        else:
+            raise _Fallback
+    kind_str = "".join(kinds)
+    try:
+        values = struct.pack("!" + kind_str, *mapping.values())
+    except struct.error:  # e.g. an int beyond 64 bits
+        raise _Fallback from None
+    _pack_str(out, "\x00".join(keys))
+    out.append(struct.pack(_U32, len(keys)))
+    out.append(kind_str.encode("ascii"))
+    out.append(values)
+
+
+def _pack_json_opt(out: list, value) -> None:
+    if value is None:
+        out.append(b"\x00")
+        return
+    out.append(b"\x01")
+    _pack_str(out, json.dumps(value, sort_keys=True))
+
+
+def pack_trial(result) -> bytes:
+    """Serialize a TrialResult to bytes (binary fast path, JSON fallback)."""
+    from .results import trial_to_dict
+
+    out = [MAGIC, b"\x00"]
+    try:
+        if type(result.delivered) is not int or type(result.generated) is not int:
+            raise _Fallback
+        for value in (
+            result.target_rate_pps,
+            result.offered_rate_pps,
+            result.output_rate_pps,
+            result.duration_s,
+        ):
+            if type(value) is not float:
+                raise _Fallback
+        _pack_str(out, result.variant)
+        out.append(
+            struct.pack(
+                _FMT_SCALARS,
+                result.target_rate_pps,
+                result.offered_rate_pps,
+                result.output_rate_pps,
+                result.delivered,
+                result.generated,
+                result.duration_s,
+            )
+        )
+        share = result.user_cpu_share
+        if share is None:
+            out.append(b"\x00")
+        elif type(share) is float:
+            out.append(b"\x01" + struct.pack("!d", share))
+        else:
+            raise _Fallback
+        _pack_numdict(out, result.latency_us)
+        _pack_numdict(out, result.drops)
+        _pack_numdict(out, result.counters)
+        _pack_json_opt(out, result.watchdog)
+        _pack_json_opt(out, result.faults)
+    except _Fallback:
+        blob = json.dumps(trial_to_dict(result), sort_keys=True).encode("utf-8")
+        return MAGIC + b"\x01" + blob
+    return b"".join(out)
+
+
+class _Reader:
+    __slots__ = ("blob", "pos")
+
+    def __init__(self, blob: bytes, pos: int) -> None:
+        self.blob = blob
+        self.pos = pos
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.blob):
+            raise WireError("truncated TrialResult blob")
+        piece = self.blob[self.pos : end]
+        self.pos = end
+        return piece
+
+    def u32(self) -> int:
+        return struct.unpack(_U32, self.take(4))[0]
+
+    def text(self) -> str:
+        return self.take(self.u32()).decode("utf-8")
+
+    def numdict(self) -> Dict[str, Any]:
+        key_blob = self.text()
+        count = self.u32()
+        kind_str = self.take(count).decode("ascii")
+        values = struct.unpack("!" + kind_str, self.take(struct.calcsize("!" + kind_str)))
+        if count == 0:
+            return {}
+        keys = key_blob.split("\x00")
+        if len(keys) != count:
+            raise WireError("key/value count mismatch")
+        return dict(zip(keys, values))
+
+    def json_opt(self):
+        flag = self.take(1)
+        if flag == b"\x00":
+            return None
+        return json.loads(self.text())
+
+
+def unpack_trial(blob: bytes):
+    """Inverse of :func:`pack_trial`."""
+    from .harness import TrialResult
+    from .results import trial_from_dict
+
+    if blob[:4] != MAGIC:
+        raise WireError("bad magic: %r" % blob[:4])
+    mode = blob[4:5]
+    if mode == b"\x01":
+        return trial_from_dict(json.loads(blob[5:].decode("utf-8")))
+    if mode != b"\x00":
+        raise WireError("unknown wire mode: %r" % mode)
+    reader = _Reader(blob, 5)
+    variant = reader.text()
+    target, offered, output, delivered, generated, duration = struct.unpack(
+        _FMT_SCALARS, reader.take(struct.calcsize(_FMT_SCALARS))
+    )
+    share = None
+    if reader.take(1) == b"\x01":
+        share = struct.unpack("!d", reader.take(8))[0]
+    latency_us = reader.numdict()
+    drops = reader.numdict()
+    counters = reader.numdict()
+    watchdog = reader.json_opt()
+    faults = reader.json_opt()
+    if reader.pos != len(blob):
+        raise WireError("trailing bytes after TrialResult record")
+    return TrialResult(
+        variant=variant,
+        target_rate_pps=target,
+        offered_rate_pps=offered,
+        output_rate_pps=output,
+        delivered=delivered,
+        generated=generated,
+        duration_s=duration,
+        user_cpu_share=share,
+        latency_us=latency_us,
+        drops=drops,
+        counters=counters,
+        watchdog=watchdog,
+        faults=faults,
+    )

@@ -38,6 +38,10 @@ class ClockDevice:
             name, IPL_CLOCK, handler_factory, dispatch_cycles=dispatch_cycles
         )
         self._started = False
+        #: Handle of the pending tick — a re-armed PeriodicEvent on the
+        #: clean path, the next one-shot Event on the faulty path — so
+        #: :meth:`stop` can cancel it instead of groping queue internals.
+        self._timer = None
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`);
         #: when set and armed for clock faults, tick intervals are drawn
         #: through it (jitter/drift) instead of being exactly periodic.
@@ -56,7 +60,18 @@ class ClockDevice:
         # One re-armed event for the lifetime of the run: the clock fires
         # once per tick for the whole simulation, so a per-tick allocation
         # would be the single largest source of event churn.
-        self.sim.schedule_periodic(self.tick_ns, self._tick, label="clock-tick")
+        self._timer = self.sim.schedule_periodic(
+            self.tick_ns, self._tick, label="clock-tick"
+        )
+
+    def stop(self) -> None:
+        """Stop ticking (idempotent). ``Simulator.cancel`` accepts both
+        handle kinds, so the clean and faulty paths stop the same way.
+        A stopped clock may be started again."""
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
+        self._started = False
 
     def _tick(self) -> None:
         self.ticks += 1
@@ -69,7 +84,7 @@ class ClockDevice:
             if faults is not None
             else self.tick_ns
         )
-        self.sim.schedule(interval, self._faulty_tick, label="clock-tick")
+        self._timer = self.sim.schedule(interval, self._faulty_tick, label="clock-tick")
 
     def _faulty_tick(self) -> None:
         self.ticks += 1

@@ -1,17 +1,29 @@
 """Event objects for the discrete-event scheduler.
 
 Events are one-shot callbacks pinned to a simulation time. They support
-O(1) cancellation via tombstoning: a cancelled event stays in the heap but
-is skipped when popped. This is the standard technique for event heaps
-with frequent cancellation (here: CPU work-completion events cancelled on
-every preemption).
+O(1) cancellation via tombstoning: a cancelled event stays wherever it is
+queued (a wheel bucket or the overflow heap) and is skipped when reached.
+This is the standard technique for event schedulers with frequent
+cancellation (here: CPU work-completion events cancelled on every
+preemption).
+
+:class:`EventSlab` is the scheduler's freelist of Event objects,
+mirroring :class:`repro.net.packet.PacketPool`: the drain loop returns an
+event to the slab the moment it fires (or is reclaimed as a tombstone)
+*provided nothing else still references it*, and ``schedule`` re-arms a
+recycled object instead of allocating. At steady state the hot loop
+therefore allocates zero Event objects. Recycling is reference-safe: an
+event is only returned to the slab when ``sys.getrefcount`` proves the
+scheduler holds the sole reference, so a client that kept the handle
+returned by ``schedule`` can never observe its event being reused.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional, Tuple
 
-#: State constants. An event moves PENDING -> {FIRED, CANCELLED} exactly once.
+#: State constants. An event moves PENDING -> {FIRED, CANCELLED} exactly once
+#: (a slab-recycled object starts a fresh PENDING life with a new seq).
 PENDING = "pending"
 FIRED = "fired"
 CANCELLED = "cancelled"
@@ -25,7 +37,7 @@ class Event:
     client operation is passing them back to ``Simulator.cancel``.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "state", "label", "_key")
+    __slots__ = ("time", "seq", "callback", "args", "state", "label")
 
     def __init__(
         self,
@@ -41,18 +53,16 @@ class Event:
         self.args = args
         self.state = PENDING
         self.label = label
-        self._key = (time, seq)
 
     def _rearm(self, time: int, seq: int) -> None:
         """Reuse this (fired) event object for a new firing time.
 
         Only the simulator's periodic scheduling calls this; ``time`` and
-        ``seq`` must change together so the cached heap key stays valid.
+        ``seq`` must change together so the ordering key stays valid.
         """
         self.time = time
         self.seq = seq
         self.state = PENDING
-        self._key = (time, seq)
 
     @property
     def pending(self) -> bool:
@@ -63,16 +73,120 @@ class Event:
         return self.state == CANCELLED
 
     def sort_key(self) -> Tuple[int, int]:
-        """Heap ordering: by time, ties broken by scheduling order so that
-        same-time events fire in FIFO order (deterministic)."""
-        return self._key
+        """Scheduler ordering: by time, ties broken by scheduling order so
+        that same-time events fire in FIFO order (deterministic)."""
+        return (self.time, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        # The key tuple is precomputed at schedule time: heap sifts compare
-        # events many times per push/pop, and building the tuples on every
-        # comparison dominated the scheduler profile.
-        return self._key < other._key
+        # Kept for any client-side sorting of event handles. The
+        # scheduler itself orders (time, seq, event) triples, so this is
+        # never on the hot path and the key needn't be cached.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         name = self.label or getattr(self.callback, "__name__", "callback")
         return "Event(t=%d, seq=%d, %s, %s)" % (self.time, self.seq, name, self.state)
+
+
+class EventSlab:
+    """Freelist of recycled :class:`Event` objects (the scheduler's
+    ``PacketPool``).
+
+    The simulator inlines the acquire/release fast paths; the methods here
+    are the cold-path equivalents used by tests and diagnostics. Counters:
+
+    * ``allocated`` — events built fresh because the freelist was empty;
+    * ``reused`` — schedules served by re-arming a recycled object;
+    * ``recycled`` — fired/cancelled events returned to the freelist.
+      Not a stored counter: every released event is either still on the
+      freelist or was since reused, so ``recycled == reused + len(free)``
+      exactly;
+    * ``high_water`` — maximum freelist length ever reached (how much of
+      the slab the workload actually uses).
+
+    ``max_free`` caps the freelist so a one-off scheduling burst cannot
+    pin memory forever — beyond the cap, retired events are simply left
+    to the garbage collector.
+
+    A retired event keeps its last ``callback``/``args`` references until
+    it is re-armed: re-arming overwrites them anyway, so clearing at
+    release time would be pure per-event overhead on the drain loop. The
+    cost is that up to ``max_free`` retired events may transiently pin
+    their final payloads — bounded, and invisible next to the packet
+    pool's own freelist.
+    """
+
+    __slots__ = ("max_free", "_free", "allocated", "reused", "high_water")
+
+    #: Default freelist cap: far above the live-event population of any
+    #: paper-scale trial (a few hundred), small enough to be invisible.
+    DEFAULT_MAX_FREE = 4096
+
+    def __init__(self, max_free: int = DEFAULT_MAX_FREE) -> None:
+        if max_free < 0:
+            raise ValueError("slab cap must be non-negative")
+        self.max_free = max_free
+        self._free: list = []
+        self.allocated = 0
+        self.reused = 0
+        self.high_water = 0
+
+    def acquire(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        label: Optional[str] = None,
+    ) -> Event:
+        """A PENDING event armed for ``(time, seq)`` — recycled if possible."""
+        free = self._free
+        if free:
+            event = free.pop()
+            self.reused += 1
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.state = PENDING
+            event.label = label
+            return event
+        self.allocated += 1
+        return Event(time, seq, callback, args, label=label)
+
+    def release(self, event: Event) -> bool:
+        """Return a retired event to the freelist. Returns False when the
+        freelist is at capacity. (The drain loops inline this body; keep
+        the two in step.)"""
+        free = self._free
+        n = len(free)
+        if n >= self.max_free:
+            return False
+        free.append(event)
+        if n >= self.high_water:
+            self.high_water = n + 1
+        return True
+
+    @property
+    def recycled(self) -> int:
+        return self.reused + len(self._free)
+
+    def stats(self) -> dict:
+        return {
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "recycled": self.recycled,
+            "free": len(self._free),
+            "high_water": self.high_water,
+            "max_free": self.max_free,
+        }
+
+    def __repr__(self) -> str:
+        return "EventSlab(free=%d, allocated=%d, reused=%d, high_water=%d)" % (
+            len(self._free),
+            self.allocated,
+            self.reused,
+            self.high_water,
+        )

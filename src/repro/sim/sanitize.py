@@ -18,7 +18,13 @@ Checked invariants:
   sort key match recomputation from ``base_ipl``/``spl_level``; the
   running task has the maximum key; no interrupt line sits requested,
   enabled, out of service, and above the CPU's IPL (such a line must
-  have been delivered before the event loop moved on).
+  have been delivered before the event loop moved on);
+* **scheduler** — the calendar queue's derived bookkeeping matches a
+  full rescan: the wheel triple count and occupancy bitmap agree with
+  the buckets, the tombstone counter equals the number of resident
+  CANCELLED triples, every resident triple's ``(time, seq)`` key
+  matches its event's fields, and the event-slab freelist respects its
+  cap and holds only retired events.
 
 The hook runs from the simulator's instrumented drain loop (see
 ``Simulator.set_sanitize_hook``), which is only selected while a hook is
@@ -30,6 +36,8 @@ from __future__ import annotations
 from typing import Optional
 
 from .errors import InvariantViolation
+from .events import CANCELLED, PENDING
+from .simulator import WHEEL_SLOTS
 
 
 class InvariantSanitizer:
@@ -69,6 +77,7 @@ class InvariantSanitizer:
         self._check_pool()
         self._check_rings()
         self._check_ipl()
+        self._check_scheduler()
 
     def check_trial_end(self, teardown_report: dict) -> None:
         """Post-teardown ownership check: with the pool enabled, every
@@ -185,6 +194,83 @@ class InvariantSanitizer:
                     "interrupt line %s is deliverable (ipl %d > cpu %d) but "
                     "was not dispatched before the event loop moved on"
                     % (line.name, line.ipl, ipl)
+                )
+
+    def _check_scheduler(self) -> None:
+        """Re-derive the calendar queue's cached bookkeeping by rescanning
+        the resident triples. The hot paths maintain ``_wheel_count``,
+        ``_occ`` and ``_tombstones`` incrementally (and derive the pending
+        count from three counters); a single missed update anywhere would
+        silently skip or duplicate events."""
+        sim = self.router.sim
+        if not (-1 <= sim._cursor < WHEEL_SLOTS):
+            raise InvariantViolation(
+                "wheel cursor %d outside [-1, %d)" % (sim._cursor, WHEEL_SLOTS)
+            )
+        bucket_count = 0
+        for idx, bucket in enumerate(sim._wheel):
+            if bucket:
+                bucket_count += len(bucket)
+                if not sim._occ & (1 << idx):
+                    raise InvariantViolation(
+                        "wheel bucket %d holds %d triples but its occupancy "
+                        "bit is clear (the drain would never visit it)"
+                        % (idx, len(bucket))
+                    )
+        if bucket_count != sim._wheel_count:
+            raise InvariantViolation(
+                "wheel count caches %d resident triples, rescan finds %d"
+                % (sim._wheel_count, bucket_count)
+            )
+        residents = 0
+        tombstones = 0
+        for queue in (sim._cur, *sim._wheel, sim._overflow):
+            for time, seq, event in queue:
+                residents += 1
+                state = event.state
+                if state == CANCELLED:
+                    tombstones += 1
+                elif state != PENDING:
+                    raise InvariantViolation(
+                        "resident triple holds %r — fired events must be "
+                        "popped before their callback runs" % event
+                    )
+                if event.time != time or event.seq != seq:
+                    raise InvariantViolation(
+                        "triple key (t=%d, seq=%d) diverges from its event "
+                        "%r (a re-arm must pop the old triple first)"
+                        % (time, seq, event)
+                    )
+        if tombstones != sim._tombstones:
+            raise InvariantViolation(
+                "tombstone counter caches %d, rescan finds %d resident "
+                "cancelled events" % (sim._tombstones, tombstones)
+            )
+        pending = sim._seq - sim._fired - sim._cancelled
+        if residents - tombstones != pending:
+            raise InvariantViolation(
+                "%d live resident events but the counters derive pending=%d "
+                "(scheduled=%d, fired=%d, cancelled=%d)"
+                % (residents - tombstones, pending, sim._seq, sim._fired,
+                   sim._cancelled)
+            )
+        slab = sim._slab
+        free = slab._free
+        if len(free) > slab.max_free:
+            raise InvariantViolation(
+                "event slab freelist holds %d entries, cap is %d"
+                % (len(free), slab.max_free)
+            )
+        if slab.high_water < len(free):
+            raise InvariantViolation(
+                "event slab high-water mark %d below current freelist "
+                "length %d" % (slab.high_water, len(free))
+            )
+        for event in free:
+            if event.state == PENDING:
+                raise InvariantViolation(
+                    "event slab freelist holds pending %r (it could be "
+                    "handed out while still queued)" % event
                 )
 
     def __repr__(self) -> str:

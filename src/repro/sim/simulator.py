@@ -1,9 +1,9 @@
 """The discrete-event simulator core.
 
 A :class:`Simulator` owns the virtual clock (integer nanoseconds) and a
-binary heap of :class:`~repro.sim.events.Event` objects. Components
-schedule callbacks at relative delays; :meth:`run` drains the heap in
-time order until a deadline or until no events remain.
+two-level calendar queue of :class:`~repro.sim.events.Event` objects.
+Components schedule callbacks at relative delays; :meth:`run` drains the
+queue in time order until a deadline or until no events remain.
 
 The simulator itself knows nothing about CPUs, packets, or kernels — those
 are layered on top (see :mod:`repro.hw` and :mod:`repro.kernel`). It only
@@ -13,17 +13,44 @@ guarantees:
 * events scheduled for the same instant fire in scheduling order;
 * cancellation is O(1) and safe at any time before the event fires.
 
-Performance notes (this module is the hot path of every experiment):
+Structure (this module is the hot path of every experiment):
 
-* :meth:`run` is a single fused drain loop — it peeks, pops and fires in
-  one pass with heap operations bound to locals, instead of the
-  ``peek_time()`` + ``step()`` pair which inspected the heap top twice
-  per event;
-* cancelled events are tombstones skipped on pop, but the heap is also
-  *compacted* (pending events filtered and re-heapified) whenever
-  tombstones outnumber live events — so cancellation-heavy workloads,
-  including events cancelled long before their fire time, cannot grow
-  the heap without bound;
+* **Timing wheel** — near-term events land in one of ``WHEEL_SLOTS``
+  fixed-width buckets indexed by ``(time - wheel_base) >> WHEEL_SHIFT``.
+  A bucket is a plain list of ``(time, seq, event)`` triples in append
+  order; scheduling into the wheel is a list append plus a bitmap OR,
+  with no comparisons at all.
+* **Current-slot heap** (``_cur``) — when the drain reaches a bucket, its
+  pending triples are heapified once and popped in ``(time, seq)`` order.
+  Because the triples lead with ints, every heap comparison resolves in
+  C; ``Event.__lt__`` is never called on this path. Events scheduled
+  into the slot being drained (``delay=0`` chains, same-instant wakeups)
+  are pushed straight into this heap, preserving exact FIFO seq order.
+* **Overflow heap** — events beyond the wheel horizon
+  (``WHEEL_SLOTS << WHEEL_SHIFT`` ns, ~17 ms) wait in a small fallback
+  heap. When the wheel empties, the window *jumps* to the earliest
+  overflow event (no empty-slot traversal) and the overflow refills the
+  buckets it now covers.
+* **Occupancy bitmap** (``_occ``) — one int whose bit *i* marks bucket
+  *i* non-empty; the drain finds the next populated bucket with a
+  lowest-set-bit scan instead of walking empty slots.
+* **Determinism** — buckets partition time into disjoint windows visited
+  in order, and within a bucket the heap yields exact ``(time, seq)``
+  order, so the global firing order is identical to a single binary
+  heap's. Trial results are bit-identical to the old ``heapq`` core
+  (proven against the committed golden fixture and by
+  ``scripts/bench_wheel.py``, which re-runs the frozen heap loop).
+* **Tombstones** — cancelled events are skipped when the drain reaches
+  them (bucket load, heap pop, or overflow refill). The queue is also
+  *compacted in place* whenever tombstones outnumber live events, so
+  cancellation-heavy workloads — including events cancelled long before
+  their fire time — cannot grow resident memory without bound.
+* **Event slab** — fired and reclaimed events whose only remaining
+  reference is the scheduler's are recycled through an
+  :class:`~repro.sim.events.EventSlab` freelist, so the steady-state hot
+  loop allocates zero Event objects. The ``sys.getrefcount`` gate means
+  any event whose handle a client kept (periodic timers, cancellable
+  completions) is simply left to the garbage collector instead.
 * recurring work should use :meth:`schedule_periodic`, which re-arms one
   :class:`Event` object per timer instead of allocating a fresh event
   every tick. The callback runs once per ``interval_ns`` until the
@@ -34,14 +61,33 @@ Performance notes (this module is the hot path of every experiment):
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
+from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import ClockError, SchedulingError
-from .events import CANCELLED, FIRED, PENDING, Event
+from .events import CANCELLED, FIRED, PENDING, Event, EventSlab
 
-#: Compaction is skipped below this heap size: tiny heaps are cheap to
-#: scan and re-heapifying them constantly would cost more than it saves.
+#: Bucket width is ``1 << WHEEL_SHIFT`` ns (65.5 µs). Deliberately
+#: coarse: a bucket load costs a filter pass plus a heapify, so it must
+#: amortize over several events. Near-term events (the same-bucket
+#: majority at paper rates) bypass the wheel entirely and go straight to
+#: the current-slot heap, where every comparison is a C int-tuple
+#: compare — the wheel only has to beat the old heap on *far* inserts,
+#: which it does at any bucket width.
+WHEEL_SHIFT = 16
+
+#: Number of wheel buckets; horizon = ``WHEEL_SLOTS << WHEEL_SHIFT``
+#: (~16.8 ms) comfortably covers clock ticks, watchdog windows, DMA
+#: latencies and quota timers, so overflow traffic is rare.
+WHEEL_SLOTS = 256
+
+_WHEEL_HORIZON = WHEEL_SLOTS << WHEEL_SHIFT
+
+_INF = float("inf")
+
+#: Compaction is skipped below this resident size: tiny queues are cheap
+#: to scan and rebuilding them constantly would cost more than it saves.
 _COMPACT_MIN_HEAP = 64
 
 
@@ -93,18 +139,41 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: List[Event] = []
         self._seq: int = 0
         self._running: bool = False
         self._fired: int = 0
-        self._scheduled: int = 0
         self._cancelled: int = 0
-        #: Exact number of PENDING events in the heap, maintained on
-        #: schedule/cancel/fire so ``stats`` never scans the heap.
-        self._pending: int = 0
-        #: Number of CANCELLED events still sitting in the heap.
+        # The pending-event count is not stored: every schedule bumps
+        # _seq and every fire/cancel bumps its counter exactly once, so
+        # pending == _seq - _fired - _cancelled at all times and the hot
+        # paths keep one less counter.
+        #: Number of CANCELLED events still resident in the queue.
         self._tombstones: int = 0
         self._compactions: int = 0
+        # --- calendar queue -------------------------------------------
+        #: Heap of (time, seq, event) triples for the bucket currently
+        #: being drained (plus any events scheduled at/behind it).
+        self._cur: List[Tuple[int, int, Event]] = []
+        #: Fixed ring of buckets; each is an append-ordered triple list.
+        self._wheel: List[List[Tuple[int, int, Event]]] = [
+            [] for _ in range(WHEEL_SLOTS)
+        ]
+        #: Heap of triples beyond the wheel horizon.
+        self._overflow: List[Tuple[int, int, Event]] = []
+        #: Bitmap of non-empty buckets (bit i => bucket i occupied).
+        self._occ: int = 0
+        #: Triples resident in wheel buckets (tombstones included).
+        self._wheel_count: int = 0
+        #: Index of the bucket loaded into ``_cur``; -1 before the first
+        #: bucket of the current window is reached. ``schedule`` pushes
+        #: events that map at or behind the cursor straight into ``_cur``
+        #: (they can only be at/after ``now``, and ``_cur`` is always
+        #: drained before the cursor advances, so ordering is preserved).
+        self._cursor: int = -1
+        #: Absolute time of bucket 0's window start.
+        self._wheel_base: int = 0
+        #: Freelist of retired Event objects (see module docstring).
+        self._slab: EventSlab = EventSlab()
         #: Optional invariant-sanitizer hook: ``(callable, every_n)``.
         #: When set, :meth:`run` switches to an instrumented drain loop
         #: that invokes the callable every ``every_n`` fired events; when
@@ -144,11 +213,35 @@ class Simulator:
         """
         if delay < 0:
             raise SchedulingError("cannot schedule into the past (delay=%d)" % delay)
-        event = Event(self._now + delay, self._seq, callback, args, label=label)
-        self._seq += 1
-        self._scheduled += 1
-        self._pending += 1
-        heapq.heappush(self._heap, event)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        # Inlined slab acquire: recycle a retired Event if one is free.
+        slab = self._slab
+        free = slab._free
+        if free:
+            event = free.pop()
+            slab.reused += 1
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.state = PENDING
+            event.label = label
+        else:
+            slab.allocated += 1
+            event = Event(time, seq, callback, args, label=label)
+        # Inlined queue insert (the same three-way dispatch appears in
+        # the periodic fire closure; keep the two in step).
+        idx = (time - self._wheel_base) >> WHEEL_SHIFT
+        if idx <= self._cursor:
+            heappush(self._cur, (time, seq, event))
+        elif idx < WHEEL_SLOTS:
+            self._wheel[idx].append((time, seq, event))
+            self._occ |= 1 << idx
+            self._wheel_count += 1
+        else:
+            heappush(self._overflow, (time, seq, event))
         return event
 
     def schedule_at(
@@ -196,12 +289,25 @@ class Simulator:
             callback(*args)
             if not handle._active:
                 return
+            # Re-arm and re-queue inline (Event._rearm + _insert fused):
+            # a periodic tick is pure per-period overhead, so it must not
+            # pay Python-call costs on top of the callback's own.
             event = handle._event
-            event._rearm(event.time + interval_ns, self._seq)
-            self._seq += 1
-            self._scheduled += 1
-            self._pending += 1
-            heapq.heappush(self._heap, event)
+            time = event.time + interval_ns
+            seq = self._seq
+            self._seq = seq + 1
+            event.time = time
+            event.seq = seq
+            event.state = PENDING
+            idx = (time - self._wheel_base) >> WHEEL_SHIFT
+            if idx <= self._cursor:
+                heappush(self._cur, (time, seq, event))
+            elif idx < WHEEL_SLOTS:
+                self._wheel[idx].append((time, seq, event))
+                self._occ |= 1 << idx
+                self._wheel_count += 1
+            else:
+                heappush(self._overflow, (time, seq, event))
 
         delay = interval_ns if first_delay is None else first_delay
         handle._event = self.schedule(delay, fire, label=label)
@@ -216,7 +322,6 @@ class Simulator:
             return False
         event.state = CANCELLED
         self._cancelled += 1
-        self._pending -= 1
         self._tombstones += 1
         self._maybe_compact()
         return True
@@ -226,20 +331,116 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _maybe_compact(self) -> None:
-        """Rebuild the heap without tombstones once they dominate it.
+        """Filter tombstones out of the queue once they dominate it.
 
-        Pop-time skipping only reclaims a cancelled event when the clock
-        reaches its fire time; an event cancelled long before then would
-        otherwise occupy heap slots indefinitely. Compacting when
-        tombstones exceed half the heap bounds memory at ~2x the live
-        event count while keeping cancellation amortised O(log n).
+        Drain-time skipping only reclaims a cancelled event when the
+        clock reaches its bucket; an event cancelled long before then
+        would otherwise occupy queue slots indefinitely. Compacting when
+        tombstones exceed half the resident triples bounds memory at ~2x
+        the live event count while keeping cancellation amortised O(1).
+
+        All three structures are filtered *in place* (slice assignment)
+        because the drain loop holds local references to them.
         """
-        heap = self._heap
-        if len(heap) >= _COMPACT_MIN_HEAP and self._tombstones * 2 > len(heap):
-            self._heap = [e for e in heap if e.state == PENDING]
-            heapq.heapify(self._heap)
-            self._tombstones = 0
-            self._compactions += 1
+        total = len(self._cur) + self._wheel_count + len(self._overflow)
+        if total < _COMPACT_MIN_HEAP or self._tombstones * 2 <= total:
+            return
+        cur = self._cur
+        cur[:] = [tr for tr in cur if tr[2].state != CANCELLED]
+        heapify(cur)
+        overflow = self._overflow
+        overflow[:] = [tr for tr in overflow if tr[2].state != CANCELLED]
+        heapify(overflow)
+        occ = 0
+        count = 0
+        for idx, bucket in enumerate(self._wheel):
+            if bucket:
+                bucket[:] = [tr for tr in bucket if tr[2].state != CANCELLED]
+                if bucket:
+                    occ |= 1 << idx
+                    count += len(bucket)
+        self._occ = occ
+        self._wheel_count = count
+        # Dropped events go to the GC, not the slab: list comprehensions
+        # hold transient references, so the refcount gate can't prove
+        # exclusivity here, and compaction is far off the hot path.
+        self._tombstones = 0
+        self._compactions += 1
+
+    # ------------------------------------------------------------------
+    # Queue traversal
+    # ------------------------------------------------------------------
+
+    def _advance(self, deadline) -> bool:
+        """Load the next populated bucket (time <= ``deadline``) into
+        ``_cur``. Returns False when every remaining event — if any — is
+        beyond the deadline. Precondition: ``_cur`` is empty.
+        """
+        wheel = self._wheel
+        pop = heappop
+        while True:
+            base = self._wheel_base
+            # Lowest-set-bit scan over buckets strictly after the cursor.
+            mask = self._occ & -(1 << (self._cursor + 1))
+            while mask:
+                low = mask & -mask
+                idx = low.bit_length() - 1
+                bucket = wheel[idx]
+                if not bucket:
+                    # Stale bit (compaction emptied the bucket).
+                    self._occ &= ~low
+                    mask &= ~low
+                    continue
+                if base + (idx << WHEEL_SHIFT) > deadline:
+                    # Every event in this and later buckets is later
+                    # than the deadline; leave the bucket for next run.
+                    return False
+                # Zero-copy load: heapify the bucket list itself and hand
+                # the drained (empty) ``_cur`` list back to the slot, so
+                # a bucket load allocates nothing. Tombstones ride along
+                # — the drain loop skips them on pop, which also lets the
+                # refcount gate recycle them (a bulk filter here could
+                # not: its transient references defeat the gate).
+                wheel[idx] = self._cur
+                self._wheel_count -= len(bucket)
+                self._occ &= ~low
+                self._cursor = idx
+                heapify(bucket)
+                self._cur = bucket
+                return True
+            # Wheel window exhausted: jump to the overflow's first event.
+            overflow = self._overflow
+            while overflow and overflow[0][2].state == CANCELLED:
+                _, _, ev = pop(overflow)
+                self._tombstones -= 1
+                if getrefcount(ev) == 2:
+                    self._slab.release(ev)
+            if not overflow:
+                return False
+            t_min = overflow[0][0]
+            if t_min > deadline:
+                return False
+            base = (t_min >> WHEEL_SHIFT) << WHEEL_SHIFT
+            self._wheel_base = base
+            self._cursor = -1
+            limit = base + _WHEEL_HORIZON
+            occ = 0
+            count = 0
+            while overflow and overflow[0][0] < limit:
+                t, s, ev = pop(overflow)
+                if ev.state == CANCELLED:
+                    self._tombstones -= 1
+                    if getrefcount(ev) == 2:
+                        self._slab.release(ev)
+                    continue
+                idx = (t - base) >> WHEEL_SHIFT
+                wheel[idx].append((t, s, ev))
+                occ |= 1 << idx
+                count += 1
+            # The wheel was provably empty before the refill.
+            self._occ = occ
+            self._wheel_count = count
+            # Loop: rescan the refilled window from slot 0.
 
     # ------------------------------------------------------------------
     # Running
@@ -247,29 +448,71 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the single next pending event. Returns False if none left."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.state == CANCELLED:
-                self._tombstones -= 1
-                continue
-            if event.time < self._now:
-                raise ClockError(
-                    "event at t=%d behind clock t=%d" % (event.time, self._now)
-                )
-            self._now = event.time
-            event.state = FIRED
-            self._fired += 1
-            self._pending -= 1
-            event.callback(*event.args)
-            return True
-        return False
+        pop = heappop
+        while True:
+            cur = self._cur
+            while cur:
+                head = cur[0]
+                event = head[2]
+                if event.state == CANCELLED:
+                    pop(cur)
+                    self._tombstones -= 1
+                    del head
+                    if getrefcount(event) == 2:
+                        self._slab.release(event)
+                    continue
+                time = head[0]
+                if time < self._now:
+                    raise ClockError(
+                        "event at t=%d behind clock t=%d" % (time, self._now)
+                    )
+                pop(cur)
+                del head
+                self._now = time
+                event.state = FIRED
+                self._fired += 1
+                event.callback(*event.args)
+                if getrefcount(event) == 2:
+                    self._slab.release(event)
+                return True
+            if not self._advance(_INF):
+                return False
 
     def peek_time(self) -> Optional[int]:
-        """Time of the next pending event, or None if the heap is empty."""
-        while self._heap and self._heap[0].state == CANCELLED:
-            heapq.heappop(self._heap)
+        """Time of the next pending event, or None if none remain."""
+        pop = heappop
+        cur = self._cur
+        while cur:
+            head = cur[0]
+            if head[2].state != CANCELLED:
+                return head[0]
+            del head
+            _, _, ev = pop(cur)
             self._tombstones -= 1
-        return self._heap[0].time if self._heap else None
+            if getrefcount(ev) == 2:
+                self._slab.release(ev)
+        mask = self._occ & -(1 << (self._cursor + 1))
+        wheel = self._wheel
+        while mask:
+            idx = (mask & -mask).bit_length() - 1
+            mask &= mask - 1
+            best = None
+            for tr in wheel[idx]:
+                if tr[2].state != CANCELLED and (best is None or tr[0] < best):
+                    best = tr[0]
+            if best is not None:
+                return best
+        overflow = self._overflow
+        while overflow:
+            head = overflow[0]
+            if head[2].state != CANCELLED:
+                return head[0]
+            del head
+            _, _, ev = pop(overflow)
+            self._tombstones -= 1
+            if getrefcount(ev) == 2:
+                self._slab.release(ev)
+        return None
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the clock reaches ``until`` ns (absolute), or until no
@@ -283,38 +526,64 @@ class Simulator:
                 "deadline t=%d is in the past (now t=%d)" % (until, self._now)
             )
         # Fused drain loop: peek, deadline-check, pop and fire in one pass
-        # over the heap top, with the hot names bound to locals. A float
-        # +inf deadline lets one comparison cover the "no deadline" case
-        # (ints compare fine against it).
-        deadline = float("inf") if until is None else until
-        pop = heapq.heappop
+        # over the current-slot heap, with the hot names bound to locals.
+        # A float +inf deadline lets one comparison cover the "no
+        # deadline" case (ints compare fine against it).
+        deadline = _INF if until is None else until
         self._running = True
         try:
             if self._sanitize_hook is not None:
                 self._drain_sanitized(deadline)
             else:
+                pop = heappop
+                getref = getrefcount
+                slab = self._slab
+                free = slab._free
+                cap = slab.max_free
+                advance = self._advance
                 while True:
-                    heap = self._heap
-                    if not heap:
-                        break
-                    event = heap[0]
-                    if event.state == CANCELLED:
-                        pop(heap)
-                        self._tombstones -= 1
-                        continue
-                    time = event.time
-                    if time > deadline:
-                        break
-                    if time < self._now:
-                        raise ClockError(
-                            "event at t=%d behind clock t=%d" % (time, self._now)
-                        )
-                    pop(heap)
-                    self._now = time
-                    event.state = FIRED
-                    self._fired += 1
-                    self._pending -= 1
-                    event.callback(*event.args)
+                    cur = self._cur
+                    while cur:
+                        head = cur[0]
+                        event = head[2]
+                        if event.state == CANCELLED:
+                            pop(cur)
+                            self._tombstones -= 1
+                            del head
+                            if getref(event) == 2:
+                                n = len(free)
+                                if n < cap:
+                                    free.append(event)
+                                    if n >= slab.high_water:
+                                        slab.high_water = n + 1
+                            continue
+                        time = head[0]
+                        if time > deadline:
+                            break
+                        if time < self._now:
+                            raise ClockError(
+                                "event at t=%d behind clock t=%d" % (time, self._now)
+                            )
+                        pop(cur)
+                        del head
+                        self._now = time
+                        event.state = FIRED
+                        self._fired += 1
+                        event.callback(*event.args)
+                        # Recycle iff the scheduler held the only
+                        # reference (2 = `event` local + getref arg):
+                        # kept handles and periodic timers are skipped.
+                        # This is EventSlab.release, inlined.
+                        if getref(event) == 2:
+                            n = len(free)
+                            if n < cap:
+                                free.append(event)
+                                if n >= slab.high_water:
+                                    slab.high_water = n + 1
+                    else:
+                        if advance(deadline):
+                            continue
+                    break
         finally:
             self._running = False
         if until is not None:
@@ -339,36 +608,58 @@ class Simulator:
     def _drain_sanitized(self, deadline) -> None:
         """The instrumented twin of :meth:`run`'s drain loop: identical
         event semantics, plus the sanitizer hook every N fired events."""
-        pop = heapq.heappop
+        pop = heappop
+        getref = getrefcount
+        slab = self._slab
+        free = slab._free
+        cap = slab.max_free
+        advance = self._advance
         hook = self._sanitize_hook
         every = self._sanitize_every
         countdown = every
         while True:
-            heap = self._heap
-            if not heap:
-                break
-            event = heap[0]
-            if event.state == CANCELLED:
-                pop(heap)
-                self._tombstones -= 1
-                continue
-            time = event.time
-            if time > deadline:
-                break
-            if time < self._now:
-                raise ClockError(
-                    "event at t=%d behind clock t=%d" % (time, self._now)
-                )
-            pop(heap)
-            self._now = time
-            event.state = FIRED
-            self._fired += 1
-            self._pending -= 1
-            event.callback(*event.args)
-            countdown -= 1
-            if countdown <= 0:
-                countdown = every
-                hook()
+            cur = self._cur
+            while cur:
+                head = cur[0]
+                event = head[2]
+                if event.state == CANCELLED:
+                    pop(cur)
+                    self._tombstones -= 1
+                    del head
+                    if getref(event) == 2:
+                        n = len(free)
+                        if n < cap:
+                            free.append(event)
+                            if n >= slab.high_water:
+                                slab.high_water = n + 1
+                    continue
+                time = head[0]
+                if time > deadline:
+                    break
+                if time < self._now:
+                    raise ClockError(
+                        "event at t=%d behind clock t=%d" % (time, self._now)
+                    )
+                pop(cur)
+                del head
+                self._now = time
+                event.state = FIRED
+                self._fired += 1
+                event.callback(*event.args)
+                if getref(event) == 2:
+                    n = len(free)
+                    if n < cap:
+                        free.append(event)
+                        if n >= slab.high_water:
+                            slab.high_water = n + 1
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = every
+                    hook()
+            else:
+                if advance(deadline):
+                    continue
+            break
 
     def run_for(self, duration: int) -> int:
         """Run for ``duration`` ns of simulated time from the current clock."""
@@ -380,15 +671,42 @@ class Simulator:
 
     @property
     def stats(self) -> dict:
-        """Counters describing scheduler activity (for tests/diagnostics)."""
+        """Counters describing scheduler activity (for tests/diagnostics).
+
+        ``heap_size`` is the total number of resident triples (current
+        slot + wheel buckets + overflow), i.e. the queue's memory
+        footprint in events — the same meaning the key had when the core
+        was a single binary heap.
+        """
+        slab = self._slab
         return {
-            "scheduled": self._scheduled,
+            "scheduled": self._seq,
             "fired": self._fired,
             "cancelled": self._cancelled,
-            "pending": self._pending,
-            "heap_size": len(self._heap),
+            "pending": self._seq - self._fired - self._cancelled,
+            "heap_size": len(self._cur) + self._wheel_count + len(self._overflow),
             "compactions": self._compactions,
+            "wheel_occupancy": bin(self._occ).count("1"),
+            "wheel_events": self._wheel_count,
+            "current_bucket": len(self._cur),
+            "overflow_size": len(self._overflow),
+            "slab_allocated": slab.allocated,
+            "slab_reused": slab.reused,
+            "slab_recycled": slab.recycled,
+            "slab_free": len(slab._free),
+            "slab_high_water": slab.high_water,
         }
 
     def __repr__(self) -> str:
-        return "Simulator(now=%d ns, pending=%d)" % (self._now, self._pending)
+        return (
+            "Simulator(now=%d ns, pending=%d, wheel=%d slots/%d events, "
+            "overflow=%d, slab_hw=%d)"
+            % (
+                self._now,
+                self._seq - self._fired - self._cancelled,
+                bin(self._occ).count("1"),
+                self._wheel_count,
+                len(self._overflow),
+                self._slab.high_water,
+            )
+        )

@@ -86,6 +86,13 @@ class LivelockWatchdog:
         self.livelock_windows = 0
         self.stall_windows = 0
         self.starved_windows = 0
+        #: Peak scheduler pressure observed at window boundaries (via
+        #: ``Simulator.stats``): pending events and resident queue
+        #: triples. A livelocked kernel can also wedge the *scheduler* —
+        #: interrupt storms queueing work faster than it drains — and
+        #: that regime is invisible to packet counters alone.
+        self.sched_pending_peak = 0
+        self.sched_resident_peak = 0
         self._consecutive_stalls = 0
         self._total_input = 0
         self._total_delivered = 0
@@ -115,6 +122,17 @@ class LivelockWatchdog:
     # ------------------------------------------------------------------
 
     def _sample(self) -> None:
+        # Scheduler pressure is sampled from the public stats property —
+        # guarded with getattr so the watchdog also works against stub
+        # simulators in tests (which have counters but no stats).
+        snap = getattr(self.sim, "stats", None)
+        if isinstance(snap, dict):
+            pending = snap["pending"]
+            if pending > self.sched_pending_peak:
+                self.sched_pending_peak = pending
+            resident = snap["heap_size"]
+            if resident > self.sched_resident_peak:
+                self.sched_resident_peak = resident
         delivered_now = self.delivered.value
         arrivals_now = self._arrival_total()
         delivered = delivered_now - self._last_delivered
@@ -197,6 +215,8 @@ class LivelockWatchdog:
             ),
             "window_ns": self.window_ns,
             "livelock_fraction": self.livelock_fraction,
+            "sched_pending_peak": self.sched_pending_peak,
+            "sched_resident_peak": self.sched_resident_peak,
         }
 
     def __repr__(self) -> str:

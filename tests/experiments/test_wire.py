@@ -1,0 +1,138 @@
+"""TrialResult wire format: the binary fast path and the JSON fallback.
+
+The format's contract is loss-free round-tripping *with Python types
+preserved* (an int count must come back an int, not a float), because
+parallel sweeps promise bit-identical results to serial runs and the
+blobs are what actually cross the process boundary. The fallback matters
+just as much: correctness must never depend on the fast path applying.
+"""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.harness import TrialResult, run_trial
+from repro.experiments.results import trial_to_dict
+from repro.experiments.wire import MAGIC, WireError, pack_trial, unpack_trial
+
+
+def _result(**overrides):
+    base = dict(
+        variant="unmodified",
+        target_rate_pps=4000.0,
+        offered_rate_pps=3998.5,
+        output_rate_pps=3821.0,
+        delivered=191,
+        generated=200,
+        duration_s=0.05,
+        user_cpu_share=0.125,
+        latency_us={"p50": 81.5, "p99": 410.0, "count": 191},
+        drops={"rx_ring": 9, "ip_queue": 0},
+        counters={"rx_interrupts": 123, "tx_interrupts": 118},
+        watchdog=None,
+        faults=None,
+    )
+    base.update(overrides)
+    return TrialResult(**base)
+
+
+# ----------------------------------------------------------------------
+# Binary fast path
+# ----------------------------------------------------------------------
+
+
+def test_roundtrip_preserves_values_and_types():
+    original = _result()
+    blob = pack_trial(original)
+    assert blob[:4] == MAGIC
+    assert blob[4:5] == b"\x00"  # binary mode, not fallback
+    restored = unpack_trial(blob)
+    assert trial_to_dict(restored) == trial_to_dict(original)
+    assert type(restored.delivered) is int
+    assert type(restored.latency_us["count"]) is int
+    assert type(restored.latency_us["p50"]) is float
+    assert restored.user_cpu_share == original.user_cpu_share
+
+
+def test_roundtrip_none_share_and_empty_dicts():
+    original = _result(
+        user_cpu_share=None, latency_us={}, drops={}, counters={}
+    )
+    restored = unpack_trial(pack_trial(original))
+    assert restored.user_cpu_share is None
+    assert restored.latency_us == {} and restored.drops == {}
+    assert trial_to_dict(restored) == trial_to_dict(original)
+
+
+def test_roundtrip_nested_reports_travel_as_json():
+    original = _result(
+        watchdog={"verdict": "healthy", "windows": 12, "ratio": 0.75},
+        faults={"plan": {"frame_drop_prob": 0.1}, "dropped": 3},
+    )
+    restored = unpack_trial(pack_trial(original))
+    assert restored.watchdog == original.watchdog
+    assert restored.faults == original.faults
+
+
+def test_roundtrip_real_trial_is_bit_identical():
+    result = run_trial(
+        variants.unmodified(), 2_000, duration_s=0.02, warmup_s=0.01
+    )
+    restored = unpack_trial(pack_trial(result))
+    assert trial_to_dict(restored) == trial_to_dict(result)
+
+
+def test_dict_key_order_is_preserved():
+    original = _result(counters={"z": 1, "a": 2, "m": 3})
+    restored = unpack_trial(pack_trial(original))
+    assert list(restored.counters) == ["z", "a", "m"]
+
+
+# ----------------------------------------------------------------------
+# JSON fallback: shapes the binary layout cannot express
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(counters={"huge": 1 << 70}),          # int beyond 64 bits
+        dict(drops={"flag": True}),                # bool is not an int
+        dict(latency_us={"values": [1.0, 2.0]}),   # non-scalar value
+        dict(counters={"nul\x00key": 1}),          # key the join can't carry
+        dict(delivered=191.0),                     # scalar of the wrong type
+    ],
+)
+def test_fallback_engages_and_roundtrips(overrides):
+    original = _result(**overrides)
+    blob = pack_trial(original)
+    assert blob[:5] == MAGIC + b"\x01"  # fallback mode
+    restored = unpack_trial(blob)
+    for field, value in overrides.items():
+        assert getattr(restored, field) == value
+
+
+# ----------------------------------------------------------------------
+# Malformed blobs fail loudly
+# ----------------------------------------------------------------------
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(WireError):
+        unpack_trial(b"NOPE" + b"\x00" * 40)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(WireError):
+        unpack_trial(MAGIC + b"\x07")
+
+
+def test_truncated_blob_rejected():
+    blob = pack_trial(_result())
+    with pytest.raises(WireError):
+        unpack_trial(blob[: len(blob) // 2])
+
+
+def test_trailing_garbage_rejected():
+    blob = pack_trial(_result())
+    with pytest.raises(WireError):
+        unpack_trial(blob + b"\x00")

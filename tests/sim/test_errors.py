@@ -72,12 +72,11 @@ def test_scheduling_error_sites():
 def _corrupt_heap_time(sim):
     event = sim.schedule(50, lambda: None)
     sim.run_for(100)
-    # Smuggle a stale event back onto the heap: the drain loop must
-    # refuse to let the clock run backwards.
+    # Smuggle a stale event back onto the current-slot heap: the drain
+    # loop must refuse to let the clock run backwards.
     object.__setattr__(event, "time", 0)
     object.__setattr__(event, "state", 0)  # SCHEDULED
-    sim._heap.append(event)
-    sim._pending += 1
+    sim._cur.append((0, event.seq, event))
 
 
 def test_clock_error_in_plain_drain_loop():

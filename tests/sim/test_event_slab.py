@@ -1,0 +1,171 @@
+"""EventSlab: the scheduler's Event freelist.
+
+Two layers under test. The slab object itself (cold-path API used by
+tests and diagnostics), and the simulator's inlined acquire/release fast
+paths — in particular the ``sys.getrefcount`` gate that makes recycling
+safe: an event whose handle a client kept must never be re-armed under
+that client.
+"""
+
+from repro.sim.events import CANCELLED, FIRED, PENDING, Event, EventSlab
+from repro.sim.simulator import Simulator
+
+
+def _retired(time=0, seq=0):
+    event = Event(time, seq, lambda: None, ())
+    event.state = FIRED
+    return event
+
+
+# ----------------------------------------------------------------------
+# Slab object semantics
+# ----------------------------------------------------------------------
+
+
+def test_acquire_allocates_when_freelist_empty():
+    slab = EventSlab()
+    event = slab.acquire(10, 0, len, ("x",), label="probe")
+    assert slab.allocated == 1 and slab.reused == 0
+    assert (event.time, event.seq, event.state) == (10, 0, PENDING)
+    assert event.callback is len and event.args == ("x",)
+    assert event.label == "probe"
+
+
+def test_release_then_acquire_reuses_and_rearms_fully():
+    slab = EventSlab()
+    stale = slab.acquire(10, 0, len, ("x",), label="old")
+    stale.state = FIRED
+    assert slab.release(stale) is True
+    recycled = slab.acquire(99, 7, max, (1, 2), label="new")
+    assert recycled is stale
+    assert slab.reused == 1
+    # Every field is overwritten at re-arm: nothing leaks from the
+    # previous life.
+    assert (recycled.time, recycled.seq) == (99, 7)
+    assert recycled.callback is max and recycled.args == (1, 2)
+    assert recycled.state == PENDING and recycled.label == "new"
+
+
+def test_release_respects_the_cap():
+    slab = EventSlab(max_free=2)
+    assert slab.release(_retired()) is True
+    assert slab.release(_retired()) is True
+    assert slab.release(_retired()) is False  # at capacity: left to the GC
+    assert len(slab._free) == 2
+    assert slab.high_water == 2
+
+
+def test_high_water_tracks_peak_not_current():
+    slab = EventSlab()
+    for i in range(5):
+        slab.release(_retired(seq=i))
+    for _ in range(5):
+        slab.acquire(0, 0, len, ())
+    assert len(slab._free) == 0
+    assert slab.high_water == 5
+
+
+def test_recycled_identity_holds_through_churn():
+    """``recycled`` is derived, not stored: every released event is
+    either still free or was since reused, so it must always equal
+    ``reused + len(free)``."""
+    slab = EventSlab(max_free=8)
+    released = 0
+    for round_ in range(4):
+        for i in range(6):
+            if slab.release(_retired(seq=i)):
+                released += 1
+        for _ in range(3 + round_):
+            slab.acquire(0, 0, len, ())
+    assert slab.recycled == slab.reused + len(slab._free) == released
+    stats = slab.stats()
+    assert stats["recycled"] == slab.recycled
+    assert stats["free"] == len(slab._free)
+    assert stats["high_water"] == slab.high_water
+
+
+def test_zero_cap_slab_never_retains():
+    slab = EventSlab(max_free=0)
+    assert slab.release(_retired()) is False
+    assert slab._free == [] and slab.high_water == 0
+
+
+# ----------------------------------------------------------------------
+# Simulator integration: the inlined fast paths
+# ----------------------------------------------------------------------
+
+
+def test_steady_state_loop_allocates_no_new_events():
+    """A self-rescheduling chain reaches steady state after two events:
+    the firing event is only released *after* its callback returns, so
+    the chain ping-pongs between two slab objects — and every schedule
+    after the second is served by recycling."""
+    sim = Simulator()
+    count = [0]
+
+    def again():
+        count[0] += 1
+        if count[0] < 10_000:
+            sim.schedule(100, again)
+
+    sim.schedule(100, again)
+    sim.run()
+    stats = sim.stats
+    assert count[0] == 10_000
+    assert stats["slab_allocated"] == 2
+    assert stats["slab_reused"] == 9_998
+    assert stats["slab_high_water"] <= 2
+
+
+def test_kept_handle_is_never_recycled():
+    """The refcount gate: holding the handle returned by ``schedule``
+    keeps that Event out of the slab, so the client can still inspect it
+    after it fired — and a later schedule gets a *different* object."""
+    sim = Simulator()
+    kept = sim.schedule(10, lambda: None)
+    sim.run()
+    assert kept.state == FIRED
+    assert sim.stats["slab_free"] == 0
+    fresh = sim.schedule(10, lambda: None)
+    assert fresh is not kept
+    assert kept.state == FIRED  # untouched by the new schedule
+
+
+def test_dropped_handle_is_recycled():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    assert sim.stats["slab_free"] == 1
+    recycled_pool = sim._slab._free[0]
+    fresh = sim.schedule(10, lambda: None)
+    assert fresh is recycled_pool
+    assert sim.stats["slab_reused"] == 1
+
+
+def test_cancelled_tombstones_feed_the_slab():
+    """A cancelled event whose handle was dropped is reclaimed when the
+    drain reaches its tombstone."""
+    sim = Simulator()
+    sim.schedule(50, lambda: None)
+    sim.schedule(60, lambda: None)
+    sim.cancel(sim.schedule(55, lambda: None))
+    sim.run()
+    stats = sim.stats
+    assert stats["fired"] == 2 and stats["cancelled"] == 1
+    # All three events (two fired, one tombstone) returned to the slab.
+    assert stats["slab_free"] == 3
+
+
+def test_periodic_event_is_rearmed_not_recycled():
+    """A periodic timer's single Event is re-armed in place every tick;
+    the handle keeps a reference, so the refcount gate must skip it."""
+    sim = Simulator()
+    ticks = []
+    handle = sim.schedule_periodic(100, lambda: ticks.append(sim.now))
+    sim.run(until=1_000)
+    assert len(ticks) == 10
+    stats = sim.stats
+    assert stats["slab_allocated"] == 1  # one Event for the whole timer
+    assert stats["slab_reused"] == 0
+    assert stats["slab_free"] == 0  # still owned by the handle
+    assert handle.fires == 10

@@ -8,9 +8,21 @@ from repro.sim.events import PENDING
 from repro.sim.simulator import _COMPACT_MIN_HEAP
 
 
+def resident_events(sim):
+    """Every event resident anywhere in the calendar queue: the
+    current-slot heap, the wheel buckets, and the overflow heap."""
+    for _, _, event in sim._cur:
+        yield event
+    for bucket in sim._wheel:
+        for _, _, event in bucket:
+            yield event
+    for _, _, event in sim._overflow:
+        yield event
+
+
 def exact_pending(sim):
-    """Ground truth the counter must match: scan the heap."""
-    return sum(1 for e in sim._heap if e.state == PENDING)
+    """Ground truth the counter must match: scan the whole queue."""
+    return sum(1 for e in resident_events(sim) if e.state == PENDING)
 
 
 # ----------------------------------------------------------------------
