@@ -1,0 +1,509 @@
+#!/usr/bin/env python
+"""Trace-hook overhead benchmark (``BENCH_trace.json``).
+
+The trace subsystem (``repro.trace``) hooks the scheduling hot path at
+every per-packet site: frame acceptance and TX completion/reclaim
+(``NIC``), interrupt assertion/dispatch/return (``InterruptLine`` /
+``InterruptController``), context selection (``CPU._reschedule``),
+queue admission (``PacketQueue.enqueue``), packet injection
+(``TrafficGenerator._emit``) and delivery (``Router._on_output_transmit``).
+Unarmed, each hook costs one attribute load and a ``None`` check —
+this benchmark proves that cost is within budget, exactly as
+``bench_faults.py`` does for the fault seams.
+
+It measures full ``run_trial`` executions three ways:
+
+* **hookless** — a frozen copy of the pre-trace method bodies
+  (identical code minus the ``trace`` branches, fault seams kept)
+  patched onto the live classes: the PR-4 hot path;
+* **untraced** — the current code with no trace buffer attached (the
+  hooks present, every check false);
+* **traced** — the same trial with ``trace=True``, for information
+  only (traced trials buy observability with their cycles).
+
+Hookless and untraced runs are required to produce **bit-identical**
+``TrialResult``s, so the ratio isolates pure hook overhead: same
+events, same RNG draws, same counters. The gate is
+
+    untraced throughput >= 0.97 x hookless throughput
+
+at the 12k-pps cliff rate (geomean across kernel variants). Ratios are
+in-process on one interpreter, so they transfer across machines; the
+CI regression gate compares ratios, not seconds.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trace.py            # full
+    PYTHONPATH=src python scripts/bench_trace.py --smoke    # CI
+    python scripts/bench_trace.py --check-regression BENCH_trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import asdict
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import variants
+from repro.experiments import harness
+from repro.experiments.topology import Router
+from repro.hw.cpu import CPU, IPL_NONE
+from repro.sim.units import cycles_to_ns
+from repro.hw.interrupts import InterruptController, InterruptLine
+from repro.hw.nic import NIC
+from repro.kernel.queues import PacketQueue
+from repro.net.packet import Packet
+from repro.workloads.generators import TrafficGenerator
+
+VARIANTS = [
+    ("unmodified", variants.unmodified),
+    ("polling", variants.polling),
+    ("high_ipl", variants.high_ipl),
+    ("clocked", variants.clocked),
+]
+RATES = (6_000, 12_000)
+GATE_RATE = 12_000
+#: The acceptance floor: untraced throughput relative to the hookless path.
+GATE_RATIO = 0.97
+
+
+# ======================================================================
+# Frozen pre-trace (hookless) method bodies. Byte-for-byte the current
+# implementations minus the ``self.trace`` branches — the fault seams
+# stay, so the only difference under test is the trace check itself.
+# ======================================================================
+
+
+def _hookless_receive_from_wire(self, packet):
+    faults = self.faults
+    if faults is not None and not faults.on_wire_frame(self, packet):
+        return False  # frame lost before the ring; sender still owns it
+    if len(self._rx_ring) >= self.rx_ring_capacity:
+        self._rx_overflow_inc()
+        return False
+    try:
+        packet.mark_nic_arrival(self.sim.now)
+    except AttributeError:
+        pass  # foreign payload without lifecycle marks (tests)
+    self._rx_append(packet)
+    self._rx_accepted_inc()
+    rx_line = self.rx_line
+    if rx_line is not None:
+        rx_line.request()
+    return True
+
+
+def _hookless_tx_reclaim(self):
+    freed = self._tx_done
+    if freed:
+        popleft = self._tx_ring.popleft
+        for _ in range(freed):
+            popleft()
+        self._tx_done = 0
+    return freed
+
+
+def _hookless_transmit_complete(self, packet):
+    self._tx_done += 1
+    self._tx_busy = False
+    self._tx_completed_inc()
+    try:
+        packet.mark_transmitted(self.sim.now)
+    except AttributeError:
+        pass  # foreign payload without lifecycle marks (tests)
+    if self.on_transmit is not None:
+        self.on_transmit(packet)
+    if self.tx_line is not None:
+        self.tx_line.request()
+    self._kick_transmitter()
+
+
+def _hookless_irq_request(self):
+    self.request_count += 1
+    faults = self.faults
+    if faults is not None:
+        action = faults.on_irq_request(self)
+        if action < 0:
+            return
+        if action > 0:
+            self.request_count += 1
+            self._assert_line()
+    if not self.enabled:
+        self.suppressed_while_disabled += 1
+        self.requested = True
+        return
+    self.requested = True
+    if not self.in_service:
+        self.controller.try_deliver(self)
+
+
+def _hookless_try_deliver(self, line):
+    if not (line.requested and line.enabled and not line.in_service):
+        return False
+    current = self.cpu._current
+    if line.ipl <= (current._eff_ipl if current is not None else 0):
+        return False
+    line.requested = False
+    line.in_service = True
+    line.dispatch_count += 1
+    task = self.cpu.task(
+        self._handler_body(line), name="irq:" + line.name, ipl=line.ipl
+    )
+    task.on_exit(lambda _proc, _line=line: self._handler_done(_line))
+    task.start()
+    return True
+
+
+def _hookless_handler_done(self, line):
+    line.in_service = False
+    self.try_deliver(line)
+    self._on_ipl_change(self.cpu.current_ipl)
+
+
+def _hookless_reschedule(self):
+    best = self._pick()
+    if best is self._current:
+        return
+    if self._current is not None:
+        self.preemptions += 1
+        self._stop_current(account=True)
+    if best is None:
+        self._notify_ipl()
+        return
+    if best._eff_ipl == IPL_NONE:
+        if (
+            self.context_switch_cycles > 0
+            and self._last_thread is not best
+            and self._last_thread is not None
+        ):
+            self._remaining[best] += cycles_to_ns(
+                self.context_switch_cycles, self.hz
+            )
+            self.switches += 1
+        self._last_thread = best
+    self._current = best
+    self._chunk_started = self.sim.now
+    remaining = self._remaining[best]
+    self._completion = self.sim.schedule(
+        remaining, self._complete, best, label=best._work_label
+    )
+
+
+def _hookless_enqueue(self, item):
+    if self.full:
+        self.drop_count += 1
+        if self._dropped is not None:
+            self._dropped.increment()
+        if hasattr(item, "mark_dropped"):
+            item.mark_dropped(self.name)
+        self._fire_high_if_needed()
+        return False
+    self._items.append(item)
+    self.enqueue_count += 1
+    if self._enqueued is not None:
+        self._enqueued.increment()
+    if len(self._items) > self.max_depth:
+        self.max_depth = len(self._items)
+    self._fire_high_if_needed()
+    return True
+
+
+def _hookless_emit(self):
+    pool = self.pool
+    if pool is not None:
+        packet = pool.acquire(
+            self.src,
+            self.dst,
+            dst_port=self.dst_port,
+            payload_bytes=self.payload_bytes,
+            created_ns=self.sim.now,
+            flow=self.flow,
+        )
+        if not self._receive_from_wire(packet):
+            pool.release(packet)
+    else:
+        packet = Packet(
+            src=self.src,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            payload_bytes=self.payload_bytes,
+            created_ns=self.sim.now,
+            flow=self.flow,
+        )
+        self._receive_from_wire(packet)
+    self.sent += 1
+    return packet
+
+
+def _hookless_on_output_transmit(self, packet):
+    self.delivered.increment()
+    self.latency.observe(packet)
+    pool = self.packet_pool
+    if pool.enabled:
+        pool.release(packet)
+
+
+_PATCHES = [
+    (NIC, "receive_from_wire", _hookless_receive_from_wire),
+    (NIC, "tx_reclaim", _hookless_tx_reclaim),
+    (NIC, "_transmit_complete", _hookless_transmit_complete),
+    (InterruptLine, "request", _hookless_irq_request),
+    (InterruptController, "try_deliver", _hookless_try_deliver),
+    (InterruptController, "_handler_done", _hookless_handler_done),
+    (CPU, "_reschedule", _hookless_reschedule),
+    (PacketQueue, "enqueue", _hookless_enqueue),
+    (TrafficGenerator, "_emit", _hookless_emit),
+    (Router, "_on_output_transmit", _hookless_on_output_transmit),
+]
+
+
+@contextmanager
+def hookless_path():
+    """Temporarily remove the trace hooks from the live classes."""
+    saved = [(obj, name, getattr(obj, name)) for obj, name, _ in _PATCHES]
+    for obj, name, replacement in _PATCHES:
+        setattr(obj, name, replacement)
+    try:
+        yield
+    finally:
+        for obj, name, original in saved:
+            setattr(obj, name, original)
+
+
+# ======================================================================
+# Measurement
+# ======================================================================
+
+
+def _time_trial(factory, rate, timing, **kwargs):
+    t0 = time.perf_counter()
+    result = harness.run_trial(factory(), rate, **dict(timing, **kwargs))
+    return time.perf_counter() - t0, result
+
+
+def _time_trials(factory, rate, timing, repeats, **kwargs):
+    """Best-of-``repeats`` wall time for one run_trial cell; the (fully
+    deterministic) TrialResult of the last repeat is returned with it."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        elapsed, result = _time_trial(factory, rate, timing, **kwargs)
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_cells(timing, rates, variant_list, repeats):
+    cells = []
+    for vname, factory in variant_list:
+        for rate in rates:
+            # Interleave the two paths so slow machine-load drift hits
+            # both equally; best-of-N absorbs transient spikes.
+            untraced_s = hookless_s = None
+            untraced_res = hookless_res = None
+            pair_ratios = []
+            _time_trial(factory, rate, timing)  # warm caches off the clock
+            for _ in range(repeats):
+                untraced_i, untraced_res = _time_trial(factory, rate, timing)
+                if untraced_s is None or untraced_i < untraced_s:
+                    untraced_s = untraced_i
+                with hookless_path():
+                    hookless_i, hookless_res = _time_trial(
+                        factory, rate, timing
+                    )
+                if hookless_s is None or hookless_i < hookless_s:
+                    hookless_s = hookless_i
+                # Back-to-back pair: slow machine-load drift cancels in
+                # the per-repeat ratio; the median shrugs off spikes.
+                pair_ratios.append(hookless_i / untraced_i)
+            identical = asdict(hookless_res) == asdict(untraced_res)
+            if not identical:
+                raise SystemExit(
+                    "FATAL: hookless and untraced paths diverged for %s @ %d "
+                    "pps — the unarmed trace hooks are no longer inert"
+                    % (vname, rate)
+                )
+            packets = untraced_res.generated + untraced_res.delivered
+            ratio = _median(pair_ratios)
+            cells.append(
+                {
+                    "variant": vname,
+                    "rate_pps": rate,
+                    "hookless_s": round(hookless_s, 4),
+                    "untraced_s": round(untraced_s, 4),
+                    "untraced_ratio": round(ratio, 3),
+                    "identical": True,
+                    "packets": packets,
+                    "untraced_packets_per_wall_s": int(packets / untraced_s),
+                    "hookless_packets_per_wall_s": int(packets / hookless_s),
+                }
+            )
+            print(
+                "  %-10s %6d pps  hookless %.3fs  untraced %.3fs  ratio %.3fx"
+                % (vname, rate, hookless_s, untraced_s, ratio)
+            )
+    return cells
+
+
+def bench_traced(timing, variant_list, repeats):
+    """Informational: the cost of a *traced* trial relative to untraced.
+    A traced trial is bit-identical except for the ``timeline`` field,
+    so both wall time and the scheduling outcome are comparable."""
+    cells = []
+    for vname, factory in variant_list:
+        untraced_s, untraced_res = _time_trials(
+            factory, GATE_RATE, timing, repeats
+        )
+        traced_s, traced_res = _time_trials(
+            factory, GATE_RATE, timing, repeats, trace=True
+        )
+        plain = asdict(untraced_res)
+        observed = asdict(traced_res)
+        if observed.pop("timeline") is None:
+            raise SystemExit(
+                "FATAL: traced trial produced no timeline for %s" % vname
+            )
+        plain.pop("timeline")
+        if plain != observed:
+            raise SystemExit(
+                "FATAL: tracing perturbed the trial outcome for %s — traced "
+                "and untraced results differ beyond the timeline" % vname
+            )
+        cells.append(
+            {
+                "variant": vname,
+                "rate_pps": GATE_RATE,
+                "untraced_s": round(untraced_s, 4),
+                "traced_s": round(traced_s, 4),
+                "traced_slowdown": round(traced_s / untraced_s, 3),
+                "outcome_identical": True,
+            }
+        )
+        print(
+            "  %-10s traced %.3fs vs untraced %.3fs  slowdown %.2fx"
+            % (vname, traced_s, untraced_s, traced_s / untraced_s)
+        )
+    return cells
+
+
+def check_regression(report, baseline_file, slack=0.05):
+    """Fail if the untraced-throughput ratio fell more than ``slack``
+    below the committed baseline's (and re-assert the absolute floor)."""
+    with open(baseline_file) as handle:
+        baseline = json.load(handle)
+    reference = baseline.get("overall_untraced_ratio_12k")
+    current = report["overall_untraced_ratio_12k"]
+    if not reference:
+        print(
+            "baseline %s has no overall_untraced_ratio_12k; skipping"
+            % baseline_file
+        )
+        return
+    floor = reference - slack
+    print(
+        "regression gate: current %.3fx vs baseline %.3fx (floor %.3fx)"
+        % (current, reference, floor)
+    )
+    if current < floor:
+        raise SystemExit(
+            "FATAL: untraced trace-hook overhead regressed: %.3fx < %.3fx"
+            % (current, floor)
+        )
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (fewer cells, shorter)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_trace.json"),
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--check-regression",
+        metavar="BASELINE",
+        help="compare against a committed BENCH_trace.json and fail if the "
+        "untraced-throughput ratio drops more than 0.05 below the baseline's",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        timing = dict(duration_s=0.25, warmup_s=0.05, seed=0)
+        rates = (GATE_RATE,)
+        variant_list = [VARIANTS[0], VARIANTS[1]]  # unmodified + polling
+        repeats = 9
+    else:
+        timing = dict(duration_s=0.4, warmup_s=0.1, seed=0)
+        rates = RATES
+        variant_list = VARIANTS
+        repeats = 7
+
+    print("trace-hook benchmark (%s mode)" % ("smoke" if args.smoke else "full"))
+    cells = bench_cells(timing, rates, variant_list, repeats)
+    traced = bench_traced(timing, variant_list, repeats)
+
+    gate_ratios = [
+        c["untraced_ratio"] for c in cells if c["rate_pps"] == GATE_RATE
+    ]
+    overall = _geomean(gate_ratios)
+    report = {
+        "benchmark": "trace",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "timing": timing,
+        "repeats": repeats,
+        "gate_ratio": GATE_RATIO,
+        "cells": cells,
+        "traced": traced,
+        "overall_untraced_ratio_12k": round(overall, 3),
+    }
+    print(
+        "overall untraced ratio at %d pps: %.3fx (floor %.2fx)"
+        % (GATE_RATE, overall, GATE_RATIO)
+    )
+    if overall < GATE_RATIO:
+        raise SystemExit(
+            "FATAL: untraced hot path below %.2fx of the hookless path: %.3fx"
+            % (GATE_RATIO, overall)
+        )
+
+    if args.check_regression:
+        check_regression(report, args.check_regression)
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,18 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
 
-from . import core, drivers, experiments, hw, kernel, metrics, net, sim, workloads
+from . import (
+    core,
+    drivers,
+    experiments,
+    hw,
+    kernel,
+    metrics,
+    net,
+    sim,
+    trace,
+    workloads,
+)
 from .core import (
     CycleLimiter,
     PollQuota,
@@ -34,14 +45,24 @@ from .experiments import (
     FigureResult,
     Router,
     TrialResult,
+    TrialSpec,
     run_sweep,
     run_trial,
     sweep_series,
 )
 from .kernel import CostModel, DEFAULT_COSTS, KernelConfig
 from .metrics import estimate_mlfrr, is_livelock_free, livelock_onset
+from .trace import (
+    Timeline,
+    TraceBuffer,
+    perfetto_json,
+    timeline_to_csv,
+    to_perfetto,
+    trace_to_csv,
+    write_perfetto,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_FIGURES",
@@ -54,7 +75,10 @@ __all__ = [
     "PollingSystem",
     "QueueStateFeedback",
     "Router",
+    "Timeline",
+    "TraceBuffer",
     "TrialResult",
+    "TrialSpec",
     "core",
     "drivers",
     "estimate_mlfrr",
@@ -65,10 +89,16 @@ __all__ = [
     "livelock_onset",
     "metrics",
     "net",
+    "perfetto_json",
     "run_sweep",
     "run_trial",
     "sim",
     "sweep_series",
+    "timeline_to_csv",
+    "to_perfetto",
+    "trace",
+    "trace_to_csv",
     "variants",
     "workloads",
+    "write_perfetto",
 ]

@@ -111,6 +111,48 @@ def _build_parser() -> argparse.ArgumentParser:
             help="extra attempts for crashed/hung workers (default: 1)",
         )
 
+    def add_variant_flags(command):
+        command.add_argument(
+            "--variant",
+            choices=[
+                "unmodified",
+                "modified_no_polling",
+                "polling",
+                "clocked",
+                "high_ipl",
+            ],
+            default="unmodified",
+        )
+        command.add_argument(
+            "--input-feedback",
+            action="store_true",
+            help="classic kernel with §5.1 interrupt-rate limiting",
+        )
+        command.add_argument("--rate", type=float, default=8_000)
+        command.add_argument("--quota", type=int, default=None)
+        command.add_argument("--screend", action="store_true")
+        command.add_argument("--feedback", action="store_true")
+        command.add_argument("--cycle-limit", type=float, default=None)
+        command.add_argument("--duration", type=float, default=0.5)
+        command.add_argument("--compute", action="store_true")
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--fault-plan",
+            choices=sorted(CANNED_PLANS),
+            default=None,
+            help="inject a canned deterministic hardware-fault plan",
+        )
+        command.add_argument(
+            "--watchdog",
+            action="store_true",
+            help="attach the livelock watchdog and report its verdict",
+        )
+        command.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="run the runtime invariant sanitizer during the trial",
+        )
+
     fig = sub.add_parser("figure", help="regenerate one figure/experiment")
     fig.add_argument("figure_id", choices=sorted(ALL_EXPERIMENTS))
     fig.add_argument(
@@ -118,54 +160,75 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument("--csv", action="store_true", help="emit CSV instead of a report")
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every trial with the scheduling trace armed; per-series "
+        "timelines attach to the figure result",
+    )
+    fig.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the collected per-series timelines as JSON "
+        "(implies --trace)",
+    )
     add_engine_flags(fig)
     add_resilience_flags(fig)
     add_profile_flags(fig)
 
     trial = sub.add_parser("trial", help="run a single measurement")
+    add_variant_flags(trial)
     trial.add_argument(
-        "--variant",
-        choices=[
-            "unmodified",
-            "modified_no_polling",
-            "polling",
-            "clocked",
-            "high_ipl",
-        ],
-        default="unmodified",
-    )
-    trial.add_argument(
-        "--input-feedback",
+        "--trace",
         action="store_true",
-        help="classic kernel with §5.1 interrupt-rate limiting",
+        help="collect the windowed trace timeline alongside the measurement",
     )
-    trial.add_argument("--rate", type=float, default=8_000)
-    trial.add_argument("--quota", type=int, default=None)
-    trial.add_argument("--screend", action="store_true")
-    trial.add_argument("--feedback", action="store_true")
-    trial.add_argument("--cycle-limit", type=float, default=None)
-    trial.add_argument("--duration", type=float, default=0.5)
-    trial.add_argument("--compute", action="store_true")
-    trial.add_argument("--seed", type=int, default=0)
     trial.add_argument(
-        "--fault-plan",
-        choices=sorted(CANNED_PLANS),
+        "--trace-out",
         default=None,
-        help="inject a canned deterministic hardware-fault plan",
-    )
-    trial.add_argument(
-        "--watchdog",
-        action="store_true",
-        help="attach the livelock watchdog and report its verdict",
-    )
-    trial.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run the runtime invariant sanitizer during the trial",
+        metavar="FILE",
+        help="also export a Perfetto trace_event JSON of the trial "
+        "(runs in-process; implies --trace)",
     )
     add_engine_flags(trial)
     add_resilience_flags(trial)
     add_profile_flags(trial)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced trial and export its Perfetto/CSV timeline",
+    )
+    add_variant_flags(trace)
+    trace.add_argument(
+        "--warmup", type=float, default=None, help="warmup seconds"
+    )
+    trace.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace ring capacity in records (default: 65536)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="FILE",
+        help="Perfetto trace_event JSON path (default: trace.json); "
+        "open with ui.perfetto.dev or chrome://tracing",
+    )
+    trace.add_argument(
+        "--csv-records",
+        default=None,
+        metavar="FILE",
+        help="also dump the raw record stream as CSV",
+    )
+    trace.add_argument(
+        "--csv-timeline",
+        default=None,
+        metavar="FILE",
+        help="also dump the windowed timeline as CSV",
+    )
 
     matrix = sub.add_parser(
         "faultmatrix",
@@ -271,10 +334,18 @@ def _dispatch(args) -> int:
             kwargs["warmup_s"] = 0.1
             if args.figure_id not in ("7-1", "ext-endhost"):
                 kwargs["rates"] = FAST_RATE_GRID
+        if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+            kwargs["trace"] = True
         result = _run_profiled(
             args, lambda: ALL_EXPERIMENTS[args.figure_id](**kwargs)
         )
         sys.stdout.write(to_csv(result) if args.csv else render_report(result))
+        if getattr(args, "trace_out", None):
+            import json
+
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(result.timelines, handle, sort_keys=True)
+            print("timelines written to %s" % args.trace_out, file=sys.stderr)
         return 0
 
     if args.command == "trial":
@@ -289,6 +360,16 @@ def _dispatch(args) -> int:
             trial_kwargs["watchdog"] = True
         if args.sanitize:
             trial_kwargs["sanitize"] = True
+        trace_buffer = None
+        if args.trace_out:
+            # A caller-owned buffer keeps the raw record ring in this
+            # process for export (the engine runs such specs in-process).
+            from .trace import TraceBuffer
+
+            trace_buffer = TraceBuffer()
+            trial_kwargs["trace"] = trace_buffer
+        elif args.trace:
+            trial_kwargs["trace"] = True
         [trial] = _run_profiled(
             args,
             lambda: run_trials(
@@ -353,12 +434,97 @@ def _dispatch(args) -> int:
                     trial.faults["teardown"]["leaked"],
                 )
             )
+        if trial.timeline is not None:
+            print(
+                "timeline:       %d windows of %.1f ms"
+                % (
+                    len(trial.timeline["windows"]),
+                    trial.timeline["window_ns"] / 1e6,
+                )
+            )
+        if trace_buffer is not None:
+            from .trace import write_perfetto
+
+            write_perfetto(args.trace_out, trace_buffer)
+            print(
+                "trace written:  %s (%d records, %d overwritten)"
+                % (args.trace_out, len(trace_buffer), trace_buffer.overwritten)
+            )
         return 0
+
+    if args.command == "trace":
+        return _run_trace(args)
 
     if args.command == "faultmatrix":
         return _run_faultmatrix(args)
 
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _run_trace(args) -> int:
+    """Run one traced trial in-process and export its timeline.
+
+    The trace rides on the exact measurement the ``trial`` command
+    performs — tracing never perturbs the simulation — so the summary
+    printed here matches an untraced run of the same arguments.
+    """
+    from .experiments.spec import TrialSpec
+    from .trace import (
+        TraceBuffer,
+        timeline_to_csv,
+        trace_to_csv,
+        write_perfetto,
+    )
+
+    buffer = TraceBuffer(args.capacity) if args.capacity else TraceBuffer()
+    kwargs = {
+        "duration_s": args.duration,
+        "with_compute": args.compute,
+        "seed": args.seed,
+        "trace": buffer,
+    }
+    if args.warmup is not None:
+        kwargs["warmup_s"] = args.warmup
+    if args.fault_plan is not None:
+        kwargs["fault_plan"] = args.fault_plan
+    if args.watchdog:
+        kwargs["watchdog"] = True
+    if args.sanitize:
+        kwargs["sanitize"] = True
+    spec = TrialSpec.from_kwargs(_config_from_args(args), args.rate, **kwargs)
+    trial = spec.run()
+
+    print("variant:        %s" % trial.variant)
+    print("offered rate:   %8.0f pkt/s" % trial.offered_rate_pps)
+    print("output rate:    %8.0f pkt/s" % trial.output_rate_pps)
+    if trial.watchdog is not None:
+        print("watchdog:       %s" % trial.watchdog["verdict"])
+        onset = trial.watchdog.get("trace_onset")
+        if onset is not None:
+            print(
+                "onset:          t=%.1f ms (%d trace records captured)"
+                % (onset["t_ns"] / 1e6, len(onset["records"]))
+            )
+    print(
+        "trace:          %d records collected, %d in ring, %d overwritten"
+        % (buffer.recorded, len(buffer), buffer.overwritten)
+    )
+    windows = trial.timeline["windows"] if trial.timeline else []
+    print(
+        "timeline:       %d windows of %.1f ms"
+        % (len(windows), trial.timeline["window_ns"] / 1e6)
+    )
+    write_perfetto(args.out, buffer)
+    print("perfetto trace: %s" % args.out)
+    if args.csv_records:
+        with open(args.csv_records, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_csv(buffer))
+        print("record CSV:     %s" % args.csv_records)
+    if args.csv_timeline:
+        with open(args.csv_timeline, "w", encoding="utf-8") as handle:
+            handle.write(timeline_to_csv(buffer.timeline))
+        print("timeline CSV:   %s" % args.csv_timeline)
+    return 0
 
 
 #: The faultmatrix driver column: every driver architecture the paper

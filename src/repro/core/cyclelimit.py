@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..kernel.kernel import Kernel
 from ..sim.units import NS_PER_SEC
+from ..trace.buffer import CYCLE_LIMIT, CYCLE_RESET
 
 
 class CycleLimiter:
@@ -53,6 +54,9 @@ class CycleLimiter:
         self.polling = None
         self.inhibitions = kernel.probes.counter("cyclelimit.inhibitions")
         self.resets = kernel.probes.counter("cyclelimit.resets")
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path.
+        self.trace = None
         kernel.on_tick.append(self._on_tick)
         kernel.on_idle.append(self._on_idle)
 
@@ -86,6 +90,9 @@ class CycleLimiter:
             and not self.inhibited
         ):
             self.inhibitions.increment()
+            trace = self.trace
+            if trace is not None:
+                trace.record(CYCLE_LIMIT, self.REASON, self.used_cycles)
             self.polling.inhibit_input(self.REASON)
 
     # ------------------------------------------------------------------
@@ -103,6 +110,9 @@ class CycleLimiter:
             self._reset()
 
     def _reset(self) -> None:
+        trace = self.trace
+        if trace is not None and (self.used_cycles or self.inhibited):
+            trace.record(CYCLE_RESET, self.REASON, self.used_cycles)
         self.used_cycles = 0
         self.resets.increment()
         if self.polling is not None:

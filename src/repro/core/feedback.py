@@ -19,6 +19,7 @@ from typing import Optional
 from ..kernel.callouts import Callout
 from ..kernel.kernel import Kernel
 from ..kernel.queues import PacketQueue
+from ..trace.buffer import FEEDBACK_TIMEOUT
 from .polling import PollingSystem
 
 
@@ -46,6 +47,11 @@ class QueueStateFeedback:
         self._dequeues_at_inhibit = 0
         self.inhibits = kernel.probes.counter("feedback.%s.inhibits" % queue.name)
         self.timeouts = kernel.probes.counter("feedback.%s.timeouts" % queue.name)
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``. Inhibit/allow flips are traced inside
+        #: the polling system; this hook records only the failsafe
+        #: timeout firing against a hung consumer.
+        self.trace = None
         queue.on_high.append(self._on_high)
         queue.on_low.append(self._on_low)
 
@@ -89,6 +95,9 @@ class QueueStateFeedback:
             return
         if self.queue.dequeue_count == self._dequeues_at_inhibit:
             self.timeouts.increment()
+            trace = self.trace
+            if trace is not None:
+                trace.record(FEEDBACK_TIMEOUT, self.reason)
             self.polling.allow_input(self.reason)
             return
         self._dequeues_at_inhibit = self.queue.dequeue_count

@@ -30,6 +30,7 @@ from typing import List, Optional, Set, Union
 from ..kernel.kernel import Kernel
 from ..sim.process import WaitSignal, Work
 from ..sim.signals import Signal
+from ..trace.buffer import INPUT_ALLOW, INPUT_INHIBIT
 from .quota import PollQuota
 
 
@@ -56,6 +57,9 @@ class PollingSystem:
         self.poll_rounds = probes.counter("poll.rounds")
         self.wakeups = probes.counter("poll.wakeups")
         self.inhibit_events = probes.counter("poll.input_inhibits")
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path.
+        self.trace = None
         if cycle_limiter is not None:
             cycle_limiter.attach(self)
 
@@ -97,12 +101,18 @@ class PollingSystem:
         if reason not in self._inhibit_reasons:
             self._inhibit_reasons.add(reason)
             self.inhibit_events.increment()
+            trace = self.trace
+            if trace is not None:
+                trace.record(INPUT_INHIBIT, reason)
 
     def allow_input(self, reason: str) -> None:
         """Withdraw one inhibition reason; wakes the thread when input
         becomes allowed again and receive work may be pending."""
         if reason in self._inhibit_reasons:
             self._inhibit_reasons.remove(reason)
+            trace = self.trace
+            if trace is not None:
+                trace.record(INPUT_ALLOW, reason)
             if not self._inhibit_reasons:
                 self.wake()
 

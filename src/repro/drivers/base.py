@@ -56,6 +56,9 @@ class Driver:
         #: teardown path reads it so a mid-flight abort cannot leak a
         #: pooled packet inside a generator frame.
         self.in_flight = None
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path.
+        self.trace = None
         self.rx_packets_processed = kernel.probes.counter(
             "driver.%s.rx_processed" % name
         )

@@ -21,6 +21,7 @@ from ..kernel.kernel import Kernel
 from ..net.ip import IPLayer
 from ..net.packet import Packet
 from ..sim.process import Sleep, Work
+from ..trace.buffer import QUOTA_EXHAUST
 from .base import Driver
 
 
@@ -95,6 +96,11 @@ class ClockedPollingDriver(Driver):
                     self.in_flight = None
                     handled += 1
                     worked = True
+            trace = self.trace
+            if trace is not None and handled:
+                pending = self.nic.rx_pending()
+                if pending > 0:
+                    trace.record(QUOTA_EXHAUST, self.name, handled, pending)
             moved = yield from self._tx_service(self.quota)
             if moved:
                 worked = True

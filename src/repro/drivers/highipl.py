@@ -27,6 +27,7 @@ from ..kernel.kernel import Kernel
 from ..net.ip import IPLayer
 from ..net.packet import Packet
 from ..sim.process import Work
+from ..trace.buffer import QUOTA_EXHAUST
 from .base import Driver
 
 
@@ -105,6 +106,11 @@ class HighIplDriver(Driver):
                     yield from input_packet(packet)
                     self.in_flight = None
                     handled += 1
+            trace = self.trace
+            if trace is not None and handled:
+                pending = self.nic.rx_pending()
+                if pending > 0:
+                    trace.record(QUOTA_EXHAUST, self.name, handled, pending)
             moved = yield from self._tx_service(self.quota)
             if handled == 0 and moved == 0:
                 return

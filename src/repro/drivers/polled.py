@@ -27,6 +27,7 @@ from ..kernel.kernel import Kernel
 from ..net.ip import IPLayer
 from ..net.packet import Packet
 from ..sim.process import Work
+from ..trace.buffer import QUOTA_EXHAUST
 from .base import Driver
 
 
@@ -140,9 +141,13 @@ class PolledDriver(Driver):
             yield from input_packet(packet)
             self.in_flight = None
             handled += 1
-        if self.nic.rx_pending() > 0:
+        pending = self.nic.rx_pending()
+        if pending > 0:
             # Quota exhausted with backlog: ask to be polled again.
             self.rx_service_needed = True
+            trace = self.trace
+            if trace is not None:
+                trace.record(QUOTA_EXHAUST, self.name, handled, pending)
         return handled
 
     def tx_callback(self, quota: Optional[int]):

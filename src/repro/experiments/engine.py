@@ -57,13 +57,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..kernel.config import KernelConfig
+from .spec import TrialSpec, spec_tuple
 
 #: Bump whenever trial semantics, the cost model defaults, or the
 #: TrialResult schema change: the fingerprint embeds this tag, so a bump
 #: invalidates every existing cache entry without touching the files.
 #: "2": TrialResult gained watchdog/faults fields; trials accept
 #: fault_plan/watchdog/sanitize.
-CACHE_VERSION = "2"
+#: "3": TrialResult gained the timeline field; trials accept
+#: trace/trace_capacity; specs may be TrialSpec instances.
+CACHE_VERSION = "3"
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -78,8 +81,11 @@ MP_START_ENV = "REPRO_MP_START"
 #: give the amortization back.
 CHUNKS_PER_WORKER = 2
 
-#: A trial spec: (kernel config, input rate, run_trial keyword args).
-TrialSpec = Tuple[KernelConfig, float, Dict[str, Any]]
+#: The engine's internal trial-spec form: (kernel config, input rate,
+#: run_trial keyword args). Public entry points also accept
+#: :class:`~repro.experiments.spec.TrialSpec` instances and normalize
+#: them to this tuple via :func:`~repro.experiments.spec.spec_tuple`.
+SpecTuple = Tuple[KernelConfig, float, Dict[str, Any]]
 
 
 @dataclass
@@ -134,7 +140,7 @@ def default_cache_dir() -> Path:
 
 
 def trial_fingerprint(
-    config: KernelConfig, rate_pps: float, kwargs: Dict[str, Any]
+    config, rate_pps: Optional[float] = None, kwargs: Optional[Dict[str, Any]] = None
 ) -> str:
     """Content hash addressing one trial's cached result.
 
@@ -143,12 +149,24 @@ def trial_fingerprint(
     keyword, and the code/schema version tag. ``sort_keys`` makes the
     JSON canonical; ``default=repr`` keeps hashing total for exotic
     values (same value → same repr → same key).
+
+    Accepts either the legacy ``(config, rate_pps, kwargs)`` arguments
+    or a single :class:`~repro.experiments.spec.TrialSpec` — a spec
+    fingerprints identically to the kwargs call it stands for.
     """
+    if isinstance(config, TrialSpec):
+        if rate_pps is not None or kwargs is not None:
+            raise TypeError(
+                "trial_fingerprint(spec) takes no further arguments"
+            )
+        config, rate_pps, kwargs = config.as_tuple()
+    if rate_pps is None:
+        raise TypeError("trial_fingerprint(config, rate_pps, kwargs)")
     payload = {
         "version": CACHE_VERSION,
         "config": asdict(config),
         "rate_pps": rate_pps,
-        "kwargs": _canonical_kwargs(kwargs),
+        "kwargs": _canonical_kwargs(kwargs if kwargs is not None else {}),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -253,7 +271,7 @@ def _resolve_cache(cache, cache_dir) -> Optional[ResultCache]:
     return None
 
 
-def _run_spec(spec: TrialSpec):
+def _run_spec(spec: SpecTuple):
     """Top-level worker so ProcessPoolExecutor can pickle it."""
     from .harness import run_trial
 
@@ -385,10 +403,10 @@ def parallel_map(
         raise
 
 
-def _spec_failure(spec: TrialSpec, kind: str, error: str, attempts: int):
+def _spec_failure(spec, kind: str, error: str, attempts: int):
     from ..core.variants import describe
 
-    config, rate_pps, _ = spec
+    config, rate_pps, _ = spec_tuple(spec)
     return TrialFailure(
         variant=describe(config),
         target_rate_pps=rate_pps,
@@ -412,7 +430,7 @@ def _abandon_executor(executor: ProcessPoolExecutor) -> None:
         executor.shutdown(wait=False)
 
 
-def _run_chunk(specs: List[TrialSpec]) -> List[Tuple[str, Any, Optional[str]]]:
+def _run_chunk(specs: List[SpecTuple]) -> List[Tuple[str, Any, Optional[str]]]:
     """Top-level chunk worker: run each spec in order, return tagged,
     wire-packed outcomes.
 
@@ -459,10 +477,10 @@ def _decode_outcome(tagged):
 
 
 def _build_chunks(
-    indexed_specs: List[Tuple[int, TrialSpec]],
+    indexed_specs: List[Tuple[int, SpecTuple]],
     workers: int,
     timeout_s: Optional[float],
-) -> List[List[Tuple[int, TrialSpec]]]:
+) -> List[List[Tuple[int, SpecTuple]]]:
     """Cut the spec list into contiguous, cost-balanced chunks.
 
     With a per-trial ``timeout_s`` every chunk is a single spec, so
@@ -478,8 +496,8 @@ def _build_chunks(
         return [[pair] for pair in indexed_specs]
     costs = [trial_cost_estimate(spec) for _, spec in indexed_specs]
     budget = sum(costs) / target
-    chunks: List[List[Tuple[int, TrialSpec]]] = []
-    current: List[Tuple[int, TrialSpec]] = []
+    chunks: List[List[Tuple[int, SpecTuple]]] = []
+    current: List[Tuple[int, SpecTuple]] = []
     acc = 0.0
     for pair, cost in zip(indexed_specs, costs):
         current.append(pair)
@@ -501,7 +519,7 @@ def _cancel_unstarted(submitted, start: int) -> None:
 
 
 def _run_resilient(
-    indexed_specs: List[Tuple[int, TrialSpec]],
+    indexed_specs: List[Tuple[int, SpecTuple]],
     jobs: Optional[int],
     timeout_s: Optional[float],
     retries: int,
@@ -622,7 +640,7 @@ def _run_resilient(
 
 
 def run_trials(
-    specs: Sequence[TrialSpec],
+    specs: Sequence,
     jobs: Optional[int] = None,
     cache=False,
     cache_dir=None,
@@ -648,16 +666,24 @@ def run_trials(
     ``strict=False`` degrades gracefully, leaving a
     :class:`TrialFailure` in the result list at the failed spec's
     position.
+
+    Specs may be :class:`~repro.experiments.spec.TrialSpec` instances,
+    legacy ``(config, rate_pps, kwargs)`` tuples, or a mix; a spec and
+    the tuple it stands for hit the same cache entry.
     """
-    specs = list(specs)
+    specs = [spec_tuple(spec) for spec in specs]
     store = _resolve_cache(cache, cache_dir)
 
     results: List[Any] = [None] * len(specs)
     pending: List[int] = []
     keys: Dict[int, str] = {}
     for index, (config, rate_pps, kwargs) in enumerate(specs):
-        if "router" in kwargs and kwargs["router"] is not None:
-            # Pre-built routers cannot cross a process boundary: run
+        trace_val = kwargs.get("trace")
+        if ("router" in kwargs and kwargs["router"] is not None) or (
+            trace_val is not None and not isinstance(trace_val, bool)
+        ):
+            # Pre-built routers and caller-owned TraceBuffers cannot
+            # cross a process boundary or be fingerprinted: run
             # in-process (uncached, no timeout enforcement).
             try:
                 results[index] = _run_spec(specs[index])
@@ -721,7 +747,17 @@ def run_sweep(
     **trial_kwargs,
 ) -> List:
     """One trial per input rate (fresh router each time), engine-backed."""
-    specs = [(config, rate, dict(trial_kwargs)) for rate in rates]
+    specs: List[Any] = []
+    for rate in rates:
+        kwargs = dict(trial_kwargs)
+        try:
+            # The typed form validates eagerly; fingerprints match the
+            # tuple form exactly (from_kwargs keeps the explicit set).
+            specs.append(TrialSpec.from_kwargs(config, rate, **kwargs))
+        except TypeError:
+            # Engine-reserved kwargs (router, _chaos) are not spec
+            # fields; fall through to the raw tuple form.
+            specs.append((config, rate, kwargs))
     return run_trials(
         specs,
         jobs=jobs,

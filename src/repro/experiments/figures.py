@@ -15,6 +15,7 @@ from ..core import variants
 from ..kernel.config import KernelConfig
 from .engine import run_trials
 from .harness import DEFAULT_RATE_GRID, run_sweep, run_trial, sweep_series
+from .spec import TrialSpec
 
 Point = Tuple[float, float]
 
@@ -29,6 +30,9 @@ class FigureResult:
     ylabel: str
     series: Dict[str, List[Point]] = field(default_factory=dict)
     notes: str = ""
+    #: Per-series trial timelines (``TrialResult.timeline`` dicts, in
+    #: rate order), populated only when the figure ran with ``trace``.
+    timelines: Dict[str, List] = field(default_factory=dict)
 
     def series_peak(self, label: str) -> float:
         return max(y for _, y in self.series[label])
@@ -43,6 +47,25 @@ def _throughput_series(
     **trial_kwargs,
 ) -> List[Point]:
     return sweep_series(run_sweep(config, rates, **trial_kwargs))
+
+
+def _add_series(
+    result: FigureResult,
+    label: str,
+    config: KernelConfig,
+    rates: Sequence[float],
+    **trial_kwargs,
+) -> None:
+    """Run one sweep and record its series (plus timelines when traced)."""
+    trials = run_sweep(config, rates, **trial_kwargs)
+    result.series[label] = sweep_series(trials)
+    trace_val = trial_kwargs.get("trace")
+    if trace_val is not None and trace_val is not False:
+        result.timelines[label] = [
+            trial.timeline
+            for trial in trials
+            if not getattr(trial, "failed", False)
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -60,11 +83,15 @@ def figure_6_1(
         xlabel="Input packet rate (pkts/sec)",
         ylabel="Output packet rate (pkts/sec)",
     )
-    result.series["Without screend"] = _throughput_series(
-        variants.unmodified(), rates, **trial_kwargs
+    _add_series(
+        result, "Without screend", variants.unmodified(), rates, **trial_kwargs
     )
-    result.series["With screend"] = _throughput_series(
-        variants.unmodified(screend=True), rates, **trial_kwargs
+    _add_series(
+        result,
+        "With screend",
+        variants.unmodified(screend=True),
+        rates,
+        **trial_kwargs,
     )
     result.notes = (
         "Paper: peak ~4700 pkt/s without screend; with screend poor overload "
@@ -88,17 +115,25 @@ def figure_6_3(
         xlabel="Input packet rate (pkts/sec)",
         ylabel="Output packet rate (pkts/sec)",
     )
-    result.series["Unmodified"] = _throughput_series(
-        variants.unmodified(), rates, **trial_kwargs
+    _add_series(
+        result, "Unmodified", variants.unmodified(), rates, **trial_kwargs
     )
-    result.series["No polling"] = _throughput_series(
-        variants.modified_no_polling(), rates, **trial_kwargs
+    _add_series(
+        result, "No polling", variants.modified_no_polling(), rates, **trial_kwargs
     )
-    result.series["Polling (quota = 5)"] = _throughput_series(
-        variants.polling(quota=5), rates, **trial_kwargs
+    _add_series(
+        result,
+        "Polling (quota = 5)",
+        variants.polling(quota=5),
+        rates,
+        **trial_kwargs,
     )
-    result.series["Polling (no quota)"] = _throughput_series(
-        variants.polling(quota=None), rates, **trial_kwargs
+    _add_series(
+        result,
+        "Polling (no quota)",
+        variants.polling(quota=None),
+        rates,
+        **trial_kwargs,
     )
     result.notes = (
         "Paper: polling with a quota slightly improves the MLFRR and stays "
@@ -123,15 +158,23 @@ def figure_6_4(
         xlabel="Input packet rate (pkts/sec)",
         ylabel="Output packet rate (pkts/sec)",
     )
-    result.series["Unmodified"] = _throughput_series(
-        variants.unmodified(screend=True), rates, **trial_kwargs
+    _add_series(
+        result,
+        "Unmodified",
+        variants.unmodified(screend=True),
+        rates,
+        **trial_kwargs,
     )
-    result.series["Polling, no feedback"] = _throughput_series(
+    _add_series(
+        result,
+        "Polling, no feedback",
         variants.polling(quota=10, screend=True, feedback=False),
         rates,
         **trial_kwargs,
     )
-    result.series["Polling w/feedback"] = _throughput_series(
+    _add_series(
+        result,
+        "Polling w/feedback",
         variants.polling(quota=10, screend=True, feedback=True),
         rates,
         **trial_kwargs,
@@ -168,8 +211,12 @@ def figure_6_5(
         ylabel="Output packet rate (pkts/sec)",
     )
     for quota in quotas:
-        result.series[_quota_label(quota)] = _throughput_series(
-            variants.polling(quota=quota), rates, **trial_kwargs
+        _add_series(
+            result,
+            _quota_label(quota),
+            variants.polling(quota=quota),
+            rates,
+            **trial_kwargs,
         )
     result.notes = (
         "Paper: smaller quotas work better; as the quota increases livelock "
@@ -191,7 +238,9 @@ def figure_6_6(
         ylabel="Output packet rate (pkts/sec)",
     )
     for quota in quotas:
-        result.series[_quota_label(quota)] = _throughput_series(
+        _add_series(
+            result,
+            _quota_label(quota),
             variants.polling(quota=quota, screend=True, feedback=True),
             rates,
             **trial_kwargs,
@@ -234,10 +283,10 @@ def figure_7_1(
     # One flat spec list so the engine can fan the whole threshold x rate
     # grid out at once, not one row at a time.
     specs = [
-        (
+        TrialSpec.from_kwargs(
             variants.polling(quota=quota, cycle_limit=threshold),
             rate,
-            dict(trial_kwargs, with_compute=True),
+            **dict(trial_kwargs, with_compute=True),
         )
         for threshold in thresholds
         for rate in rates
@@ -253,12 +302,20 @@ def figure_7_1(
     )
     for row, threshold in enumerate(thresholds):
         label = "threshold %d %%" % round(threshold * 100)
+        row_trials = trials[row * len(rates) : (row + 1) * len(rates)]
         points: List[Point] = [
             (trial.offered_rate_pps, 100.0 * trial.user_cpu_share)
-            for trial in trials[row * len(rates) : (row + 1) * len(rates)]
+            for trial in row_trials
             if not getattr(trial, "failed", False)
         ]
         result.series[label] = sorted(points)
+        trace_val = trial_kwargs.get("trace")
+        if trace_val is not None and trace_val is not False:
+            result.timelines[label] = [
+                trial.timeline
+                for trial in row_trials
+                if not getattr(trial, "failed", False)
+            ]
     result.notes = (
         "Paper: ~94% available at zero load; curves stabilise as input rate "
         "rises but the user process gets less than the threshold implies; "

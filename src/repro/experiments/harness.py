@@ -22,18 +22,18 @@ from ..workloads.generators import (
     ConstantRateGenerator,
     PoissonGenerator,
 )
+# Workload names and default timing live in .spec (the canonical trial
+# description) and are re-exported here for compatibility.
+from .spec import (  # noqa: F401  (re-exports)
+    DEFAULT_DURATION_S,
+    DEFAULT_WARMUP_S,
+    TrialSpec,
+    WORKLOAD_BURSTY,
+    WORKLOAD_CONSTANT,
+    WORKLOAD_POISSON,
+    spec_tuple,
+)
 from .topology import Router
-
-#: Workload names accepted by :func:`run_trial`.
-WORKLOAD_CONSTANT = "constant"
-WORKLOAD_POISSON = "poisson"
-WORKLOAD_BURSTY = "bursty"
-
-#: Default measurement timing (simulated seconds). Short relative to the
-#: paper's multi-second trials, but the simulation is noiseless apart
-#: from deliberate jitter, so windows converge much faster.
-DEFAULT_WARMUP_S = 0.2
-DEFAULT_DURATION_S = 0.5
 
 
 @dataclass
@@ -56,6 +56,9 @@ class TrialResult:
     #: Fault-injection record: the plan, injected-fault counts, and the
     #: teardown reconciliation report (None for fault-free trials).
     faults: Optional[Dict] = None
+    #: Windowed telemetry (:meth:`repro.trace.Timeline.to_dict`); None
+    #: unless the trial ran with ``trace`` enabled.
+    timeline: Optional[Dict] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -123,8 +126,8 @@ def _resolve_fault_plan(fault_plan):
 
 
 def run_trial(
-    config: KernelConfig,
-    rate_pps: float,
+    config,
+    rate_pps: Optional[float] = None,
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     seed: int = 0,
@@ -135,8 +138,19 @@ def run_trial(
     fault_plan=None,
     watchdog: bool = False,
     sanitize: bool = False,
+    trace=False,
+    trace_capacity: Optional[int] = None,
 ) -> TrialResult:
     """Run one trial and return its measurements.
+
+    The canonical entry point takes a single
+    :class:`~repro.experiments.spec.TrialSpec`::
+
+        run_trial(TrialSpec(config, rate_pps=8_000, watchdog=True))
+
+    The historical keyword form ``run_trial(config, rate_pps, **kw)``
+    remains supported and is exactly equivalent (same results, same
+    cache fingerprints).
 
     ``rate_pps`` of 0 runs an unloaded router (used for the fig 7-1
     zero-load point). Pass ``router`` to reuse a pre-built topology
@@ -150,7 +164,30 @@ def run_trial(
     the trial and reconciles packet-pool ownership at the end. Both are
     opt-in: the watchdog schedules its own periodic event and so
     perturbs event sequence numbers relative to a bare trial.
+
+    ``trace`` arms the scheduling-level trace subsystem: ``True``
+    creates a fresh :class:`~repro.trace.TraceBuffer` (ring capacity
+    ``trace_capacity``) plus a windowed :class:`~repro.trace.Timeline`,
+    or pass a caller-owned ``TraceBuffer`` to keep the raw record ring
+    for export afterwards. Tracing schedules no simulator events and
+    draws no randomness, so a traced trial's event stream — and every
+    measured field of its ``TrialResult`` — is bit-identical to the
+    untraced trial; only :attr:`TrialResult.timeline` is added.
     """
+    if isinstance(config, TrialSpec):
+        if rate_pps is not None:
+            raise TypeError(
+                "run_trial(spec) takes no separate rate_pps; "
+                "it is part of the TrialSpec"
+            )
+        if router is not None:
+            return run_trial(
+                config.config, config.rate_pps, router=router,
+                **config.to_kwargs()
+            )
+        return run_trial(config.config, config.rate_pps, **config.to_kwargs())
+    if rate_pps is None:
+        raise TypeError("run_trial(config, rate_pps, ...) requires a rate")
     if rate_pps < 0:
         raise ValueError("rate must be non-negative")
     plan = _resolve_fault_plan(fault_plan)
@@ -166,12 +203,38 @@ def run_trial(
 
         sanitizer = InvariantSanitizer(router).attach()
     router.start()
+    trace_buffer = None
+    timeline = None
+    # NB: an *empty* caller-owned TraceBuffer is len()-falsy, so test
+    # identity against the disabled sentinels, not truthiness.
+    if trace is not False and trace is not None:
+        from ..trace.buffer import TraceBuffer
+        from ..trace.timeline import Timeline
+
+        if isinstance(trace, bool):
+            trace_buffer = (
+                TraceBuffer(trace_capacity)
+                if trace_capacity is not None
+                else TraceBuffer()
+            )
+        else:
+            trace_buffer = trace  # caller-owned buffer (kept for export)
+        timeline = trace_buffer.timeline
+        if timeline is None:
+            # Window the time series exactly like the watchdog samples.
+            timeline = Timeline(
+                config.watchdog_window_ticks * config.clock_tick_ns
+            )
+            trace_buffer.attach_timeline(timeline)
+        router.attach_trace(trace_buffer)
     streams = RandomStreams(seed)
     generator = None
     if rate_pps > 0:
         generator = _make_generator(
             workload, router, rate_pps, streams, burst_size
         ).start()
+        if trace_buffer is not None:
+            generator.trace = trace_buffer
     wd = None
     if watchdog:
         from ..sim.watchdog import LivelockWatchdog
@@ -184,6 +247,7 @@ def run_trial(
             user_cycles=(
                 router.compute.cycles_used if router.compute is not None else None
             ),
+            trace=trace_buffer,
         ).start()
 
     router.run_for(seconds(warmup_s))
@@ -195,10 +259,14 @@ def run_trial(
     )
     window_start_ns = router.sim.now
     router.latency.start()
+    if timeline is not None:
+        timeline.mark("measure_start", window_start_ns)
 
     router.run_for(seconds(duration_s))
 
     router.latency.stop()
+    if timeline is not None:
+        timeline.mark("measure_end", router.sim.now)
     window_ns = router.sim.now - window_start_ns
     delivered = router.delivered.snapshot() - delivered_before
     generated = (generator.sent if generator is not None else 0) - generated_before
@@ -251,6 +319,7 @@ def run_trial(
         counters=dump,
         watchdog=wd.verdict() if wd is not None else None,
         faults=faults_record,
+        timeline=timeline.to_dict() if timeline is not None else None,
     )
 
 
@@ -267,8 +336,11 @@ def trial_cost_estimate(spec) -> float:
     fixed per-second floor for clock ticks and housekeeping. The sweep
     engine uses this to cut a spec list into equal-cost chunks, so one
     slow 12k-pps trial does not serialize behind a chunk of idle ones.
+
+    Accepts a :class:`TrialSpec` or the engine's ``(config, rate_pps,
+    kwargs)`` tuple form.
     """
-    _config, rate_pps, kwargs = spec
+    _config, rate_pps, kwargs = spec_tuple(spec)
     sim_seconds = kwargs.get("duration_s", DEFAULT_DURATION_S) + kwargs.get(
         "warmup_s", DEFAULT_WARMUP_S
     )

@@ -1,0 +1,179 @@
+"""`TrialSpec`: the typed, frozen description of one trial.
+
+:func:`repro.experiments.harness.run_trial` grew one keyword per
+feature — rate, timing, workload shape, fault plan, watchdog, sanitizer,
+and now tracing. ``TrialSpec`` is the canonical form of that call: a
+frozen dataclass naming every knob, hashable, validated at construction,
+and accepted everywhere a ``(config, rate, kwargs)`` tuple was —
+``run_trial(spec)``, ``run_trials([spec, ...])``, ``trial_fingerprint
+(spec)``, ``trial_cost_estimate(spec)``. The kwargs form remains as a
+compatibility shim and both forms produce identical TrialResults.
+
+Cache-fingerprint compatibility is the design constraint: the on-disk
+result cache hashes the kwargs dict *exactly as the caller passed it*
+(``{"seed": 0}`` and ``{}`` are different keys, by long-standing
+behavior), so a spec must remember which fields were set explicitly.
+``TrialSpec.from_kwargs(config, rate, seed=0)`` and the direct
+constructor both record that set; :meth:`to_kwargs` reproduces the
+original dict, and therefore the original fingerprint, byte for byte.
+For a directly-constructed spec the explicit set is every field that
+differs from its default — the same dict a minimal legacy caller would
+have passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from ..kernel.config import KernelConfig
+
+#: Workload names accepted by :func:`run_trial` / :class:`TrialSpec`.
+WORKLOAD_CONSTANT = "constant"
+WORKLOAD_POISSON = "poisson"
+WORKLOAD_BURSTY = "bursty"
+
+WORKLOADS = (WORKLOAD_CONSTANT, WORKLOAD_POISSON, WORKLOAD_BURSTY)
+
+#: Default measurement timing (simulated seconds). Short relative to the
+#: paper's multi-second trials, but the simulation is noiseless apart
+#: from deliberate jitter, so windows converge much faster.
+DEFAULT_WARMUP_S = 0.2
+DEFAULT_DURATION_S = 0.5
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial, fully specified.
+
+    Every field after ``rate_pps`` mirrors the same-named ``run_trial``
+    keyword; see that function for semantics. ``trace`` arms the
+    scheduling trace (``True`` → windowed timeline on the result;
+    a :class:`~repro.trace.TraceBuffer` instance → full record stream,
+    runs in-process and uncached), ``trace_capacity`` sizes the ring.
+    """
+
+    config: KernelConfig
+    rate_pps: float
+    duration_s: float = DEFAULT_DURATION_S
+    warmup_s: float = DEFAULT_WARMUP_S
+    seed: int = 0
+    workload: str = WORKLOAD_CONSTANT
+    burst_size: int = 32
+    with_compute: bool = False
+    fault_plan: Any = None
+    watchdog: bool = False
+    sanitize: bool = False
+    trace: Any = False
+    trace_capacity: Optional[int] = None
+    #: Names of the fields the caller set explicitly (None → derive from
+    #: non-default values in ``__post_init__``). Not part of equality:
+    #: two specs describing the same trial compare equal even if one
+    #: spelled out a default.
+    _explicit: Optional[Tuple[str, ...]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, KernelConfig):
+            raise TypeError(
+                "TrialSpec.config must be a KernelConfig, got %r"
+                % type(self.config).__name__
+            )
+        if self.rate_pps < 0:
+            raise ValueError("rate must be non-negative")
+        if self.duration_s < 0 or self.warmup_s < 0:
+            raise ValueError("trial timing must be non-negative")
+        if self.workload not in WORKLOADS:
+            raise ValueError("unknown workload %r" % (self.workload,))
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if self.trace_capacity is not None and self.trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
+        if self._explicit is None:
+            explicit = tuple(
+                sorted(
+                    name
+                    for name, default in _FIELD_DEFAULTS
+                    if getattr(self, name) != default
+                )
+            )
+            object.__setattr__(self, "_explicit", explicit)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_kwargs(
+        cls, config: KernelConfig, rate_pps: float, **kwargs
+    ) -> "TrialSpec":
+        """Build a spec from the legacy keyword form, remembering exactly
+        which keywords were passed (fingerprint compatibility)."""
+        unknown = set(kwargs) - _FIELD_NAMES
+        if unknown:
+            raise TypeError(
+                "unknown trial keyword(s): %s" % ", ".join(sorted(unknown))
+            )
+        return cls(
+            config,
+            rate_pps,
+            _explicit=tuple(sorted(kwargs)),
+            **kwargs,
+        )
+
+    def to_kwargs(self) -> Dict[str, Any]:
+        """The explicit keywords, reproducing the legacy kwargs dict this
+        spec stands for (and therefore its cache fingerprint)."""
+        return {name: getattr(self, name) for name in self._explicit}
+
+    def as_tuple(self) -> Tuple[KernelConfig, float, Dict[str, Any]]:
+        """The legacy ``(config, rate_pps, kwargs)`` spec tuple."""
+        return (self.config, self.rate_pps, self.to_kwargs())
+
+    @property
+    def explicit_fields(self) -> Tuple[str, ...]:
+        return self._explicit
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "TrialSpec":
+        """A copy with ``changes`` applied; changed fields (plus those
+        already explicit) count as explicit in the copy."""
+        unknown = set(changes) - _FIELD_NAMES - {"config", "rate_pps"}
+        if unknown:
+            raise TypeError(
+                "unknown trial keyword(s): %s" % ", ".join(sorted(unknown))
+            )
+        merged = self.to_kwargs()
+        config = changes.pop("config", self.config)
+        rate_pps = changes.pop("rate_pps", self.rate_pps)
+        merged.update(changes)
+        return type(self).from_kwargs(config, rate_pps, **merged)
+
+    def fingerprint(self) -> str:
+        """The spec's cache key (see ``engine.trial_fingerprint``)."""
+        from .engine import trial_fingerprint
+
+        return trial_fingerprint(self.config, self.rate_pps, self.to_kwargs())
+
+    def run(self):
+        """Run this trial (convenience for ``run_trial(spec)``)."""
+        from .harness import run_trial
+
+        return run_trial(self)
+
+
+_FIELD_DEFAULTS = tuple(
+    (f.name, f.default)
+    for f in fields(TrialSpec)
+    if f.name not in ("config", "rate_pps", "_explicit")
+)
+_FIELD_NAMES = frozenset(name for name, _ in _FIELD_DEFAULTS)
+
+
+def spec_tuple(spec) -> Tuple[KernelConfig, float, Dict[str, Any]]:
+    """Normalize a TrialSpec or legacy ``(config, rate, kwargs)`` tuple
+    to the tuple form the engine internals run on."""
+    if isinstance(spec, TrialSpec):
+        return spec.as_tuple()
+    config, rate_pps, kwargs = spec
+    return (config, rate_pps, kwargs)

@@ -42,6 +42,7 @@ from ..net.routing import RoutingTable
 from ..sim.probes import ProbeRegistry
 from ..sim.signals import Signal
 from ..sim.simulator import Simulator
+from ..trace.buffer import CPU_ACCOUNT, PKT_DELIVER
 
 #: Canonical addressing used by all experiments.
 INPUT_IF = "in0"
@@ -146,6 +147,8 @@ class Router:
         #: wire generators should send through; both None fault-free.
         self.faults = None
         self.wire_in: Optional[Wire] = None
+        #: Armed trace buffer (:meth:`attach_trace`); None when untraced.
+        self.trace = None
         self._started = False
         self._teardown_report: Optional[dict] = None
 
@@ -316,10 +319,55 @@ class Router:
             self.monitor.start()
         return self
 
+    def attach_trace(self, buffer) -> "Router":
+        """Arm a :class:`~repro.trace.TraceBuffer` on every hook site.
+
+        Must run after :meth:`start` (drivers create their interrupt
+        lines there). Every hook is a single ``is None`` check on the
+        untraced fast path; arming replaces the None with ``buffer``
+        and registers one CPU-accounting observer (the observer list is
+        only walked when a task is actually charged time).
+        """
+        if not self._started:
+            raise RuntimeError("attach_trace requires a started router")
+        if self.trace is not None:
+            raise RuntimeError("trace already attached to this router")
+        buffer.bind(self.sim)
+        self.trace = buffer
+        self.nic_in.trace = buffer
+        self.nic_out.trace = buffer
+        cpu = self.kernel.cpu
+        cpu.trace = buffer
+        record = buffer.record
+
+        def _account(task, elapsed, _record=record):
+            _record(CPU_ACCOUNT, task.name, elapsed, task._eff_ipl)
+
+        cpu.account_observers.append(_account)
+        for line in self.kernel.interrupts.lines:
+            line.trace = buffer
+        for driver in (self.driver_in, self.driver_out):
+            driver.trace = buffer
+            driver.ifqueue.trace = buffer
+        if self.ip_input is not None:
+            self.ip_input.ipintrq.trace = buffer
+        if self.screen_queue is not None:
+            self.screen_queue.trace = buffer
+        if self.polling is not None:
+            self.polling.trace = buffer
+        if self.feedback is not None:
+            self.feedback.trace = buffer
+        if self.cycle_limiter is not None:
+            self.cycle_limiter.trace = buffer
+        return self
+
     def _on_output_transmit(self, packet) -> None:
         # "Opkts" on the output interface — the paper's measured quantity.
         self.delivered.increment()
         self.latency.observe(packet)
+        trace = self.trace
+        if trace is not None:
+            trace.packet_deliver(self.nic_out.name, packet)
         # The packet has left the router: nothing downstream holds a
         # reference (the phantom destination host does not exist), so it
         # goes back to the freelist for the generator to reuse.

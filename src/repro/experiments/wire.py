@@ -125,6 +125,7 @@ def pack_trial(result) -> bytes:
         _pack_numdict(out, result.counters)
         _pack_json_opt(out, result.watchdog)
         _pack_json_opt(out, result.faults)
+        _pack_json_opt(out, result.timeline)
     except _Fallback:
         blob = json.dumps(trial_to_dict(result), sort_keys=True).encode("utf-8")
         return MAGIC + b"\x01" + blob
@@ -196,6 +197,7 @@ def unpack_trial(blob: bytes):
     counters = reader.numdict()
     watchdog = reader.json_opt()
     faults = reader.json_opt()
+    timeline = reader.json_opt()
     if reader.pos != len(blob):
         raise WireError("trailing bytes after TrialResult record")
     return TrialResult(
@@ -212,4 +214,5 @@ def unpack_trial(blob: bytes):
         counters=counters,
         watchdog=watchdog,
         faults=faults,
+        timeline=timeline,
     )

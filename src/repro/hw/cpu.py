@@ -29,6 +29,7 @@ from ..sim.errors import ProcessError
 from ..sim.process import Command, Process, ProcessBody, Work
 from ..sim.simulator import Simulator
 from ..sim.units import cycles_to_ns, ns_to_cycles
+from ..trace.buffer import CPU_IDLE, CPU_RUN
 
 # ----------------------------------------------------------------------
 # Interrupt priority levels. Higher value = higher priority. The values
@@ -160,6 +161,11 @@ class CPU:
         #: task is charged CPU time (on chunk completion and on
         #: preemption). Used by :class:`repro.metrics.cpuaccount.CpuAccountant`.
         self.account_observers: List[Callable[["CpuTask", int], None]] = []
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path. The
+        #: dispatcher records context switches; CPU-time accounting goes
+        #: through :attr:`account_observers` (zero cost when empty).
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Task construction helpers
@@ -290,6 +296,9 @@ class CPU:
             self.preemptions += 1
             self._stop_current(account=True)
         if best is None:
+            trace = self.trace
+            if trace is not None:
+                trace.record(CPU_IDLE, self.name)
             self._notify_ipl()
             return
         # Charge a context-switch penalty when control moves between
@@ -308,6 +317,9 @@ class CPU:
             self._last_thread = best
         self._current = best
         self._chunk_started = self.sim.now
+        trace = self.trace
+        if trace is not None:
+            trace.record(CPU_RUN, best.name, best._eff_ipl)
         remaining = self._remaining[best]
         self._completion = self.sim.schedule(
             remaining, self._complete, best, label=best._work_label

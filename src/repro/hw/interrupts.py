@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..sim.process import ProcessBody, Work
+from ..trace.buffer import IRQ_DISPATCH, IRQ_REQUEST, IRQ_RETURN
 from .cpu import CPU, CpuTask
 
 
@@ -60,12 +61,18 @@ class InterruptLine:
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`),
         #: bound by an armed injector; None on the fault-free fast path.
         self.faults = None
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path.
+        self.trace = None
 
     # ------------------------------------------------------------------
 
     def request(self) -> None:
         """Assert the line (device has work). Idempotent while pending."""
         self.request_count += 1
+        trace = self.trace
+        if trace is not None:
+            trace.record(IRQ_REQUEST, self.name)
         faults = self.faults
         if faults is not None:
             action = faults.on_irq_request(self)
@@ -160,6 +167,9 @@ class InterruptController:
         line.requested = False
         line.in_service = True
         line.dispatch_count += 1
+        trace = line.trace
+        if trace is not None:
+            trace.record(IRQ_DISPATCH, line.name, line.ipl)
         task = self.cpu.task(
             self._handler_body(line), name="irq:" + line.name, ipl=line.ipl
         )
@@ -180,6 +190,9 @@ class InterruptController:
 
     def _handler_done(self, line: InterruptLine) -> None:
         line.in_service = False
+        trace = line.trace
+        if trace is not None:
+            trace.record(IRQ_RETURN, line.name)
         # The device may have re-asserted during service (e.g. packets
         # arrived after the handler's last ring scan).
         self.try_deliver(line)

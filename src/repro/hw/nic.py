@@ -40,6 +40,7 @@ from typing import Any, Callable, Deque, List, Optional
 
 from ..sim.probes import ProbeRegistry
 from ..sim.simulator import Simulator
+from ..trace.buffer import RX_ACCEPT, RX_OVERFLOW, TX_COMPLETE, TX_RECLAIM
 from .interrupts import InterruptLine
 from .link import MIN_PACKET_TIME_NS
 
@@ -79,6 +80,9 @@ class NIC:
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`),
         #: set by an armed injector; None on the fault-free fast path.
         self.faults = None
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path.
+        self.trace = None
         #: Invoked with each packet as its transmission completes; the
         #: experiment topology uses it to count "Opkts" and deliver to the
         #: destination. May be None for an unconnected interface.
@@ -107,6 +111,9 @@ class NIC:
             return False  # frame lost before the ring; sender still owns it
         if len(self._rx_ring) >= self.rx_ring_capacity:
             self._rx_overflow_inc()
+            trace = self.trace
+            if trace is not None:
+                trace.packet_drop(RX_OVERFLOW, self.name, packet)
             return False
         try:
             packet.mark_nic_arrival(self.sim.now)
@@ -114,6 +121,9 @@ class NIC:
             pass  # foreign payload without lifecycle marks (tests)
         self._rx_append(packet)
         self._rx_accepted_inc()
+        trace = self.trace
+        if trace is not None:
+            trace.record(RX_ACCEPT, self.name)
         rx_line = self.rx_line
         if rx_line is not None:
             rx_line.request()
@@ -192,6 +202,9 @@ class NIC:
             for _ in range(freed):
                 popleft()
             self._tx_done = 0
+            trace = self.trace
+            if trace is not None:
+                trace.record(TX_RECLAIM, self.name, freed)
         return freed
 
     def _kick_transmitter(self) -> None:
@@ -221,6 +234,9 @@ class NIC:
         self._tx_done += 1
         self._tx_busy = False
         self._tx_completed_inc()
+        trace = self.trace
+        if trace is not None:
+            trace.record(TX_COMPLETE, self.name)
         try:
             packet.mark_transmitted(self.sim.now)
         except AttributeError:

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
 from ..sim.probes import ProbeRegistry
+from ..trace.buffer import Q_DROP, Q_ENQUEUE
 
 
 class PacketQueue:
@@ -53,6 +54,9 @@ class PacketQueue:
             self._enqueued = self._dequeued = self._dropped = None
         self.on_high: List[Callable[["PacketQueue"], None]] = []
         self.on_low: List[Callable[["PacketQueue"], None]] = []
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), bound by
+        #: ``Router.attach_trace``; None on the untraced fast path.
+        self.trace = None
         self.enqueue_count = 0
         self.dequeue_count = 0
         self.drop_count = 0
@@ -98,6 +102,9 @@ class PacketQueue:
                 self._dropped.increment()
             if hasattr(item, "mark_dropped"):
                 item.mark_dropped(self.name)
+            trace = self.trace
+            if trace is not None:
+                trace.packet_drop(Q_DROP, self.name, item)
             self._fire_high_if_needed()
             return False
         self._items.append(item)
@@ -106,6 +113,9 @@ class PacketQueue:
             self._enqueued.increment()
         if len(self._items) > self.max_depth:
             self.max_depth = len(self._items)
+        trace = self.trace
+        if trace is not None:
+            trace.record(Q_ENQUEUE, self.name, len(self._items))
         self._fire_high_if_needed()
         return True
 
@@ -220,6 +230,9 @@ class REDQueue(PacketQueue):
                 self._dropped.increment()
             if hasattr(item, "mark_dropped"):
                 item.mark_dropped(self.name + ".red")
+            trace = self.trace
+            if trace is not None:
+                trace.packet_drop(Q_DROP, self.name + ".red", item)
             self._fire_high_if_needed()
             return False
         accepted = super().enqueue(item)

@@ -65,6 +65,7 @@ class LivelockWatchdog:
         user_cycles: Optional[Callable[[], int]] = None,
         livelock_fraction: float = DEFAULT_LIVELOCK_FRACTION,
         abort_after_stalled_windows: Optional[int] = None,
+        trace=None,
     ) -> None:
         if window_ns <= 0:
             raise ValueError("watchdog window must be positive")
@@ -79,6 +80,12 @@ class LivelockWatchdog:
         self.user_cycles = user_cycles
         self.livelock_fraction = livelock_fraction
         self.abort_after_stalled_windows = abort_after_stalled_windows
+        #: Optional :class:`~repro.trace.TraceBuffer`. When attached,
+        #: the records around the *first* unhealthy loaded window — the
+        #: livelock onset — are snapshotted into the verdict.
+        self.trace = trace
+        self._onset_ns: Optional[int] = None
+        self._onset_records = None
 
         self.windows = 0
         self.idle_windows = 0
@@ -155,6 +162,7 @@ class LivelockWatchdog:
 
         if delivered == 0:
             self.stall_windows += 1
+            self._capture_onset()
             if not user_progressed or self.user_cycles is None:
                 self._consecutive_stalls += 1
                 limit = self.abort_after_stalled_windows
@@ -174,10 +182,21 @@ class LivelockWatchdog:
         self._consecutive_stalls = 0
         if delivered < arrived * self.livelock_fraction:
             self.livelock_windows += 1
+            self._capture_onset()
         elif not user_progressed:
             self.starved_windows += 1
         else:
             self.healthy_windows += 1
+
+    def _capture_onset(self) -> None:
+        """Snapshot the trace tail at the first unhealthy loaded window.
+
+        The ring keeps overwriting afterwards, so this is the only
+        moment the records *around the onset* are guaranteed to still
+        be in the buffer."""
+        if self.trace is not None and self._onset_records is None:
+            self._onset_ns = self.sim.now
+            self._onset_records = self.trace.export_tail(256)
 
     # ------------------------------------------------------------------
 
@@ -200,9 +219,15 @@ class LivelockWatchdog:
         return VERDICT_HEALTHY
 
     def verdict(self) -> dict:
-        """Structured verdict for :class:`TrialResult.watchdog`."""
+        """Structured verdict for :class:`TrialResult.watchdog`.
+
+        With a trace attached, the verdict additionally carries
+        ``trace_onset``: the timestamp and trace-record tail captured at
+        the first stalled/livelocked loaded window (None if the trial
+        never turned unhealthy). Verdicts without a trace are unchanged.
+        """
         total_input = self._total_input
-        return {
+        report = {
             "verdict": self.classification(),
             "windows": self.windows,
             "loaded_windows": self.loaded_windows,
@@ -218,6 +243,13 @@ class LivelockWatchdog:
             "sched_pending_peak": self.sched_pending_peak,
             "sched_resident_peak": self.sched_resident_peak,
         }
+        if self.trace is not None:
+            report["trace_onset"] = (
+                None
+                if self._onset_records is None
+                else {"t_ns": self._onset_ns, "records": self._onset_records}
+            )
+        return report
 
     def __repr__(self) -> str:
         return "LivelockWatchdog(%s, windows=%d)" % (

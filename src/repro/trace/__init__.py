@@ -1,0 +1,37 @@
+"""Scheduling-level tracing and time-series telemetry.
+
+``TraceBuffer`` collects typed records from the simulation's scheduling
+seams (near-zero cost when disarmed — see :mod:`repro.trace.buffer`),
+``Timeline`` folds them into per-window series, and the exporters write
+Chrome/Perfetto ``trace_event`` JSON or CSV. Arm tracing with
+``run_trial(..., trace=True)`` (timeline on the result) or by passing a
+``TraceBuffer`` instance (full record stream, in-process), or from the
+command line: ``python -m repro.cli trace --variant unmodified --rate
+12000 -o livelock.json``.
+"""
+
+from .buffer import (
+    DEFAULT_CAPACITY,
+    KIND_NAMES,
+    TraceBuffer,
+)
+from .export import (
+    perfetto_json,
+    timeline_to_csv,
+    to_perfetto,
+    trace_to_csv,
+    write_perfetto,
+)
+from .timeline import Timeline
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "KIND_NAMES",
+    "TraceBuffer",
+    "Timeline",
+    "to_perfetto",
+    "perfetto_json",
+    "write_perfetto",
+    "trace_to_csv",
+    "timeline_to_csv",
+]

@@ -1,0 +1,293 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and plain CSV.
+
+The Perfetto exporter emits the legacy Chrome JSON trace format (a
+``{"traceEvents": [...]}`` object), which both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* one thread track per interrupt line — ``X`` (complete) events spanning
+  dispatch→return;
+* one CPU track — ``X`` events for every accounted execution chunk,
+  named by task, with the effective IPL in ``args``;
+* one packet-lifecycle track — instant events for injects, drops (with
+  age and drop site), and deliveries (with latency);
+* counter tracks (``ph: "C"``) from an attached
+  :class:`~repro.trace.timeline.Timeline`: input/output pps and drop
+  rate per window.
+
+Timestamps are microseconds (the format's unit); the simulation's
+nanosecond clock divides by 1e3.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .buffer import (
+    CPU_ACCOUNT,
+    CYCLE_LIMIT,
+    CYCLE_RESET,
+    FEEDBACK_TIMEOUT,
+    INPUT_ALLOW,
+    INPUT_INHIBIT,
+    IRQ_DISPATCH,
+    IRQ_RETURN,
+    KIND_NAMES,
+    PKT_DELIVER,
+    PKT_INJECT,
+    Q_DROP,
+    QUOTA_EXHAUST,
+    RX_OVERFLOW,
+    TraceBuffer,
+)
+
+_PID = 1
+_TID_CPU = 1
+_TID_PACKETS = 2
+_TID_CONTROL = 3
+_TID_IRQ_BASE = 16
+
+NS_PER_US = 1_000.0
+
+
+def _thread_meta(tid: int, name: str) -> Dict:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": _PID,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def to_perfetto(buffer: TraceBuffer, timeline=None) -> Dict:
+    """Build a Chrome/Perfetto trace dict from the retained records.
+
+    ``timeline`` (a :class:`Timeline` or its ``to_dict()`` form) adds
+    pps/drop counter tracks; when omitted, the buffer's attached
+    timeline is used if present.
+    """
+    if timeline is None:
+        timeline = buffer.timeline
+    names = buffer.site_names
+    events: List[Dict] = [
+        _thread_meta(_TID_CPU, "CPU (accounted chunks)"),
+        _thread_meta(_TID_PACKETS, "packet lifecycle"),
+        _thread_meta(_TID_CONTROL, "input control"),
+    ]
+    irq_tids: Dict[int, int] = {}
+    irq_open: Dict[int, float] = {}
+    for t, kind, sid, a, b in buffer.records():
+        ts = t / NS_PER_US
+        if kind == CPU_ACCOUNT:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": names[sid],
+                    "cat": "cpu",
+                    "pid": _PID,
+                    "tid": _TID_CPU,
+                    "ts": (t - a) / NS_PER_US,
+                    "dur": a / NS_PER_US,
+                    "args": {"ipl": b},
+                }
+            )
+        elif kind == IRQ_DISPATCH:
+            tid = irq_tids.get(sid)
+            if tid is None:
+                tid = _TID_IRQ_BASE + len(irq_tids)
+                irq_tids[sid] = tid
+                events.append(_thread_meta(tid, "irq %s" % names[sid]))
+            irq_open[sid] = ts
+        elif kind == IRQ_RETURN:
+            start = irq_open.pop(sid, None)
+            if start is not None:
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": names[sid],
+                        "cat": "irq",
+                        "pid": _PID,
+                        "tid": irq_tids[sid],
+                        "ts": start,
+                        "dur": ts - start,
+                    }
+                )
+        elif kind in (PKT_INJECT, PKT_DELIVER, Q_DROP, RX_OVERFLOW):
+            args = {"site": names[sid]}
+            if kind == PKT_DELIVER:
+                args["latency_us"] = a / NS_PER_US
+            elif kind in (Q_DROP, RX_OVERFLOW):
+                args["age_us"] = a / NS_PER_US
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": KIND_NAMES[kind],
+                    "cat": "packet",
+                    "pid": _PID,
+                    "tid": _TID_PACKETS,
+                    "ts": ts,
+                    "args": args,
+                }
+            )
+        elif kind in (
+            INPUT_INHIBIT,
+            INPUT_ALLOW,
+            QUOTA_EXHAUST,
+            FEEDBACK_TIMEOUT,
+            CYCLE_LIMIT,
+            CYCLE_RESET,
+        ):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": KIND_NAMES[kind],
+                    "cat": "control",
+                    "pid": _PID,
+                    "tid": _TID_CONTROL,
+                    "ts": ts,
+                    "args": {"site": names[sid]},
+                }
+            )
+    # Dangling dispatches (handler still running at trace end) close at
+    # the last timestamp so the span is visible rather than silently lost.
+    if irq_open:
+        records = buffer.records()
+        end_ts = records[-1][0] / NS_PER_US if records else 0.0
+        for sid, start in irq_open.items():
+            events.append(
+                {
+                    "ph": "X",
+                    "name": names[sid],
+                    "cat": "irq",
+                    "pid": _PID,
+                    "tid": irq_tids[sid],
+                    "ts": start,
+                    "dur": max(0.0, end_ts - start),
+                }
+            )
+    events.extend(_counter_events(timeline))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "recorded": buffer.recorded,
+            "overwritten": buffer.overwritten,
+        },
+    }
+
+
+def _counter_events(timeline) -> List[Dict]:
+    data = _timeline_dict(timeline)
+    if data is None:
+        return []
+    window_ns = data["window_ns"]
+    window_s = window_ns / 1e9
+    events = []
+    for window in data["windows"]:
+        ts = window["start_ns"] / NS_PER_US
+        events.append(
+            {
+                "ph": "C",
+                "name": "pps",
+                "pid": _PID,
+                "ts": ts,
+                "args": {
+                    "input": window["inject"] / window_s,
+                    "output": window["deliver"] / window_s,
+                },
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "name": "drops/s",
+                "pid": _PID,
+                "ts": ts,
+                "args": {
+                    "dropped": (
+                        window["queue_drops"] + window["rx_overflow"]
+                    )
+                    / window_s
+                },
+            }
+        )
+    return events
+
+
+def _timeline_dict(timeline) -> Optional[Dict]:
+    if timeline is None:
+        return None
+    if isinstance(timeline, dict):
+        return timeline
+    return timeline.to_dict()
+
+
+def perfetto_json(buffer: TraceBuffer, timeline=None, indent=None) -> str:
+    """Perfetto trace as a JSON string."""
+    return json.dumps(to_perfetto(buffer, timeline), indent=indent)
+
+
+def write_perfetto(path, buffer: TraceBuffer, timeline=None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(perfetto_json(buffer, timeline))
+
+
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
+
+
+def trace_to_csv(buffer: TraceBuffer) -> str:
+    """Raw record stream as CSV: ``t_ns,kind,site,a,b`` rows."""
+    names = buffer.site_names
+    lines = ["t_ns,kind,site,a,b"]
+    for t, kind, sid, a, b in buffer.records():
+        lines.append(
+            "%d,%s,%s,%d,%d"
+            % (t, KIND_NAMES.get(kind, str(kind)), names[sid], a, b)
+        )
+    return "\n".join(lines) + "\n"
+
+
+#: Column order of :func:`timeline_to_csv`.
+TIMELINE_CSV_COLUMNS = (
+    "index",
+    "start_ns",
+    "input_pps",
+    "output_pps",
+    "inject",
+    "deliver",
+    "rx_overflow",
+    "queue_drops",
+    "quota_exhausted",
+    "inhibits",
+    "allows",
+    "irq_dispatch",
+    "latency_ns_sum",
+)
+
+
+def timeline_to_csv(timeline) -> str:
+    """Per-window time series as CSV (one row per window)."""
+    data = _timeline_dict(timeline)
+    if data is None:
+        raise ValueError("no timeline to export")
+    window_s = data["window_ns"] / 1e9
+    lines = [",".join(TIMELINE_CSV_COLUMNS)]
+    for window in data["windows"]:
+        row = dict(window)
+        row["input_pps"] = row["inject"] / window_s
+        row["output_pps"] = row["deliver"] / window_s
+        lines.append(
+            ",".join(_format_cell(row[col]) for col in TIMELINE_CSV_COLUMNS)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)

@@ -1,0 +1,202 @@
+"""Windowed time-series aggregation over a trace record stream.
+
+:class:`Timeline` folds the raw :class:`~repro.trace.buffer.TraceBuffer`
+stream into fixed windows of simulated time — the per-window series the
+paper's figures are secretly made of: input and output packet counts,
+drops by site, CPU nanoseconds by IPL, quota exhaustions, and
+feedback/cycle-limit state flips. The aggregator is fed incrementally
+(record by record, before ring overwrite), so its numbers are exact over
+the whole trial even when the ring only retains the tail.
+
+Window-edge semantics (shared with ``ProbeRegistry.dump()``): a record
+with timestamp ``t`` lands in window ``t // window_ns``, i.e. windows
+are half-open intervals ``[k*w, (k+1)*w)``; a counter snapshot taken at
+time ``T`` — a probe dump, or a :meth:`mark` — therefore agrees with the
+sum of all windows strictly before ``T`` plus the partial window
+containing it. CPU accounting chunks are attributed to the window in
+which the chunk *ends* (the record's timestamp), so a chunk spanning an
+edge is not split.
+
+The harness drops two marks on every traced trial — ``measure_start``
+at the warmup boundary and ``measure_end`` at the end of the measurement
+window — and the difference of their cumulative totals reconciles with
+the TrialResult scalars (``delivered``, ``generated``) and, after
+``Router.teardown()``, with the pool's packet accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .buffer import (
+    CPU_ACCOUNT,
+    CYCLE_LIMIT,
+    CYCLE_RESET,
+    FEEDBACK_TIMEOUT,
+    INPUT_ALLOW,
+    INPUT_INHIBIT,
+    IRQ_DISPATCH,
+    PKT_DELIVER,
+    PKT_INJECT,
+    Q_DROP,
+    QUOTA_EXHAUST,
+    RX_OVERFLOW,
+)
+
+#: Per-window integer counter keys, in serialization order.
+_WINDOW_COUNTS = (
+    "inject",
+    "deliver",
+    "rx_overflow",
+    "queue_drops",
+    "quota_exhausted",
+    "inhibits",
+    "allows",
+    "irq_dispatch",
+)
+
+
+def _new_window() -> Dict:
+    window = dict.fromkeys(_WINDOW_COUNTS, 0)
+    window["latency_ns_sum"] = 0
+    window["drops"] = {}
+    window["cpu_ns"] = {}
+    return window
+
+
+class Timeline:
+    """Per-window aggregates of a trace stream.
+
+    ``window_ns`` is typically the watchdog window
+    (``config.watchdog_window_ticks * config.clock_tick_ns``) so the
+    timeline lines up with watchdog verdict windows.
+    """
+
+    def __init__(self, window_ns: int) -> None:
+        if window_ns <= 0:
+            raise ValueError("timeline window must be positive")
+        self.window_ns = window_ns
+        self._windows: Dict[int, Dict] = {}
+        self._current: Optional[Dict] = None
+        self._current_index = -1
+        self.totals = _new_window()
+        self.marks: Dict[str, Dict] = {}
+        self._site_names: List[str] = []
+
+    def _bind_sites(self, site_names: List[str]) -> None:
+        """Share the buffer's live site-id table (called by
+        ``TraceBuffer.attach_timeline``)."""
+        self._site_names = site_names
+
+    # ------------------------------------------------------------------
+    # Feed path (armed trials only)
+    # ------------------------------------------------------------------
+
+    def feed(self, rec) -> None:
+        """Fold one ``(t_ns, kind, site_id, a, b)`` record in."""
+        t, kind, sid, a, _b = rec
+        index = t // self.window_ns
+        if index != self._current_index:
+            window = self._windows.get(index)
+            if window is None:
+                window = _new_window()
+                self._windows[index] = window
+            self._current = window
+            self._current_index = index
+        window = self._current
+        totals = self.totals
+        if kind == PKT_INJECT:
+            window["inject"] += 1
+            totals["inject"] += 1
+        elif kind == PKT_DELIVER:
+            window["deliver"] += 1
+            window["latency_ns_sum"] += a
+            totals["deliver"] += 1
+            totals["latency_ns_sum"] += a
+        elif kind == CPU_ACCOUNT:
+            ipl = str(rec[4])
+            cpu = window["cpu_ns"]
+            cpu[ipl] = cpu.get(ipl, 0) + a
+            cpu = totals["cpu_ns"]
+            cpu[ipl] = cpu.get(ipl, 0) + a
+        elif kind == IRQ_DISPATCH:
+            window["irq_dispatch"] += 1
+            totals["irq_dispatch"] += 1
+        elif kind == Q_DROP:
+            site = self._site_names[sid]
+            window["queue_drops"] += 1
+            totals["queue_drops"] += 1
+            drops = window["drops"]
+            drops[site] = drops.get(site, 0) + 1
+            drops = totals["drops"]
+            drops[site] = drops.get(site, 0) + 1
+        elif kind == RX_OVERFLOW:
+            site = self._site_names[sid]
+            window["rx_overflow"] += 1
+            totals["rx_overflow"] += 1
+            drops = window["drops"]
+            drops[site] = drops.get(site, 0) + 1
+            drops = totals["drops"]
+            drops[site] = drops.get(site, 0) + 1
+        elif kind == QUOTA_EXHAUST:
+            window["quota_exhausted"] += 1
+            totals["quota_exhausted"] += 1
+        elif kind in (INPUT_INHIBIT, CYCLE_LIMIT):
+            window["inhibits"] += 1
+            totals["inhibits"] += 1
+        elif kind in (INPUT_ALLOW, FEEDBACK_TIMEOUT, CYCLE_RESET):
+            window["allows"] += 1
+            totals["allows"] += 1
+        # Remaining kinds (cpu_run, rx_accept, q_enqueue, ...) shape the
+        # raw stream but have no windowed series.
+
+    def mark(self, name: str, t_ns: int) -> None:
+        """Snapshot cumulative totals at an instant (warmup boundary,
+        measurement end). Snapshot-vs-window agreement is the documented
+        edge semantics above."""
+        totals = self.totals
+        snapshot = {key: totals[key] for key in _WINDOW_COUNTS}
+        snapshot["latency_ns_sum"] = totals["latency_ns_sum"]
+        snapshot["drops"] = dict(totals["drops"])
+        snapshot["cpu_ns"] = dict(totals["cpu_ns"])
+        self.marks[name] = {"t_ns": t_ns, "totals": snapshot}
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @property
+    def window_count(self) -> int:
+        return len(self._windows)
+
+    def windows(self) -> List[Dict]:
+        """Window dicts in time order, each with ``index``/``start_ns``."""
+        out = []
+        for index in sorted(self._windows):
+            window = dict(self._windows[index])
+            window["index"] = index
+            window["start_ns"] = index * self.window_ns
+            out.append(window)
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form stored on ``TrialResult.timeline`` and carried
+        through the wire format and the result cache."""
+        return {
+            "window_ns": self.window_ns,
+            "windows": self.windows(),
+            "totals": {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.totals.items()
+            },
+            "marks": {
+                name: {"t_ns": mark["t_ns"], "totals": dict(mark["totals"])}
+                for name, mark in self.marks.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return "Timeline(window_ns=%d, windows=%d)" % (
+            self.window_ns,
+            len(self._windows),
+        )

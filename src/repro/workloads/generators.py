@@ -41,6 +41,7 @@ from ..net.packet import Packet, PacketPool
 from ..sim.events import Event
 from ..sim.simulator import Simulator
 from ..sim.units import NS_PER_SEC
+from ..trace.buffer import PKT_INJECT
 
 
 class TrafficGenerator:
@@ -81,6 +82,9 @@ class TrafficGenerator:
         self.sent = 0
         self.started = False
         self.stopped = False
+        #: Trace hook (:class:`repro.trace.TraceBuffer`), set by the
+        #: trial harness when tracing is armed; None on the fast path.
+        self.trace = None
         self._pending: Optional[Event] = None
         # Hot-path bindings: one emission touches these every packet.
         # A wire is only interposed when link faults are armed; the
@@ -110,6 +114,9 @@ class TrafficGenerator:
             self._pending = None
 
     def _emit(self) -> Packet:
+        trace = self.trace
+        if trace is not None:
+            trace.record(PKT_INJECT, self.name, self.sent)
         pool = self.pool
         if pool is not None:
             packet = pool.acquire(

@@ -80,6 +80,7 @@ def _comparable(result):
     data = asdict(result)
     assert data.pop("watchdog") is None
     assert data.pop("faults") is None
+    assert data.pop("timeline") is None
     return data
 
 

@@ -1,0 +1,213 @@
+"""TrialSpec: validation, kwargs round-trip, fingerprint parity, engine
+interchangeability with the legacy tuple form."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.engine import ResultCache, run_trials, trial_fingerprint
+from repro.experiments.harness import run_trial
+from repro.experiments.spec import (
+    DEFAULT_DURATION_S,
+    DEFAULT_WARMUP_S,
+    TrialSpec,
+    spec_tuple,
+)
+
+FAST = dict(duration_s=0.02, warmup_s=0.01)
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+
+
+def test_defaults_mirror_run_trial():
+    spec = TrialSpec(variants.unmodified(), 4_000)
+    assert spec.duration_s == DEFAULT_DURATION_S
+    assert spec.warmup_s == DEFAULT_WARMUP_S
+    assert spec.seed == 0
+    assert spec.workload == "constant"
+    assert spec.trace is False
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(rate_pps=-1),
+        dict(duration_s=-0.1),
+        dict(warmup_s=-0.1),
+        dict(workload="fractal"),
+        dict(burst_size=0),
+        dict(trace_capacity=0),
+    ],
+)
+def test_invalid_fields_rejected(kwargs):
+    base = dict(config=variants.unmodified(), rate_pps=1_000)
+    base.update(kwargs)
+    with pytest.raises((ValueError, TypeError)):
+        TrialSpec(**base)
+
+
+def test_config_must_be_a_kernel_config():
+    with pytest.raises(TypeError):
+        TrialSpec({"variant": "unmodified"}, 1_000)
+
+
+def test_from_kwargs_rejects_unknown_keywords():
+    with pytest.raises(TypeError, match="sedd"):
+        TrialSpec.from_kwargs(variants.unmodified(), 1_000, sedd=3)
+
+
+def test_spec_is_frozen():
+    spec = TrialSpec(variants.unmodified(), 1_000)
+    with pytest.raises(Exception):
+        spec.seed = 7
+
+
+# ----------------------------------------------------------------------
+# Explicit-field bookkeeping: the fingerprint-compatibility contract
+# ----------------------------------------------------------------------
+
+
+def test_from_kwargs_remembers_exactly_what_was_passed():
+    config = variants.unmodified()
+    spec = TrialSpec.from_kwargs(config, 2_000, seed=0, duration_s=0.1)
+    # ``seed=0`` is the default value but it *was* passed, so it stays.
+    assert spec.explicit_fields == ("duration_s", "seed")
+    assert spec.to_kwargs() == {"seed": 0, "duration_s": 0.1}
+    assert spec.as_tuple() == (config, 2_000, {"seed": 0, "duration_s": 0.1})
+
+
+def test_direct_construction_derives_explicit_from_non_defaults():
+    spec = TrialSpec(variants.unmodified(), 2_000, seed=5)
+    assert spec.explicit_fields == ("seed",)
+    assert spec.to_kwargs() == {"seed": 5}
+
+
+def test_equality_ignores_how_defaults_were_spelled():
+    config = variants.unmodified()
+    assert TrialSpec.from_kwargs(config, 2_000, seed=0) == TrialSpec(
+        config, 2_000
+    )
+
+
+def test_replace_merges_explicit_sets():
+    spec = TrialSpec.from_kwargs(variants.unmodified(), 2_000, seed=4)
+    bumped = spec.replace(rate_pps=3_000, duration_s=0.1)
+    assert bumped.rate_pps == 3_000
+    assert bumped.seed == 4
+    assert bumped.to_kwargs() == {"seed": 4, "duration_s": 0.1}
+    with pytest.raises(TypeError):
+        spec.replace(sedd=1)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_matches_legacy_form():
+    config = variants.polling(quota=5)
+    kwargs = {"duration_s": 0.1, "seed": 2}
+    spec = TrialSpec.from_kwargs(config, 6_000, **kwargs)
+    assert spec.fingerprint() == trial_fingerprint(config, 6_000, kwargs)
+    # trial_fingerprint also takes the spec directly.
+    assert trial_fingerprint(spec) == spec.fingerprint()
+    with pytest.raises(TypeError):
+        trial_fingerprint(spec, 6_000)
+
+
+def test_explicit_default_fingerprints_differently_than_omitted():
+    # Long-standing cache behavior: the kwargs dict is hashed as passed,
+    # so {"seed": 0} and {} are distinct keys. The spec preserves that.
+    config = variants.unmodified()
+    spelled = TrialSpec.from_kwargs(config, 2_000, seed=0)
+    omitted = TrialSpec.from_kwargs(config, 2_000)
+    assert spelled == omitted  # same trial...
+    assert spelled.fingerprint() != omitted.fingerprint()  # ...own key
+
+
+# ----------------------------------------------------------------------
+# Interchangeability with tuples across the engine
+# ----------------------------------------------------------------------
+
+
+def test_spec_tuple_normalizes_both_forms():
+    config = variants.unmodified()
+    spec = TrialSpec.from_kwargs(config, 2_000, seed=1)
+    assert spec_tuple(spec) == (config, 2_000, {"seed": 1})
+    assert spec_tuple((config, 2_000, {"seed": 1})) == (
+        config,
+        2_000,
+        {"seed": 1},
+    )
+
+
+def test_run_trial_accepts_spec_and_rejects_ambiguity():
+    config = variants.unmodified()
+    spec = TrialSpec.from_kwargs(config, 2_000, **FAST)
+    assert run_trial(spec) == run_trial(config, 2_000, **FAST)
+    with pytest.raises(TypeError):
+        run_trial(spec, 2_000)
+    with pytest.raises(TypeError):
+        run_trial(config)  # rate required in the legacy form
+
+
+def test_run_trials_mixed_specs_and_tuples():
+    config = variants.unmodified()
+    mixed = [
+        TrialSpec.from_kwargs(config, 1_000, **FAST),
+        (config, 2_000, dict(FAST)),
+    ]
+    tuples = [
+        (config, 1_000, dict(FAST)),
+        (config, 2_000, dict(FAST)),
+    ]
+    assert run_trials(mixed) == run_trials(tuples)
+
+
+def test_spec_and_tuple_hit_the_same_cache_entry(tmp_path):
+    config = variants.unmodified()
+    cache = ResultCache(tmp_path)
+    run_trials([(config, 1_000, dict(FAST))], cache=cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    [result] = run_trials(
+        [TrialSpec.from_kwargs(config, 1_000, **FAST)], cache=cache
+    )
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert result == run_trial(config, 1_000, **FAST)
+
+
+def test_traced_spec_round_trips_through_the_cache(tmp_path):
+    # ``trace=True`` is a plain flag: cacheable, and the timeline must
+    # survive the cache byte-for-byte.
+    spec = TrialSpec.from_kwargs(
+        variants.unmodified(), 12_000, trace=True, **FAST
+    )
+    cache = ResultCache(tmp_path)
+    [cold] = run_trials([spec], cache=cache)
+    [warm] = run_trials([spec], cache=cache)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cold.timeline is not None
+    assert warm == cold
+
+
+def test_caller_owned_buffer_runs_in_process_and_uncached(tmp_path):
+    from repro.trace import TraceBuffer
+
+    buf = TraceBuffer(capacity=4096)
+    spec = TrialSpec.from_kwargs(
+        variants.unmodified(), 6_000, trace=buf, **FAST
+    )
+    cache = ResultCache(tmp_path)
+    [result] = run_trials([spec], cache=cache, jobs=2)
+    # The buffer cannot cross a process or cache boundary, so the trial
+    # ran here: the caller's buffer holds the records.
+    assert (cache.hits, cache.misses) == (0, 0)
+    assert len(buf) > 0
+    assert result.timeline is not None
+
+
+def test_spec_run_convenience():
+    spec = TrialSpec.from_kwargs(variants.unmodified(), 1_000, **FAST)
+    assert spec.run() == run_trial(spec)

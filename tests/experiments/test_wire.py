@@ -81,6 +81,43 @@ def test_roundtrip_real_trial_is_bit_identical():
     assert trial_to_dict(restored) == trial_to_dict(result)
 
 
+def test_roundtrip_timeline_travels_as_json():
+    original = _result(
+        timeline={
+            "window_ns": 10_000_000,
+            "windows": [
+                {
+                    "index": 0,
+                    "start_ns": 0,
+                    "inject": 120,
+                    "deliver": 47,
+                    "latency_ns_sum": 81_000,
+                    "drops": {"ipintrq": 73},
+                    "cpu_ns": {"3": 9_000_000, "0": 1_000_000},
+                }
+            ],
+            "totals": {"inject": 120, "deliver": 47},
+            "marks": {"measure_start": {"t_ns": 0, "totals": {}}},
+        }
+    )
+    restored = unpack_trial(pack_trial(original))
+    assert restored.timeline == original.timeline
+
+
+def test_roundtrip_real_traced_trial_is_bit_identical():
+    result = run_trial(
+        variants.unmodified(),
+        12_000,
+        trace=True,
+        duration_s=0.04,
+        warmup_s=0.02,
+    )
+    assert result.timeline is not None
+    restored = unpack_trial(pack_trial(result))
+    assert restored.timeline == result.timeline
+    assert trial_to_dict(restored) == trial_to_dict(result)
+
+
 def test_dict_key_order_is_preserved():
     original = _result(counters={"z": 1, "a": 2, "m": 3})
     restored = unpack_trial(pack_trial(original))

@@ -212,3 +212,67 @@ def test_double_start_rejected_and_stop_cancels():
     wd.stop()
     sim.run_for(10_000)
     assert wd.windows == 0  # timer was cancelled before any window closed
+
+
+# ----------------------------------------------------------------------
+# Trace-onset capture (watchdog + trace integration)
+# ----------------------------------------------------------------------
+
+
+class FakeTrace:
+    """Stands in for a TraceBuffer: export_tail returns a live window."""
+
+    def __init__(self):
+        self.rows = []
+
+    def export_tail(self, n):
+        return list(self.rows[-n:])
+
+
+def test_onset_snapshot_taken_at_first_unhealthy_window():
+    trace = FakeTrace()
+    wd = _make_watchdog(trace=trace)
+    trace.rows.append([1, "rx_accept", "in0", 0, 0])
+    _tick(wd, arrived=100, delivered=80)           # healthy: no snapshot
+    assert wd.verdict()["trace_onset"] is None
+    trace.rows.append([2, "q_drop", "ipintrq", 0, 0])
+    _tick(wd, arrived=100, delivered=5)            # livelocked: snapshot
+    onset = wd.verdict()["trace_onset"]
+    assert onset["t_ns"] == wd.sim.now
+    assert onset["records"] == trace.rows
+    # Later windows never overwrite the first capture.
+    trace.rows.append([3, "q_drop", "ipintrq", 0, 0])
+    _tick(wd, arrived=100, delivered=0)
+    assert wd.verdict()["trace_onset"] == onset
+
+
+def test_verdict_has_no_trace_key_without_a_trace():
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=5)
+    assert "trace_onset" not in wd.verdict()
+
+
+def test_livelocked_trial_carries_the_onset_excerpt():
+    """End to end: a traced, watched 12k-pps unmodified trial ends with
+    a livelocked verdict whose onset excerpt shows the drop storm."""
+    result = run_trial(
+        variants.unmodified(),
+        CLIFF_RATE,
+        watchdog=True,
+        trace=True,
+        **TIMING
+    )
+    assert result.watchdog["verdict"] == VERDICT_LIVELOCKED
+    onset = result.watchdog["trace_onset"]
+    assert onset is not None
+    assert onset["records"], "onset excerpt is empty"
+    assert len(onset["records"]) <= 256
+    kinds = {row[1] for row in onset["records"]}
+    assert "q_drop" in kinds  # the ipintrq drop storm around the onset
+    # The excerpt ends at (or before) the moment the verdict flagged.
+    assert onset["records"][-1][0] <= onset["t_ns"]
+    # The same trial without a trace has a bare verdict.
+    bare = run_trial(
+        variants.unmodified(), CLIFF_RATE, watchdog=True, **TIMING
+    )
+    assert "trace_onset" not in bare.watchdog

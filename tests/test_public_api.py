@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_quickstart_symbols_exist():
@@ -17,6 +17,22 @@ def test_quickstart_symbols_exist():
     assert callable(repro.variants.modified_no_polling)
 
 
+def test_trace_and_spec_symbols_exist():
+    # The 1.1.0 additions: the TrialSpec front door and the trace
+    # subsystem (buffer, timeline, exporters).
+    assert callable(repro.TrialSpec)
+    assert callable(repro.TraceBuffer)
+    assert callable(repro.Timeline)
+    assert callable(repro.to_perfetto)
+    assert callable(repro.perfetto_json)
+    assert callable(repro.write_perfetto)
+    assert callable(repro.trace_to_csv)
+    assert callable(repro.timeline_to_csv)
+    assert callable(repro.experiments.TrialSpec)
+    assert callable(repro.experiments.spec_tuple)
+    assert callable(repro.experiments.trial_fingerprint)
+
+
 def test_all_exports_resolve():
     for name in repro.__all__:
         assert getattr(repro, name, None) is not None, name
@@ -25,7 +41,7 @@ def test_all_exports_resolve():
 def test_subpackages_have_docstrings():
     for module in (repro.sim, repro.hw, repro.kernel, repro.net,
                    repro.drivers, repro.core, repro.apps, repro.workloads,
-                   repro.metrics, repro.experiments):
+                   repro.metrics, repro.experiments, repro.trace):
         assert module.__doc__, module.__name__
 
 
@@ -39,3 +55,17 @@ def test_readme_quickstart_numbers_hold():
     )
     assert livelocked.output_rate_pps < 4_000
     assert fixed.output_rate_pps > 4_800
+
+
+def test_spec_and_kwargs_forms_equivalent():
+    """run_trial(spec) and run_trial(config, rate, **kw) are the same
+    trial: identical results and identical cache fingerprints."""
+    config = repro.variants.unmodified()
+    kwargs = {"duration_s": 0.05, "warmup_s": 0.02, "seed": 3}
+    spec = repro.TrialSpec.from_kwargs(config, 5_000, **kwargs)
+    by_spec = repro.run_trial(spec)
+    by_kwargs = repro.run_trial(config, 5_000, **kwargs)
+    assert by_spec == by_kwargs
+    assert spec.fingerprint() == repro.experiments.trial_fingerprint(
+        config, 5_000, kwargs
+    )

@@ -1,0 +1,186 @@
+"""TraceBuffer: ring mechanics, interning, bounded memory, determinism."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+from repro.trace.buffer import (
+    DEFAULT_CAPACITY,
+    KIND_NAMES,
+    PKT_DELIVER,
+    Q_DROP,
+    RX_ACCEPT,
+    RX_OVERFLOW,
+    TraceBuffer,
+)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0
+
+
+def make_buffer(capacity=8):
+    return TraceBuffer(capacity=capacity).bind(FakeSim())
+
+
+# ----------------------------------------------------------------------
+# Ring mechanics
+# ----------------------------------------------------------------------
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=0)
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=-5)
+
+
+def test_default_capacity():
+    assert TraceBuffer().capacity == DEFAULT_CAPACITY
+
+
+def test_record_and_site_interning():
+    buf = make_buffer()
+    buf._sim.now = 10
+    buf.record(RX_ACCEPT, "in0")
+    buf._sim.now = 20
+    buf.record(RX_ACCEPT, "out0", 7, 9)
+    buf._sim.now = 30
+    buf.record(RX_OVERFLOW, "in0")
+    assert len(buf) == 3
+    assert buf.records() == [
+        (10, RX_ACCEPT, 0, 0, 0),
+        (20, RX_ACCEPT, 1, 7, 9),
+        (30, RX_OVERFLOW, 0, 0, 0),
+    ]
+    # "in0" interned once, to id 0; ids are first-use order.
+    assert buf.site_names == ["in0", "out0"]
+    assert buf.site_name(1) == "out0"
+
+
+def test_ring_wraps_and_stays_chronological():
+    buf = make_buffer(capacity=4)
+    for i in range(10):
+        buf._sim.now = i
+        buf.record(RX_ACCEPT, "nic")
+    assert buf.recorded == 10
+    assert len(buf) == 4
+    assert buf.overwritten == 6
+    # Oldest-first: only the 4 most recent survive.
+    assert [t for t, *_ in buf.records()] == [6, 7, 8, 9]
+    assert [t for t, *_ in buf.tail(2)] == [8, 9]
+    assert [t for t, *_ in buf.tail(99)] == [6, 7, 8, 9]
+
+
+def test_ring_memory_is_preallocated_and_never_grows():
+    buf = make_buffer(capacity=16)
+    assert len(buf._ring) == 16
+    for i in range(1000):
+        buf._sim.now = i
+        buf.record(RX_ACCEPT, "nic")
+    assert len(buf._ring) == 16
+
+
+def test_empty_buffer_is_falsy_but_not_none():
+    # The harness must arm with an identity check, not truthiness: a
+    # freshly caller-owned buffer has len() == 0.
+    buf = make_buffer()
+    assert not buf
+    assert buf is not None
+
+
+def test_bind_rejects_a_second_simulator():
+    buf = make_buffer()
+    with pytest.raises(RuntimeError):
+        buf.bind(FakeSim())
+    # Re-binding the same sim is a no-op.
+    buf.bind(buf._sim)
+
+
+def test_export_tail_is_json_safe():
+    buf = make_buffer()
+    buf._sim.now = 5
+    buf.record(RX_ACCEPT, "in0", 1, 2)
+    rows = buf.export_tail(10)
+    assert rows == [[5, "rx_accept", "in0", 1, 2]]
+
+
+def test_packet_drop_links_age_and_birth():
+    class Pkt:
+        created_ns = 40
+
+    buf = make_buffer()
+    buf._sim.now = 100
+    buf.packet_drop(Q_DROP, "ipintrq", Pkt())
+    ((t, kind, sid, age, born),) = buf.records()
+    assert (t, kind, age, born) == (100, Q_DROP, 60, 40)
+    # Items without lifecycle marks still record the drop itself.
+    buf.packet_drop(Q_DROP, "ipintrq", object())
+    assert buf.records()[-1][3:] == (0, 0)
+
+
+def test_packet_deliver_records_latency():
+    class Pkt:
+        created_ns = 25
+
+    buf = make_buffer()
+    buf._sim.now = 75
+    buf.packet_deliver("out0", Pkt())
+    ((t, kind, _sid, latency, born),) = buf.records()
+    assert (kind, latency, born) == (PKT_DELIVER, 50, 25)
+
+
+def test_kind_names_cover_every_kind():
+    import repro.trace.buffer as mod
+
+    kinds = {
+        value
+        for name, value in vars(mod).items()
+        if name.isupper()
+        and isinstance(value, int)
+        and name not in ("DEFAULT_CAPACITY",)
+    }
+    assert set(KIND_NAMES) == kinds
+
+
+# ----------------------------------------------------------------------
+# Full-trial behavior
+# ----------------------------------------------------------------------
+
+TIMING = dict(duration_s=0.1, warmup_s=0.05, seed=0)
+
+
+def test_bounded_memory_at_saturation():
+    """A small ring traced through a 12k-pps livelock stays bounded."""
+    buf = TraceBuffer(capacity=2048)
+    run_trial(variants.unmodified(), 12_000, trace=buf, **TIMING)
+    assert buf.recorded > 2048
+    assert len(buf) == 2048
+    assert buf.overwritten == buf.recorded - 2048
+    assert len(buf._ring) == 2048
+    times = [t for t, *_ in buf.records()]
+    assert times == sorted(times)
+
+
+def test_traced_trial_is_deterministic():
+    """Same spec, same seed: byte-identical record streams."""
+    streams = []
+    for _ in range(2):
+        buf = TraceBuffer(capacity=200_000)
+        run_trial(variants.polling(quota=5), 9_000, trace=buf, **TIMING)
+        streams.append((buf.records(), buf.site_names, buf.recorded))
+    assert streams[0] == streams[1]
+
+
+def test_tracing_does_not_perturb_the_trial():
+    """The whole point: a traced trial is bit-identical to the untraced
+    one in every field except ``timeline``."""
+    from dataclasses import asdict
+
+    plain = run_trial(variants.unmodified(), 12_000, **TIMING)
+    traced = run_trial(variants.unmodified(), 12_000, trace=True, **TIMING)
+    plain_d, traced_d = asdict(plain), asdict(traced)
+    assert plain_d.pop("timeline") is None
+    assert traced_d.pop("timeline") is not None
+    assert plain_d == traced_d

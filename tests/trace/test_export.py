@@ -1,0 +1,196 @@
+"""Exporters: Perfetto trace_event JSON and CSV round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+from repro.trace.buffer import (
+    CPU_ACCOUNT,
+    IRQ_DISPATCH,
+    IRQ_RETURN,
+    PKT_DELIVER,
+    PKT_INJECT,
+    Q_DROP,
+    TraceBuffer,
+)
+from repro.trace.export import (
+    TIMELINE_CSV_COLUMNS,
+    perfetto_json,
+    timeline_to_csv,
+    to_perfetto,
+    trace_to_csv,
+    write_perfetto,
+)
+from repro.trace.timeline import Timeline
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0
+
+
+def synthetic_buffer():
+    buf = TraceBuffer(capacity=256).bind(FakeSim())
+    buf.attach_timeline(Timeline(1_000))
+    sim = buf._sim
+
+    class Pkt:
+        created_ns = 0
+
+    sim.now = 0
+    buf.record(PKT_INJECT, "gen", 0)
+    sim.now = 100
+    buf.record(IRQ_DISPATCH, "in0.rx", 3)
+    sim.now = 600
+    buf.record(CPU_ACCOUNT, "irq:in0.rx", 500, 3)
+    buf.record(IRQ_RETURN, "in0.rx")
+    sim.now = 700
+    buf.record(Q_DROP, "ipintrq", 700, 0)
+    sim.now = 900
+    buf.packet_deliver("out0", Pkt())
+    sim.now = 1_200
+    buf.record(IRQ_DISPATCH, "in0.rx", 3)  # left dangling on purpose
+    return buf
+
+
+def events_by_phase(trace, phase):
+    return [e for e in trace["traceEvents"] if e["ph"] == phase]
+
+
+def test_perfetto_structure():
+    buf = synthetic_buffer()
+    trace = to_perfetto(buf)
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert trace["otherData"] == {"recorded": 7, "overwritten": 0}
+
+    meta = events_by_phase(trace, "M")
+    names = {e["args"]["name"] for e in meta}
+    assert "CPU (accounted chunks)" in names
+    assert "packet lifecycle" in names
+    assert "irq in0.rx" in names
+
+    spans = events_by_phase(trace, "X")
+    irq_spans = [e for e in spans if e["cat"] == "irq"]
+    # One closed dispatch->return span plus the dangling one, closed at
+    # the last record's timestamp instead of being dropped.
+    assert len(irq_spans) == 2
+    closed = min(irq_spans, key=lambda e: e["ts"])
+    assert closed["ts"] == pytest.approx(0.1)
+    assert closed["dur"] == pytest.approx(0.5)
+
+    cpu_spans = [e for e in spans if e["cat"] == "cpu"]
+    assert cpu_spans[0]["name"] == "irq:in0.rx"
+    assert cpu_spans[0]["args"]["ipl"] == 3
+    # The chunk is drawn backwards from its accounting instant.
+    assert cpu_spans[0]["ts"] == pytest.approx(0.1)
+    assert cpu_spans[0]["dur"] == pytest.approx(0.5)
+
+    instants = events_by_phase(trace, "i")
+    assert {e["name"] for e in instants} == {
+        "pkt_inject",
+        "q_drop",
+        "pkt_deliver",
+    }
+    deliver = next(e for e in instants if e["name"] == "pkt_deliver")
+    assert deliver["args"]["latency_us"] == pytest.approx(0.9)
+
+    counters = events_by_phase(trace, "C")
+    assert {e["name"] for e in counters} == {"pps", "drops/s"}
+
+
+def test_perfetto_json_round_trips():
+    buf = synthetic_buffer()
+    assert json.loads(perfetto_json(buf)) == to_perfetto(buf)
+
+
+def test_write_perfetto(tmp_path):
+    buf = synthetic_buffer()
+    path = tmp_path / "trace.json"
+    write_perfetto(path, buf)
+    assert json.loads(path.read_text()) == to_perfetto(buf)
+
+
+def test_trace_csv_round_trips_records():
+    buf = synthetic_buffer()
+    lines = trace_to_csv(buf).strip().split("\n")
+    assert lines[0] == "t_ns,kind,site,a,b"
+    assert len(lines) == 1 + len(buf)
+    t, kind, site, a, b = lines[1].split(",")
+    assert (int(t), kind, site, int(a), int(b)) == (0, "pkt_inject", "gen", 0, 0)
+
+
+def test_timeline_csv_shape():
+    buf = synthetic_buffer()
+    lines = timeline_to_csv(buf.timeline).strip().split("\n")
+    assert lines[0] == ",".join(TIMELINE_CSV_COLUMNS)
+    rows = [line.split(",") for line in lines[1:]]
+    assert len(rows) == buf.timeline.window_count
+    header = lines[0].split(",")
+    first = dict(zip(header, rows[0]))
+    assert first["index"] == "0"
+    assert first["inject"] == "1"
+    assert first["deliver"] == "1"
+    # 1 delivery in a 1us window = 1e6 pps.
+    assert float(first["output_pps"]) == pytest.approx(1e6)
+
+
+def test_timeline_csv_requires_a_timeline():
+    with pytest.raises(ValueError):
+        timeline_to_csv(None)
+
+
+# ----------------------------------------------------------------------
+# The acceptance trace: a livelocked trial, exported, shows the onset
+# ----------------------------------------------------------------------
+
+
+def test_livelocked_trial_exports_onset(tmp_path):
+    """Trace the unmodified kernel at 12k pps (past the cliff) and check
+    the export is valid Perfetto JSON whose late windows show the
+    livelock signature: input pressure with collapsed deliveries."""
+    buf = TraceBuffer(capacity=400_000)
+    result = run_trial(
+        variants.unmodified(),
+        12_000,
+        trace=buf,
+        duration_s=0.15,
+        warmup_s=0.05,
+        seed=0,
+    )
+    assert result.output_rate_pps < 4_000  # livelocked, per fig 6-1
+
+    path = tmp_path / "livelock.json"
+    write_perfetto(path, buf)
+    trace = json.loads(path.read_text())
+    events = trace["traceEvents"]
+    assert events, "empty trace"
+    # Packet instants include drops at the IP input queue — the paper's
+    # livelock drop site: the RX interrupt always wins, ipintrq fills,
+    # and ip_input never runs (§3).
+    names = {e["name"] for e in events if e["ph"] == "i"}
+    assert "q_drop" in names
+    drop_sites = {
+        e["args"]["site"]
+        for e in events
+        if e["ph"] == "i" and e["name"] == "q_drop"
+    }
+    assert "ipintrq" in drop_sites
+
+    windows = result.timeline["windows"]
+    late = windows[len(windows) // 2 :]
+    inject = sum(w["inject"] for w in late)
+    deliver = sum(w["deliver"] for w in late)
+    assert inject > 0
+    # Past the onset nearly everything is dropped, not forwarded.
+    assert deliver < inject * 0.5
+    # CPU time in the late windows is overwhelmingly at interrupt level.
+    irq_ns = sum(
+        ns
+        for w in late
+        for ipl, ns in w["cpu_ns"].items()
+        if int(ipl) > 0
+    )
+    user_ns = sum(w["cpu_ns"].get("0", 0) for w in late)
+    assert irq_ns > user_ns

@@ -1,0 +1,181 @@
+"""Timeline: window folding, edge semantics, probe reconciliation."""
+
+import pytest
+
+from repro.core import variants
+from repro.experiments.harness import run_trial
+from repro.trace.buffer import (
+    CPU_ACCOUNT,
+    INPUT_ALLOW,
+    INPUT_INHIBIT,
+    PKT_DELIVER,
+    PKT_INJECT,
+    Q_DROP,
+    RX_OVERFLOW,
+    TraceBuffer,
+)
+from repro.trace.timeline import Timeline
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0
+
+
+def traced_buffer(window_ns=100):
+    buf = TraceBuffer(capacity=1024).bind(FakeSim())
+    buf.attach_timeline(Timeline(window_ns))
+    return buf, buf.timeline
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        Timeline(0)
+
+
+def test_records_fold_into_half_open_windows():
+    buf, timeline = traced_buffer(window_ns=100)
+    for t in (0, 50, 99, 100, 150):
+        buf._sim.now = t
+        buf.record(PKT_INJECT, "gen")
+    windows = timeline.windows()
+    assert [w["index"] for w in windows] == [0, 1]
+    assert [w["start_ns"] for w in windows] == [0, 100]
+    # t=99 belongs to [0, 100); t=100 starts [100, 200).
+    assert windows[0]["inject"] == 3
+    assert windows[1]["inject"] == 2
+    assert timeline.totals["inject"] == 5
+
+
+def test_marks_agree_with_window_edges():
+    """The documented snapshot-vs-window contract (shared with
+    ``ProbeRegistry.dump()``): a cumulative snapshot taken at time T
+    equals the sum over all windows strictly before T when T is a
+    window edge and nothing has been recorded at or past T yet."""
+    buf, timeline = traced_buffer(window_ns=100)
+    for t in (0, 50, 99):
+        buf._sim.now = t
+        buf.record(PKT_INJECT, "gen")
+    timeline.mark("edge", 100)
+    for t in (100, 150):
+        buf._sim.now = t
+        buf.record(PKT_INJECT, "gen")
+    assert timeline.marks["edge"]["totals"]["inject"] == 3
+    assert timeline.windows()[0]["inject"] == 3  # [0, 100) only
+
+
+def test_deliveries_accumulate_latency():
+    buf, timeline = traced_buffer()
+
+    class Pkt:
+        created_ns = 10
+
+    buf._sim.now = 30
+    buf.packet_deliver("out0", Pkt())
+    buf._sim.now = 70
+    buf.packet_deliver("out0", Pkt())
+    (window,) = timeline.windows()
+    assert window["deliver"] == 2
+    assert window["latency_ns_sum"] == (30 - 10) + (70 - 10)
+
+
+def test_drops_split_by_site():
+    buf, timeline = traced_buffer()
+    buf._sim.now = 5
+    buf.record(Q_DROP, "ipintrq")
+    buf.record(Q_DROP, "ipintrq")
+    buf.record(RX_OVERFLOW, "in0")
+    (window,) = timeline.windows()
+    assert window["queue_drops"] == 2
+    assert window["rx_overflow"] == 1
+    assert window["drops"] == {"ipintrq": 2, "in0": 1}
+
+
+def test_cpu_time_keyed_by_ipl():
+    buf, timeline = traced_buffer()
+    buf._sim.now = 50
+    buf.record(CPU_ACCOUNT, "irq:in0.rx", 40, 3)
+    buf.record(CPU_ACCOUNT, "screend", 10, 0)
+    buf.record(CPU_ACCOUNT, "irq:in0.rx", 5, 3)
+    (window,) = timeline.windows()
+    assert window["cpu_ns"] == {"3": 45, "0": 10}
+
+
+def test_inhibit_allow_flips_counted():
+    buf, timeline = traced_buffer()
+    buf._sim.now = 1
+    buf.record(INPUT_INHIBIT, "feedback")
+    buf.record(INPUT_ALLOW, "feedback")
+    buf.record(INPUT_INHIBIT, "feedback")
+    (window,) = timeline.windows()
+    assert window["inhibits"] == 2
+    assert window["allows"] == 1
+
+
+def test_to_dict_is_plain_data():
+    import json
+
+    buf, timeline = traced_buffer()
+    buf._sim.now = 7
+    buf.record(PKT_INJECT, "gen")
+    timeline.mark("measure_start", 7)
+    data = timeline.to_dict()
+    assert json.loads(json.dumps(data)) == data
+    assert data["window_ns"] == 100
+    assert data["marks"]["measure_start"]["t_ns"] == 7
+
+
+# ----------------------------------------------------------------------
+# Reconciliation against the probe counters (full trial)
+# ----------------------------------------------------------------------
+
+
+def test_timeline_reconciles_with_probe_counters():
+    """The timeline is an independent accounting of the same trial the
+    probes count; their totals must reconcile exactly."""
+    buf = TraceBuffer(capacity=400_000)
+    result = run_trial(
+        variants.unmodified(),
+        12_000,
+        trace=buf,
+        duration_s=0.1,
+        warmup_s=0.05,
+        seed=0,
+    )
+    totals = buf.timeline.totals
+    counters = result.counters
+    # Every injected packet hits the input NIC: accepted or overflowed.
+    assert totals["inject"] == (
+        counters["nic.in0.rx_accepted"] + counters["nic.in0.rx_overflow_drops"]
+    )
+    assert totals["deliver"] == counters["router.delivered"]
+    assert totals["rx_overflow"] == (
+        counters["nic.in0.rx_overflow_drops"]
+        + counters["nic.out0.rx_overflow_drops"]
+    )
+    assert totals["queue_drops"] == sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("queue.") and name.endswith(".dropped")
+    )
+    # The measurement-window delta between the harness marks equals the
+    # TrialResult scalar computed from the probe window.
+    marks = buf.timeline.marks
+    delta = (
+        marks["measure_end"]["totals"]["deliver"]
+        - marks["measure_start"]["totals"]["deliver"]
+    )
+    assert delta == result.delivered
+
+
+def test_result_timeline_matches_attached_timeline():
+    buf = TraceBuffer(capacity=400_000)
+    result = run_trial(
+        variants.polling(quota=5),
+        9_000,
+        trace=buf,
+        duration_s=0.06,
+        warmup_s=0.03,
+        seed=1,
+    )
+    assert result.timeline == buf.timeline.to_dict()
