@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Build the optional compiled fast core (repro._fastcore).
+
+Two independent builds, best available wins at import time:
+
+1. the hand-written C extension ``_corec`` (backend ``fast-c``) — needs
+   only a C compiler and the CPython headers;
+2. a mypyc compile of ``repro/_fastcore/core.py`` (``fast-mypyc``) —
+   only attempted with ``--mypyc`` and only if mypyc is installed.
+
+Neither is required: without any toolchain the package runs the
+interpreted fallback (``fast-py``) for ``backend=fast`` and the pure
+backend everywhere else. This script therefore *never fails the
+install*; run it directly (or via ``setup.py build_ext``) to opt in.
+
+The artifact is written next to the sources
+(``src/repro/_fastcore/_corec.<abi>.so``) so ``PYTHONPATH=src`` runs
+pick it up without an install step. Build products are gitignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PKG = REPO / "src" / "repro" / "_fastcore"
+SOURCE = PKG / "_corec.c"
+
+
+def build_corec(verbose: bool = True) -> Path:
+    """Compile _corec.c into an importable extension; returns the path."""
+    cc = sysconfig.get_config_var("CC") or "cc"
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    out = PKG / ("_corec%s" % suffix)
+    cmd = cc.split() + [
+        "-O2",
+        "-g0",
+        "-fno-semantic-interposition",
+        "-fPIC",
+        "-shared",
+        "-I",
+        sysconfig.get_paths()["include"],
+        str(SOURCE),
+        "-o",
+        str(out),
+    ]
+    if verbose:
+        print(" ".join(cmd))
+    subprocess.run(cmd, check=True)
+    return out
+
+
+def build_mypyc(verbose: bool = True) -> bool:
+    """Try the mypyc build of core.py; returns False if mypyc is absent."""
+    try:
+        from mypyc.build import mypycify  # noqa: F401
+    except ImportError:
+        if verbose:
+            print("mypyc not installed; skipping the fast-mypyc build")
+        return False
+    from setuptools import setup
+
+    setup(
+        script_args=["build_ext", "--inplace"],
+        ext_modules=mypycify([str(PKG / "core.py")]),
+    )
+    return True
+
+
+def verify() -> str:
+    """Import the freshly built core and prove it loads."""
+    sys.path.insert(0, str(REPO / "src"))
+    for mod in [m for m in list(sys.modules) if m.startswith("repro")]:
+        del sys.modules[mod]
+    from repro._fastcore import FASTCORE_ERROR, FASTCORE_KIND
+
+    if FASTCORE_ERROR is not None:
+        raise SystemExit("fast core failed to load: %r" % (FASTCORE_ERROR,))
+    return FASTCORE_KIND
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mypyc",
+        action="store_true",
+        help="also attempt the mypyc build of core.py (skipped if absent)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args()
+    out = build_corec(verbose=not args.quiet)
+    if args.mypyc:
+        build_mypyc(verbose=not args.quiet)
+    kind = verify()
+    print("built %s (resolved backend flavour: %s)" % (out.name, kind))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

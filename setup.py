@@ -3,8 +3,22 @@
 Project metadata lives in pyproject.toml; this file exists so that
 ``pip install -e .`` works in offline environments without the ``wheel``
 package (pip falls back to ``setup.py develop``).
+
+The compiled fast core (``repro._fastcore._corec``) is strictly
+optional: it is declared with ``optional=True`` so environments without
+a C toolchain still install cleanly and fall back to the pure-python
+backend. ``scripts/build_fastcore.py`` builds the same extension
+in-place for PYTHONPATH=src workflows.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro._fastcore._corec",
+            sources=["src/repro/_fastcore/_corec.c"],
+            optional=True,
+        )
+    ]
+)

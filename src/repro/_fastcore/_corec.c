@@ -1,0 +1,1467 @@
+/* _corec.c — the compiled simulator fast core ("fast-c" backend).
+ *
+ * A C port of repro.sim.simulator.Simulator's hot path: the two-level
+ * calendar queue (timing wheel + current-slot heap + overflow heap),
+ * the event-slab freelist, periodic re-arm, tombstone cancellation with
+ * amortised compaction, and the drain loop.
+ *
+ * The contract is bit-identity with the pure-python core: same firing
+ * order (time, then scheduling seq), same RNG draw order (callbacks run
+ * in the same sequence), same counter values at every callback boundary
+ * for everything a trial can observe (pending, heap_size — the keys the
+ * watchdog samples), and therefore byte-identical TrialResults. The
+ * algorithm below is a line-for-line port of the python one; where the
+ * python comments explain *why*, this file only notes where C forces a
+ * different *how*:
+ *
+ *   - triples are C structs {time, seq, ev}, not tuples, and the heaps
+ *     are plain arrays with (time, seq) comparison. Pop order for a
+ *     binary min-heap is fully determined by the keys (seq is unique),
+ *     so heap-layout differences between heapq and this code cannot
+ *     change the firing order;
+ *   - the slab's getrefcount(ev) == 2 gate (local + getrefcount arg)
+ *     becomes Py_REFCNT(ev) == 1 on the popped triple's sole reference
+ *     — the same "scheduler is the only owner" test;
+ *   - the drain is the *scalar* loop. The batch drain exists to
+ *     amortise interpreter overhead across a chunk of pops; compiled
+ *     code has no interpreter overhead to amortise, and the scalar
+ *     loop's per-boundary counter evolution is what the batch loop is
+ *     defined to imitate (see repro/sim/_drain.py);
+ *   - callbacks can reenter schedule()/cancel() (and cancel can
+ *     compact, which reallocates every array), so the loop re-reads
+ *     self->cur after every callback and never caches array pointers
+ *     across one.
+ *
+ * set_sanitize_hook raises: the sanitizer rescans python-visible queue
+ * internals that this core does not expose. run_trial() routes
+ * sanitized runs to the pure backend before the simulator is built.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stdint.h>
+
+#define WHEEL_SHIFT 16
+#define WHEEL_SLOTS 256
+#define OCC_WORDS (WHEEL_SLOTS / 64)
+#define WHEEL_HORIZON ((long long)WHEEL_SLOTS << WHEEL_SHIFT)
+#define COMPACT_MIN_HEAP 64
+#define SLAB_MAX_FREE 4096
+
+/* Event states; the python core's interned strings are kept for the
+ * .state attribute so handles look identical from client code. */
+enum { ST_PENDING = 0, ST_FIRED = 1, ST_CANCELLED = 2 };
+
+static PyObject *ClockError;
+static PyObject *SchedulingError;
+static PyObject *state_strings[3]; /* "pending", "fired", "cancelled" */
+
+typedef struct CPeriodic CPeriodic;
+
+typedef struct {
+    PyObject_HEAD
+    long long time;
+    long long seq;
+    PyObject *callback; /* strong */
+    PyObject *args;     /* strong, always a tuple */
+    PyObject *label;    /* strong, str or NULL (exposed as None) */
+    CPeriodic *periodic; /* strong; non-NULL on periodic-timer events */
+    int state;
+} CEvent;
+
+typedef struct {
+    long long time;
+    long long seq;
+    CEvent *ev; /* strong */
+} Triple;
+
+typedef struct {
+    Triple *a;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} TList;
+
+typedef struct {
+    PyObject_HEAD
+    long long now_ns;
+    long long seq;
+    long long fired;
+    long long cancelled;
+    long long tombstones;
+    long long compactions;
+    int running;
+    int cursor; /* -1 .. WHEEL_SLOTS-1 */
+    long long wheel_base;
+    long long wheel_count;
+    uint64_t occ[OCC_WORDS];
+    TList cur;      /* heap */
+    TList overflow; /* heap */
+    TList wheel[WHEEL_SLOTS]; /* append-ordered buckets */
+    /* slab freelist (LIFO, like the python EventSlab) */
+    CEvent **free_list;
+    Py_ssize_t nfree;
+    long long slab_allocated;
+    long long slab_reused;
+    long long slab_high_water;
+} FastCoreObject;
+
+struct CPeriodic {
+    PyObject_HEAD
+    FastCoreObject *sim; /* strong */
+    CEvent *event;       /* strong */
+    long long interval_ns;
+    long long fires;
+    int active;
+};
+
+static PyTypeObject CEvent_Type;
+static PyTypeObject CPeriodic_Type;
+static PyTypeObject FastCore_Type;
+
+/* ------------------------------------------------------------------ */
+/* Triple lists and heaps                                             */
+/* ------------------------------------------------------------------ */
+
+static int
+tl_reserve(TList *l, Py_ssize_t need)
+{
+    Py_ssize_t cap;
+    Triple *a;
+    if (need <= l->cap)
+        return 0;
+    cap = l->cap ? l->cap : 8;
+    while (cap < need)
+        cap *= 2;
+    a = (Triple *)PyMem_Realloc(l->a, (size_t)cap * sizeof(Triple));
+    if (a == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    l->a = a;
+    l->cap = cap;
+    return 0;
+}
+
+static int
+tl_append(TList *l, Triple t) /* steals t.ev */
+{
+    if (tl_reserve(l, l->len + 1) < 0) {
+        Py_DECREF(t.ev);
+        return -1;
+    }
+    l->a[l->len++] = t;
+    return 0;
+}
+
+static inline int
+triple_lt(const Triple *x, const Triple *y)
+{
+    if (x->time != y->time)
+        return x->time < y->time;
+    return x->seq < y->seq;
+}
+
+static void
+heap_sift_toward_root(TList *h, Py_ssize_t pos)
+{
+    Triple item = h->a[pos];
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!triple_lt(&item, &h->a[parent]))
+            break;
+        h->a[pos] = h->a[parent];
+        pos = parent;
+    }
+    h->a[pos] = item;
+}
+
+static void
+heap_sift_toward_leaves(TList *h, Py_ssize_t pos)
+{
+    Py_ssize_t n = h->len;
+    Triple item = h->a[pos];
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && triple_lt(&h->a[child + 1], &h->a[child]))
+            child += 1;
+        if (!triple_lt(&h->a[child], &item))
+            break;
+        h->a[pos] = h->a[child];
+        pos = child;
+    }
+    h->a[pos] = item;
+}
+
+static int
+heap_push(TList *h, Triple t) /* steals t.ev */
+{
+    if (tl_append(h, t) < 0)
+        return -1;
+    heap_sift_toward_root(h, h->len - 1);
+    return 0;
+}
+
+static Triple
+heap_pop(TList *h) /* caller owns the returned ev ref; precondition len > 0 */
+{
+    Triple top = h->a[0];
+    h->len -= 1;
+    if (h->len > 0) {
+        h->a[0] = h->a[h->len];
+        heap_sift_toward_leaves(h, 0);
+    }
+    return top;
+}
+
+static void
+heapify(TList *h)
+{
+    Py_ssize_t i;
+    for (i = h->len / 2 - 1; i >= 0; i--)
+        heap_sift_toward_leaves(h, i);
+}
+
+/* ------------------------------------------------------------------ */
+/* Occupancy bitmap                                                   */
+/* ------------------------------------------------------------------ */
+
+static inline void
+occ_set(FastCoreObject *s, int idx)
+{
+    s->occ[idx >> 6] |= (uint64_t)1 << (idx & 63);
+}
+
+static inline void
+occ_clear(FastCoreObject *s, int idx)
+{
+    s->occ[idx >> 6] &= ~((uint64_t)1 << (idx & 63));
+}
+
+static int
+occ_next(FastCoreObject *s, int from) /* lowest set bit >= from, or -1 */
+{
+    int w;
+    uint64_t word;
+    if (from >= WHEEL_SLOTS)
+        return -1;
+    if (from < 0)
+        from = 0;
+    w = from >> 6;
+    word = s->occ[w] & (~(uint64_t)0 << (from & 63));
+    for (;;) {
+        if (word)
+            return (w << 6) + __builtin_ctzll(word);
+        if (++w >= OCC_WORDS)
+            return -1;
+        word = s->occ[w];
+    }
+}
+
+static int
+occ_popcount(FastCoreObject *s)
+{
+    int w, n = 0;
+    for (w = 0; w < OCC_WORDS; w++)
+        n += __builtin_popcountll(s->occ[w]);
+    return n;
+}
+
+/* ------------------------------------------------------------------ */
+/* CEvent                                                             */
+/* ------------------------------------------------------------------ */
+
+static CEvent *
+cevent_alloc(void)
+{
+    CEvent *ev = PyObject_GC_New(CEvent, &CEvent_Type);
+    if (ev == NULL)
+        return NULL;
+    ev->time = 0;
+    ev->seq = 0;
+    ev->callback = NULL;
+    ev->args = NULL;
+    ev->label = NULL;
+    ev->periodic = NULL;
+    ev->state = ST_PENDING;
+    PyObject_GC_Track((PyObject *)ev);
+    return ev;
+}
+
+static int
+cevent_traverse(CEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->args);
+    Py_VISIT(self->label);
+    Py_VISIT((PyObject *)self->periodic);
+    return 0;
+}
+
+static int
+cevent_clear(CEvent *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->label);
+    Py_CLEAR(self->periodic);
+    return 0;
+}
+
+static void
+cevent_dealloc(CEvent *self)
+{
+    PyObject_GC_UnTrack((PyObject *)self);
+    cevent_clear(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+cevent_get_state(CEvent *self, void *closure)
+{
+    PyObject *s = state_strings[self->state];
+    Py_INCREF(s);
+    return s;
+}
+
+static PyObject *
+cevent_get_pending(CEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->state == ST_PENDING);
+}
+
+static PyObject *
+cevent_get_cancelled(CEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->state == ST_CANCELLED);
+}
+
+static PyObject *
+cevent_get_label(CEvent *self, void *closure)
+{
+    PyObject *l = self->label ? self->label : Py_None;
+    Py_INCREF(l);
+    return l;
+}
+
+static PyObject *
+cevent_get_callback(CEvent *self, void *closure)
+{
+    PyObject *cb = self->callback ? self->callback : Py_None;
+    Py_INCREF(cb);
+    return cb;
+}
+
+static PyObject *
+cevent_get_args(CEvent *self, void *closure)
+{
+    PyObject *a = self->args ? self->args : Py_None;
+    Py_INCREF(a);
+    return a;
+}
+
+static PyObject *
+cevent_repr(CEvent *self)
+{
+    const char *name = "callback";
+    PyObject *nameobj = NULL;
+    PyObject *out;
+    if (self->label && PyUnicode_Check(self->label)) {
+        nameobj = self->label;
+        Py_INCREF(nameobj);
+    } else if (self->callback) {
+        nameobj = PyObject_GetAttrString(self->callback, "__name__");
+        if (nameobj == NULL)
+            PyErr_Clear();
+    }
+    if (nameobj && PyUnicode_Check(nameobj))
+        name = PyUnicode_AsUTF8(nameobj);
+    out = PyUnicode_FromFormat("Event(t=%lld, seq=%lld, %s, %U)",
+                               self->time, self->seq, name ? name : "callback",
+                               state_strings[self->state]);
+    Py_XDECREF(nameobj);
+    return out;
+}
+
+static PyMemberDef cevent_members[] = {
+    {"time", T_LONGLONG, offsetof(CEvent, time), READONLY, NULL},
+    {"seq", T_LONGLONG, offsetof(CEvent, seq), READONLY, NULL},
+    {NULL},
+};
+
+static PyGetSetDef cevent_getset[] = {
+    {"state", (getter)cevent_get_state, NULL, NULL, NULL},
+    {"pending", (getter)cevent_get_pending, NULL, NULL, NULL},
+    {"cancelled", (getter)cevent_get_cancelled, NULL, NULL, NULL},
+    {"label", (getter)cevent_get_label, NULL, NULL, NULL},
+    {"callback", (getter)cevent_get_callback, NULL, NULL, NULL},
+    {"args", (getter)cevent_get_args, NULL, NULL, NULL},
+    {NULL},
+};
+
+static PyTypeObject CEvent_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._fastcore._corec.Event",
+    .tp_basicsize = sizeof(CEvent),
+    .tp_dealloc = (destructor)cevent_dealloc,
+    .tp_repr = (reprfunc)cevent_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)cevent_traverse,
+    .tp_clear = (inquiry)cevent_clear,
+    .tp_members = cevent_members,
+    .tp_getset = cevent_getset,
+    .tp_doc = "Opaque scheduled-event handle (compiled core).",
+};
+
+/* ------------------------------------------------------------------ */
+/* Slab freelist                                                      */
+/* ------------------------------------------------------------------ */
+
+/* The python gate is getrefcount(ev) == 2: the drain's local plus the
+ * getrefcount argument, i.e. "nothing but the scheduler still holds
+ * it". Here the caller owns exactly one reference (the popped
+ * triple's), so the gate is Py_REFCNT == 1. Steals the reference
+ * either way: into the freelist, or dropped to the GC. */
+static void
+retire_event(FastCoreObject *self, CEvent *ev)
+{
+    if (Py_REFCNT((PyObject *)ev) == 1 && ev->periodic == NULL &&
+        self->nfree < SLAB_MAX_FREE) {
+        Py_ssize_t n = self->nfree;
+        self->free_list[n] = ev; /* keep the reference */
+        self->nfree = n + 1;
+        if (n >= self->slab_high_water)
+            self->slab_high_water = n + 1;
+        return;
+    }
+    Py_DECREF(ev);
+}
+
+/* Returns a new reference; mirrors the inlined slab acquire in
+ * Simulator.schedule (LIFO reuse, counters bumped the same way). */
+static CEvent *
+acquire_event(FastCoreObject *self, long long time, long long seq,
+              PyObject *callback, PyObject *args /* stolen */,
+              PyObject *label /* borrowed or NULL */)
+{
+    CEvent *ev;
+    if (self->nfree > 0) {
+        ev = self->free_list[--self->nfree];
+        self->slab_reused += 1;
+        Py_INCREF(callback);
+        Py_XSETREF(ev->callback, callback);
+        Py_XSETREF(ev->args, args);
+        Py_XINCREF(label);
+        Py_XSETREF(ev->label, label);
+    } else {
+        self->slab_allocated += 1;
+        ev = cevent_alloc();
+        if (ev == NULL) {
+            Py_DECREF(args);
+            return NULL;
+        }
+        Py_INCREF(callback);
+        ev->callback = callback;
+        ev->args = args;
+        Py_XINCREF(label);
+        ev->label = label;
+    }
+    ev->time = time;
+    ev->seq = seq;
+    ev->state = ST_PENDING;
+    return ev;
+}
+
+/* ------------------------------------------------------------------ */
+/* Queue insert / cancel / compact                                    */
+/* ------------------------------------------------------------------ */
+
+/* The three-way dispatch from Simulator.schedule: at/behind the cursor
+ * -> current-slot heap; inside the wheel window -> bucket append;
+ * beyond the horizon -> overflow heap. Steals the ev reference. */
+static int
+insert_event(FastCoreObject *self, long long time, long long seq, CEvent *ev)
+{
+    long long idx = (time - self->wheel_base) >> WHEEL_SHIFT;
+    Triple t = {time, seq, ev};
+    if (idx <= (long long)self->cursor)
+        return heap_push(&self->cur, t);
+    if (idx < WHEEL_SLOTS) {
+        if (tl_append(&self->wheel[idx], t) < 0)
+            return -1;
+        occ_set(self, (int)idx);
+        self->wheel_count += 1;
+        return 0;
+    }
+    return heap_push(&self->overflow, t);
+}
+
+static void
+tl_filter_cancelled(TList *l)
+{
+    Py_ssize_t i, w = 0;
+    for (i = 0; i < l->len; i++) {
+        Triple t = l->a[i];
+        if (t.ev->state == ST_CANCELLED)
+            Py_DECREF(t.ev); /* dropped to the GC, not the slab */
+        else
+            l->a[w++] = t;
+    }
+    l->len = w;
+}
+
+static void
+compact(FastCoreObject *self)
+{
+    int idx;
+    long long count = 0;
+    tl_filter_cancelled(&self->cur);
+    heapify(&self->cur);
+    tl_filter_cancelled(&self->overflow);
+    heapify(&self->overflow);
+    memset(self->occ, 0, sizeof(self->occ));
+    for (idx = 0; idx < WHEEL_SLOTS; idx++) {
+        TList *bucket = &self->wheel[idx];
+        if (bucket->len) {
+            tl_filter_cancelled(bucket);
+            if (bucket->len) {
+                occ_set(self, idx);
+                count += bucket->len;
+            }
+        }
+    }
+    self->wheel_count = count;
+    self->tombstones = 0;
+    self->compactions += 1;
+}
+
+/* Shared by FastCore.cancel and CPeriodic.cancel: tombstone the event
+ * and run the amortised compaction trigger (four int ops, same
+ * threshold arithmetic as the python core). */
+static void
+cancel_event(FastCoreObject *self, CEvent *ev)
+{
+    long long tombs, total;
+    ev->state = ST_CANCELLED;
+    self->cancelled += 1;
+    tombs = self->tombstones + 1;
+    self->tombstones = tombs;
+    total = self->seq - self->fired - self->cancelled + tombs;
+    if (total >= COMPACT_MIN_HEAP && tombs * 2 > total)
+        compact(self);
+}
+
+/* ------------------------------------------------------------------ */
+/* Queue traversal                                                    */
+/* ------------------------------------------------------------------ */
+
+/* Port of Simulator._advance: load the next populated bucket whose
+ * window starts at or before the deadline into the (empty) current
+ * heap. Returns 1 loaded, 0 nothing runnable, -1 on error. */
+static int
+advance(FastCoreObject *self, long long deadline, int has_deadline)
+{
+    for (;;) {
+        long long base = self->wheel_base;
+        int idx = occ_next(self, self->cursor + 1);
+        while (idx >= 0) {
+            TList *bucket = &self->wheel[idx];
+            TList tmp;
+            if (bucket->len == 0) {
+                /* Stale bit (compaction emptied the bucket). */
+                occ_clear(self, idx);
+                idx = occ_next(self, idx + 1);
+                continue;
+            }
+            if (has_deadline &&
+                base + ((long long)idx << WHEEL_SHIFT) > deadline)
+                return 0;
+            /* Zero-copy load: swap the bucket's array with the drained
+             * (empty) current heap's, so the load allocates nothing and
+             * the bucket inherits the spent array for reuse. */
+            self->wheel_count -= bucket->len;
+            occ_clear(self, idx);
+            self->cursor = idx;
+            tmp = self->cur;
+            self->cur = *bucket;
+            *bucket = tmp;
+            heapify(&self->cur);
+            return 1;
+        }
+        /* Wheel window exhausted: jump to the overflow's first event. */
+        while (self->overflow.len &&
+               self->overflow.a[0].ev->state == ST_CANCELLED) {
+            Triple t = heap_pop(&self->overflow);
+            self->tombstones -= 1;
+            retire_event(self, t.ev);
+        }
+        if (self->overflow.len == 0)
+            return 0;
+        {
+            long long t_min = self->overflow.a[0].time;
+            long long limit, count = 0;
+            if (has_deadline && t_min > deadline)
+                return 0;
+            base = (t_min >> WHEEL_SHIFT) << WHEEL_SHIFT;
+            self->wheel_base = base;
+            self->cursor = -1;
+            limit = base + WHEEL_HORIZON;
+            memset(self->occ, 0, sizeof(self->occ));
+            while (self->overflow.len && self->overflow.a[0].time < limit) {
+                Triple t = heap_pop(&self->overflow);
+                long long idx2;
+                if (t.ev->state == ST_CANCELLED) {
+                    self->tombstones -= 1;
+                    retire_event(self, t.ev);
+                    continue;
+                }
+                idx2 = (t.time - base) >> WHEEL_SHIFT;
+                if (tl_append(&self->wheel[idx2], t) < 0)
+                    return -1;
+                occ_set(self, (int)idx2);
+                count += 1;
+            }
+            /* The wheel was provably empty before the refill. */
+            self->wheel_count = count;
+        }
+        /* Loop: rescan the refilled window from slot 0. */
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Firing                                                             */
+/* ------------------------------------------------------------------ */
+
+/* Fire one popped triple. Owns (and consumes) the ev reference.
+ * The periodic branch is the C equivalent of the python fire()
+ * closure: fires++ before the callback, re-arm consumes a fresh seq
+ * *after* the callback — identical counter evolution at every
+ * callback boundary. Returns 0, or -1 with an exception set. */
+static int
+fire_event(FastCoreObject *self, CEvent *ev)
+{
+    PyObject *res;
+    CPeriodic *p = ev->periodic;
+    if (p != NULL) {
+        p->fires += 1;
+        res = PyObject_Call(ev->callback, ev->args, NULL);
+        if (res == NULL) {
+            Py_DECREF(ev);
+            return -1;
+        }
+        Py_DECREF(res);
+        if (p->active) {
+            long long time = ev->time + p->interval_ns;
+            long long seq = self->seq;
+            self->seq = seq + 1;
+            ev->time = time;
+            ev->seq = seq;
+            ev->state = ST_PENDING;
+            return insert_event(self, time, seq, ev); /* ref moves back in */
+        }
+        retire_event(self, ev); /* handle still holds it: goes to the GC */
+        return 0;
+    }
+    res = PyObject_Call(ev->callback, ev->args, NULL);
+    if (res == NULL) {
+        Py_DECREF(ev);
+        return -1;
+    }
+    Py_DECREF(res);
+    retire_event(self, ev);
+    return 0;
+}
+
+static void
+raise_clock_error(long long time, long long now)
+{
+    PyErr_Format(ClockError, "event at t=%lld behind clock t=%lld", time, now);
+}
+
+/* Port of the generated drain_plain loop (repro/sim/_drain.py). */
+static int
+drain(FastCoreObject *self, long long deadline, int has_deadline)
+{
+    for (;;) {
+        while (self->cur.len) {
+            Triple head = self->cur.a[0];
+            CEvent *ev = head.ev;
+            if (ev->state == ST_CANCELLED) {
+                heap_pop(&self->cur);
+                self->tombstones -= 1;
+                retire_event(self, ev);
+                continue;
+            }
+            if (has_deadline && head.time > deadline)
+                return 0;
+            if (head.time < self->now_ns) {
+                raise_clock_error(head.time, self->now_ns);
+                return -1;
+            }
+            heap_pop(&self->cur);
+            self->now_ns = head.time;
+            ev->state = ST_FIRED;
+            self->fired += 1;
+            if (fire_event(self, ev) < 0)
+                return -1;
+            /* The callback may have scheduled, cancelled, compacted —
+             * self->cur is re-read at the top of the loop. */
+        }
+        {
+            int adv = advance(self, deadline, has_deadline);
+            if (adv < 0)
+                return -1;
+            if (adv == 0)
+                return 0;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* CPeriodic                                                          */
+/* ------------------------------------------------------------------ */
+
+static int
+cperiodic_traverse(CPeriodic *self, visitproc visit, void *arg)
+{
+    Py_VISIT((PyObject *)self->sim);
+    Py_VISIT((PyObject *)self->event);
+    return 0;
+}
+
+static int
+cperiodic_clear(CPeriodic *self)
+{
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->event);
+    return 0;
+}
+
+static void
+cperiodic_dealloc(CPeriodic *self)
+{
+    PyObject_GC_UnTrack((PyObject *)self);
+    cperiodic_clear(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+cperiodic_cancel(CPeriodic *self, PyObject *noargs)
+{
+    CEvent *ev;
+    if (!self->active)
+        Py_RETURN_FALSE;
+    self->active = 0;
+    ev = self->event;
+    if (ev != NULL && ev->state == ST_PENDING && self->sim != NULL)
+        cancel_event(self->sim, ev);
+    Py_RETURN_TRUE;
+}
+
+static PyObject *
+cperiodic_get_active(CPeriodic *self, void *closure)
+{
+    return PyBool_FromLong(self->active);
+}
+
+static PyObject *
+cperiodic_repr(CPeriodic *self)
+{
+    return PyUnicode_FromFormat("PeriodicEvent(every %lld ns, fires=%lld, %s)",
+                                self->interval_ns, self->fires,
+                                self->active ? "active" : "cancelled");
+}
+
+static PyMemberDef cperiodic_members[] = {
+    {"interval_ns", T_LONGLONG, offsetof(CPeriodic, interval_ns), READONLY, NULL},
+    {"fires", T_LONGLONG, offsetof(CPeriodic, fires), READONLY, NULL},
+    {NULL},
+};
+
+static PyGetSetDef cperiodic_getset[] = {
+    {"active", (getter)cperiodic_get_active, NULL, NULL, NULL},
+    {NULL},
+};
+
+static PyMethodDef cperiodic_methods[] = {
+    {"cancel", (PyCFunction)cperiodic_cancel, METH_NOARGS,
+     "Stop the timer. Safe from inside its own callback."},
+    {NULL},
+};
+
+static PyTypeObject CPeriodic_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._fastcore._corec.PeriodicEvent",
+    .tp_basicsize = sizeof(CPeriodic),
+    .tp_dealloc = (destructor)cperiodic_dealloc,
+    .tp_repr = (reprfunc)cperiodic_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)cperiodic_traverse,
+    .tp_clear = (inquiry)cperiodic_clear,
+    .tp_members = cperiodic_members,
+    .tp_getset = cperiodic_getset,
+    .tp_methods = cperiodic_methods,
+    .tp_doc = "Recurring-timer handle (compiled core).",
+};
+
+/* ------------------------------------------------------------------ */
+/* FastCore                                                           */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+fastcore_new(PyTypeObject *type, PyObject *args, PyObject *kwargs)
+{
+    FastCoreObject *self;
+    if ((args && PyTuple_GET_SIZE(args)) || (kwargs && PyDict_GET_SIZE(kwargs))) {
+        PyErr_SetString(PyExc_TypeError, "FastCore() takes no arguments");
+        return NULL;
+    }
+    self = (FastCoreObject *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->cursor = -1;
+    self->free_list =
+        (CEvent **)PyMem_Calloc(SLAB_MAX_FREE, sizeof(CEvent *));
+    if (self->free_list == NULL) {
+        Py_DECREF(self);
+        return PyErr_NoMemory();
+    }
+    return (PyObject *)self;
+}
+
+static int
+fastcore_traverse(FastCoreObject *self, visitproc visit, void *arg)
+{
+    Py_ssize_t i;
+    int b;
+    for (i = 0; i < self->cur.len; i++)
+        Py_VISIT((PyObject *)self->cur.a[i].ev);
+    for (i = 0; i < self->overflow.len; i++)
+        Py_VISIT((PyObject *)self->overflow.a[i].ev);
+    for (b = 0; b < WHEEL_SLOTS; b++) {
+        TList *bucket = &self->wheel[b];
+        for (i = 0; i < bucket->len; i++)
+            Py_VISIT((PyObject *)bucket->a[i].ev);
+    }
+    for (i = 0; i < self->nfree; i++)
+        Py_VISIT((PyObject *)self->free_list[i]);
+    return 0;
+}
+
+static void
+tl_drop(TList *l)
+{
+    Py_ssize_t i;
+    for (i = 0; i < l->len; i++)
+        Py_DECREF(l->a[i].ev);
+    l->len = 0;
+    PyMem_Free(l->a);
+    l->a = NULL;
+    l->cap = 0;
+}
+
+static int
+fastcore_clear_impl(FastCoreObject *self)
+{
+    int b;
+    Py_ssize_t i;
+    tl_drop(&self->cur);
+    tl_drop(&self->overflow);
+    for (b = 0; b < WHEEL_SLOTS; b++)
+        tl_drop(&self->wheel[b]);
+    memset(self->occ, 0, sizeof(self->occ));
+    self->wheel_count = 0;
+    if (self->free_list != NULL) {
+        for (i = 0; i < self->nfree; i++)
+            Py_DECREF(self->free_list[i]);
+        self->nfree = 0;
+    }
+    return 0;
+}
+
+static void
+fastcore_dealloc(FastCoreObject *self)
+{
+    PyObject_GC_UnTrack((PyObject *)self);
+    fastcore_clear_impl(self);
+    PyMem_Free(self->free_list);
+    self->free_list = NULL;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+as_ns(PyObject *obj, long long *out)
+{
+    long long v = PyLong_AsLongLong(obj);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    *out = v;
+    return 0;
+}
+
+/* Shared kwnames handling for the fastcall schedule entry points:
+ * only 'label' is accepted; returns 0 and writes the borrowed value
+ * (NULL when absent or None). */
+static int
+parse_label_kw(PyObject *kwnames, PyObject *const *kwvalues,
+               const char *fname, PyObject **label_out)
+{
+    *label_out = NULL;
+    if (kwnames == NULL)
+        return 0;
+    {
+        Py_ssize_t nkw = PyTuple_GET_SIZE(kwnames);
+        Py_ssize_t i;
+        for (i = 0; i < nkw; i++) {
+            PyObject *name = PyTuple_GET_ITEM(kwnames, i);
+            if (PyUnicode_CompareWithASCIIString(name, "label") == 0) {
+                *label_out = kwvalues[i];
+            } else {
+                PyErr_Format(PyExc_TypeError,
+                             "%s() accepts only the 'label' keyword", fname);
+                return -1;
+            }
+        }
+    }
+    if (*label_out == Py_None)
+        *label_out = NULL;
+    return 0;
+}
+
+static PyObject *
+args_tuple_from(PyObject *const *items, Py_ssize_t n)
+{
+    PyObject *tup = PyTuple_New(n);
+    Py_ssize_t i;
+    if (tup == NULL)
+        return NULL;
+    for (i = 0; i < n; i++) {
+        PyObject *item = items[i];
+        Py_INCREF(item);
+        PyTuple_SET_ITEM(tup, i, item);
+    }
+    return tup;
+}
+
+static PyObject *
+schedule_common(FastCoreObject *self, long long delay, PyObject *callback,
+                PyObject *cb_args /* stolen */, PyObject *label)
+{
+    long long time = self->now_ns + delay;
+    long long seq = self->seq;
+    CEvent *ev;
+    self->seq = seq + 1;
+    ev = acquire_event(self, time, seq, callback, cb_args, label);
+    if (ev == NULL)
+        return NULL;
+    Py_INCREF(ev); /* one ref for the queue, one for the caller */
+    if (insert_event(self, time, seq, ev) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return (PyObject *)ev;
+}
+
+/* schedule(delay, callback, *args, label=None) */
+static PyObject *
+fastcore_schedule(FastCoreObject *self, PyObject *const *args, Py_ssize_t n,
+                  PyObject *kwnames)
+{
+    long long delay;
+    PyObject *cb_args, *label;
+    if (n < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule() requires (delay, callback, ...)");
+        return NULL;
+    }
+    if (parse_label_kw(kwnames, args + n, "schedule", &label) < 0)
+        return NULL;
+    if (as_ns(args[0], &delay) < 0)
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(SchedulingError,
+                     "cannot schedule into the past (delay=%lld)", delay);
+        return NULL;
+    }
+    cb_args = args_tuple_from(args + 2, n - 2);
+    if (cb_args == NULL)
+        return NULL;
+    return schedule_common(self, delay, args[1], cb_args, label);
+}
+
+/* schedule_at(time, callback, *args, label=None) */
+static PyObject *
+fastcore_schedule_at(FastCoreObject *self, PyObject *const *args,
+                     Py_ssize_t n, PyObject *kwnames)
+{
+    long long time;
+    PyObject *cb_args, *label;
+    if (n < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at() requires (time, callback, ...)");
+        return NULL;
+    }
+    if (parse_label_kw(kwnames, args + n, "schedule_at", &label) < 0)
+        return NULL;
+    if (as_ns(args[0], &time) < 0)
+        return NULL;
+    if (time < self->now_ns) {
+        PyErr_Format(SchedulingError,
+                     "cannot schedule at t=%lld, now is t=%lld", time,
+                     self->now_ns);
+        return NULL;
+    }
+    cb_args = args_tuple_from(args + 2, n - 2);
+    if (cb_args == NULL)
+        return NULL;
+    return schedule_common(self, time - self->now_ns, args[1], cb_args, label);
+}
+
+/* schedule_periodic(interval_ns, callback, *args, label=None,
+ *                   first_delay=None) */
+static PyObject *
+fastcore_schedule_periodic(FastCoreObject *self, PyObject *args,
+                           PyObject *kwargs)
+{
+    Py_ssize_t n = PyTuple_GET_SIZE(args);
+    long long interval, delay, time, seq;
+    PyObject *callback, *cb_args, *label = NULL, *first_delay = NULL;
+    CPeriodic *handle;
+    CEvent *ev;
+    if (n < 2) {
+        PyErr_SetString(
+            PyExc_TypeError,
+            "schedule_periodic() requires (interval_ns, callback, ...)");
+        return NULL;
+    }
+    if (kwargs != NULL && PyDict_GET_SIZE(kwargs)) {
+        Py_ssize_t seen = 0;
+        label = PyDict_GetItemString(kwargs, "label");
+        if (label != NULL)
+            seen++;
+        first_delay = PyDict_GetItemString(kwargs, "first_delay");
+        if (first_delay != NULL)
+            seen++;
+        if (seen != PyDict_GET_SIZE(kwargs)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "schedule_periodic() accepts only the 'label' "
+                            "and 'first_delay' keywords");
+            return NULL;
+        }
+        if (label == Py_None)
+            label = NULL;
+        if (first_delay == Py_None)
+            first_delay = NULL;
+    }
+    if (as_ns(PyTuple_GET_ITEM(args, 0), &interval) < 0)
+        return NULL;
+    if (interval <= 0) {
+        PyErr_Format(SchedulingError,
+                     "periodic interval must be positive, got %lld", interval);
+        return NULL;
+    }
+    delay = interval;
+    if (first_delay != NULL) {
+        if (as_ns(first_delay, &delay) < 0)
+            return NULL;
+        if (delay < 0) {
+            PyErr_Format(SchedulingError,
+                         "cannot schedule into the past (first_delay=%lld)",
+                         delay);
+            return NULL;
+        }
+    }
+    callback = PyTuple_GET_ITEM(args, 1);
+    cb_args = PyTuple_GetSlice(args, 2, n);
+    if (cb_args == NULL)
+        return NULL;
+    handle = PyObject_GC_New(CPeriodic, &CPeriodic_Type);
+    if (handle == NULL) {
+        Py_DECREF(cb_args);
+        return NULL;
+    }
+    Py_INCREF(self);
+    handle->sim = self;
+    handle->event = NULL;
+    handle->interval_ns = interval;
+    handle->fires = 0;
+    handle->active = 1;
+    PyObject_GC_Track((PyObject *)handle);
+    /* First arm goes through the same schedule path (seq consumed here,
+     * slab acquire counted here) as the python core's self.schedule. */
+    time = self->now_ns + delay;
+    seq = self->seq;
+    self->seq = seq + 1;
+    ev = acquire_event(self, time, seq, callback, cb_args, label);
+    if (ev == NULL) {
+        Py_DECREF(handle);
+        return NULL;
+    }
+    Py_INCREF(handle);
+    ev->periodic = handle;
+    Py_INCREF(ev);
+    handle->event = ev;
+    if (insert_event(self, time, seq, ev) < 0) {
+        Py_DECREF(handle);
+        return NULL;
+    }
+    return (PyObject *)handle;
+}
+
+static PyObject *
+fastcore_cancel(FastCoreObject *self, PyObject *handle)
+{
+    if (Py_TYPE(handle) == &CPeriodic_Type)
+        return cperiodic_cancel((CPeriodic *)handle, NULL);
+    if (Py_TYPE(handle) == &CEvent_Type) {
+        CEvent *ev = (CEvent *)handle;
+        if (ev->state != ST_PENDING)
+            Py_RETURN_FALSE;
+        cancel_event(self, ev);
+        Py_RETURN_TRUE;
+    }
+    PyErr_Format(PyExc_TypeError,
+                 "cancel() expects an Event or PeriodicEvent handle from "
+                 "this simulator, got %.100s", Py_TYPE(handle)->tp_name);
+    return NULL;
+}
+
+static PyObject *
+fastcore_run(FastCoreObject *self, PyObject *args)
+{
+    PyObject *until_obj = Py_None;
+    long long deadline = 0;
+    int has_deadline = 0, rc;
+    if (!PyArg_ParseTuple(args, "|O:run", &until_obj))
+        return NULL;
+    if (until_obj != Py_None) {
+        if (as_ns(until_obj, &deadline) < 0)
+            return NULL;
+        if (deadline < self->now_ns) {
+            PyErr_Format(SchedulingError,
+                         "deadline t=%lld is in the past (now t=%lld)",
+                         deadline, self->now_ns);
+            return NULL;
+        }
+        has_deadline = 1;
+    }
+    self->running = 1;
+    rc = drain(self, deadline, has_deadline);
+    self->running = 0;
+    if (rc < 0)
+        return NULL;
+    if (has_deadline && deadline > self->now_ns)
+        self->now_ns = deadline;
+    return PyLong_FromLongLong(self->now_ns);
+}
+
+static PyObject *
+fastcore_run_for(FastCoreObject *self, PyObject *arg)
+{
+    long long duration;
+    PyObject *until, *tuple, *out;
+    if (as_ns(arg, &duration) < 0)
+        return NULL;
+    until = PyLong_FromLongLong(self->now_ns + duration);
+    if (until == NULL)
+        return NULL;
+    tuple = PyTuple_Pack(1, until);
+    Py_DECREF(until);
+    if (tuple == NULL)
+        return NULL;
+    out = fastcore_run(self, tuple);
+    Py_DECREF(tuple);
+    return out;
+}
+
+static PyObject *
+fastcore_step(FastCoreObject *self, PyObject *noargs)
+{
+    for (;;) {
+        while (self->cur.len) {
+            Triple head = self->cur.a[0];
+            CEvent *ev = head.ev;
+            if (ev->state == ST_CANCELLED) {
+                heap_pop(&self->cur);
+                self->tombstones -= 1;
+                retire_event(self, ev);
+                continue;
+            }
+            if (head.time < self->now_ns) {
+                raise_clock_error(head.time, self->now_ns);
+                return NULL;
+            }
+            heap_pop(&self->cur);
+            self->now_ns = head.time;
+            ev->state = ST_FIRED;
+            self->fired += 1;
+            if (fire_event(self, ev) < 0)
+                return NULL;
+            Py_RETURN_TRUE;
+        }
+        {
+            int adv = advance(self, 0, 0);
+            if (adv < 0)
+                return NULL;
+            if (adv == 0)
+                Py_RETURN_FALSE;
+        }
+    }
+}
+
+static PyObject *
+fastcore_peek_time(FastCoreObject *self, PyObject *noargs)
+{
+    int idx;
+    while (self->cur.len) {
+        Triple head = self->cur.a[0];
+        if (head.ev->state != ST_CANCELLED)
+            return PyLong_FromLongLong(head.time);
+        heap_pop(&self->cur);
+        self->tombstones -= 1;
+        retire_event(self, head.ev);
+    }
+    idx = occ_next(self, self->cursor + 1);
+    while (idx >= 0) {
+        TList *bucket = &self->wheel[idx];
+        Py_ssize_t i;
+        long long best = 0;
+        int found = 0;
+        for (i = 0; i < bucket->len; i++) {
+            Triple *t = &bucket->a[i];
+            if (t->ev->state != ST_CANCELLED && (!found || t->time < best)) {
+                best = t->time;
+                found = 1;
+            }
+        }
+        if (found)
+            return PyLong_FromLongLong(best);
+        idx = occ_next(self, idx + 1);
+    }
+    while (self->overflow.len) {
+        Triple head = self->overflow.a[0];
+        if (head.ev->state != ST_CANCELLED)
+            return PyLong_FromLongLong(head.time);
+        heap_pop(&self->overflow);
+        self->tombstones -= 1;
+        retire_event(self, head.ev);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+fastcore_set_sanitize_hook(FastCoreObject *self, PyObject *args)
+{
+    PyErr_SetString(
+        PyExc_NotImplementedError,
+        "the compiled fast core has no sanitized drain loop; sanitized "
+        "runs use backend='pure' (run_trial falls back automatically)");
+    return NULL;
+}
+
+static PyObject *
+fastcore_clear_sanitize_hook(FastCoreObject *self, PyObject *noargs)
+{
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+fastcore_get_now(FastCoreObject *self, void *closure)
+{
+    return PyLong_FromLongLong(self->now_ns);
+}
+
+static PyObject *
+fastcore_get_running(FastCoreObject *self, void *closure)
+{
+    return PyBool_FromLong(self->running);
+}
+
+static int
+dict_set_ll(PyObject *d, const char *key, long long value)
+{
+    PyObject *v = PyLong_FromLongLong(value);
+    int rc;
+    if (v == NULL)
+        return -1;
+    rc = PyDict_SetItemString(d, key, v);
+    Py_DECREF(v);
+    return rc;
+}
+
+static PyObject *
+fastcore_get_stats(FastCoreObject *self, void *closure)
+{
+    PyObject *d = PyDict_New();
+    PyObject *backend;
+    if (d == NULL)
+        return NULL;
+    backend = PyUnicode_FromString("fast-c");
+    if (backend == NULL ||
+        PyDict_SetItemString(d, "backend", backend) < 0) {
+        Py_XDECREF(backend);
+        Py_DECREF(d);
+        return NULL;
+    }
+    Py_DECREF(backend);
+    if (dict_set_ll(d, "scheduled", self->seq) < 0 ||
+        dict_set_ll(d, "fired", self->fired) < 0 ||
+        dict_set_ll(d, "cancelled", self->cancelled) < 0 ||
+        dict_set_ll(d, "pending",
+                    self->seq - self->fired - self->cancelled) < 0 ||
+        dict_set_ll(d, "heap_size",
+                    (long long)self->cur.len + self->wheel_count +
+                        (long long)self->overflow.len) < 0 ||
+        dict_set_ll(d, "compactions", self->compactions) < 0 ||
+        dict_set_ll(d, "wheel_occupancy", occ_popcount(self)) < 0 ||
+        dict_set_ll(d, "wheel_events", self->wheel_count) < 0 ||
+        dict_set_ll(d, "current_bucket", (long long)self->cur.len) < 0 ||
+        dict_set_ll(d, "overflow_size", (long long)self->overflow.len) < 0 ||
+        dict_set_ll(d, "slab_allocated", self->slab_allocated) < 0 ||
+        dict_set_ll(d, "slab_reused", self->slab_reused) < 0 ||
+        dict_set_ll(d, "slab_recycled",
+                    self->slab_reused + (long long)self->nfree) < 0 ||
+        dict_set_ll(d, "slab_free", (long long)self->nfree) < 0 ||
+        dict_set_ll(d, "slab_high_water", self->slab_high_water) < 0) {
+        Py_DECREF(d);
+        return NULL;
+    }
+    return d;
+}
+
+static PyObject *
+fastcore_repr(FastCoreObject *self)
+{
+    return PyUnicode_FromFormat(
+        "FastCore(backend=fast-c, now=%lld ns, pending=%lld, "
+        "wheel=%d slots/%lld events, overflow=%zd, slab_hw=%lld)",
+        self->now_ns, self->seq - self->fired - self->cancelled,
+        occ_popcount(self), self->wheel_count, self->overflow.len,
+        self->slab_high_water);
+}
+
+static PyMethodDef fastcore_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))fastcore_schedule,
+     METH_FASTCALL | METH_KEYWORDS,
+     "schedule(delay, callback, *args, label=None) -> Event"},
+    {"schedule_at", (PyCFunction)(void (*)(void))fastcore_schedule_at,
+     METH_FASTCALL | METH_KEYWORDS,
+     "schedule_at(time, callback, *args, label=None) -> Event"},
+    {"schedule_periodic", (PyCFunction)fastcore_schedule_periodic,
+     METH_VARARGS | METH_KEYWORDS,
+     "schedule_periodic(interval_ns, callback, *args, label=None, "
+     "first_delay=None) -> PeriodicEvent"},
+    {"cancel", (PyCFunction)fastcore_cancel, METH_O,
+     "Cancel a pending event (or a PeriodicEvent handle)."},
+    {"run", (PyCFunction)fastcore_run, METH_VARARGS,
+     "run(until=None) -> now"},
+    {"run_for", (PyCFunction)fastcore_run_for, METH_O,
+     "run_for(duration) -> now"},
+    {"step", (PyCFunction)fastcore_step, METH_NOARGS,
+     "Fire the single next pending event."},
+    {"peek_time", (PyCFunction)fastcore_peek_time, METH_NOARGS,
+     "Time of the next pending event, or None."},
+    {"set_sanitize_hook", (PyCFunction)fastcore_set_sanitize_hook,
+     METH_VARARGS, "Unsupported on the compiled core (raises)."},
+    {"clear_sanitize_hook", (PyCFunction)fastcore_clear_sanitize_hook,
+     METH_NOARGS, "No-op: the compiled core never has a hook installed."},
+    {NULL},
+};
+
+static PyGetSetDef fastcore_getset[] = {
+    {"now", (getter)fastcore_get_now, NULL,
+     "Current simulation time in nanoseconds.", NULL},
+    {"running", (getter)fastcore_get_running, NULL, NULL, NULL},
+    {"stats", (getter)fastcore_get_stats, NULL,
+     "Counters describing scheduler activity.", NULL},
+    {NULL},
+};
+
+static PyTypeObject FastCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._fastcore._corec.FastCore",
+    .tp_basicsize = sizeof(FastCoreObject),
+    .tp_dealloc = (destructor)fastcore_dealloc,
+    .tp_repr = (reprfunc)fastcore_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)fastcore_traverse,
+    .tp_clear = (inquiry)fastcore_clear_impl,
+    .tp_methods = fastcore_methods,
+    .tp_getset = fastcore_getset,
+    .tp_new = fastcore_new,
+    .tp_doc = "Compiled simulator core, bit-identical to repro.sim."
+              "Simulator (backend 'fast-c').",
+};
+
+/* ------------------------------------------------------------------ */
+/* Module                                                             */
+/* ------------------------------------------------------------------ */
+
+static struct PyModuleDef corec_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._fastcore._corec",
+    .m_doc = "Hand-written C port of the simulator hot path.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__corec(void)
+{
+    PyObject *m = NULL, *errors = NULL, *backend_name = NULL;
+
+    errors = PyImport_ImportModule("repro.sim.errors");
+    if (errors == NULL)
+        return NULL;
+    ClockError = PyObject_GetAttrString(errors, "ClockError");
+    SchedulingError = PyObject_GetAttrString(errors, "SchedulingError");
+    Py_DECREF(errors);
+    if (ClockError == NULL || SchedulingError == NULL)
+        goto fail;
+
+    state_strings[ST_PENDING] = PyUnicode_InternFromString("pending");
+    state_strings[ST_FIRED] = PyUnicode_InternFromString("fired");
+    state_strings[ST_CANCELLED] = PyUnicode_InternFromString("cancelled");
+    if (state_strings[0] == NULL || state_strings[1] == NULL ||
+        state_strings[2] == NULL)
+        goto fail;
+
+    if (PyType_Ready(&CEvent_Type) < 0 ||
+        PyType_Ready(&CPeriodic_Type) < 0 ||
+        PyType_Ready(&FastCore_Type) < 0)
+        goto fail;
+
+    backend_name = PyUnicode_FromString("fast-c");
+    if (backend_name == NULL ||
+        PyDict_SetItemString(FastCore_Type.tp_dict, "backend_name",
+                             backend_name) < 0)
+        goto fail;
+    Py_CLEAR(backend_name);
+
+    m = PyModule_Create(&corec_module);
+    if (m == NULL)
+        goto fail;
+    Py_INCREF(&FastCore_Type);
+    if (PyModule_AddObject(m, "FastCore", (PyObject *)&FastCore_Type) < 0) {
+        Py_DECREF(&FastCore_Type);
+        goto fail;
+    }
+    Py_INCREF(&CEvent_Type);
+    if (PyModule_AddObject(m, "Event", (PyObject *)&CEvent_Type) < 0) {
+        Py_DECREF(&CEvent_Type);
+        goto fail;
+    }
+    Py_INCREF(&CPeriodic_Type);
+    if (PyModule_AddObject(m, "PeriodicEvent",
+                           (PyObject *)&CPeriodic_Type) < 0) {
+        Py_DECREF(&CPeriodic_Type);
+        goto fail;
+    }
+    return m;
+
+fail:
+    Py_XDECREF(backend_name);
+    Py_XDECREF(m);
+    return NULL;
+}

@@ -1,0 +1,38 @@
+"""Fast-core fallback: the batch-drain simulator in plain python.
+
+This module is the *model* of the compiled fast core and the fallback
+when no extension could be built, so ``backend="fast"`` always works:
+
+* with the hand-written C extension (``repro._fastcore._corec``) built,
+  the package exports that core (``backend_name == "fast-c"``);
+* with this module compiled by mypyc (the optional ``setup.py`` build),
+  the same code runs natively (``fast-mypyc``);
+* otherwise this interpreted class is used (``fast-py``) — roughly the
+  pure backend's speed, but semantically identical to the compiled
+  cores, which keeps the parity test matrix runnable on any install.
+
+``FastCore`` is deliberately tiny: it *is* the pure
+:class:`~repro.sim.simulator.Simulator` with the batch drain variant
+installed (see :mod:`repro.sim._drain` for why the batch loop is
+observably identical to the scalar one). Anything not understood by a
+compiled core — today only the invariant sanitizer, whose hook contract
+is per-event — is routed by ``Simulator.run`` to the scalar sanitized
+drain, which this class inherits.
+"""
+
+from __future__ import annotations
+
+from repro.sim._drain import drain_batch
+from repro.sim.simulator import Simulator
+
+#: True when mypyc compiled this module (its __file__ is then the
+#: extension, not the .py source).
+COMPILED = not __file__.endswith((".py", ".pyc"))
+
+
+class FastCore(Simulator):
+    """Batch-drain simulator (interpreted / mypyc flavour)."""
+
+    backend_name = "fast-mypyc" if COMPILED else "fast-py"
+
+    _drain = drain_batch

@@ -71,6 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help="result cache location (default: $REPRO_CACHE_DIR or "
             "~/.cache/repro-livelock)",
         )
+        command.add_argument(
+            "--backend",
+            choices=["pure", "fast"],
+            default=None,
+            help="simulator core: the pure-python oracle or the compiled "
+            "repro._fastcore backend (bit-identical results; default: "
+            "$REPRO_BACKEND or pure)",
+        )
 
     def add_profile_flags(command):
         command.add_argument(
@@ -229,6 +237,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also dump the windowed timeline as CSV",
     )
+    trace.add_argument(
+        "--backend",
+        choices=["pure", "fast"],
+        default=None,
+        help="simulator core (bit-identical results; default: "
+        "$REPRO_BACKEND or pure)",
+    )
 
     matrix = sub.add_parser(
         "faultmatrix",
@@ -336,6 +351,8 @@ def _dispatch(args) -> int:
                 kwargs["rates"] = FAST_RATE_GRID
         if getattr(args, "trace", False) or getattr(args, "trace_out", None):
             kwargs["trace"] = True
+        if args.backend is not None:
+            kwargs["backend"] = args.backend
         result = _run_profiled(
             args, lambda: ALL_EXPERIMENTS[args.figure_id](**kwargs)
         )
@@ -360,6 +377,8 @@ def _dispatch(args) -> int:
             trial_kwargs["watchdog"] = True
         if args.sanitize:
             trial_kwargs["sanitize"] = True
+        if args.backend is not None:
+            trial_kwargs["backend"] = args.backend
         trace_buffer = None
         if args.trace_out:
             # A caller-owned buffer keeps the raw record ring in this
@@ -389,6 +408,8 @@ def _dispatch(args) -> int:
             )
             return 0
         print("variant:        %s" % trial.variant)
+        if trial.backend is not None:
+            print("backend:        %s" % trial.backend)
         print("offered rate:   %8.0f pkt/s" % trial.offered_rate_pps)
         print("output rate:    %8.0f pkt/s" % trial.output_rate_pps)
         print("loss fraction:  %8.3f" % trial.loss_fraction)
@@ -491,10 +512,14 @@ def _run_trace(args) -> int:
         kwargs["watchdog"] = True
     if args.sanitize:
         kwargs["sanitize"] = True
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
     spec = TrialSpec.from_kwargs(_config_from_args(args), args.rate, **kwargs)
     trial = spec.run()
 
     print("variant:        %s" % trial.variant)
+    if trial.backend is not None:
+        print("backend:        %s" % trial.backend)
     print("offered rate:   %8.0f pkt/s" % trial.offered_rate_pps)
     print("output rate:    %8.0f pkt/s" % trial.output_rate_pps)
     if trial.watchdog is not None:

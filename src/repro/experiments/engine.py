@@ -174,16 +174,25 @@ def trial_fingerprint(
 
 def _canonical_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
     """Kwargs with the fault plan in canonical dict form, so a canned-plan
-    name and the equivalent FaultPlan object address the same entry."""
-    plan = kwargs.get("fault_plan")
-    if plan is None:
-        return kwargs
-    from ..faults import canned_plan
+    name and the equivalent FaultPlan object address the same entry.
 
-    if isinstance(plan, str):
-        plan = canned_plan(plan)
+    The ``backend`` kwarg is stripped entirely: the pure and fast cores
+    are bit-identical by contract (enforced by the backend parity tests
+    and ``scripts/bench_fastcore.py``), so a cached result is valid for
+    either and the same trial must hash to the same entry under both —
+    ``TrialResult.backend`` records which core actually computed it.
+    """
+    plan = kwargs.get("fault_plan")
+    if plan is None and "backend" not in kwargs:
+        return kwargs
     kwargs = dict(kwargs)
-    kwargs["fault_plan"] = plan.to_dict()
+    kwargs.pop("backend", None)
+    if plan is not None:
+        from ..faults import canned_plan
+
+        if isinstance(plan, str):
+            plan = canned_plan(plan)
+        kwargs["fault_plan"] = plan.to_dict()
     return kwargs
 
 

@@ -10,11 +10,13 @@ user-mode CPU (§7).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.variants import describe
 from ..kernel.config import KernelConfig
+from ..sim.backend import FAST, PURE, make_simulator, resolve_backend
 from ..sim.randomness import RandomStreams
 from ..sim.units import NS_PER_SEC, ns_to_cycles, seconds
 from ..workloads.generators import (
@@ -59,6 +61,13 @@ class TrialResult:
     #: Windowed telemetry (:meth:`repro.trace.Timeline.to_dict`); None
     #: unless the trial ran with ``trace`` enabled.
     timeline: Optional[Dict] = None
+    #: Name of the simulator core that computed this trial (``"pure"``,
+    #: ``"fast-c"``, ``"fast-mypyc"``, ``"fast-py"``) — attribution
+    #: only, never part of trial identity: the backends are
+    #: bit-identical, results are comparable (and cacheable) across
+    #: them. None when an injected router's simulator predates the
+    #: backend split.
+    backend: Optional[str] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -140,6 +149,7 @@ def run_trial(
     sanitize: bool = False,
     trace=False,
     trace_capacity: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> TrialResult:
     """Run one trial and return its measurements.
 
@@ -173,6 +183,14 @@ def run_trial(
     draws no randomness, so a traced trial's event stream — and every
     measured field of its ``TrialResult`` — is bit-identical to the
     untraced trial; only :attr:`TrialResult.timeline` is added.
+
+    ``backend`` selects the simulator core: ``"pure"`` (default, the
+    reference oracle) or ``"fast"`` (the compiled
+    :mod:`repro._fastcore`); None consults ``REPRO_BACKEND``. The cores
+    are bit-identical, so this changes speed, never results.
+    ``sanitize=True`` forces ``pure`` (the sanitizer's per-event hook
+    and queue rescans are a pure-core feature); an explicitly injected
+    ``router`` keeps whatever simulator it was built with.
     """
     if isinstance(config, TrialSpec):
         if rate_pps is not None:
@@ -192,7 +210,15 @@ def run_trial(
         raise ValueError("rate must be non-negative")
     plan = _resolve_fault_plan(fault_plan)
     if router is None:
-        router = Router(config)
+        resolved_backend = resolve_backend(backend)
+        if sanitize and resolved_backend == FAST:
+            logging.getLogger("repro.backend").warning(
+                "sanitize=True requires the pure backend's per-event "
+                "drain loop; falling back to backend=pure "
+                "(fast was requested)"
+            )
+            resolved_backend = PURE
+        router = Router(config, sim=make_simulator(resolved_backend))
     if plan is not None:
         router.arm_faults(plan)
     if with_compute:
@@ -320,6 +346,7 @@ def run_trial(
         watchdog=wd.verdict() if wd is not None else None,
         faults=faults_record,
         timeline=timeline.to_dict() if timeline is not None else None,
+        backend=getattr(router.sim, "backend_name", None),
     )
 
 

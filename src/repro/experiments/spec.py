@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
 from ..kernel.config import KernelConfig
+from ..sim.backend import BACKENDS
 
 #: Workload names accepted by :func:`run_trial` / :class:`TrialSpec`.
 WORKLOAD_CONSTANT = "constant"
@@ -66,6 +67,12 @@ class TrialSpec:
     sanitize: bool = False
     trace: Any = False
     trace_capacity: Optional[int] = None
+    #: Simulator core: ``"pure"`` (reference oracle), ``"fast"`` (the
+    #: compiled repro._fastcore backend), or None to consult the
+    #: ``REPRO_BACKEND`` env var and default to pure. The backends are
+    #: bit-identical by contract, so this field never enters the cache
+    #: fingerprint (engine._canonical_kwargs strips it).
+    backend: Optional[str] = None
     #: Names of the fields the caller set explicitly (None → derive from
     #: non-default values in ``__post_init__``). Not part of equality:
     #: two specs describing the same trial compare equal even if one
@@ -90,6 +97,11 @@ class TrialSpec:
             raise ValueError("burst_size must be positive")
         if self.trace_capacity is not None and self.trace_capacity <= 0:
             raise ValueError("trace_capacity must be positive")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                "unknown backend %r (expected one of %s or None)"
+                % (self.backend, "/".join(BACKENDS))
+            )
         if self._explicit is None:
             explicit = tuple(
                 sorted(

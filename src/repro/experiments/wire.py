@@ -126,6 +126,14 @@ def pack_trial(result) -> bytes:
         _pack_json_opt(out, result.watchdog)
         _pack_json_opt(out, result.faults)
         _pack_json_opt(out, result.timeline)
+        backend = result.backend
+        if backend is None:
+            out.append(b"\x00")
+        elif type(backend) is str:
+            out.append(b"\x01")
+            _pack_str(out, backend)
+        else:
+            raise _Fallback
     except _Fallback:
         blob = json.dumps(trial_to_dict(result), sort_keys=True).encode("utf-8")
         return MAGIC + b"\x01" + blob
@@ -198,6 +206,9 @@ def unpack_trial(blob: bytes):
     watchdog = reader.json_opt()
     faults = reader.json_opt()
     timeline = reader.json_opt()
+    backend = None
+    if reader.take(1) == b"\x01":
+        backend = reader.text()
     if reader.pos != len(blob):
         raise WireError("trailing bytes after TrialResult record")
     return TrialResult(
@@ -215,4 +226,5 @@ def unpack_trial(blob: bytes):
         watchdog=watchdog,
         faults=faults,
         timeline=timeline,
+        backend=backend,
     )

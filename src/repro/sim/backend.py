@@ -1,0 +1,78 @@
+"""Runtime selection between the pure and compiled simulator cores.
+
+Three knobs, highest priority first:
+
+1. ``TrialSpec.backend`` / the ``backend=`` trial kwarg;
+2. the ``REPRO_BACKEND`` environment variable;
+3. the default: ``"pure"``.
+
+``"pure"`` is the reference oracle — the plain-python
+:class:`~repro.sim.simulator.Simulator`. ``"fast"`` is the best
+available :mod:`repro._fastcore` flavour (C extension, mypyc, or the
+interpreted fallback — see that package). The two are bit-identical by
+contract, which is why the backend is *stripped from cache
+fingerprints* (:mod:`repro.experiments.engine`): a cached trial is
+valid for either backend, and ``TrialResult.backend`` records which
+flavour actually computed it.
+
+The invariant sanitizer is the one feature the compiled cores do not
+carry (its hook fires per event, which a compiled batch loop cannot
+honour without giving up its advantage): ``sanitize=True`` trials are
+forced back to ``pure`` with a logged reason (see
+``repro.experiments.harness.run_trial``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+from .simulator import Simulator
+
+log = logging.getLogger("repro.backend")
+
+PURE = "pure"
+FAST = "fast"
+BACKENDS = (PURE, FAST)
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Normalize a backend request to ``"pure"`` or ``"fast"``.
+
+    ``None`` consults :data:`ENV_VAR`, then defaults to ``"pure"``.
+    Unknown names raise ``ValueError`` — a typo silently running the
+    wrong core would be worse than a crash.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or PURE
+    if name not in BACKENDS:
+        raise ValueError(
+            "unknown simulator backend %r (expected one of %s, or unset)"
+            % (name, "/".join(BACKENDS))
+        )
+    return name
+
+
+def make_simulator(backend: Optional[str] = None) -> Simulator:
+    """A fresh simulator for the resolved ``backend``.
+
+    The returned object's ``backend_name`` says what actually runs:
+    ``"pure"``, or for ``"fast"`` the resolved flavour (``fast-c`` /
+    ``fast-mypyc`` / ``fast-py``).
+    """
+    if resolve_backend(backend) == FAST:
+        from repro._fastcore import FastCore
+
+        return FastCore()
+    return Simulator()
+
+
+def fastcore_kind() -> str:
+    """The flavour ``backend="fast"`` resolves to in this process."""
+    from repro._fastcore import FASTCORE_KIND
+
+    return FASTCORE_KIND

@@ -65,6 +65,7 @@ from heapq import heapify, heappop, heappush
 from sys import getrefcount
 from typing import Any, Callable, List, Optional, Tuple
 
+from ._drain import drain_plain, drain_sanitized
 from .errors import ClockError, SchedulingError
 from .events import CANCELLED, FIRED, PENDING, Event, EventSlab
 
@@ -137,6 +138,11 @@ class PeriodicEvent:
 class Simulator:
     """Event loop and virtual clock for one simulation run."""
 
+    #: Which core this is, for attribution (stats, ``TrialResult``,
+    #: Perfetto metadata). The compiled backends report their flavour
+    #: (``fast-c`` / ``fast-mypyc`` / ``fast-py``); see repro.sim.backend.
+    backend_name = "pure"
+
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
@@ -174,6 +180,14 @@ class Simulator:
         self._wheel_base: int = 0
         #: Freelist of retired Event objects (see module docstring).
         self._slab: EventSlab = EventSlab()
+        #: Triples popped into a batch drain's buffer but not yet fired
+        #: (always 0 under the scalar drains). Counted into
+        #: ``stats["heap_size"]`` so scheduler-pressure sampling reads
+        #: the same resident count under every drain variant.
+        self._inflight: int = 0
+        #: The live batch buffer while a batch drain runs, so
+        #: :meth:`_compact` can filter tombstones out of it too.
+        self._inflight_buf: Optional[List[Tuple[int, int, Event]]] = None
         #: Optional invariant-sanitizer hook: ``(callable, every_n)``.
         #: When set, :meth:`run` switches to an instrumented drain loop
         #: that invokes the callable every ``every_n`` fired events; when
@@ -322,29 +336,36 @@ class Simulator:
             return False
         event.state = CANCELLED
         self._cancelled += 1
-        self._tombstones += 1
-        self._maybe_compact()
+        # Inlined compaction trigger. Resident triples are exactly
+        # pending events (each queued once) plus tombstones, and pending
+        # is itself counter arithmetic, so the trigger is four int ops —
+        # the len() sums this used to compute per cancel were the
+        # bottleneck of the 200k-cancel storm (BENCH_wheel cancel_storm
+        # at 0.812x vs the frozen heap before this was inlined).
+        tombs = self._tombstones + 1
+        self._tombstones = tombs
+        total = self._seq - self._fired - self._cancelled + tombs
+        if total >= _COMPACT_MIN_HEAP and tombs * 2 > total:
+            self._compact()
         return True
 
     # ------------------------------------------------------------------
     # Tombstone reclamation
     # ------------------------------------------------------------------
 
-    def _maybe_compact(self) -> None:
+    def _compact(self) -> None:
         """Filter tombstones out of the queue once they dominate it.
 
         Drain-time skipping only reclaims a cancelled event when the
         clock reaches its bucket; an event cancelled long before then
-        would otherwise occupy queue slots indefinitely. Compacting when
-        tombstones exceed half the resident triples bounds memory at ~2x
-        the live event count while keeping cancellation amortised O(1).
+        would otherwise occupy queue slots indefinitely. ``cancel``
+        triggers this when tombstones exceed half the resident triples,
+        which bounds memory at ~2x the live event count while keeping
+        cancellation amortised O(1).
 
         All three structures are filtered *in place* (slice assignment)
         because the drain loop holds local references to them.
         """
-        total = len(self._cur) + self._wheel_count + len(self._overflow)
-        if total < _COMPACT_MIN_HEAP or self._tombstones * 2 <= total:
-            return
         cur = self._cur
         cur[:] = [tr for tr in cur if tr[2].state != CANCELLED]
         heapify(cur)
@@ -361,6 +382,17 @@ class Simulator:
                     count += len(bucket)
         self._occ = occ
         self._wheel_count = count
+        buf = self._inflight_buf
+        if buf:
+            # A batch drain is mid-chunk: its buffer holds popped-but-
+            # unfired triples, including possibly tombstones. Filter it
+            # too (dropping consumed slots), or resetting ``_tombstones``
+            # below would under-count. The drain notices ``_compactions``
+            # changed and restarts on the filtered buffer.
+            buf[:] = [
+                tr for tr in buf if tr is not None and tr[2].state != CANCELLED
+            ]
+            self._inflight = len(buf)
         # Dropped events go to the GC, not the slab: list comprehensions
         # hold transient references, so the refcount gate can't prove
         # exclusivity here, and compaction is far off the hot path.
@@ -525,70 +557,31 @@ class Simulator:
             raise SchedulingError(
                 "deadline t=%d is in the past (now t=%d)" % (until, self._now)
             )
-        # Fused drain loop: peek, deadline-check, pop and fire in one pass
-        # over the current-slot heap, with the hot names bound to locals.
-        # A float +inf deadline lets one comparison cover the "no
-        # deadline" case (ints compare fine against it).
+        # The drain-loop variants (plain / sanitized / batch) are
+        # generated from one template in repro.sim._drain; this is the
+        # single selection seam. A float +inf deadline lets one
+        # comparison cover the "no deadline" case (ints compare fine
+        # against it). A sanitized run always takes the scalar
+        # sanitized loop — even on a batch-drain subclass — because the
+        # hook's "every N fired events" contract is per-event by
+        # definition (that is why there is no batch-sanitized variant).
         deadline = _INF if until is None else until
         self._running = True
         try:
             if self._sanitize_hook is not None:
-                self._drain_sanitized(deadline)
+                drain_sanitized(self, deadline)
             else:
-                pop = heappop
-                getref = getrefcount
-                slab = self._slab
-                free = slab._free
-                cap = slab.max_free
-                advance = self._advance
-                while True:
-                    cur = self._cur
-                    while cur:
-                        head = cur[0]
-                        event = head[2]
-                        if event.state == CANCELLED:
-                            pop(cur)
-                            self._tombstones -= 1
-                            del head
-                            if getref(event) == 2:
-                                n = len(free)
-                                if n < cap:
-                                    free.append(event)
-                                    if n >= slab.high_water:
-                                        slab.high_water = n + 1
-                            continue
-                        time = head[0]
-                        if time > deadline:
-                            break
-                        if time < self._now:
-                            raise ClockError(
-                                "event at t=%d behind clock t=%d" % (time, self._now)
-                            )
-                        pop(cur)
-                        del head
-                        self._now = time
-                        event.state = FIRED
-                        self._fired += 1
-                        event.callback(*event.args)
-                        # Recycle iff the scheduler held the only
-                        # reference (2 = `event` local + getref arg):
-                        # kept handles and periodic timers are skipped.
-                        # This is EventSlab.release, inlined.
-                        if getref(event) == 2:
-                            n = len(free)
-                            if n < cap:
-                                free.append(event)
-                                if n >= slab.high_water:
-                                    slab.high_water = n + 1
-                    else:
-                        if advance(deadline):
-                            continue
-                    break
+                self._drain(deadline)
         finally:
             self._running = False
         if until is not None:
             self._now = max(self._now, until)
         return self._now
+
+    #: The hot drain loop, installed as an unbound method so subclasses
+    #: (the fast backend's interpreted fallback) can swap in the batch
+    #: variant by reassigning one attribute.
+    _drain = drain_plain
 
     def set_sanitize_hook(self, hook: Callable[[], None], every_events: int) -> None:
         """Install an invariant-check hook invoked every ``every_events``
@@ -604,62 +597,6 @@ class Simulator:
     def clear_sanitize_hook(self) -> None:
         self._sanitize_hook = None
         self._sanitize_every = 0
-
-    def _drain_sanitized(self, deadline) -> None:
-        """The instrumented twin of :meth:`run`'s drain loop: identical
-        event semantics, plus the sanitizer hook every N fired events."""
-        pop = heappop
-        getref = getrefcount
-        slab = self._slab
-        free = slab._free
-        cap = slab.max_free
-        advance = self._advance
-        hook = self._sanitize_hook
-        every = self._sanitize_every
-        countdown = every
-        while True:
-            cur = self._cur
-            while cur:
-                head = cur[0]
-                event = head[2]
-                if event.state == CANCELLED:
-                    pop(cur)
-                    self._tombstones -= 1
-                    del head
-                    if getref(event) == 2:
-                        n = len(free)
-                        if n < cap:
-                            free.append(event)
-                            if n >= slab.high_water:
-                                slab.high_water = n + 1
-                    continue
-                time = head[0]
-                if time > deadline:
-                    break
-                if time < self._now:
-                    raise ClockError(
-                        "event at t=%d behind clock t=%d" % (time, self._now)
-                    )
-                pop(cur)
-                del head
-                self._now = time
-                event.state = FIRED
-                self._fired += 1
-                event.callback(*event.args)
-                if getref(event) == 2:
-                    n = len(free)
-                    if n < cap:
-                        free.append(event)
-                        if n >= slab.high_water:
-                            slab.high_water = n + 1
-                countdown -= 1
-                if countdown <= 0:
-                    countdown = every
-                    hook()
-            else:
-                if advance(deadline):
-                    continue
-            break
 
     def run_for(self, duration: int) -> int:
         """Run for ``duration`` ns of simulated time from the current clock."""
@@ -680,11 +617,17 @@ class Simulator:
         """
         slab = self._slab
         return {
+            "backend": self.backend_name,
             "scheduled": self._seq,
             "fired": self._fired,
             "cancelled": self._cancelled,
             "pending": self._seq - self._fired - self._cancelled,
-            "heap_size": len(self._cur) + self._wheel_count + len(self._overflow),
+            "heap_size": (
+                len(self._cur)
+                + self._wheel_count
+                + len(self._overflow)
+                + self._inflight
+            ),
             "compactions": self._compactions,
             "wheel_occupancy": bin(self._occ).count("1"),
             "wheel_events": self._wheel_count,
@@ -699,9 +642,11 @@ class Simulator:
 
     def __repr__(self) -> str:
         return (
-            "Simulator(now=%d ns, pending=%d, wheel=%d slots/%d events, "
+            "%s(backend=%s, now=%d ns, pending=%d, wheel=%d slots/%d events, "
             "overflow=%d, slab_hw=%d)"
             % (
+                type(self).__name__,
+                self.backend_name,
                 self._now,
                 self._seq - self._fired - self._cancelled,
                 bin(self._occ).count("1"),

@@ -1,0 +1,159 @@
+"""Backend parity: the fast core must be bit-identical to the oracle.
+
+``repro._fastcore`` exists to make trials cheaper, not different: the
+contract is that for any spec the fast backend produces byte-for-byte
+the same :class:`TrialResult` as the pure-python simulator — same
+firing order, same RNG draw order, same counters, drops, latency
+percentiles, fault reports, and timelines. These tests sweep that
+contract across the full driver x fault-plan x trace matrix, pin a
+slice of the golden fixture to the fast backend explicitly, and prove
+the cache fingerprint never depends on which core ran.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro._fastcore import FASTCORE_KIND, FastCore
+from repro.core import variants
+from repro.experiments.engine import trial_fingerprint
+from repro.experiments.harness import run_trial
+from repro.experiments.results import trial_to_dict
+from repro.sim.backend import make_simulator, resolve_backend
+from repro.sim.simulator import Simulator
+
+DRIVERS = {
+    "unmodified": variants.unmodified,
+    "polling": variants.polling,
+    "high_ipl": variants.high_ipl,
+    "clocked": variants.clocked,
+}
+PLANS = (None, "lossy-nic", "stalled-dma", "flaky-clock")
+TRACE = (False, True)
+TIMING = dict(duration_s=0.05, warmup_s=0.02)
+
+MATRIX = [
+    (driver, plan, trace)
+    for driver in DRIVERS
+    for plan in PLANS
+    for trace in TRACE
+]
+
+
+def _canonical_bytes(result) -> bytes:
+    """The trial as bytes, minus the attribution-only backend field."""
+    data = trial_to_dict(result)
+    data.pop("backend")
+    return json.dumps(data, sort_keys=True).encode("utf-8")
+
+
+def _run(driver, plan, trace, backend):
+    kwargs = dict(TIMING, seed=3, workload="bursty", backend=backend)
+    if plan is not None:
+        kwargs["fault_plan"] = plan
+        kwargs["watchdog"] = True
+    if trace:
+        kwargs["trace"] = True
+    return run_trial(DRIVERS[driver](), 9_000, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "driver,plan,trace",
+    MATRIX,
+    ids=["%s-%s-%s" % (d, p or "clean", "trace" if t else "plain") for d, p, t in MATRIX],
+)
+def test_fast_backend_is_bit_identical(driver, plan, trace):
+    pure = _run(driver, plan, trace, backend="pure")
+    fast = _run(driver, plan, trace, backend="fast")
+    assert pure.backend == "pure"
+    assert fast.backend == FASTCORE_KIND
+    assert fast.backend.startswith("fast-")
+    assert _canonical_bytes(pure) == _canonical_bytes(fast)
+
+
+GOLDEN_SLICE = [
+    ("unmodified", "bursty", 12_000, 7),
+    ("polling", "poisson", 3_000, 0),
+    ("clocked", "constant", 12_000, 0),
+    ("high_ipl", "bursty", 3_000, 7),
+]
+
+
+@pytest.mark.parametrize(
+    "variant,workload,rate,seed",
+    GOLDEN_SLICE,
+    ids=["%s-%s-%d-%d" % cell for cell in GOLDEN_SLICE],
+)
+def test_golden_fixture_pinned_to_fast_backend(variant, workload, rate, seed):
+    """A slice of the golden matrix, explicitly on the fast core.
+
+    The full 48-cell fixture runs against both backends in CI (via
+    ``REPRO_BACKEND=fast``); this keeps a sample of that proof in the
+    default test run so a parity break fails fast everywhere.
+    """
+    from .test_golden_determinism import GOLDEN, TIMING as GOLDEN_TIMING, _comparable
+
+    result = run_trial(
+        DRIVERS[variant](),
+        rate,
+        seed=seed,
+        workload=workload,
+        backend="fast",
+        **GOLDEN_TIMING,
+    )
+    assert result.backend == FASTCORE_KIND
+    assert _comparable(result) == GOLDEN["%s|%s|%d|%d" % (variant, workload, rate, seed)]
+
+
+def test_backend_never_enters_fingerprint():
+    """Cache identity is the physics, not the engine that computed it."""
+    config = variants.polling()
+    base = trial_fingerprint(config, 5_000, dict(TIMING, seed=1))
+    assert base == trial_fingerprint(
+        config, 5_000, dict(TIMING, seed=1, backend="pure")
+    )
+    assert base == trial_fingerprint(
+        config, 5_000, dict(TIMING, seed=1, backend="fast")
+    )
+    assert base != trial_fingerprint(config, 5_000, dict(TIMING, seed=2))
+
+
+def test_sanitize_falls_back_to_pure_with_logged_reason(caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.backend"):
+        result = run_trial(
+            variants.unmodified(),
+            4_000,
+            seed=0,
+            sanitize=True,
+            backend="fast",
+            **TIMING,
+        )
+    assert result.backend == "pure"
+    assert any("falling back to backend=pure" in rec.message for rec in caplog.records)
+
+
+def test_resolve_backend_env_and_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend(None) == "pure"
+    monkeypatch.setenv("REPRO_BACKEND", "fast")
+    assert resolve_backend(None) == "fast"
+    assert resolve_backend("pure") == "pure"
+    with pytest.raises(ValueError):
+        resolve_backend("turbo")
+    monkeypatch.setenv("REPRO_BACKEND", "turbo")
+    with pytest.raises(ValueError):
+        resolve_backend(None)
+
+
+def test_make_simulator_reports_backend():
+    pure = make_simulator("pure")
+    fast = make_simulator("fast")
+    assert type(pure) is Simulator
+    assert pure.backend_name == "pure"
+    assert isinstance(fast, FastCore)
+    assert fast.backend_name == FASTCORE_KIND
+    assert "backend=%s" % FASTCORE_KIND in repr(fast)
+    assert fast.stats["backend"] == FASTCORE_KIND
