@@ -245,6 +245,96 @@ def _build_parser() -> argparse.ArgumentParser:
         "$REPRO_BACKEND or pure)",
     )
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a named adversarial-overload scenario with SLO verdict",
+    )
+    from .experiments.scenarios import SCENARIOS
+
+    scenario.add_argument("scenario_name", choices=sorted(SCENARIOS))
+    scenario.add_argument(
+        "--attack-rate",
+        type=float,
+        default=None,
+        metavar="PPS",
+        help="override the scenario's peak attack rate",
+    )
+    scenario.add_argument(
+        "--mitigate",
+        action="store_true",
+        help="arm the closed-loop mitigation controller on the kernel "
+        "under attack (default: the bare livelock-prone kernel)",
+    )
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--slo-out",
+        default=None,
+        metavar="FILE",
+        help="write the structured SLO verdict as JSON",
+    )
+    scenario.add_argument(
+        "--trace",
+        action="store_true",
+        help="arm the scheduling trace; phase marks land in the timeline",
+    )
+    scenario.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export a Perfetto trace_event JSON with attack_start/"
+        "attack_end/recovered marks (implies --trace)",
+    )
+    scenario.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless every SLO passed",
+    )
+    scenario.add_argument(
+        "--backend",
+        choices=["pure", "fast"],
+        default=None,
+        help="simulator core (bit-identical results; default: "
+        "$REPRO_BACKEND or pure)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos/soak: fuzzed trials, differential bit-identity",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--budget",
+        type=int,
+        default=20,
+        metavar="N",
+        help="number of fuzzed cases to run (default: 20)",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke run: cap the budget at 8 cases",
+    )
+    chaos.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="re-run exactly one case of the run rooted at --seed",
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=["pure", "both"],
+        default="both",
+        help="'both' (default) differentially checks the compiled "
+        "fastcore leg against pure; 'pure' skips it",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the full chaos report as JSON",
+    )
+
     matrix = sub.add_parser(
         "faultmatrix",
         help="smoke the driver x fault-plan matrix with watchdog + sanitizer",
@@ -476,6 +566,12 @@ def _dispatch(args) -> int:
     if args.command == "trace":
         return _run_trace(args)
 
+    if args.command == "scenario":
+        return _run_scenario(args)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
+
     if args.command == "faultmatrix":
         return _run_faultmatrix(args)
 
@@ -550,6 +646,137 @@ def _run_trace(args) -> int:
             handle.write(timeline_to_csv(buffer.timeline))
         print("timeline CSV:   %s" % args.csv_timeline)
     return 0
+
+
+def _run_scenario(args) -> int:
+    """Run one named overload scenario and print its SLO verdict."""
+    import json
+
+    from .experiments.scenarios import get_scenario, run_scenario
+
+    scenario = get_scenario(args.scenario_name).with_attack_rate(
+        args.attack_rate
+    )
+    trace = False
+    trace_buffer = None
+    if args.trace_out:
+        from .trace import TraceBuffer
+
+        trace_buffer = TraceBuffer()
+        trace = trace_buffer
+    elif args.trace:
+        trace = True
+    result = run_scenario(
+        scenario,
+        mitigate=args.mitigate,
+        seed=args.seed,
+        trace=trace,
+        backend=args.backend,
+    )
+    slo = result.slo
+
+    print("scenario:       %s (%s attack)" % (scenario.name, scenario.attack))
+    print("kernel:         %s" % result.variant)
+    print(
+        "attack rate:    %8.0f pkt/s over %8.0f pkt/s background"
+        % (scenario.attack_rate_pps, scenario.background_rate_pps)
+    )
+    print("baseline:       %8.0f pkt/s goodput" % slo["baseline"]["goodput_pps"])
+    attack = slo["attack_phase"]
+    print(
+        "under attack:   %8.0f pkt/s goodput (%.0f%% of baseline), "
+        "%d unhealthy watchdog window(s)"
+        % (
+            attack["goodput_pps"],
+            100 * attack["goodput_fraction"],
+            attack["unhealthy_windows"],
+        )
+    )
+    if attack["p99_latency_us"] is not None:
+        print("p99 latency:    %8.0f us during attack" % attack["p99_latency_us"])
+    recovery = slo["recovery"]
+    if recovery["recovered"]:
+        print(
+            "recovery:       %.0f ms after attack end (bound %.0f ms)"
+            % (
+                1e3 * recovery["time_to_recovery_s"],
+                1e3 * recovery["bound_s"],
+            )
+        )
+    else:
+        print(
+            "recovery:       NONE within %.0f ms of attack end"
+            % (1e3 * recovery["bound_s"])
+        )
+    if slo["mitigation"] is not None:
+        mit = slo["mitigation"]
+        print(
+            "mitigation:     peak level %d, %d escalation(s), "
+            "%d inhibit pulse(s), restored=%s"
+            % (
+                mit["max_level_reached"],
+                mit["escalations"],
+                mit["inhibit_pulses"],
+                mit["restored"],
+            )
+        )
+    print("verdict:        %s" % ("PASS" if slo["passed"] else "FAIL"))
+    for violation in slo["violations"]:
+        print("  violated:     %s" % violation)
+    if args.slo_out:
+        with open(args.slo_out, "w", encoding="utf-8") as handle:
+            json.dump(slo, handle, sort_keys=True, indent=2)
+        print("slo verdict:    %s" % args.slo_out, file=sys.stderr)
+    if trace_buffer is not None:
+        from .trace import write_perfetto
+
+        write_perfetto(args.trace_out, trace_buffer)
+        print("perfetto trace: %s" % args.trace_out, file=sys.stderr)
+    if args.check and not slo["passed"]:
+        return 1
+    return 0
+
+
+def _run_chaos(args) -> int:
+    """Fuzz-and-differentially-check chaos run (or replay one case)."""
+    import json
+
+    from .experiments.chaos import replay_case, run_chaos
+
+    fast = args.backend == "both"
+    if args.replay is not None:
+        record = replay_case(args.seed, args.replay, fast=fast)
+        print(record["describe"])
+        if record["ok"]:
+            print(
+                "ok: verdict=%s delivered=%d"
+                % (record["verdict"], record["delivered"])
+            )
+            return 0
+        failure = record["failure"]
+        print(
+            "FAILED at stage %s: %s\n%s"
+            % (failure["stage"], failure["reason"], failure["detail"])
+        )
+        return 1
+
+    budget = min(args.budget, 8) if args.smoke else args.budget
+
+    def progress(record):
+        status = (
+            "ok verdict=%s" % record.get("verdict")
+            if record["ok"]
+            else "FAILED (%s)" % record["failure"]["reason"]
+        )
+        print("  %s -> %s" % (record["describe"], status))
+
+    report = run_chaos(seed=args.seed, budget=budget, fast=fast, progress=progress)
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+        print("chaos report:   %s" % args.out, file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 #: The faultmatrix driver column: every driver architecture the paper

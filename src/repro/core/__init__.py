@@ -3,6 +3,7 @@ queue-state feedback, and CPU cycle limits (§5–§7)."""
 
 from .cyclelimit import CycleLimiter
 from .feedback import QueueStateFeedback
+from .mitigation import MitigationController
 from .polling import PollingSystem
 from .quota import UNLIMITED, PollQuota
 from .variants import (
@@ -24,6 +25,7 @@ __all__ = [
     "CycleLimiter",
     "HIGH_IPL",
     "MODIFIED_NO_POLLING",
+    "MitigationController",
     "POLLING",
     "PollQuota",
     "PollingSystem",

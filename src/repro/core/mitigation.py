@@ -1,0 +1,290 @@
+"""Closed-loop overload mitigation: adaptive quota / duty / period.
+
+The paper's defenses are *static*: a quota chosen at boot (§6.6.2), a
+feedback watermark pair (§6.6.1), a cycle-limit fraction (§7). This
+controller closes the loop, in the spirit of §6's feedback discipline
+extended along the adaptive-coalescing axis of the related work: it
+watches the same per-window progress signals the livelock watchdog
+samples — arrivals, deliveries, useful-work fraction, queue occupancy —
+and moves the *existing* actuators with hysteresis:
+
+* the polling system's RX quota (clamped toward a floor, halving per
+  escalation level, restored exactly on recovery);
+* the polling duty cycle, via one-window input-inhibit pulses through
+  :meth:`~repro.core.polling.PollingSystem.inhibit_input` — the lever
+  that breaks an in-progress unbounded (``quota=None``) drain, because
+  the polled RX callback re-checks ``input_allowed`` per packet;
+* the clocked driver's quota (read live per packet) and poll period
+  (via :meth:`~repro.drivers.clocked.ClockedPollingDriver
+  .set_poll_interval`).
+
+Hysteresis: ``trip_windows`` consecutive *pressure* windows (useful-work
+fraction below ``low_fraction``) escalate one level; ``clear_windows``
+consecutive *relief* windows (fraction at/above ``high_fraction`` — or
+no arrivals at all — with the input queues drained below the low
+watermark) de-escalate one level. Level 0 is bit-exact restoration of
+the configured actuator values, so recovery is provable: after the
+attack ends the controller walks back to level 0 and the kernel is in
+its original configuration.
+
+Cost discipline (same as faults, trace, watchdog): the controller is
+**opt-in** (``KernelConfig.mitigation_enabled``). Disarmed, no object is
+constructed and no event is scheduled — trials are bit-identical to a
+build without this module; the only hot-path residue anywhere is the
+clocked driver's one-bool period-dirty check per poll *round*. Armed, it
+schedules one periodic sampling event per window, which perturbs event
+sequence numbers exactly like the watchdog does — which is why it is a
+separate axis, not a default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..trace.buffer import MITIGATE_DOWN, MITIGATE_UP
+from .quota import PollQuota
+
+#: Inhibit-reason string the controller registers with the polling
+#: system (shares the reason-set protocol with feedback and cyclelimit).
+MITIGATION_REASON = "mitigation"
+
+
+class MitigationController:
+    """Watches window progress signals and adapts the overload levers."""
+
+    def __init__(
+        self,
+        kernel,
+        config,
+        nic_in,
+        delivered,
+        polling=None,
+        clocked_drivers: Sequence = (),
+        queues: Sequence = (),
+    ) -> None:
+        if polling is None and not clocked_drivers:
+            raise ValueError(
+                "mitigation controller needs an actuator: a polling "
+                "system or at least one clocked driver"
+            )
+        self.kernel = kernel
+        self.config = config
+        self.nic_in = nic_in
+        self.delivered = delivered
+        self.polling = polling
+        self.clocked_drivers = tuple(clocked_drivers)
+        self.queues = tuple(queues)
+        self.period_ns = config.mitigation_period_ticks * config.clock_tick_ns
+
+        # Baseline actuator values, restored exactly at level 0.
+        self._base_quota: Optional[PollQuota] = (
+            polling.quota if polling is not None else None
+        )
+        self._base_clocked = tuple(
+            (driver, driver.quota, driver.poll_interval_ns)
+            for driver in self.clocked_drivers
+        )
+
+        self.level = 0
+        self.max_level_reached = 0
+        self._pressure = 0
+        self._relief = 0
+        self._inhibited = False
+        self._last_arrived = 0
+        self._last_delivered = 0
+        self._event = None
+        #: Trace hook, bound by ``Router.attach_trace``; None disarmed.
+        self.trace = None
+
+        probes = kernel.probes
+        self.samples = probes.counter("mitigation.samples")
+        self.escalations = probes.counter("mitigation.escalations")
+        self.deescalations = probes.counter("mitigation.deescalations")
+        self.inhibit_pulses = probes.counter("mitigation.inhibit_pulses")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MitigationController":
+        if self._event is not None:
+            raise RuntimeError("mitigation controller already started")
+        self._last_arrived = self._arrived_total()
+        self._last_delivered = self.delivered.value
+        self._event = self.kernel.sim.schedule_periodic(
+            self.period_ns, self._sample, label="mitigation"
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self.kernel.sim.cancel(self._event)
+            self._event = None
+        if self._inhibited:
+            self.polling.allow_input(MITIGATION_REASON)
+            self._inhibited = False
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+
+    def _arrived_total(self) -> int:
+        return self.nic_in.rx_accepted.value + self.nic_in.rx_overflow_drops.value
+
+    def _occupancy(self) -> float:
+        """Worst-case input backlog fraction across ring and queues."""
+        worst = self.nic_in.rx_pending() / self.nic_in.rx_ring_capacity
+        for queue in self.queues:
+            fraction = len(queue) / queue.limit
+            if fraction > worst:
+                worst = fraction
+        return worst
+
+    # ------------------------------------------------------------------
+    # The control loop (one call per window)
+    # ------------------------------------------------------------------
+
+    def _sample(self) -> None:
+        self.samples.increment()
+        config = self.config
+        arrived_total = self._arrived_total()
+        delivered_total = self.delivered.value
+        arrived = arrived_total - self._last_arrived
+        delivered = delivered_total - self._last_delivered
+        self._last_arrived = arrived_total
+        self._last_delivered = delivered_total
+        occupancy = self._occupancy()
+
+        was_inhibited = self._inhibited
+        if was_inhibited:
+            # Inhibit pulses last exactly one window: while input is
+            # inhibited nothing drains the RX ring, so an occupancy-
+            # conditioned release could never fire.
+            self.polling.allow_input(MITIGATION_REASON)
+            self._inhibited = False
+
+        pressure_window = False
+        if was_inhibited:
+            # Our own shedding distorts the useful-work fraction; treat
+            # the window as neutral evidence.
+            pass
+        elif arrived == 0 or delivered >= arrived * config.mitigation_high_fraction:
+            if occupancy <= config.mitigation_queue_low_fraction:
+                self._relief += 1
+                self._pressure = 0
+        elif delivered < arrived * config.mitigation_low_fraction:
+            pressure_window = True
+            self._pressure += 1
+            self._relief = 0
+        else:
+            self._pressure = 0
+            self._relief = 0
+
+        escalated = False
+        if (
+            self._pressure >= config.mitigation_trip_windows
+            and self.level < config.mitigation_max_level
+        ):
+            self._pressure = 0
+            self._set_level(self.level + 1)
+            escalated = True
+        elif self._relief >= config.mitigation_clear_windows and self.level > 0:
+            self._relief = 0
+            self._set_level(self.level - 1)
+
+        # Duty-cycle actuator: shed one window of input on every
+        # escalation (this is also what interrupts an in-progress
+        # unbounded drain, without which a quota change could never take
+        # effect), and while escalated whenever the input side is both
+        # saturated *and* still failing to make progress — occupancy
+        # alone must not keep pulsing, or post-attack background traffic
+        # topping up the ring would hold the duty cycle down forever and
+        # the backlog could never drain. Never re-inhibit in the window
+        # that just released a pulse — a pulse must be followed by at
+        # least one open window, or input would stay off for good.
+        if (
+            self.polling is not None
+            and not was_inhibited
+            and self.level > 0
+            and (
+                escalated
+                or (
+                    pressure_window
+                    and occupancy >= config.mitigation_queue_high_fraction
+                )
+            )
+        ):
+            self.polling.inhibit_input(MITIGATION_REASON)
+            self._inhibited = True
+            self.inhibit_pulses.increment()
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+
+    def _rx_quota_for_level(self, level: int, base_rx: Optional[int]) -> Optional[int]:
+        if level == 0:
+            return base_rx
+        config = self.config
+        start = config.mitigation_quota_cap
+        if base_rx is not None and base_rx < start:
+            start = base_rx
+        return max(config.mitigation_min_quota, start >> (level - 1))
+
+    def _set_level(self, level: int) -> None:
+        going_up = level > self.level
+        self.level = level
+        if level > self.max_level_reached:
+            self.max_level_reached = level
+        if going_up:
+            self.escalations.increment()
+        else:
+            self.deescalations.increment()
+        config = self.config
+
+        if self.polling is not None:
+            base = self._base_quota
+            if level == 0:
+                self.polling.quota = base
+            else:
+                self.polling.quota = PollQuota(
+                    rx=self._rx_quota_for_level(level, base.rx), tx=base.tx
+                )
+        for driver, base_quota, base_interval in self._base_clocked:
+            driver.quota = self._rx_quota_for_level(level, base_quota)
+            scale = min(1 << level, config.mitigation_max_interval_scale)
+            driver.set_poll_interval(base_interval * scale if level else base_interval)
+
+        trace = self.trace
+        if trace is not None:
+            trace.record(
+                MITIGATE_UP if going_up else MITIGATE_DOWN,
+                MITIGATION_REASON,
+                level,
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def restored(self) -> bool:
+        """True when every actuator is back at its configured value."""
+        return self.level == 0 and not self._inhibited
+
+    def report(self) -> dict:
+        return {
+            "level": self.level,
+            "max_level_reached": self.max_level_reached,
+            "samples": self.samples.value,
+            "escalations": self.escalations.value,
+            "deescalations": self.deescalations.value,
+            "inhibit_pulses": self.inhibit_pulses.value,
+            "restored": self.restored,
+        }
+
+    def __repr__(self) -> str:
+        return "MitigationController(level=%d, samples=%d)" % (
+            self.level,
+            self.samples.value,
+        )

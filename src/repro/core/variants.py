@@ -92,6 +92,7 @@ def polling(
     screend: bool = False,
     feedback: Optional[bool] = None,
     cycle_limit: Optional[float] = None,
+    mitigate: bool = False,
     costs: Optional[CostModel] = None,
 ) -> KernelConfig:
     """The paper's modified kernel (§6.4).
@@ -99,6 +100,8 @@ def polling(
     ``feedback`` defaults to following ``screend`` — the paper only
     attaches queue-state feedback to the screening queue. ``cycle_limit``
     is the §7 threshold fraction (None disables the mechanism).
+    ``mitigate`` arms the closed-loop overload controller
+    (:mod:`repro.core.mitigation`) on top of the static defenses.
     """
     quota = PollQuota.of(quota)
     if feedback is None:
@@ -109,6 +112,7 @@ def polling(
         screend_enabled=screend,
         feedback_enabled=feedback,
         cycle_limit_fraction=cycle_limit,
+        mitigation_enabled=mitigate,
     )
     if costs is not None:
         config = config.with_options(costs=costs)
@@ -120,14 +124,20 @@ def clocked(
     poll_interval_ns: int = 1_000_000,
     quota: Optional[int] = None,
     screend: bool = False,
+    mitigate: bool = False,
     costs: Optional[CostModel] = None,
 ) -> KernelConfig:
-    """Pure periodic polling (Traw & Smith clocked interrupts, §8)."""
+    """Pure periodic polling (Traw & Smith clocked interrupts, §8).
+
+    ``mitigate`` arms the closed-loop overload controller, which adapts
+    this driver's quota and poll period under attack.
+    """
     config = KernelConfig(
         use_clocked_polling=True,
         clocked_poll_interval_ns=poll_interval_ns,
         poll_quota=quota,
         screend_enabled=screend,
+        mitigation_enabled=mitigate,
     )
     if costs is not None:
         config = config.with_options(costs=costs)
@@ -138,7 +148,10 @@ def clocked(
 def describe(config: KernelConfig) -> str:
     """Human-readable variant label for a configuration."""
     if config.use_clocked_polling:
-        label = "clocked(%.1f ms)" % (config.clocked_poll_interval_ns / 1e6)
+        label = "clocked(%.1f ms" % (config.clocked_poll_interval_ns / 1e6)
+        if config.mitigation_enabled:
+            label += ", mitigate"
+        label += ")"
     elif config.use_high_ipl:
         quota = "inf" if config.poll_quota is None else str(config.poll_quota)
         label = "high_ipl(quota=%s)" % quota
@@ -151,6 +164,8 @@ def describe(config: KernelConfig) -> str:
             label += ", feedback"
         if config.cycle_limit_fraction is not None:
             label += ", limit=%d%%" % round(config.cycle_limit_fraction * 100)
+        if config.mitigation_enabled:
+            label += ", mitigate"
         label += ")"
     else:
         label = UNMODIFIED

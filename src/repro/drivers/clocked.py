@@ -43,6 +43,9 @@ class ClockedPollingDriver(Driver):
         self.poll_interval_ns = poll_interval_ns
         self.quota = quota
         self.thread = None
+        #: Set by :meth:`set_poll_interval`; the poll loop rebinds its
+        #: prebound Sleep at the top of the next round when this is True.
+        self._interval_dirty = False
         self.polls = kernel.probes.counter("driver.%s.clocked_polls" % name)
         self.idle_polls = kernel.probes.counter("driver.%s.clocked_idle_polls" % name)
 
@@ -50,6 +53,19 @@ class ClockedPollingDriver(Driver):
         self.thread = self.kernel.kernel_thread(
             self._poll_body(), "clockedpoll:%s" % self.name
         )
+
+    def set_poll_interval(self, interval_ns: int) -> None:
+        """Change the poll period; takes effect from the next round.
+
+        The mitigation controller's actuator for the clocked driver: the
+        poll loop prebinds its Sleep object, so a period change is a
+        dirty-flag handoff rather than a per-round attribute read.
+        """
+        if interval_ns <= 0:
+            raise ValueError("poll interval must be positive")
+        if interval_ns != self.poll_interval_ns:
+            self.poll_interval_ns = interval_ns
+            self._interval_dirty = True
 
     def _poll_body(self):
         costs = self.costs
@@ -61,6 +77,9 @@ class ClockedPollingDriver(Driver):
         poll_work = Work(costs.poll_loop_overhead + costs.poll_device_check)
         per_packet_work = Work(costs.polled_rx_per_packet)
         while True:
+            if self._interval_dirty:
+                self._interval_dirty = False
+                sleep_period = Sleep(self.poll_interval_ns)
             yield sleep_period
             self.polls.increment()
             # Fixed cost of waking up and inspecting the device, paid on

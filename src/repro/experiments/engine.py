@@ -66,7 +66,9 @@ from .spec import TrialSpec, spec_tuple
 #: fault_plan/watchdog/sanitize.
 #: "3": TrialResult gained the timeline field; trials accept
 #: trace/trace_capacity; specs may be TrialSpec instances.
-CACHE_VERSION = "3"
+#: "4": TrialResult gained the slo field; trials accept
+#: attack_rate_pps; adversarial workloads and mitigation configs exist.
+CACHE_VERSION = "4"
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -19,6 +19,11 @@ from ..kernel.config import KernelConfig
 from ..sim.backend import FAST, PURE, make_simulator, resolve_backend
 from ..sim.randomness import RandomStreams
 from ..sim.units import NS_PER_SEC, ns_to_cycles, seconds
+from ..workloads.adversarial import (
+    CompositeGenerator,
+    FlashCrowdGenerator,
+    SynFloodGenerator,
+)
 from ..workloads.generators import (
     BurstyGenerator,
     ConstantRateGenerator,
@@ -31,8 +36,11 @@ from .spec import (  # noqa: F401  (re-exports)
     DEFAULT_WARMUP_S,
     TrialSpec,
     WORKLOAD_BURSTY,
+    WORKLOAD_COMPOSITE,
     WORKLOAD_CONSTANT,
+    WORKLOAD_FLASHCROWD,
     WORKLOAD_POISSON,
+    WORKLOAD_SYNFLOOD,
     spec_tuple,
 )
 from .topology import Router
@@ -61,6 +69,9 @@ class TrialResult:
     #: Windowed telemetry (:meth:`repro.trace.Timeline.to_dict`); None
     #: unless the trial ran with ``trace`` enabled.
     timeline: Optional[Dict] = None
+    #: Structured SLO verdict (:mod:`repro.experiments.scenarios`); None
+    #: unless the trial was produced by a named scenario run.
+    slo: Optional[Dict] = None
     #: Name of the simulator core that computed this trial (``"pure"``,
     #: ``"fast-c"``, ``"fast-mypyc"``, ``"fast-py"``) — attribution
     #: only, never part of trial identity: the backends are
@@ -86,6 +97,7 @@ def _make_generator(
     rate_pps: float,
     streams: RandomStreams,
     burst_size: int,
+    attack_rate_pps: Optional[float] = None,
 ):
     pool = getattr(router, "packet_pool", None)
     # Link faults interpose a wire between generator and NIC; fault-free
@@ -120,6 +132,45 @@ def _make_generator(
             pool=pool,
             wire=wire,
         )
+    if workload == WORKLOAD_SYNFLOOD:
+        return SynFloodGenerator(
+            router.sim,
+            router.nic_in,
+            rate_pps,
+            rng=streams.stream("attack"),
+            pool=pool,
+            wire=wire,
+        )
+    if workload == WORKLOAD_FLASHCROWD:
+        return FlashCrowdGenerator(
+            router.sim,
+            router.nic_in,
+            rate_pps,
+            rng=streams.stream("attack"),
+            pool=pool,
+            wire=wire,
+        )
+    if workload == WORKLOAD_COMPOSITE:
+        background = ConstantRateGenerator(
+            router.sim,
+            router.nic_in,
+            rate_pps,
+            jitter_fraction=0.05,
+            rng=streams.stream("traffic"),
+            flow="legit",
+            name="legit",
+            pool=pool,
+            wire=wire,
+        )
+        attack = SynFloodGenerator(
+            router.sim,
+            router.nic_in,
+            attack_rate_pps if attack_rate_pps is not None else 4 * rate_pps,
+            rng=streams.stream("attack"),
+            pool=pool,
+            wire=wire,
+        )
+        return CompositeGenerator(router.sim, background, attack)
     raise ValueError("unknown workload %r" % workload)
 
 
@@ -142,6 +193,7 @@ def run_trial(
     seed: int = 0,
     workload: str = WORKLOAD_CONSTANT,
     burst_size: int = 32,
+    attack_rate_pps: Optional[float] = None,
     with_compute: bool = False,
     router: Optional[Router] = None,
     fault_plan=None,
@@ -257,7 +309,8 @@ def run_trial(
     generator = None
     if rate_pps > 0:
         generator = _make_generator(
-            workload, router, rate_pps, streams, burst_size
+            workload, router, rate_pps, streams, burst_size,
+            attack_rate_pps=attack_rate_pps,
         ).start()
         if trace_buffer is not None:
             generator.trace = trace_buffer

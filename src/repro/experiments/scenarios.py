@@ -1,0 +1,424 @@
+"""Named overload scenarios with SLO verdicts.
+
+A *scenario* binds three things the rest of the repo keeps separate: an
+adversarial traffic shape with explicit phases (baseline → ramp →
+sustained attack → recovery), the kernel variant under test (optionally
+carrying the closed-loop mitigation controller), and service-level
+objectives judged over those phases. Running one produces an ordinary
+:class:`~repro.experiments.harness.TrialResult` whose ``slo`` field is
+the structured verdict — goodput floor during the attack, p99 latency,
+watchdog health, time-to-recovery — so scenario results flow through
+the cache wire format, the Timeline, and the Perfetto exporter like any
+other trial.
+
+The headline scenario is ``syn-flood``: a spoofed-source flood layered
+over legitimate constant-rate background traffic. Against the paper's
+livelock-prone configuration (unbounded polling quota) the flood drives
+goodput to zero; the same kernel with ``mitigation_enabled`` sheds load
+gracefully, holds the goodput floor, and provably returns to its
+configured state after the flood stops.
+
+Determinism: a scenario run draws every random decision from named
+:class:`~repro.sim.randomness.RandomStreams` substreams of ``seed``
+(``"traffic"`` for background, ``"attack"`` for the attack source), so
+the full phase script — and the resulting verdict — is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..core.variants import describe, polling
+from ..kernel.config import KernelConfig
+from ..sim.backend import make_simulator, resolve_backend
+from ..sim.randomness import RandomStreams
+from ..sim.units import NS_PER_SEC, seconds
+from ..workloads.adversarial import FlashCrowdGenerator, SynFloodGenerator
+from ..workloads.generators import ConstantRateGenerator
+from .harness import TrialResult
+from .topology import Router
+
+ATTACK_SYNFLOOD = "synflood"
+ATTACK_FLASHCROWD = "flashcrowd"
+
+
+@dataclass(frozen=True)
+class SLOThresholds:
+    """Pass/fail thresholds judged over a scenario's phases."""
+
+    #: Goodput during the attack must stay at/above this fraction of the
+    #: pre-attack baseline goodput.
+    goodput_floor_fraction: float = 0.5
+    #: A recovery window counts as recovered once its goodput reaches
+    #: this fraction of baseline (and the mitigation controller, if any,
+    #: has restored the configured actuator values).
+    recovery_fraction: float = 0.8
+    #: Recovery must happen within this many seconds of the attack end.
+    recovery_bound_s: float = 0.3
+    #: Optional p99 cap (µs) on packets delivered during the attack;
+    #: None leaves latency informational.
+    p99_latency_us_max: Optional[float] = None
+    #: No unhealthy (stalled/livelocked) watchdog windows may accrue
+    #: after recovery, and teardown must not leak packets.
+    max_leaked: int = 0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named attack script: traffic shape + phases + SLOs."""
+
+    name: str
+    description: str
+    background_rate_pps: float = 4_000.0
+    attack_rate_pps: float = 8_000.0
+    attack: str = ATTACK_SYNFLOOD
+    #: Phase durations (simulated seconds): settle, baseline
+    #: measurement, attack ramp, sustained attack, recovery allowance.
+    warmup_s: float = 0.03
+    baseline_s: float = 0.06
+    ramp_s: float = 0.02
+    sustain_s: float = 0.12
+    recovery_s: float = 0.3
+    slo: SLOThresholds = field(default_factory=SLOThresholds)
+
+    def with_attack_rate(self, rate_pps: Optional[float]) -> "Scenario":
+        if rate_pps is None or rate_pps == self.attack_rate_pps:
+            return self
+        return replace(self, attack_rate_pps=float(rate_pps))
+
+
+#: The named scenarios the CLI exposes.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="syn-flood",
+            description=(
+                "Spoofed-source SYN flood over legitimate background "
+                "traffic; the headline overload-defense scenario."
+            ),
+        ),
+        Scenario(
+            name="flash-crowd",
+            description=(
+                "Zipf-popularity flash crowd (many users, on/off waves) "
+                "over background traffic."
+            ),
+            attack=ATTACK_FLASHCROWD,
+            attack_rate_pps=7_000.0,
+        ),
+        Scenario(
+            name="mixed",
+            description=(
+                "Moderate flood plus heavier background: tests graceful "
+                "degradation rather than outright collapse."
+            ),
+            background_rate_pps=5_000.0,
+            attack_rate_pps=6_000.0,
+            slo=SLOThresholds(goodput_floor_fraction=0.4),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario %r (known: %s)"
+            % (name, ", ".join(sorted(SCENARIOS)))
+        ) from None
+
+
+def default_config(mitigate: bool = False) -> KernelConfig:
+    """The scenario baseline kernel: the paper's modified kernel with an
+    *unbounded* quota — the configuration fig 6-3 shows livelocking —
+    optionally armed with the closed-loop controller that rescues it."""
+    return polling(quota=None, mitigate=mitigate)
+
+
+def _make_attack(scenario: Scenario, router: Router, rng):
+    pool = router.packet_pool
+    wire = router.wire_in
+    if scenario.attack == ATTACK_SYNFLOOD:
+        return SynFloodGenerator(
+            router.sim,
+            router.nic_in,
+            scenario.attack_rate_pps,
+            rng=rng,
+            ramp_s=scenario.ramp_s,
+            sustain_s=scenario.sustain_s,
+            pool=pool,
+            wire=wire,
+        )
+    if scenario.attack == ATTACK_FLASHCROWD:
+        return FlashCrowdGenerator(
+            router.sim,
+            router.nic_in,
+            scenario.attack_rate_pps,
+            rng=rng,
+            pool=pool,
+            wire=wire,
+        )
+    raise ValueError("unknown attack kind %r" % scenario.attack)
+
+
+def run_scenario(
+    scenario,
+    config: Optional[KernelConfig] = None,
+    mitigate: bool = False,
+    seed: int = 0,
+    trace=False,
+    backend: Optional[str] = None,
+) -> TrialResult:
+    """Run one scenario and return a TrialResult with an ``slo`` verdict.
+
+    ``scenario`` is a :class:`Scenario` or a name from :data:`SCENARIOS`.
+    ``config`` defaults to :func:`default_config` (``mitigate`` selects
+    whether the controller is armed); an explicit config wins and
+    ``mitigate`` is ignored. The livelock watchdog always runs. ``trace``
+    additionally arms the trace ring + Timeline (phase boundaries become
+    timeline marks and Perfetto instant events).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if config is None:
+        config = default_config(mitigate=mitigate)
+    resolved_backend = resolve_backend(backend)
+    router = Router(config, sim=make_simulator(resolved_backend))
+    router.start()
+
+    trace_buffer = None
+    timeline = None
+    if trace is not False and trace is not None:
+        from ..trace.buffer import TraceBuffer
+        from ..trace.timeline import Timeline
+
+        trace_buffer = trace if not isinstance(trace, bool) else TraceBuffer()
+        timeline = trace_buffer.timeline
+        if timeline is None:
+            timeline = Timeline(
+                config.watchdog_window_ticks * config.clock_tick_ns
+            )
+            trace_buffer.attach_timeline(timeline)
+        router.attach_trace(trace_buffer)
+
+    streams = RandomStreams(seed)
+    background = ConstantRateGenerator(
+        router.sim,
+        router.nic_in,
+        scenario.background_rate_pps,
+        jitter_fraction=0.05,
+        rng=streams.stream("traffic"),
+        flow="legit",
+        name="legit",
+        pool=router.packet_pool,
+        wire=router.wire_in,
+    )
+    attack = _make_attack(scenario, router, streams.stream("attack"))
+    if trace_buffer is not None:
+        background.trace = trace_buffer
+        attack.trace = trace_buffer
+
+    # Per-flow goodput: chain the output-transmit callback so legit and
+    # attack deliveries stay distinguishable. Counting only — schedules
+    # nothing, so the event stream is untouched.
+    flow_delivered = {"legit": 0, "other": 0}
+    inner_on_transmit = router.nic_out.on_transmit
+
+    def _count_by_flow(packet):
+        key = "legit" if packet.flow == "legit" else "other"
+        flow_delivered[key] += 1
+        inner_on_transmit(packet)
+
+    router.nic_out.on_transmit = _count_by_flow
+
+    from ..sim.watchdog import LivelockWatchdog
+
+    window_ns = config.watchdog_window_ticks * config.clock_tick_ns
+    wd = LivelockWatchdog(
+        router.sim,
+        router.delivered,
+        (router.nic_in.rx_accepted, router.nic_in.rx_overflow_drops),
+        window_ns=window_ns,
+        trace=trace_buffer,
+    ).start()
+
+    background.start()
+    router.run_for(seconds(scenario.warmup_s))
+
+    # --- baseline phase ------------------------------------------------
+    baseline_start = router.delivered.value
+    baseline_start_ns = router.sim.now
+    measured_generated_start = background.sent
+    router.run_for(seconds(scenario.baseline_s))
+    baseline_span_s = (router.sim.now - baseline_start_ns) / NS_PER_SEC
+    baseline_goodput = (
+        (router.delivered.value - baseline_start) / baseline_span_s
+    )
+
+    # --- attack phase --------------------------------------------------
+    attack_start_ns = router.sim.now
+    unhealthy_before_attack = wd.livelock_windows + wd.stall_windows
+    if timeline is not None:
+        timeline.mark("attack_start", attack_start_ns)
+    attack.start()
+    router.latency.start()
+    attack_delivered_start = router.delivered.value
+    attack_legit_start = flow_delivered["legit"]
+    router.run_for(seconds(scenario.ramp_s + scenario.sustain_s))
+    attack.stop()
+    router.latency.stop()
+    attack_end_ns = router.sim.now
+    if timeline is not None:
+        timeline.mark("attack_end", attack_end_ns)
+    attack_span_s = (attack_end_ns - attack_start_ns) / NS_PER_SEC
+    attack_goodput = (
+        (router.delivered.value - attack_delivered_start) / attack_span_s
+    )
+    attack_legit_goodput = (
+        (flow_delivered["legit"] - attack_legit_start) / attack_span_s
+    )
+    attack_latency = router.latency.summary_us()
+    unhealthy_at_attack_end = (
+        wd.livelock_windows + wd.stall_windows - unhealthy_before_attack
+    )
+
+    # --- recovery phase ------------------------------------------------
+    controller = router.mitigation
+    recovery_target = baseline_goodput * scenario.slo.recovery_fraction
+    recovered_ns: Optional[int] = None
+    elapsed = 0
+    budget_ns = int(seconds(scenario.recovery_s))
+    while elapsed < budget_ns:
+        step_start = router.delivered.value
+        router.run_for(window_ns)
+        elapsed += window_ns
+        step_goodput = (
+            (router.delivered.value - step_start) * NS_PER_SEC / window_ns
+        )
+        restored = controller.restored if controller is not None else True
+        if step_goodput >= recovery_target and restored:
+            recovered_ns = router.sim.now
+            break
+    if recovered_ns is not None and timeline is not None:
+        timeline.mark("recovered", recovered_ns)
+    unhealthy_at_recovery = wd.livelock_windows + wd.stall_windows
+    # Settle: recovery must hold — no new unhealthy windows afterwards.
+    router.run_for(2 * window_ns)
+    unhealthy_after = wd.livelock_windows + wd.stall_windows
+    time_to_recovery_s = (
+        None
+        if recovered_ns is None
+        else (recovered_ns - attack_end_ns) / NS_PER_SEC
+    )
+
+    wd.stop()
+    background.stop()
+    teardown = router.teardown()
+    total_span_ns = router.sim.now - baseline_start_ns
+    total_span_s = total_span_ns / NS_PER_SEC
+    generated = (
+        background.sent - measured_generated_start
+    ) + attack.sent
+    delivered = router.delivered.value - baseline_start
+
+    # --- verdict -------------------------------------------------------
+    slo = scenario.slo
+    goodput_fraction = (
+        attack_goodput / baseline_goodput if baseline_goodput else 0.0
+    )
+    violations = []
+    if goodput_fraction < slo.goodput_floor_fraction:
+        violations.append(
+            "goodput floor: %.2f of baseline < %.2f"
+            % (goodput_fraction, slo.goodput_floor_fraction)
+        )
+    if recovered_ns is None:
+        violations.append(
+            "no recovery within %.2fs of attack end" % slo.recovery_bound_s
+        )
+    elif time_to_recovery_s > slo.recovery_bound_s:
+        violations.append(
+            "recovery took %.3fs > bound %.2fs"
+            % (time_to_recovery_s, slo.recovery_bound_s)
+        )
+    if unhealthy_after > unhealthy_at_recovery:
+        violations.append(
+            "watchdog: %d unhealthy window(s) after recovery"
+            % (unhealthy_after - unhealthy_at_recovery)
+        )
+    p99 = attack_latency.get("p99")
+    if (
+        slo.p99_latency_us_max is not None
+        and p99 is not None
+        and p99 > slo.p99_latency_us_max
+    ):
+        violations.append(
+            "p99 latency %.0fµs > %.0fµs" % (p99, slo.p99_latency_us_max)
+        )
+    leaked = teardown.get("leaked")
+    if leaked is not None and leaked > slo.max_leaked:
+        violations.append("teardown leaked %d packet(s)" % leaked)
+
+    verdict = {
+        "scenario": scenario.name,
+        "attack": scenario.attack,
+        "attack_rate_pps": scenario.attack_rate_pps,
+        "background_rate_pps": scenario.background_rate_pps,
+        "mitigated": config.mitigation_enabled,
+        "seed": seed,
+        "baseline": {
+            "goodput_pps": baseline_goodput,
+            "window_s": baseline_span_s,
+        },
+        "attack_phase": {
+            "goodput_pps": attack_goodput,
+            "goodput_fraction": goodput_fraction,
+            "legit_goodput_pps": attack_legit_goodput,
+            "p99_latency_us": p99,
+            "latency_us": attack_latency,
+            "span_s": attack_span_s,
+            "unhealthy_windows": unhealthy_at_attack_end,
+        },
+        "recovery": {
+            "recovered": recovered_ns is not None,
+            "time_to_recovery_s": time_to_recovery_s,
+            "bound_s": slo.recovery_bound_s,
+            "unhealthy_windows_after": unhealthy_after - unhealthy_at_recovery,
+        },
+        "mitigation": controller.report() if controller is not None else None,
+        "teardown": teardown,
+        "thresholds": {
+            "goodput_floor_fraction": slo.goodput_floor_fraction,
+            "recovery_fraction": slo.recovery_fraction,
+            "recovery_bound_s": slo.recovery_bound_s,
+            "p99_latency_us_max": slo.p99_latency_us_max,
+            "max_leaked": slo.max_leaked,
+        },
+        "passed": not violations,
+        "violations": violations,
+    }
+
+    return TrialResult(
+        variant=describe(config),
+        target_rate_pps=scenario.background_rate_pps,
+        offered_rate_pps=generated / total_span_s,
+        output_rate_pps=delivered / total_span_s,
+        delivered=delivered,
+        generated=generated,
+        duration_s=total_span_s,
+        latency_us=attack_latency,
+        drops={
+            name: value
+            for name, value in router.probes.dump().items()
+            if ("drop" in name) and value > 0
+        },
+        counters=router.probes.dump(),
+        watchdog=wd.verdict(),
+        timeline=timeline.to_dict() if timeline is not None else None,
+        slo=verdict,
+        backend=getattr(router.sim, "backend_name", None),
+    )

@@ -33,8 +33,22 @@ from ..sim.backend import BACKENDS
 WORKLOAD_CONSTANT = "constant"
 WORKLOAD_POISSON = "poisson"
 WORKLOAD_BURSTY = "bursty"
+#: Adversarial workloads (repro.workloads.adversarial). ``synflood`` and
+#: ``flashcrowd`` drive the attack source alone at ``rate_pps``;
+#: ``composite`` layers a synflood at ``attack_rate_pps`` over constant
+#: legitimate background traffic at ``rate_pps``.
+WORKLOAD_SYNFLOOD = "synflood"
+WORKLOAD_FLASHCROWD = "flashcrowd"
+WORKLOAD_COMPOSITE = "composite"
 
-WORKLOADS = (WORKLOAD_CONSTANT, WORKLOAD_POISSON, WORKLOAD_BURSTY)
+WORKLOADS = (
+    WORKLOAD_CONSTANT,
+    WORKLOAD_POISSON,
+    WORKLOAD_BURSTY,
+    WORKLOAD_SYNFLOOD,
+    WORKLOAD_FLASHCROWD,
+    WORKLOAD_COMPOSITE,
+)
 
 #: Default measurement timing (simulated seconds). Short relative to the
 #: paper's multi-second trials, but the simulation is noiseless apart
@@ -61,6 +75,9 @@ class TrialSpec:
     seed: int = 0
     workload: str = WORKLOAD_CONSTANT
     burst_size: int = 32
+    #: Attack intensity for the ``composite`` workload (peak pps of the
+    #: SYN-flood layer); None elsewhere.
+    attack_rate_pps: Optional[float] = None
     with_compute: bool = False
     fault_plan: Any = None
     watchdog: bool = False
@@ -95,6 +112,13 @@ class TrialSpec:
             raise ValueError("unknown workload %r" % (self.workload,))
         if self.burst_size <= 0:
             raise ValueError("burst_size must be positive")
+        if self.attack_rate_pps is not None:
+            if self.workload != WORKLOAD_COMPOSITE:
+                raise ValueError(
+                    "attack_rate_pps only applies to the composite workload"
+                )
+            if self.attack_rate_pps <= 0:
+                raise ValueError("attack_rate_pps must be positive")
         if self.trace_capacity is not None and self.trace_capacity <= 0:
             raise ValueError("trace_capacity must be positive")
         if self.backend is not None and self.backend not in BACKENDS:

@@ -138,6 +138,27 @@ class Router:
 
         # --- measurement ---------------------------------------------------
         self.delivered = self.probes.counter("router.delivered")
+        # --- closed-loop mitigation (opt-in; schedules its own periodic
+        # sampling event, so it is a determinism axis like the watchdog) --
+        self.mitigation = None
+        if config.mitigation_enabled:
+            from ..core.mitigation import MitigationController
+
+            self.mitigation = MitigationController(
+                self.kernel,
+                config,
+                self.nic_in,
+                self.delivered,
+                polling=self.polling,
+                clocked_drivers=(
+                    (self.driver_in, self.driver_out)
+                    if config.use_clocked_polling
+                    else ()
+                ),
+                queues=(
+                    (self.screen_queue,) if self.screen_queue is not None else ()
+                ),
+            )
         self.latency = LatencyRecorder(self.sim)
         self.nic_out.on_transmit = self._on_output_transmit
         self.nic_in.on_transmit = self._on_input_transmit
@@ -311,6 +332,8 @@ class Router:
             self.faults.bind_lines()
         if self.polling is not None:
             self.polling.start()
+        if self.mitigation is not None:
+            self.mitigation.start()
         if self.screend is not None:
             self.screend.start()
         if self.compute is not None:
@@ -359,6 +382,8 @@ class Router:
             self.feedback.trace = buffer
         if self.cycle_limiter is not None:
             self.cycle_limiter.trace = buffer
+        if self.mitigation is not None:
+            self.mitigation.trace = buffer
         return self
 
     def _on_output_transmit(self, packet) -> None:

@@ -126,6 +126,7 @@ def pack_trial(result) -> bytes:
         _pack_json_opt(out, result.watchdog)
         _pack_json_opt(out, result.faults)
         _pack_json_opt(out, result.timeline)
+        _pack_json_opt(out, result.slo)
         backend = result.backend
         if backend is None:
             out.append(b"\x00")
@@ -206,6 +207,7 @@ def unpack_trial(blob: bytes):
     watchdog = reader.json_opt()
     faults = reader.json_opt()
     timeline = reader.json_opt()
+    slo = reader.json_opt()
     backend = None
     if reader.take(1) == b"\x01":
         backend = reader.text()
@@ -226,5 +228,6 @@ def unpack_trial(blob: bytes):
         watchdog=watchdog,
         faults=faults,
         timeline=timeline,
+        slo=slo,
         backend=backend,
     )

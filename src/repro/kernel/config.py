@@ -118,6 +118,40 @@ class KernelConfig:
     idle_thread: bool = True
 
     # ------------------------------------------------------------------
+    # Closed-loop mitigation controller (repro.core.mitigation)
+    # ------------------------------------------------------------------
+    #: Arm the closed-loop overload controller. Requires a polling-class
+    #: kernel (use_polling or use_clocked_polling): the controller's
+    #: actuators are the polling quota, the input-inhibit gate, and the
+    #: clocked poll period — the classic kernel exposes none of them.
+    mitigation_enabled: bool = False
+    #: Controller sampling period, in clock ticks (one window per sample).
+    mitigation_period_ticks: int = 10
+    #: Useful-work fraction (delivered/arrived per window) below which a
+    #: window counts as *pressure* toward escalation.
+    mitigation_low_fraction: float = 0.3
+    #: Useful-work fraction at or above which a window counts as *relief*
+    #: toward de-escalation.
+    mitigation_high_fraction: float = 0.7
+    #: Consecutive pressure windows before the controller escalates.
+    mitigation_trip_windows: int = 2
+    #: Consecutive relief windows before the controller de-escalates.
+    mitigation_clear_windows: int = 3
+    #: Hard floor for the adapted RX quota: progress never stops.
+    mitigation_min_quota: int = 2
+    #: Quota imposed at escalation level 1 when the configured quota is
+    #: unlimited (None); each further level halves it toward the floor.
+    mitigation_quota_cap: int = 16
+    #: Maximum escalation level.
+    mitigation_max_level: int = 4
+    #: Ceiling on the clocked poll-interval stretch factor.
+    mitigation_max_interval_scale: int = 8
+    #: RX-queue occupancy fraction above which the controller pulses the
+    #: input-inhibit gate (polling kernel), and below which it releases it.
+    mitigation_queue_high_fraction: float = 0.75
+    mitigation_queue_low_fraction: float = 0.25
+
+    # ------------------------------------------------------------------
     # Diagnostics (livelock watchdog, invariant sanitizer)
     # ------------------------------------------------------------------
     #: Width of one livelock-watchdog progress window, in clock ticks.
@@ -157,6 +191,31 @@ class KernelConfig:
             raise ValueError("classic_input_feedback applies to the classic kernel")
         if not 0.0 < self.ipintrq_low_fraction < 1.0:
             raise ValueError("ipintrq_low_fraction must be in (0, 1)")
+        if self.mitigation_enabled and not (
+            self.use_polling or self.use_clocked_polling
+        ):
+            raise ValueError(
+                "mitigation_enabled requires a polling-class kernel "
+                "(use_polling or use_clocked_polling)"
+            )
+        if self.mitigation_enabled and self.emulate_unmodified:
+            raise ValueError(
+                "mitigation_enabled is incompatible with emulate_unmodified"
+            )
+        if not (
+            0.0
+            < self.mitigation_low_fraction
+            < self.mitigation_high_fraction
+            <= 1.0
+        ):
+            raise ValueError("mitigation useful-work fractions out of order")
+        if not (
+            0.0
+            < self.mitigation_queue_low_fraction
+            < self.mitigation_queue_high_fraction
+            <= 1.0
+        ):
+            raise ValueError("mitigation queue watermark fractions out of order")
         if self.output_queue_policy not in ("droptail", "red"):
             raise ValueError(
                 "output_queue_policy must be 'droptail' or 'red', got %r"
@@ -174,6 +233,13 @@ class KernelConfig:
             "feedback_timeout_ticks",
             "watchdog_window_ticks",
             "sanitize_every_events",
+            "mitigation_period_ticks",
+            "mitigation_trip_windows",
+            "mitigation_clear_windows",
+            "mitigation_min_quota",
+            "mitigation_quota_cap",
+            "mitigation_max_level",
+            "mitigation_max_interval_scale",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError("%s must be positive" % name)

@@ -19,8 +19,12 @@ Window classification:
   counted separately and never influence the verdict.
 
 The verdict over a whole trial is the dominant classification among
-loaded windows (majority, checked in severity order stalled > livelocked
-> starved). ``abort_after_stalled_windows`` optionally turns the watchdog
+loaded windows. A strict majority wins first (checked as: stalled
+majority, then combined livelocked+stalled majority, then starved
+majority); when no class holds a majority, the verdict is the single
+largest unhealthy class, with ties broken by explicit severity order
+``livelocked > stalled > starved > healthy``.
+``abort_after_stalled_windows`` optionally turns the watchdog
 into a tripwire: that many *consecutive* zero-progress windows raise
 :class:`~repro.sim.errors.WatchdogTimeout` inside the simulation,
 bounding how long a wedged trial can spin.
@@ -204,8 +208,28 @@ class LivelockWatchdog:
     def loaded_windows(self) -> int:
         return self.windows - self.idle_windows
 
+    #: Tie-break order for :meth:`classification` when no window class
+    #: holds a strict majority: most severe first. Explicit, so the
+    #: verdict never depends on dict/attribute enumeration order.
+    SEVERITY_ORDER = (
+        VERDICT_LIVELOCKED,
+        VERDICT_STALLED,
+        VERDICT_STARVED,
+        VERDICT_HEALTHY,
+    )
+
     def classification(self) -> str:
-        """Dominant window class over the trial, by severity."""
+        """Dominant window class over the trial.
+
+        A strict majority of loaded windows wins first — stalled, then
+        livelocked (counting stalled windows as livelock evidence: a
+        stall is livelock's limit case), then starved. With no majority,
+        the verdict falls back to the largest single class, ties broken
+        by :attr:`SEVERITY_ORDER` (``livelocked > stalled > starved >
+        healthy``) so an ambiguous trial reads as its worst plausible
+        regime rather than whichever counter happened to be checked
+        first.
+        """
         loaded = self.loaded_windows
         if loaded == 0:
             return VERDICT_HEALTHY
@@ -216,7 +240,17 @@ class LivelockWatchdog:
             return VERDICT_LIVELOCKED
         if self.starved_windows > majority:
             return VERDICT_STARVED
-        return VERDICT_HEALTHY
+        counts = {
+            VERDICT_LIVELOCKED: self.livelock_windows,
+            VERDICT_STALLED: self.stall_windows,
+            VERDICT_STARVED: self.starved_windows,
+            VERDICT_HEALTHY: self.healthy_windows,
+        }
+        best = max(counts.values())
+        for verdict in self.SEVERITY_ORDER:
+            if counts[verdict] == best:
+                return verdict
+        return VERDICT_HEALTHY  # pragma: no cover - SEVERITY_ORDER is total
 
     def verdict(self) -> dict:
         """Structured verdict for :class:`TrialResult.watchdog`.

@@ -59,6 +59,8 @@ CYCLE_LIMIT = 17  #: cycle limiter crossed its threshold   (site=reason, a=used)
 CYCLE_RESET = 18  #: cycle limiter window reset            (site=reason)
 PKT_INJECT = 19  #: generator emitted a packet             (site=generator, a=seq)
 PKT_DELIVER = 20  #: packet transmitted on the output wire (site=nic, a=latency, b=born)
+MITIGATE_UP = 21  #: mitigation controller escalated       (site=controller, a=level)
+MITIGATE_DOWN = 22  #: mitigation controller de-escalated  (site=controller, a=level)
 
 #: kind -> human-readable name (exporters, CSV, watchdog excerpts).
 KIND_NAMES = {
@@ -82,6 +84,8 @@ KIND_NAMES = {
     CYCLE_RESET: "cycle_reset",
     PKT_INJECT: "pkt_inject",
     PKT_DELIVER: "pkt_deliver",
+    MITIGATE_UP: "mitigate_up",
+    MITIGATE_DOWN: "mitigate_down",
 }
 
 

@@ -33,6 +33,8 @@ from .buffer import (
     IRQ_DISPATCH,
     IRQ_RETURN,
     KIND_NAMES,
+    MITIGATE_DOWN,
+    MITIGATE_UP,
     PKT_DELIVER,
     PKT_INJECT,
     Q_DROP,
@@ -138,7 +140,12 @@ def to_perfetto(buffer: TraceBuffer, timeline=None) -> Dict:
             FEEDBACK_TIMEOUT,
             CYCLE_LIMIT,
             CYCLE_RESET,
+            MITIGATE_UP,
+            MITIGATE_DOWN,
         ):
+            args = {"site": names[sid]}
+            if kind in (MITIGATE_UP, MITIGATE_DOWN):
+                args["level"] = a
             events.append(
                 {
                     "ph": "i",
@@ -148,7 +155,7 @@ def to_perfetto(buffer: TraceBuffer, timeline=None) -> Dict:
                     "pid": _PID,
                     "tid": _TID_CONTROL,
                     "ts": ts,
-                    "args": {"site": names[sid]},
+                    "args": args,
                 }
             )
     # Dangling dispatches (handler still running at trace end) close at
@@ -169,6 +176,7 @@ def to_perfetto(buffer: TraceBuffer, timeline=None) -> Dict:
                 }
             )
     events.extend(_counter_events(timeline))
+    events.extend(_mark_events(timeline))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -212,6 +220,27 @@ def _counter_events(timeline) -> List[Dict]:
                     )
                     / window_s
                 },
+            }
+        )
+    return events
+
+
+def _mark_events(timeline) -> List[Dict]:
+    """Timeline marks (phase boundaries: ``measure_start``,
+    ``attack_start``, ``recovered``, ...) as global instant events."""
+    data = _timeline_dict(timeline)
+    if data is None:
+        return []
+    events = []
+    for name, mark in data.get("marks", {}).items():
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": name,
+                "cat": "mark",
+                "pid": _PID,
+                "ts": mark["t_ns"] / NS_PER_US,
             }
         )
     return events

@@ -36,6 +36,8 @@ from .buffer import (
     INPUT_ALLOW,
     INPUT_INHIBIT,
     IRQ_DISPATCH,
+    MITIGATE_DOWN,
+    MITIGATE_UP,
     PKT_DELIVER,
     PKT_INJECT,
     Q_DROP,
@@ -141,10 +143,12 @@ class Timeline:
         elif kind == QUOTA_EXHAUST:
             window["quota_exhausted"] += 1
             totals["quota_exhausted"] += 1
-        elif kind in (INPUT_INHIBIT, CYCLE_LIMIT):
+        elif kind in (INPUT_INHIBIT, CYCLE_LIMIT, MITIGATE_UP):
+            # Mitigation escalations fold into the inhibit series: both
+            # are the kernel throttling its own input side.
             window["inhibits"] += 1
             totals["inhibits"] += 1
-        elif kind in (INPUT_ALLOW, FEEDBACK_TIMEOUT, CYCLE_RESET):
+        elif kind in (INPUT_ALLOW, FEEDBACK_TIMEOUT, CYCLE_RESET, MITIGATE_DOWN):
             window["allows"] += 1
             totals["allows"] += 1
         # Remaining kinds (cpu_run, rx_accept, q_enqueue, ...) shape the

@@ -1,5 +1,10 @@
 """Traffic workloads (the off-CPU source host)."""
 
+from .adversarial import (
+    CompositeGenerator,
+    FlashCrowdGenerator,
+    SynFloodGenerator,
+)
 from .generators import (
     BurstyGenerator,
     ConstantRateGenerator,
@@ -9,7 +14,10 @@ from .generators import (
 
 __all__ = [
     "BurstyGenerator",
+    "CompositeGenerator",
     "ConstantRateGenerator",
+    "FlashCrowdGenerator",
     "PoissonGenerator",
+    "SynFloodGenerator",
     "TrafficGenerator",
 ]

@@ -1,0 +1,309 @@
+"""Adversarial traffic: livelock as the attack vector.
+
+The paper's generators are polite — paced, Poisson, bursty — but its
+core claim is about *hostile* input rates: "a host may be subject to
+congestive collapse ... even as the result of a deliberate attack"
+(§1). These generators model the two canonical hostile arrival
+processes, plus their combination with legitimate background traffic:
+
+* :class:`SynFloodGenerator` — a SYN-flood/DDoS source: a Poisson
+  aggregate of many spoofed short flows, with a dialable peak intensity
+  and ramp / sustain / stop phases, so one trial can cover onset,
+  steady-state overload and the recovery edge;
+* :class:`FlashCrowdGenerator` — a flash crowd: many concurrent users
+  whose per-request popularity follows a Zipf law, arriving in on/off
+  waves (the "everyone reloads the same page" shape);
+* :class:`CompositeGenerator` — an attack layered over legitimate
+  background traffic, so goodput for the *legit* flows can be measured
+  separately from raw forwarding throughput.
+
+Determinism contract: every stochastic decision (spoofed addresses,
+Zipf draws, inter-arrival gaps, on/off phase lengths) comes from the
+``random.Random`` stream handed in by the caller — in the harness, a
+named :class:`~repro.sim.randomness.RandomStreams` stream — so trials
+with adversarial workloads are exactly as reproducible as the polite
+ones.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Optional
+
+from ..sim.units import NS_PER_SEC
+from .generators import TrafficGenerator
+
+
+class SynFloodGenerator(TrafficGenerator):
+    """Spoofed-source flood with ramp / sustain / stop phases.
+
+    The aggregate arrival process is Poisson at the phase's current
+    rate: during the first ``ramp_s`` seconds the rate climbs linearly
+    from ``floor_fraction * rate_pps`` to ``rate_pps``; it then sustains
+    at ``rate_pps`` for ``sustain_s`` seconds (None = until the trial
+    ends or :meth:`stop` is called); after the sustain window the source
+    goes quiet on its own (``finished`` becomes True) — modelling an
+    attack that stops, which is what recovery measurements need.
+
+    Every packet carries a source address spoofed uniformly from
+    ``spoof_hosts`` host numbers within the source /16 — many short
+    flows, no two-way state.
+    """
+
+    def __init__(
+        self,
+        sim,
+        nic,
+        rate_pps: float,
+        rng: random.Random,
+        ramp_s: float = 0.0,
+        sustain_s: Optional[float] = None,
+        floor_fraction: float = 0.1,
+        spoof_hosts: int = 4096,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("flow", "synflood")
+        kwargs.setdefault("name", "synflood")
+        kwargs.setdefault("dst_port", 80)
+        super().__init__(sim, nic, **kwargs)
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if rng is None:
+            raise ValueError("a SYN flood needs an rng stream (spoofing)")
+        if ramp_s < 0:
+            raise ValueError("ramp_s must be non-negative")
+        if sustain_s is not None and sustain_s < 0:
+            raise ValueError("sustain_s must be non-negative")
+        if not 0.0 < floor_fraction <= 1.0:
+            raise ValueError("floor_fraction must be in (0, 1]")
+        if spoof_hosts <= 0:
+            raise ValueError("spoof_hosts must be positive")
+        self.rate_pps = rate_pps
+        self.rng = rng
+        self.ramp_ns = int(ramp_s * NS_PER_SEC)
+        self.sustain_ns = (
+            None if sustain_s is None else int(sustain_s * NS_PER_SEC)
+        )
+        self.floor_fraction = floor_fraction
+        self.spoof_hosts = spoof_hosts
+        #: Host-number base for spoofed sources: the configured ``src``
+        #: address's /16, so the flood looks like it comes from inside
+        #: the source network (no reverse route needed).
+        self._spoof_base = self.src & 0xFFFF0000
+        self._t0 = 0
+        #: True once the sustain window has elapsed and the flood went
+        #: quiet on its own (distinct from :attr:`stopped`).
+        self.finished = False
+
+    # ------------------------------------------------------------------
+
+    def _current_rate(self, t_ns: int) -> float:
+        """The flood's target rate ``t_ns`` after start (0 = over)."""
+        elapsed = t_ns - self._t0
+        if self.ramp_ns > 0 and elapsed < self.ramp_ns:
+            floor = self.rate_pps * self.floor_fraction
+            return floor + (self.rate_pps - floor) * elapsed / self.ramp_ns
+        if self.sustain_ns is not None and elapsed >= (
+            self.ramp_ns + self.sustain_ns
+        ):
+            return 0.0
+        return self.rate_pps
+
+    def _next_gap(self, rate: float) -> int:
+        gap = int(self.rng.expovariate(1.0) * (NS_PER_SEC / rate))
+        return max(self.min_interval_ns, gap)
+
+    def _schedule_first(self) -> None:
+        self._t0 = self.sim.now
+        rate = self._current_rate(self.sim.now)
+        if rate <= 0.0:
+            self.finished = True
+            return
+        self._pending = self.sim.schedule(
+            self._next_gap(rate), self._tick, label="sleep:" + self.name
+        )
+
+    def _tick(self) -> None:
+        # One spoofed short flow per packet: randomize the source before
+        # the shared emission path reads it.
+        self.src = self._spoof_base | self.rng.randrange(self.spoof_hosts)
+        self._emit()
+        rate = self._current_rate(self.sim.now)
+        if rate <= 0.0:
+            self._pending = None
+            self.finished = True
+            return
+        self._pending = self.sim.schedule(
+            self._next_gap(rate), self._tick, label="sleep:" + self.name
+        )
+
+
+class FlashCrowdGenerator(TrafficGenerator):
+    """Zipf-popularity on/off flows over many concurrent users.
+
+    ``num_users`` independent users share one aggregate arrival process:
+    while the crowd is *on*, packets arrive Poisson at ``rate_pps`` and
+    each packet belongs to a user drawn from a Zipf(``zipf_exponent``)
+    popularity law (user 0 the most popular); the crowd then goes *off*
+    for an exponentially distributed lull. On/off wave lengths have
+    means ``mean_on_s`` / ``mean_off_s``. Each packet's flow label and
+    destination port identify its user, so per-flow treatment is
+    observable downstream.
+    """
+
+    def __init__(
+        self,
+        sim,
+        nic,
+        rate_pps: float,
+        rng: random.Random,
+        num_users: int = 64,
+        zipf_exponent: float = 1.1,
+        mean_on_s: float = 0.02,
+        mean_off_s: float = 0.01,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("flow", "flashcrowd")
+        kwargs.setdefault("name", "flashcrowd")
+        super().__init__(sim, nic, **kwargs)
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if rng is None:
+            raise ValueError("a flash crowd needs an rng stream")
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if mean_on_s <= 0 or mean_off_s < 0:
+            raise ValueError("on/off means must be positive / non-negative")
+        self.rate_pps = rate_pps
+        self.rng = rng
+        self.num_users = num_users
+        self.zipf_exponent = zipf_exponent
+        self.mean_on_ns = mean_on_s * NS_PER_SEC
+        self.mean_off_ns = mean_off_s * NS_PER_SEC
+        self.mean_interval_ns = NS_PER_SEC / rate_pps
+        # Zipf popularity CDF over users (rank r gets weight 1/(r+1)^s).
+        cdf = []
+        total = 0.0
+        for rank in range(num_users):
+            total += 1.0 / ((rank + 1) ** zipf_exponent)
+            cdf.append(total)
+        self._zipf_cdf = cdf
+        self._zipf_total = total
+        self._phase_end_ns = 0
+
+    # ------------------------------------------------------------------
+
+    def _pick_user(self) -> int:
+        point = self.rng.random() * self._zipf_total
+        return min(
+            bisect.bisect_left(self._zipf_cdf, point), self.num_users - 1
+        )
+
+    def _next_gap(self) -> int:
+        gap = int(self.rng.expovariate(1.0) * self.mean_interval_ns)
+        return max(self.min_interval_ns, gap)
+
+    def _draw_phase(self, mean_ns: float) -> int:
+        if mean_ns <= 0:
+            return 0
+        return max(1, int(self.rng.expovariate(1.0) * mean_ns))
+
+    def _schedule_first(self) -> None:
+        self._phase_end_ns = self.sim.now + self._draw_phase(self.mean_on_ns)
+        self._pending = self.sim.schedule(
+            self._next_gap(), self._tick, label="sleep:" + self.name
+        )
+
+    def _tick(self) -> None:
+        user = self._pick_user()
+        self.flow = "user%d" % user
+        self.dst_port = 1024 + user
+        self._emit()
+        gap = self._next_gap()
+        if self.sim.now + gap >= self._phase_end_ns:
+            # The on-wave ends before the next arrival would land: go
+            # quiet for an off-lull, then start the next wave.
+            lull = self._draw_phase(self.mean_off_ns)
+            delay = max(0, self._phase_end_ns - self.sim.now) + lull
+            self._pending = self.sim.schedule(
+                max(1, delay), self._resume, label="sleep:" + self.name
+            )
+            return
+        self._pending = self.sim.schedule(
+            gap, self._tick, label="sleep:" + self.name
+        )
+
+    def _resume(self) -> None:
+        self._phase_end_ns = self.sim.now + self._draw_phase(self.mean_on_ns)
+        self._pending = self.sim.schedule(
+            self._next_gap(), self._tick, label="sleep:" + self.name
+        )
+
+
+class CompositeGenerator(TrafficGenerator):
+    """An attack layered over legitimate background traffic.
+
+    Wraps two already-constructed (not started) generators and presents
+    the combined source through the normal
+    :class:`~repro.workloads.generators.TrafficGenerator` lifecycle:
+    ``start``/``stop`` fan out to both children, ``sent`` sums theirs,
+    and the trace hook propagates. The children keep their own flow
+    labels, so legit and attack packets stay distinguishable end to end.
+    """
+
+    def __init__(
+        self,
+        sim,
+        background: TrafficGenerator,
+        attack: TrafficGenerator,
+        name: str = "composite",
+    ) -> None:
+        # Deliberately not calling TrafficGenerator.__init__: the
+        # composite emits nothing itself, so it carries only lifecycle
+        # state and delegates the data path entirely to its children.
+        self.sim = sim
+        self.name = name
+        self.background = background
+        self.attack = attack
+        self.children = (background, attack)
+        self.started = False
+        self.stopped = False
+        self._trace = None
+
+    @property
+    def sent(self) -> int:
+        return sum(child.sent for child in self.children)
+
+    @property
+    def trace(self):
+        return self._trace
+
+    @trace.setter
+    def trace(self, buffer) -> None:
+        self._trace = buffer
+        for child in self.children:
+            child.trace = buffer
+
+    def start(self) -> "CompositeGenerator":
+        if self.stopped:
+            raise RuntimeError(
+                "generator %s was stopped and cannot be restarted; "
+                "create a new generator instead" % self.name
+            )
+        if self.started:
+            raise RuntimeError("generator %s already started" % self.name)
+        self.started = True
+        for child in self.children:
+            child.start()
+        return self
+
+    def stop(self) -> None:
+        self.stopped = True
+        for child in self.children:
+            child.stop()
+
+    def _schedule_first(self) -> None:  # pragma: no cover - never armed
+        raise NotImplementedError("composite generators do not self-emit")

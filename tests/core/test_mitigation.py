@@ -1,0 +1,312 @@
+"""Closed-loop mitigation controller: hysteresis, pulses, restoration."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import variants
+from repro.core.mitigation import MITIGATION_REASON, MitigationController
+from repro.core.quota import PollQuota
+from repro.experiments.harness import run_trial
+from repro.sim import ProbeRegistry, Simulator
+
+
+class FakeCounter:
+    def __init__(self, value=0):
+        self.value = value
+
+
+class FakeNic:
+    def __init__(self, capacity=64):
+        self.rx_accepted = FakeCounter()
+        self.rx_overflow_drops = FakeCounter()
+        self.rx_ring_capacity = capacity
+        self.pending = 0
+
+    def rx_pending(self):
+        return self.pending
+
+
+class FakePolling:
+    def __init__(self, quota=None):
+        self.quota = quota if quota is not None else PollQuota(rx=None, tx=None)
+        self.inhibits = []
+        self.allows = []
+
+    def inhibit_input(self, reason):
+        self.inhibits.append(reason)
+
+    def allow_input(self, reason):
+        self.allows.append(reason)
+
+
+class FakeClocked:
+    def __init__(self, quota=5, interval_ns=1_000_000):
+        self.quota = quota
+        self.poll_interval_ns = interval_ns
+        self.intervals = [interval_ns]
+
+    def set_poll_interval(self, interval_ns):
+        self.poll_interval_ns = interval_ns
+        self.intervals.append(interval_ns)
+
+
+def make_controller(polling=None, clocked=(), queues=(), config=None):
+    sim = Simulator()
+    kernel = SimpleNamespace(sim=sim, probes=ProbeRegistry(sim))
+    if config is None:
+        config = variants.polling(quota=None, mitigate=True)
+    nic = FakeNic()
+    delivered = FakeCounter()
+    ctl = MitigationController(
+        kernel,
+        config,
+        nic,
+        delivered,
+        polling=polling,
+        clocked_drivers=clocked,
+        queues=queues,
+    )
+    return ctl, nic, delivered
+
+
+def _window(ctl, nic, delivered, arrived, out, pending):
+    """Advance the fake counters by one window's worth and sample."""
+    nic.rx_accepted.value += arrived
+    delivered.value += out
+    nic.pending = pending
+    ctl._sample()
+
+
+def _pressure(ctl, nic, delivered):
+    _window(ctl, nic, delivered, arrived=100, out=5, pending=60)
+
+
+def _relief(ctl, nic, delivered):
+    _window(ctl, nic, delivered, arrived=100, out=90, pending=4)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+def test_controller_requires_an_actuator():
+    with pytest.raises(ValueError, match="needs an actuator"):
+        make_controller()
+
+
+def test_double_start_rejected_and_stop_releases_inhibit():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    ctl.start()
+    with pytest.raises(RuntimeError, match="already started"):
+        ctl.start()
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)  # escalates + pulses
+    assert ctl._inhibited
+    ctl.stop()
+    assert not ctl._inhibited
+    assert polling.allows == [MITIGATION_REASON]
+
+
+# ----------------------------------------------------------------------
+# Hysteresis: trip on sustained pressure, clear on sustained relief
+# ----------------------------------------------------------------------
+
+
+def test_sustained_pressure_escalates_after_trip_windows():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    trip = ctl.config.mitigation_trip_windows
+    for _ in range(trip - 1):
+        _pressure(ctl, nic, delivered)
+    assert ctl.level == 0  # one window short of the trip
+    _pressure(ctl, nic, delivered)
+    assert ctl.level == 1
+    assert ctl.escalations.value == 1
+    # quota=inf base: level 1 clamps RX to the configured cap, tx intact.
+    assert polling.quota.rx == ctl.config.mitigation_quota_cap
+    assert polling.quota.tx == ctl._base_quota.tx
+
+
+def test_single_bad_window_between_good_ones_never_trips():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    for _ in range(4):
+        _pressure(ctl, nic, delivered)
+        _relief(ctl, nic, delivered)
+    assert ctl.level == 0
+    assert ctl.escalations.value == 0
+
+
+def test_each_level_halves_the_quota_toward_the_floor():
+    """Unrelenting pressure walks the controller to max level (pulse
+    windows interleave as neutral evidence, so it takes a few windows
+    per level), and the quota shrinks monotonically toward the floor."""
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    config = ctl.config
+    quota_at_level = {}
+    for _ in range(40):
+        _pressure(ctl, nic, delivered)
+        quota_at_level[ctl.level] = polling.quota.rx
+    assert ctl.level == config.mitigation_max_level
+    quotas = [quota_at_level[level] for level in sorted(quota_at_level) if level]
+    assert quotas == sorted(quotas, reverse=True)
+    assert quotas[0] == config.mitigation_quota_cap
+    assert quotas[-1] >= config.mitigation_min_quota
+
+
+def test_relief_deescalates_and_restores_the_base_quota_exactly():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    base = ctl._base_quota
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)
+    assert ctl.level == 1 and not ctl.restored
+    clear = ctl.config.mitigation_clear_windows
+    for _ in range(clear + 1):  # +1 absorbs the neutral pulse window
+        _relief(ctl, nic, delivered)
+    assert ctl.level == 0
+    assert ctl.deescalations.value == 1
+    assert polling.quota is base  # bit-exact restoration, same object
+    assert ctl.restored
+
+
+def test_relief_requires_a_drained_queue_not_just_good_fraction():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)
+    _relief(ctl, nic, delivered)  # neutral pulse window
+    for _ in range(10):
+        # great fraction but the ring is still half full: no relief
+        _window(ctl, nic, delivered, arrived=100, out=90, pending=40)
+    assert ctl.level == 1
+
+
+# ----------------------------------------------------------------------
+# Inhibit pulses
+# ----------------------------------------------------------------------
+
+
+def test_escalation_pulses_and_releases_next_window():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)
+    assert polling.inhibits == [MITIGATION_REASON]
+    assert ctl._inhibited
+    # Next sample releases unconditionally, even if the window looks bad
+    # (the controller's own shedding made it look bad).
+    _window(ctl, nic, delivered, arrived=100, out=0, pending=64)
+    assert polling.allows == [MITIGATION_REASON]
+    assert not ctl._inhibited
+
+
+def test_occupancy_alone_never_pulses():
+    """Post-attack, background traffic keeps the ring warm; a full ring
+    with a healthy useful-work fraction must not re-close the input."""
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)  # level 1, one escalation pulse
+    _window(ctl, nic, delivered, arrived=100, out=0, pending=64)  # release
+    pulses = ctl.inhibit_pulses.value
+    for _ in range(5):
+        _window(ctl, nic, delivered, arrived=100, out=90, pending=60)
+    assert ctl.inhibit_pulses.value == pulses
+
+
+def test_wedged_windows_keep_pulsing_while_escalated():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)
+    _window(ctl, nic, delivered, arrived=100, out=0, pending=64)  # release
+    # Still no progress and the ring is saturated: pulse again (every
+    # other window — each pulse is followed by one open window).
+    _pressure(ctl, nic, delivered)
+    assert ctl.inhibit_pulses.value == 2
+    assert ctl._inhibited
+
+
+def test_no_pulse_at_level_zero():
+    polling = FakePolling()
+    ctl, nic, delivered = make_controller(polling=polling)
+    _pressure(ctl, nic, delivered)  # pressure but not yet tripped
+    assert ctl.inhibit_pulses.value == 0
+    assert not ctl._inhibited
+
+
+# ----------------------------------------------------------------------
+# Clocked actuation
+# ----------------------------------------------------------------------
+
+
+def test_clocked_driver_quota_and_period_scale_with_level():
+    driver = FakeClocked(quota=5, interval_ns=1_000_000)
+    config = variants.clocked(mitigate=True)
+    ctl, nic, delivered = make_controller(clocked=(driver,), config=config)
+    _pressure(ctl, nic, delivered)
+    _pressure(ctl, nic, delivered)
+    assert ctl.level == 1
+    # base quota 5 < cap: the cap starts from the smaller base.
+    assert driver.quota == max(config.mitigation_min_quota, 5)
+    assert driver.poll_interval_ns == 2_000_000
+    clear = config.mitigation_clear_windows
+    for _ in range(clear):
+        _relief(ctl, nic, delivered)
+    assert driver.quota == 5
+    assert driver.poll_interval_ns == 1_000_000
+    assert ctl.restored
+
+
+def test_interval_scale_is_capped():
+    driver = FakeClocked(interval_ns=1_000_000)
+    config = variants.clocked(mitigate=True)
+    ctl, nic, delivered = make_controller(clocked=(driver,), config=config)
+    ctl._set_level(config.mitigation_max_level)
+    scale = driver.poll_interval_ns / 1_000_000
+    assert scale <= config.mitigation_max_interval_scale
+
+
+# ----------------------------------------------------------------------
+# End to end through run_trial
+# ----------------------------------------------------------------------
+
+
+TIMING = dict(duration_s=0.08, warmup_s=0.03)
+
+
+def test_mitigated_no_quota_kernel_survives_the_cliff():
+    """The paper's livelock case (quota=inf at 12k pps) delivers nothing;
+    the same kernel with the controller armed keeps forwarding."""
+    bare = run_trial(variants.polling(quota=None), 12_000, **TIMING)
+    defended = run_trial(
+        variants.polling(quota=None, mitigate=True), 12_000, **TIMING
+    )
+    assert bare.delivered == 0
+    assert bare.output_rate_pps == 0.0
+    assert defended.output_rate_pps > 2_000
+    assert defended.counters["mitigation.escalations"] >= 1
+
+
+def test_quiescent_controller_never_escalates_under_benign_load():
+    result = run_trial(
+        variants.polling(quota=None, mitigate=True), 4_000, **TIMING
+    )
+    assert result.counters["mitigation.samples"] > 0
+    assert result.counters["mitigation.escalations"] == 0
+    assert result.counters["mitigation.inhibit_pulses"] == 0
+
+
+def test_disarmed_config_runs_no_controller():
+    result = run_trial(variants.polling(quota=None), 4_000, **TIMING)
+    assert "mitigation.samples" not in result.counters
+
+
+def test_mitigation_requires_polling_class_kernel():
+    with pytest.raises(ValueError, match="polling-class kernel"):
+        variants.unmodified().with_options(mitigation_enabled=True)

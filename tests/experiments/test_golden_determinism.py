@@ -81,6 +81,7 @@ def _comparable(result):
     assert data.pop("watchdog") is None
     assert data.pop("faults") is None
     assert data.pop("timeline") is None
+    assert data.pop("slo") is None
     # Attribution only, never part of trial identity: the backends are
     # bit-identical by contract (and this very test, run under
     # REPRO_BACKEND=fast, is part of the proof).

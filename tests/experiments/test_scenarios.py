@@ -1,0 +1,176 @@
+"""Adversarial scenarios: the headline SLO verdicts, determinism, export.
+
+The acceptance criterion for the whole defense layer lives here: the
+8k pkt/s SYN flood livelocks the unmitigated no-quota kernel (goodput
+collapses under the floor) while the same kernel with the closed-loop
+controller armed holds the goodput floor and provably recovers within
+the bound after the attack stops.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    Scenario,
+    SLOThresholds,
+    get_scenario,
+    run_scenario,
+)
+from repro.experiments.wire import pack_trial, unpack_trial
+from repro.trace.buffer import TraceBuffer
+from repro.trace.export import to_perfetto
+
+
+@pytest.fixture(scope="module")
+def synflood_bare():
+    return run_scenario("syn-flood", seed=0)
+
+
+@pytest.fixture(scope="module")
+def synflood_defended():
+    return run_scenario("syn-flood", mitigate=True, seed=0)
+
+
+# ----------------------------------------------------------------------
+# The headline
+# ----------------------------------------------------------------------
+
+
+def test_unmitigated_synflood_livelocks(synflood_bare):
+    slo = synflood_bare.slo
+    assert slo["mitigated"] is False
+    assert slo["baseline"]["goodput_pps"] > 3_000
+    attack = slo["attack_phase"]
+    # Goodput collapses far below the 50% floor while the flood runs...
+    assert attack["goodput_fraction"] < slo["thresholds"]["goodput_floor_fraction"]
+    # ...and the watchdog sees unhealthy windows during the attack span.
+    assert attack["unhealthy_windows"] >= 1
+    assert slo["passed"] is False
+    assert any("goodput floor" in v for v in slo["violations"])
+
+
+def test_mitigated_synflood_holds_goodput_and_recovers(synflood_defended):
+    slo = synflood_defended.slo
+    assert slo["mitigated"] is True
+    attack = slo["attack_phase"]
+    assert attack["goodput_fraction"] >= 0.5
+    recovery = slo["recovery"]
+    assert recovery["recovered"] is True
+    assert recovery["time_to_recovery_s"] <= recovery["bound_s"]
+    assert recovery["unhealthy_windows_after"] == 0
+    mitigation = slo["mitigation"]
+    assert mitigation["restored"] is True
+    assert mitigation["escalations"] >= 1
+    assert slo["passed"] is True
+    assert slo["violations"] == []
+
+
+def test_defense_beats_no_defense_by_an_order_of_magnitude(
+    synflood_bare, synflood_defended
+):
+    bare = synflood_bare.slo["attack_phase"]["goodput_pps"]
+    defended = synflood_defended.slo["attack_phase"]["goodput_pps"]
+    assert defended > 10 * max(bare, 1.0)
+
+
+def test_scenario_teardown_is_leak_free(synflood_defended):
+    assert synflood_defended.slo["teardown"]["leaked"] == 0
+
+
+@pytest.mark.parametrize("name", ["flash-crowd", "mixed"])
+def test_other_scenarios_discriminate_too(name):
+    bare = run_scenario(name, seed=0)
+    defended = run_scenario(name, mitigate=True, seed=0)
+    assert bare.slo["passed"] is False
+    assert defended.slo["passed"] is True
+
+
+# ----------------------------------------------------------------------
+# Determinism and serialization
+# ----------------------------------------------------------------------
+
+
+def test_scenario_runs_are_deterministic():
+    first = run_scenario("syn-flood", mitigate=True, seed=7)
+    second = run_scenario("syn-flood", mitigate=True, seed=7)
+    assert asdict(first) == asdict(second)
+
+
+def test_seed_changes_the_run_but_not_the_verdict():
+    a = run_scenario("syn-flood", mitigate=True, seed=1)
+    b = run_scenario("syn-flood", mitigate=True, seed=2)
+    assert a.delivered != b.delivered
+    assert a.slo["passed"] and b.slo["passed"]
+
+
+def test_slo_survives_the_wire_format(synflood_defended):
+    restored = unpack_trial(pack_trial(synflood_defended))
+    assert asdict(restored) == asdict(synflood_defended)
+    assert restored.slo["passed"] is True
+
+
+# ----------------------------------------------------------------------
+# Trace integration: phase marks and mitigation instants
+# ----------------------------------------------------------------------
+
+
+def test_traced_scenario_exports_marks_and_mitigation_events():
+    # Default (64k-record) capacity: a smaller ring would overwrite the
+    # mid-trial mitigate_up/down instants before the scenario ends.
+    buffer = TraceBuffer()
+    result = run_scenario("syn-flood", mitigate=True, seed=0, trace=buffer)
+    marks = result.timeline["marks"]
+    assert {"attack_start", "attack_end", "recovered"} <= set(marks)
+    assert marks["attack_start"]["t_ns"] < marks["attack_end"]["t_ns"]
+    assert marks["attack_end"]["t_ns"] <= marks["recovered"]["t_ns"]
+    trace = to_perfetto(buffer, result.timeline)
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert {"attack_start", "attack_end", "recovered"} <= names
+    assert "mitigate_up" in names and "mitigate_down" in names
+    levels = [
+        e["args"]["level"]
+        for e in trace["traceEvents"]
+        if e["name"] in ("mitigate_up", "mitigate_down")
+    ]
+    assert max(levels) >= 1
+
+
+# ----------------------------------------------------------------------
+# The scenario registry and dataclasses
+# ----------------------------------------------------------------------
+
+
+def test_registry_names_are_stable():
+    assert set(SCENARIOS) == {"syn-flood", "flash-crowd", "mixed"}
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="syn-flood"):
+        get_scenario("teardrop")
+
+
+def test_with_attack_rate_returns_a_new_frozen_scenario():
+    base = get_scenario("syn-flood")
+    hotter = base.with_attack_rate(16_000)
+    assert hotter.attack_rate_pps == 16_000
+    assert base.attack_rate_pps == 8_000
+    assert hotter.with_attack_rate(None) == hotter
+
+
+def test_scenario_accepts_instances_not_just_names():
+    scenario = Scenario(
+        name="custom",
+        description="tiny custom flood",
+        background_rate_pps=3_000.0,
+        attack_rate_pps=9_000.0,
+        sustain_s=0.06,
+        recovery_s=0.2,
+        slo=SLOThresholds(goodput_floor_fraction=0.4),
+    )
+    result = run_scenario(scenario, mitigate=True, seed=0)
+    assert result.slo["scenario"] == "custom"
+    assert result.slo["thresholds"]["goodput_floor_fraction"] == 0.4

@@ -91,3 +91,107 @@ def test_with_options_returns_new_frozen_plan():
     assert noisy.frame_drop_prob == 0.2
     with pytest.raises(Exception):
         noisy.frame_drop_prob = 0.5  # frozen
+
+
+# ----------------------------------------------------------------------
+# Property tests: every valid plan survives both serialization cycles
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st
+
+_prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _windowed(max_interval, max_duration):
+    """Coupled (mean_interval_ns, duration_ns): off, or both positive."""
+    return st.one_of(
+        st.just((0, 0)),
+        st.tuples(
+            st.integers(min_value=1, max_value=max_interval),
+            st.integers(min_value=1, max_value=max_duration),
+        ),
+    )
+
+
+def _spike():
+    return st.one_of(
+        st.just((0.0, 0)),
+        st.tuples(
+            st.floats(min_value=0.001, max_value=1.0),
+            st.integers(min_value=1, max_value=10_000_000),
+        ),
+    )
+
+
+@st.composite
+def fault_plans(draw):
+    stall = draw(_windowed(1_000_000_000, 100_000_000))
+    brownout = draw(_windowed(1_000_000_000, 100_000_000))
+    spike = draw(_spike())
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        rx_irq_drop_prob=draw(_prob),
+        rx_irq_duplicate_prob=draw(_prob),
+        spurious_rx_irq_rate_pps=draw(
+            st.floats(min_value=0.0, max_value=50_000.0)
+        ),
+        rx_stall_mean_interval_ns=stall[0],
+        rx_stall_duration_ns=stall[1],
+        tx_spike_prob=spike[0],
+        tx_spike_extra_ns=spike[1],
+        frame_drop_prob=draw(_prob),
+        frame_corrupt_prob=draw(_prob),
+        brownout_mean_interval_ns=brownout[0],
+        brownout_duration_ns=brownout[1],
+        reorder_prob=draw(_prob),
+        tick_jitter_fraction=draw(
+            st.floats(min_value=0.0, max_value=0.999, allow_nan=False)
+        ),
+        tick_drift_fraction=draw(
+            st.floats(min_value=-0.5, max_value=0.5, allow_nan=False)
+        ),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_generated_plans_are_valid(plan):
+    plan.validate()
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_dict_round_trip_is_identity(plan):
+    restored = FaultPlan.from_dict(plan.to_dict())
+    assert restored == plan
+    restored.validate()
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_json_round_trip_is_identity(plan):
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    # Serialization must not manufacture or lose armed axes.
+    assert restored.any_armed() == plan.any_armed()
+    assert restored.clock_armed == plan.clock_armed
+    assert restored.wire_armed == plan.wire_armed
+
+
+@settings(max_examples=100, deadline=None)
+@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_with_options_round_trips_through_json_too(plan, seed):
+    reseeded = plan.with_options(seed=seed)
+    assert reseeded.seed == seed
+    assert FaultPlan.from_json(reseeded.to_json()) == reseeded
+    assert plan == plan.with_options()  # no-op keeps equality
+
+
+@settings(max_examples=100, deadline=None)
+@given(plan=fault_plans())
+def test_fuzzed_chaos_plans_share_the_same_contract(plan):
+    """The chaos fuzzer's plans ride the identical serialization path:
+    whatever hypothesis proves here holds for fuzz_fault_plan output
+    (spot-checked in tests/experiments/test_chaos.py)."""
+    blob = plan.to_json()
+    assert FaultPlan.from_json(blob).to_json() == blob

@@ -276,3 +276,72 @@ def test_livelocked_trial_carries_the_onset_excerpt():
         variants.unmodified(), CLIFF_RATE, watchdog=True, **TIMING
     )
     assert "trace_onset" not in bare.watchdog
+
+
+# ----------------------------------------------------------------------
+# Verdict tie-breaking (no majority: plurality, then severity order)
+# ----------------------------------------------------------------------
+
+
+def test_severity_order_is_total_and_worst_first():
+    assert LivelockWatchdog.SEVERITY_ORDER == (
+        VERDICT_LIVELOCKED,
+        VERDICT_STALLED,
+        VERDICT_STARVED,
+        VERDICT_HEALTHY,
+    )
+
+
+def test_tie_between_livelocked_and_healthy_reads_livelocked():
+    """2 livelocked vs 2 healthy: no class holds a strict majority, so
+    the tie breaks toward the worst plausible regime."""
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=5)            # livelocked
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=5)            # livelocked
+    assert wd.livelock_windows == wd.healthy_windows == 2
+    assert wd.classification() == VERDICT_LIVELOCKED
+
+
+def test_tie_between_stalled_and_healthy_reads_stalled():
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=0)            # stalled
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=0)            # stalled
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    assert wd.stall_windows == wd.healthy_windows == 2
+    assert wd.classification() == VERDICT_STALLED
+
+
+def test_plurality_without_majority_can_still_read_healthy():
+    """The fallback is plurality first, severity only on ties: three
+    healthy windows outvote one stalled plus one livelocked."""
+    wd = _make_watchdog()
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=0)            # stalled
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    _tick(wd, arrived=100, delivered=5)            # livelocked
+    _tick(wd, arrived=100, delivered=80)           # healthy
+    assert wd.healthy_windows == 3
+    assert wd.classification() == VERDICT_HEALTHY
+
+
+def test_starved_tie_outranks_healthy():
+    """Deliveries look fine in every window, but the user-progress probe
+    flatlines in half of them: starved wins the tie against healthy."""
+    user = {"cycles": 0}
+    sim = Simulator()
+    wd = LivelockWatchdog(
+        sim,
+        FakeCounter(),
+        [FakeCounter()],
+        window_ns=1_000_000,
+        user_cycles=lambda: user["cycles"],
+    )
+    for advance in (True, False, True, False):
+        if advance:
+            user["cycles"] += 1_000
+        _tick(wd, arrived=100, delivered=80)
+    assert wd.starved_windows == wd.healthy_windows == 2
+    assert wd.classification() == VERDICT_STARVED

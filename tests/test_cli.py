@@ -115,3 +115,101 @@ def test_trial_uses_cache_between_runs(capsys, tmp_path):
     assert main(args) == 0
     assert capsys.readouterr().out == first
     assert list((tmp_path / "c").glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# scenario
+# ----------------------------------------------------------------------
+
+
+def test_scenario_unmitigated_prints_fail_but_exits_zero(capsys):
+    assert main(["scenario", "syn-flood"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict:" in out and "FAIL" in out
+    assert "goodput floor" in out
+
+
+def test_scenario_check_fails_the_unmitigated_run():
+    assert main(["scenario", "syn-flood", "--check"]) == 1
+
+
+def test_scenario_mitigated_passes_with_check(capsys):
+    assert main(["scenario", "syn-flood", "--mitigate", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "restored=True" in out
+
+
+def test_scenario_slo_out_writes_the_verdict(tmp_path, capsys):
+    out_file = tmp_path / "slo.json"
+    code = main(
+        ["scenario", "syn-flood", "--mitigate", "--slo-out", str(out_file)]
+    )
+    assert code == 0
+    import json
+
+    slo = json.loads(out_file.read_text())
+    assert slo["passed"] is True
+    assert slo["scenario"] == "syn-flood"
+
+
+def test_scenario_trace_out_writes_perfetto_with_marks(tmp_path):
+    trace_file = tmp_path / "scenario.json"
+    code = main(
+        [
+            "scenario",
+            "syn-flood",
+            "--mitigate",
+            "--trace-out",
+            str(trace_file),
+        ]
+    )
+    assert code == 0
+    import json
+
+    trace = json.loads(trace_file.read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert {"attack_start", "attack_end", "recovered"} <= names
+
+
+def test_scenario_unknown_name_rejected():
+    with pytest.raises(SystemExit):
+        main(["scenario", "slowloris"])
+
+
+# ----------------------------------------------------------------------
+# chaos
+# ----------------------------------------------------------------------
+
+
+def test_chaos_smoke_is_clean(tmp_path, capsys):
+    report_file = tmp_path / "chaos.json"
+    code = main(
+        [
+            "chaos",
+            "--smoke",
+            "--seed",
+            "0",
+            "--backend",
+            "pure",
+            "--out",
+            str(report_file),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos" in out
+    import json
+
+    report = json.loads(report_file.read_text())
+    assert report["ok"] is True
+    assert len(report["cases"]) <= 8  # --smoke caps the budget
+
+
+def test_chaos_replay_single_case(capsys):
+    code = main(
+        ["chaos", "--seed", "0", "--replay", "1", "--backend", "pure"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "#1" in out

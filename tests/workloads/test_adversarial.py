@@ -1,0 +1,253 @@
+"""Adversarial generators: SYN flood, flash crowd, composite layering."""
+
+import pytest
+
+from repro.hw import NIC
+from repro.sim import ProbeRegistry, RandomStreams, Simulator
+from repro.sim.units import seconds
+from repro.workloads import (
+    CompositeGenerator,
+    ConstantRateGenerator,
+    FlashCrowdGenerator,
+    SynFloodGenerator,
+)
+
+
+def make_target(rx_capacity=1_000_000):
+    sim = Simulator()
+    probes = ProbeRegistry(sim)
+    nic = NIC(sim, "in0", probes, rx_ring_capacity=rx_capacity)
+    return sim, nic
+
+
+def _rng(seed=0, name="attack"):
+    return RandomStreams(seed).stream(name)
+
+
+# ----------------------------------------------------------------------
+# SYN flood
+# ----------------------------------------------------------------------
+
+
+def test_synflood_sustain_rate_is_poisson_at_target():
+    sim, nic = make_target()
+    gen = SynFloodGenerator(sim, nic, 8_000, rng=_rng()).start()
+    sim.run(until=seconds(1.0))
+    # Exponential gaps are clamped at wire speed, which shaves the mean
+    # a little below the nominal rate — hence the loose tolerance.
+    assert gen.sent == pytest.approx(8_000, rel=0.15)
+    assert not gen.finished  # sustain_s=None floods until stopped
+
+
+def test_synflood_ramp_emits_less_than_steady_state():
+    sim, nic = make_target()
+    ramped = SynFloodGenerator(
+        sim, nic, 8_000, rng=_rng(), ramp_s=0.5, floor_fraction=0.1
+    ).start()
+    sim.run(until=seconds(0.5))
+    # Linear ramp from 10% to 100% averages ~55% of the peak rate.
+    assert ramped.sent < 0.8 * 8_000 * 0.5
+    assert ramped.sent > 0.2 * 8_000 * 0.5
+
+
+def test_synflood_finishes_after_sustain_window():
+    sim, nic = make_target()
+    gen = SynFloodGenerator(
+        sim, nic, 8_000, rng=_rng(), sustain_s=0.05
+    ).start()
+    sim.run(until=seconds(0.3))
+    sent_at_finish = gen.sent
+    assert gen.finished
+    assert gen._pending is None
+    sim.run(until=seconds(1.0))
+    assert gen.sent == sent_at_finish  # quiet for good, no stop() needed
+    assert sent_at_finish == pytest.approx(8_000 * 0.05, rel=0.3)
+
+
+def test_synflood_spoofs_sources_within_the_slash16():
+    sim, nic = make_target()
+    seen = set()
+    original = nic.receive_from_wire
+
+    def spy(packet):
+        seen.add(packet.src)
+        return original(packet)
+
+    # Generators prebind the wire entry point at construction, so the
+    # spy must be in place before the generator exists.
+    nic.receive_from_wire = spy
+    gen = SynFloodGenerator(
+        sim, nic, 20_000, rng=_rng(), spoof_hosts=4096
+    ).start()
+    base = gen._spoof_base
+    sim.run(until=seconds(0.1))
+    assert len(seen) > 100  # many distinct spoofed flows
+    for src in seen:
+        assert src & 0xFFFF0000 == base
+        assert src - base < 4096
+
+
+def test_synflood_is_deterministic_per_seed():
+    sent = []
+    for _ in range(2):
+        sim, nic = make_target()
+        gen = SynFloodGenerator(sim, nic, 8_000, rng=_rng(42)).start()
+        sim.run(until=seconds(0.5))
+        sent.append(gen.sent)
+    assert sent[0] == sent[1]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(rate_pps=0),
+        dict(ramp_s=-0.1),
+        dict(sustain_s=-0.1),
+        dict(floor_fraction=0.0),
+        dict(floor_fraction=1.5),
+        dict(spoof_hosts=0),
+    ],
+)
+def test_synflood_rejects_invalid_parameters(kwargs):
+    sim, nic = make_target()
+    merged = dict(rate_pps=8_000, rng=_rng())
+    merged.update(kwargs)
+    with pytest.raises(ValueError):
+        SynFloodGenerator(sim, nic, **merged)
+
+
+def test_synflood_requires_an_rng():
+    sim, nic = make_target()
+    with pytest.raises(ValueError, match="rng"):
+        SynFloodGenerator(sim, nic, 8_000, rng=None)
+
+
+# ----------------------------------------------------------------------
+# Flash crowd
+# ----------------------------------------------------------------------
+
+
+def test_flashcrowd_long_run_average_reflects_duty_cycle():
+    sim, nic = make_target()
+    gen = FlashCrowdGenerator(
+        sim, nic, 9_000, rng=_rng(), mean_on_s=0.02, mean_off_s=0.01
+    ).start()
+    sim.run(until=seconds(2.0))
+    # On 2/3 of the time at 9k pps -> ~6k pps long-run average.
+    assert gen.sent == pytest.approx(9_000 * 2 / 3 * 2.0, rel=0.25)
+
+
+def test_flashcrowd_popularity_is_zipf_shaped():
+    sim, nic = make_target()
+    per_user = {}
+    original = nic.receive_from_wire
+
+    def spy(packet):
+        per_user[packet.flow] = per_user.get(packet.flow, 0) + 1
+        return original(packet)
+
+    nic.receive_from_wire = spy
+    gen = FlashCrowdGenerator(
+        sim, nic, 20_000, rng=_rng(), num_users=64, mean_off_s=0.0
+    ).start()
+    sim.run(until=seconds(0.5))
+    # Rank 0 dominates and the tail is long but present.
+    assert per_user["user0"] == max(per_user.values())
+    assert per_user["user0"] > 3 * per_user.get("user5", 0)
+    assert len(per_user) > 20
+    # Flow label and port stay in sync per user.
+    assert gen.dst_port == 1024 + int(gen.flow[len("user"):])
+
+
+def test_flashcrowd_goes_quiet_during_off_lulls():
+    sim, nic = make_target()
+    gen = FlashCrowdGenerator(
+        sim, nic, 10_000, rng=_rng(7), mean_on_s=0.005, mean_off_s=0.05
+    ).start()
+    # Sample sent counts over fine steps; long lulls show up as runs of
+    # identical counts.
+    quiet_streak = streak = 0
+    last = -1
+    for i in range(1, 401):
+        sim.run(until=seconds(i * 0.001))
+        if gen.sent == last:
+            streak += 1
+            quiet_streak = max(quiet_streak, streak)
+        else:
+            streak = 0
+        last = gen.sent
+    assert quiet_streak >= 10  # at least one >=10ms silence
+
+
+def test_flashcrowd_rejects_invalid_parameters():
+    sim, nic = make_target()
+    for kwargs in (
+        dict(rate_pps=0),
+        dict(num_users=0),
+        dict(zipf_exponent=0.0),
+        dict(mean_on_s=0.0),
+        dict(mean_off_s=-1.0),
+    ):
+        merged = dict(rate_pps=5_000, rng=_rng())
+        merged.update(kwargs)
+        with pytest.raises(ValueError):
+            FlashCrowdGenerator(sim, nic, **merged)
+
+
+# ----------------------------------------------------------------------
+# Composite
+# ----------------------------------------------------------------------
+
+
+def _composite(sim, nic, seed=0):
+    streams = RandomStreams(seed)
+    background = ConstantRateGenerator(
+        sim, nic, 4_000, flow="legit", name="legit"
+    )
+    attack = SynFloodGenerator(
+        sim, nic, 8_000, rng=streams.stream("attack")
+    )
+    return CompositeGenerator(sim, background, attack)
+
+
+def test_composite_sums_children_and_keeps_flows_distinct():
+    sim, nic = make_target()
+    flows = set()
+    original = nic.receive_from_wire
+
+    def spy(packet):
+        flows.add(packet.flow)
+        return original(packet)
+
+    nic.receive_from_wire = spy
+    gen = _composite(sim, nic).start()
+    sim.run(until=seconds(0.5))
+    assert gen.sent == gen.background.sent + gen.attack.sent
+    assert gen.background.sent > 0 and gen.attack.sent > 0
+    assert flows == {"legit", "synflood"}
+
+
+def test_composite_lifecycle_fans_out():
+    sim, nic = make_target()
+    gen = _composite(sim, nic).start()
+    with pytest.raises(RuntimeError, match="already started"):
+        gen.start()
+    sim.run(until=seconds(0.05))
+    gen.stop()
+    gen.stop()  # idempotent
+    assert gen.background.stopped and gen.attack.stopped
+    sent = gen.sent
+    sim.run(until=seconds(0.5))
+    assert gen.sent == sent
+    with pytest.raises(RuntimeError, match="cannot be restarted"):
+        gen.start()
+
+
+def test_composite_trace_attachment_propagates():
+    sim, nic = make_target()
+    gen = _composite(sim, nic)
+    sentinel = object()
+    gen.trace = sentinel
+    assert gen.trace is sentinel
+    assert gen.background.trace is sentinel
+    assert gen.attack.trace is sentinel

@@ -181,3 +181,77 @@ def test_packets_carry_addressing():
     assert packet.dst_port == 9
     assert packet.flow == "f1"
     assert packet.nic_arrival_ns is not None
+
+
+# ----------------------------------------------------------------------
+# stop() lifecycle across every generator subclass
+# ----------------------------------------------------------------------
+
+
+def _all_generators(sim, nic):
+    rng = RandomStreams(3)
+    return [
+        ConstantRateGenerator(sim, nic, 5_000),
+        PoissonGenerator(sim, nic, 5_000, rng=rng.stream("poisson")),
+        BurstyGenerator(sim, nic, 5_000, rng=rng.stream("bursty")),
+    ]
+
+
+def test_stop_cancels_the_pending_event_on_every_subclass():
+    """After stop() there is nothing of the generator left in the event
+    queue: the simulator goes quiet instead of ticking forever."""
+    sim, nic = make_target()
+    gens = [g.start() for g in _all_generators(sim, nic)]
+    sim.run(until=seconds(0.01))
+    for gen in gens:
+        gen.stop()
+        assert gen._pending is None
+    idle_at = sim.now
+    sim.run(until=seconds(1.0))
+    # No generator callback fired after stop: sent counts are frozen and
+    # the clock only advanced because run() was asked to.
+    assert all(g.stopped for g in gens)
+    assert sim.now >= idle_at
+
+
+def test_stop_freezes_sent_count_on_every_subclass():
+    sim, nic = make_target()
+    gens = [g.start() for g in _all_generators(sim, nic)]
+    sim.run(until=seconds(0.05))
+    counts = [g.sent for g in gens]
+    for gen in gens:
+        gen.stop()
+    sim.run(until=seconds(0.5))
+    assert [g.sent for g in gens] == counts
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+def test_restart_error_message_names_the_generator(index):
+    sim, nic = make_target()
+    gen = _all_generators(sim, nic)[index].start()
+    sim.run(until=seconds(0.01))
+    gen.stop()
+    with pytest.raises(
+        RuntimeError,
+        match="was stopped and cannot be restarted; create a new generator",
+    ):
+        gen.start()
+
+
+def test_bursty_stop_mid_burst_emits_no_further_packets():
+    """BurstyGenerator schedules intra-burst packets back-to-back; a
+    stop landing between two packets of one burst must cancel the rest
+    of the burst, not just the next burst."""
+    sim, nic = make_target()
+    rng = RandomStreams(9).stream("bursty")
+    gen = BurstyGenerator(sim, nic, 5_000, burst_size=64, rng=rng).start()
+    # Run until at least one packet of a burst is out, then stop while
+    # the remainder of that burst is still pending.
+    while gen.sent == 0:
+        sim.step()
+    mid_burst_sent = gen.sent
+    assert 0 < mid_burst_sent < 64
+    gen.stop()
+    sim.run(until=seconds(1.0))
+    assert gen.sent == mid_burst_sent
+    assert gen._pending is None
