@@ -31,11 +31,37 @@ PKG = REPO / "src" / "repro" / "_fastcore"
 SOURCE = PKG / "_corec.c"
 
 
+def _corec_out() -> Path:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return PKG / ("_corec%s" % suffix)
+
+
+def corec_stale() -> bool:
+    """True when ``_corec.c`` is newer than the installed ``.so``.
+
+    Without this check an edited source would silently keep importing
+    the previously built extension — the worst kind of stale, because
+    the identity tests then validate yesterday's code.
+    """
+    out = _corec_out()
+    if not out.exists():
+        return True
+    return SOURCE.stat().st_mtime > out.stat().st_mtime
+
+
+def mypyc_stale() -> bool:
+    """True when ``core.py`` is newer than its mypyc artifact (if any)."""
+    artifacts = sorted(PKG.glob("core.*.so"))
+    if not artifacts:
+        return True
+    source_mtime = (PKG / "core.py").stat().st_mtime
+    return any(source_mtime > art.stat().st_mtime for art in artifacts)
+
+
 def build_corec(verbose: bool = True) -> Path:
     """Compile _corec.c into an importable extension; returns the path."""
     cc = sysconfig.get_config_var("CC") or "cc"
-    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
-    out = PKG / ("_corec%s" % suffix)
+    out = _corec_out()
     cmd = cc.split() + [
         "-O2",
         "-g0",
@@ -90,13 +116,26 @@ def main() -> int:
         action="store_true",
         help="also attempt the mypyc build of core.py (skipped if absent)",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when the installed .so is newer than the sources",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
-    out = build_corec(verbose=not args.quiet)
-    if args.mypyc:
+    out = _corec_out()
+    if args.force or corec_stale():
+        out = build_corec(verbose=not args.quiet)
+        built = "built"
+    else:
+        built = "up to date"
+        if not args.quiet:
+            print("%s is newer than %s; skipping (use --force to rebuild)"
+                  % (out.name, SOURCE.name))
+    if args.mypyc and (args.force or mypyc_stale()):
         build_mypyc(verbose=not args.quiet)
     kind = verify()
-    print("built %s (resolved backend flavour: %s)" % (out.name, kind))
+    print("%s %s (resolved backend flavour: %s)" % (built, out.name, kind))
     return 0
 
 

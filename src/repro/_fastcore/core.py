@@ -18,6 +18,15 @@ observably identical to the scalar one). Anything not understood by a
 compiled core — today only the invariant sanitizer, whose hook contract
 is per-event — is routed by ``Simulator.run`` to the scalar sanitized
 drain, which this class inherits.
+
+The compiled *packet path* (DESIGN.md §13) needs no counterpart here:
+:mod:`repro._fastcore.packetpath` binds its C entry points only when
+``_corec`` is importable and the simulator is its ``FastCore`` type.
+On this flavour ``packetpath.available()`` is False, every install hook
+no-ops, and the per-packet pipeline runs the ordinary Python bodies —
+which are the oracle the C port is bit-identical to, so the three
+flavours stay in lockstep by construction: same event core semantics
+here, same packet-path semantics from the Python classes themselves.
 """
 
 from __future__ import annotations

@@ -357,12 +357,24 @@ def _build_parser() -> argparse.ArgumentParser:
 def _run_profiled(args, fn):
     """Call ``fn()``, under cProfile when ``--profile``/``--profile-out``
     was given. The report goes to stderr so ``--csv`` output stays
-    machine-readable."""
+    machine-readable.
+
+    cProfile cannot see inside the compiled fast core — a fast-backend
+    run shows one opaque ``run`` entry — so when the C extension is
+    loaded this also arms its wall-clock buckets and prints the
+    compiled-core vs python-callback split alongside the summary."""
     if not (getattr(args, "profile", False) or getattr(args, "profile_out", None)):
         return fn()
     import cProfile
     import pstats
 
+    try:
+        from ._fastcore import _corec
+    except ImportError:
+        _corec = None
+    buckets = _corec if hasattr(_corec, "profile_buckets") else None
+    if buckets is not None:
+        buckets.profile_buckets(True)
     profiler = cProfile.Profile()
     profiler.enable()
     try:
@@ -371,6 +383,23 @@ def _run_profiled(args, fn):
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(20)
+        if buckets is not None:
+            split = buckets.profile_snapshot()
+            buckets.profile_buckets(False)
+            if split["run_s"] > 0:
+                print(
+                    "fast-core split: %.3fs in compiled run loops = %.3fs "
+                    "compiled core (%.0f%%) + %.3fs python callbacks "
+                    "(%d calls; with --jobs only the parent is counted)"
+                    % (
+                        split["run_s"],
+                        split["compiled_s"],
+                        100 * split["compiled_s"] / split["run_s"],
+                        split["python_callback_s"],
+                        split["python_callback_calls"],
+                    ),
+                    file=sys.stderr,
+                )
         if args.profile_out:
             stats.dump_stats(args.profile_out)
             print(

@@ -39,6 +39,7 @@ from ..net.arp import ArpTable
 from ..net.ip import IPLayer, ScreenPath
 from ..net.packet import PacketPool
 from ..net.routing import RoutingTable
+from .._fastcore import packetpath
 from ..sim.probes import ProbeRegistry
 from ..sim.signals import Signal
 from ..sim.simulator import Simulator
@@ -172,6 +173,10 @@ class Router:
         self.trace = None
         self._started = False
         self._teardown_report: Optional[dict] = None
+        # Compiled per-packet fast path (no-op off the fast-c backend).
+        # Arming faults, a trace, or a monitor tears it back out; the
+        # sanitizer never sees it because it forces the pure backend.
+        packetpath.install(self)
 
     # ------------------------------------------------------------------
     # Variant wiring
@@ -280,6 +285,7 @@ class Router:
         """Attach a passive packet-filter monitor (§2)."""
         if self.monitor is not None:
             raise RuntimeError("monitor already attached")
+        packetpath.uninstall(self)
         # The tap queues references to forwarded packets beyond the
         # transmit-complete release point, so recycling is unsafe here.
         self.packet_pool.disable()
@@ -306,6 +312,7 @@ class Router:
 
         if self.faults is not None:
             raise RuntimeError("faults already armed on this router")
+        packetpath.uninstall(self)
         injector = FaultInjector(plan, self.sim, self.probes)
         injector.arm(self)
         self.faults = injector
@@ -340,6 +347,7 @@ class Router:
             self.compute.start()
         if self.monitor is not None:
             self.monitor.start()
+        packetpath.install_started(self)
         return self
 
     def attach_trace(self, buffer) -> "Router":
@@ -355,6 +363,7 @@ class Router:
             raise RuntimeError("attach_trace requires a started router")
         if self.trace is not None:
             raise RuntimeError("trace already attached to this router")
+        packetpath.uninstall(self)
         buffer.bind(self.sim)
         self.trace = buffer
         self.nic_in.trace = buffer

@@ -34,6 +34,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from .._fastcore import packetpath
 from ..hw.link import MIN_PACKET_TIME_NS, packet_time_ns
 from ..hw.nic import NIC
 from ..net.addresses import parse_ip
@@ -103,6 +104,10 @@ class TrafficGenerator:
         if self.started:
             raise RuntimeError("generator %s already started" % self.name)
         self.started = True
+        # Compiled tick bodies attach here, after the harness has had
+        # its chance to arm traces/wires and only when the target NIC
+        # runs the compiled packet pipeline (no-op otherwise).
+        packetpath.bind_generator(self)
         self._schedule_first()
         return self
 

@@ -108,6 +108,95 @@ def test_golden_fixture_pinned_to_fast_backend(variant, workload, rate, seed):
     assert _comparable(result) == GOLDEN["%s|%s|%d|%d" % (variant, workload, rate, seed)]
 
 
+ADVERSARIAL = [
+    ("unmodified", "synflood", None),
+    ("polling", "flashcrowd", None),
+    ("high_ipl", "composite", 6_000),
+    ("clocked", "composite", None),
+]
+
+
+@pytest.mark.parametrize(
+    "driver,workload,attack_rate",
+    ADVERSARIAL,
+    ids=["%s-%s" % (d, w) for d, w, _ in ADVERSARIAL],
+)
+def test_adversarial_workloads_bit_identical(driver, workload, attack_rate):
+    """The PR-8 attack generators through the compiled packet path.
+
+    Composite workloads interleave two generators (two RNG streams) on
+    one NIC, so any compiled-path reordering of draws shows up here."""
+    kwargs = dict(TIMING, seed=5, workload=workload)
+    if attack_rate is not None:
+        kwargs["attack_rate_pps"] = attack_rate
+    pure = run_trial(DRIVERS[driver](), 6_000, backend="pure", **kwargs)
+    fast = run_trial(DRIVERS[driver](), 6_000, backend="fast", **kwargs)
+    assert fast.backend == FASTCORE_KIND
+    assert _canonical_bytes(pure) == _canonical_bytes(fast)
+
+
+MITIGATED = [
+    ("polling-mitigate", lambda: variants.polling(mitigate=True)),
+    ("clocked-mitigate", lambda: variants.clocked(mitigate=True)),
+    (
+        "polling-screend-mitigate",
+        lambda: variants.polling(screend=True, mitigate=True),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,factory", MITIGATED, ids=[name for name, _ in MITIGATED]
+)
+def test_mitigation_controller_bit_identical(name, factory):
+    """The closed-loop mitigation controller samples kernel state on
+    clock callouts; its sampling order must survive the compiled clock
+    handler and IRQ dispatch."""
+    kwargs = dict(
+        TIMING, seed=5, workload="composite", attack_rate_pps=20_000
+    )
+    pure = run_trial(factory(), 5_000, backend="pure", **kwargs)
+    fast = run_trial(factory(), 5_000, backend="fast", **kwargs)
+    assert fast.backend == FASTCORE_KIND
+    assert _canonical_bytes(pure) == _canonical_bytes(fast)
+
+
+@pytest.mark.parametrize("mitigate", [False, True], ids=["bare", "mitigated"])
+def test_scenario_slo_verdicts_match_on_fast_backend(mitigate):
+    """Full scenario runs (baseline → attack → recovery) must reach the
+    same structured SLO verdict on either backend."""
+    from repro.experiments.scenarios import run_scenario
+
+    pure = run_scenario("syn-flood", mitigate=mitigate, seed=2, backend="pure")
+    fast = run_scenario("syn-flood", mitigate=mitigate, seed=2, backend="fast")
+    assert fast.backend == FASTCORE_KIND
+    assert pure.slo == fast.slo
+    assert _canonical_bytes(pure) == _canonical_bytes(fast)
+
+
+def test_teardown_leak_accounting_on_fast_backend():
+    """``Router.teardown`` must balance the pool's books with the
+    compiled packet path installed: every packet parked in rings,
+    queues, or suspended C handler frames is recovered, leaked == 0,
+    and the report matches the pure backend's byte for byte."""
+    from repro.experiments.topology import Router
+    from repro.workloads.generators import ConstantRateGenerator
+
+    reports = {}
+    for backend in ("pure", "fast"):
+        router = Router(variants.polling(), sim=make_simulator(backend))
+        router.start()
+        generator = ConstantRateGenerator(
+            router.sim, router.nic_in, 9_000, pool=router.packet_pool
+        ).start()
+        router.run_for(50_000_000)  # 50 ms: queues under load
+        generator.stop()
+        report = router.teardown(drain_ns=5_000_000)
+        assert report["leaked"] == 0, (backend, report)
+        reports[backend] = report
+    assert reports["pure"] == reports["fast"]
+
+
 def test_backend_never_enters_fingerprint():
     """Cache identity is the physics, not the engine that computed it."""
     config = variants.polling()
