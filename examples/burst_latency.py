@@ -15,7 +15,7 @@ polling-grade throughput under overload.
 Run:  python examples/burst_latency.py
 """
 
-from repro import run_trial, variants
+from repro import TrialSpec, run_trial, variants
 from repro.sim.units import NS_PER_MS
 
 LOW_RATE = 500  # pkt/s: low load, latency matters here
@@ -25,12 +25,12 @@ def burst_part() -> None:
     print("Median router residence latency (us) at %d pkt/s average load:\n" % LOW_RATE)
     print("%12s %22s %22s" % ("burst size", "unmodified kernel", "polling kernel"))
     for burst in (1, 8, 32):
-        unmod = run_trial(
+        unmod = run_trial(TrialSpec(
             variants.unmodified(), LOW_RATE, workload="bursty", burst_size=burst
-        )
-        poll = run_trial(
+        ))
+        poll = run_trial(TrialSpec(
             variants.polling(quota=10), LOW_RATE, workload="bursty", burst_size=burst
-        )
+        ))
         print(
             "%12d %22.0f %22.0f"
             % (burst, unmod.latency_us["median"], poll.latency_us["median"])
@@ -47,14 +47,14 @@ def clocked_part() -> None:
     print("%14s %16s %20s" % ("poll period", "latency @500/s", "output @12000/s"))
     for period_ms in (0.25, 1.0, 4.0):
         config = variants.clocked(poll_interval_ns=int(period_ms * NS_PER_MS))
-        low = run_trial(config, LOW_RATE)
-        high = run_trial(config, 12_000)
+        low = run_trial(TrialSpec(config, LOW_RATE))
+        high = run_trial(TrialSpec(config, 12_000))
         print(
             "%11.2f ms %13.0f us %14.0f pkt/s"
             % (period_ms, low.latency_us["median"], high.output_rate_pps)
         )
-    hybrid = run_trial(variants.polling(quota=10), LOW_RATE)
-    hybrid_high = run_trial(variants.polling(quota=10), 12_000)
+    hybrid = run_trial(TrialSpec(variants.polling(quota=10), LOW_RATE))
+    hybrid_high = run_trial(TrialSpec(variants.polling(quota=10), 12_000))
     print(
         "%14s %13.0f us %14.0f pkt/s"
         % ("hybrid", hybrid.latency_us["median"], hybrid_high.output_rate_pps)

@@ -15,7 +15,7 @@ port are dropped by the daemon.
 Run:  python examples/firewall_screend.py
 """
 
-from repro import run_trial, variants
+from repro import TrialSpec, run_trial, variants
 from repro.experiments.topology import Router
 
 BLOCKED_PORT = 7  # echo — a classic thing for a firewall to drop
@@ -32,8 +32,8 @@ def main() -> None:
     print("Firewall forwarding rate (pkt/s) under increasing attack load:\n")
     print("%10s %22s %22s" % ("input", "unmodified kernel", "polling w/feedback"))
     for rate in RATES:
-        unmod = run_trial(variants.unmodified(screend=True), rate)
-        fixed = run_trial(variants.polling(quota=10, screend=True), rate)
+        unmod = run_trial(TrialSpec(variants.unmodified(screend=True), rate))
+        fixed = run_trial(TrialSpec(variants.polling(quota=10, screend=True), rate))
         print(
             "%10d %22.0f %22.0f"
             % (rate, unmod.output_rate_pps, fixed.output_rate_pps)
@@ -42,7 +42,7 @@ def main() -> None:
     print("\nWith a selective rule (drop udp port %d):" % BLOCKED_PORT)
     router = Router(variants.polling(quota=10, screend=True), screen_rule=screen_rule)
     trial = run_trial(
-        variants.polling(quota=10, screend=True), 1_000, router=router
+        TrialSpec(variants.polling(quota=10, screend=True), 1_000), router=router
     )
     rejected = trial.counters.get("screend.rejected", 0)
     accepted = trial.counters.get("screend.accepted", 0)

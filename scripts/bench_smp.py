@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""SMP benchmark: single-core overhead gate plus multi-core scaling.
+
+Emits ``BENCH_smp.json``. Two measurements:
+
+* **single-core overhead** — the SMP generalisation must be free when
+  you don't use it. Interleaved best-of timings of the same trial
+  through the frozen single-core call shape (the seed's bare
+  ``TrialSpec``, no machine keyword — the pre-SMP path) and through the
+  full machine plumbing (an explicit ``MachineSpec(cores=1)``, spec
+  canonicalisation, steering resolution, per-core kernel state). Every
+  pass asserts the two legs stay byte-identical (checksummed), so the
+  ratio can never hide a behaviour change. The CI gate is
+  ``--check-overhead 0.97``: the machine-spec path must run at >= 0.97x
+  the frozen path's speed.
+* **scaling cells** — wall-clock and delivered throughput for the
+  RSS-steered polled driver at cores 1/2/4 under the same overload,
+  with a per-cell determinism check. These are informational (simulated
+  cores cost real host time; the interesting column is
+  ``output_rate_pps``, which must not fall as cores grow).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smp.py            # full run
+    PYTHONPATH=src python scripts/bench_smp.py --smoke    # CI-sized
+    python scripts/bench_smp.py --smoke --check-overhead 0.97
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import variants  # noqa: E402
+from repro.experiments.harness import run_trial  # noqa: E402
+from repro.experiments.results import trial_to_dict  # noqa: E402
+from repro.experiments.spec import TrialSpec  # noqa: E402
+from repro.hw.machine import STEERING_RSS, MachineSpec  # noqa: E402
+
+_RATE_PPS = 9_000
+
+
+def _comparable(result):
+    data = trial_to_dict(result)
+    data.pop("backend", None)
+    return data
+
+
+def _checksum(data):
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def bench_overhead(timing, repeats):
+    """Frozen single-core call shape vs the explicit machine-spec path.
+
+    Both specs are constructed off the clock; only ``run_trial`` is
+    timed. The legs are interleaved per repeat so thermal and cache
+    drift never lands entirely on one side, and each pass asserts the
+    results stay byte-identical — the cores=1 identity contract
+    (DESIGN.md §14) is re-proven on every benchmark run.
+    """
+    frozen_best = machine_best = float("inf")
+    reference = None
+    for _ in range(repeats):
+        frozen_spec = TrialSpec.from_kwargs(
+            variants.polling(quota=10), _RATE_PPS, **timing
+        )
+        machine_spec = TrialSpec.from_kwargs(
+            variants.polling(quota=10), _RATE_PPS,
+            machine=MachineSpec(cores=1), **timing
+        )
+
+        start = time.perf_counter()
+        frozen = run_trial(frozen_spec)
+        frozen_best = min(frozen_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        machine = run_trial(machine_spec)
+        machine_best = min(machine_best, time.perf_counter() - start)
+
+        frozen_dict = _comparable(frozen)
+        if frozen_dict != _comparable(machine):
+            raise SystemExit(
+                "FATAL: cores=1 machine spec diverged from the frozen "
+                "single-core path"
+            )
+        if reference is None:
+            reference = frozen_dict
+        elif frozen_dict != reference:
+            raise SystemExit(
+                "FATAL: single-core trial not deterministic across repeats"
+            )
+    return {
+        "variant": "polling-q10",
+        "rate_pps": _RATE_PPS,
+        "repeats": repeats,
+        "checksum": _checksum(reference),
+        "frozen_s": round(frozen_best, 4),
+        "machine_s": round(machine_best, 4),
+        "speedup": round(frozen_best / machine_best, 3),
+    }
+
+
+def bench_scaling(timing, repeats, cores_grid=(1, 2, 4)):
+    rows = []
+    for cores in cores_grid:
+        machine = None
+        if cores > 1:
+            machine = MachineSpec(
+                cores=cores, steering=STEERING_RSS, isolate_polling=True
+            )
+        best = float("inf")
+        reference = None
+        for _ in range(repeats):
+            spec = TrialSpec.from_kwargs(
+                variants.polling(quota=10), _RATE_PPS,
+                machine=machine, **timing
+            )
+            start = time.perf_counter()
+            result = run_trial(spec)
+            best = min(best, time.perf_counter() - start)
+            data = _comparable(result)
+            if reference is None:
+                reference = data
+            elif data != reference:
+                raise SystemExit(
+                    "FATAL: cores=%d trial not deterministic across repeats"
+                    % cores
+                )
+        rows.append({
+            "cores": cores,
+            "rate_pps": _RATE_PPS,
+            "checksum": _checksum(reference),
+            "wall_s": round(best, 4),
+            "output_rate_pps": reference["output_rate_pps"],
+        })
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_smp.json"),
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--check-overhead",
+        type=float,
+        metavar="FLOOR",
+        help="fail if the cores=1 machine-spec path runs below FLOOR x "
+        "the frozen single-core path's speed (CI uses 0.97)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        timing = dict(duration_s=0.08, warmup_s=0.03, seed=0)
+        repeats = 3
+    else:
+        timing = dict(duration_s=0.4, warmup_s=0.1, seed=0)
+        repeats = 5
+
+    # Untimed warmup so import and code-object warm-up are not charged
+    # to whichever leg runs first.
+    run_trial(TrialSpec(variants.polling(quota=10), 1_000,
+                        duration_s=0.01, warmup_s=0.0))
+
+    print("smp benchmark (%s mode)" % ("smoke" if args.smoke else "full"))
+    overhead = bench_overhead(timing, repeats)
+    scaling = bench_scaling(timing, max(repeats - 1, 2))
+    report = {
+        "benchmark": "smp",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "timing": timing,
+        "single_core_overhead": overhead,
+        "scaling": scaling,
+    }
+
+    print(
+        "  cores=1 overhead: frozen %.3fs  machine-spec %.3fs  %.2fx  [%s]"
+        % (
+            overhead["frozen_s"],
+            overhead["machine_s"],
+            overhead["speedup"],
+            overhead["checksum"],
+        )
+    )
+    for row in scaling:
+        print(
+            "  cores=%d  wall %.3fs  output %.0f pps  [%s]"
+            % (row["cores"], row["wall_s"], row["output_rate_pps"],
+               row["checksum"])
+        )
+
+    if args.check_overhead is not None:
+        current = overhead["speedup"]
+        print(
+            "overhead gate: %.2fx vs floor %.2fx"
+            % (current, args.check_overhead)
+        )
+        if current < args.check_overhead:
+            raise SystemExit(
+                "FATAL: cores=1 machine-spec path %.2fx below floor %.2fx "
+                "vs the frozen single-core path"
+                % (current, args.check_overhead)
+            )
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -565,6 +565,7 @@ def bench_trials(timing, repeats, smoke):
     from repro.core import variants
     from repro.experiments.harness import run_trial
     from repro.experiments.results import trial_to_dict
+    from repro.experiments.spec import TrialSpec
     from repro.experiments.topology import Router
 
     cells = [
@@ -579,14 +580,12 @@ def bench_trials(timing, repeats, smoke):
 
     # Untimed warmup of both paths: module imports and code-object
     # warm-up must not be charged to whichever side runs first.
-    run_trial(variants.unmodified(), 1_000, duration_s=0.01, warmup_s=0.0)
+    run_trial(TrialSpec(variants.unmodified(), 1_000, duration_s=0.01,
+                        warmup_s=0.0))
     warm_config = variants.unmodified()
     run_trial(
-        warm_config,
-        1_000,
+        TrialSpec(warm_config, 1_000, duration_s=0.01, warmup_s=0.0),
         router=Router(warm_config, sim=_FrozenHeapSimulator()),
-        duration_s=0.01,
-        warmup_s=0.0,
     )
 
     rows = []
@@ -595,17 +594,15 @@ def bench_trials(timing, repeats, smoke):
         wheel_dict = frozen_dict = None
         for _ in range(repeats):
             start = time.perf_counter()
-            result = run_trial(make_config(), rate, **timing)
+            result = run_trial(TrialSpec.from_kwargs(make_config(), rate, **timing))
             wheel_best = min(wheel_best, time.perf_counter() - start)
             wheel_dict = trial_to_dict(result)
 
             config = make_config()
             start = time.perf_counter()
             result = run_trial(
-                config,
-                rate,
+                TrialSpec.from_kwargs(config, rate, **timing),
                 router=Router(config, sim=_FrozenHeapSimulator()),
-                **timing,
             )
             frozen_best = min(frozen_best, time.perf_counter() - start)
             frozen_dict = trial_to_dict(result)

@@ -26,6 +26,7 @@ except ImportError:
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 
 OUTPUT = Path(__file__).resolve().parent.parent / "tests" / "experiments" / "golden_trials.json"
 
@@ -53,13 +54,13 @@ def generate():
         for workload in WORKLOADS:
             for rate in RATES:
                 for seed in SEEDS:
-                    result = run_trial(
+                    result = run_trial(TrialSpec.from_kwargs(
                         factory(),
                         rate,
                         seed=seed,
                         workload=workload,
                         **TIMING,
-                    )
+                    ))
                     golden[trial_key(variant_name, workload, rate, seed)] = asdict(
                         result
                     )

@@ -9,12 +9,12 @@ queue-state feedback, and CPU cycle limits.
 
 Quick start::
 
-    from repro import variants, run_trial
+    from repro import TrialSpec, variants, run_trial
 
-    result = run_trial(variants.unmodified(), rate_pps=8_000)
+    result = run_trial(TrialSpec(variants.unmodified(), rate_pps=8_000))
     print(result.output_rate_pps)        # livelocked: far below 8000
 
-    result = run_trial(variants.polling(quota=5), rate_pps=8_000)
+    result = run_trial(TrialSpec(variants.polling(quota=5), rate_pps=8_000))
     print(result.output_rate_pps)        # stays at the MLFRR
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the

@@ -86,6 +86,12 @@ def install(router) -> bool:
     sim = router.sim
     if not available(sim):
         return False
+    if len(router.kernel.cpus) > 1:
+        # The compiled engine models exactly one CPU; multi-core
+        # machines fall back to the pure-Python bodies mid-install
+        # (bit-identical — the calendar-queue core itself is
+        # core-agnostic and stays compiled).
+        return False
     state = {"bound": [], "restore": [], "dict_restore": []}
     cpu = router.kernel.cpu
     try:

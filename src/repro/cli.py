@@ -119,6 +119,37 @@ def _build_parser() -> argparse.ArgumentParser:
             help="extra attempts for crashed/hung workers (default: 1)",
         )
 
+    def add_machine_flags(command):
+        command.add_argument(
+            "--cores",
+            type=int,
+            default=1,
+            metavar="N",
+            help="simulated core count (default: 1, the paper's machine)",
+        )
+        command.add_argument(
+            "--steering",
+            choices=["affinity", "rss"],
+            default="affinity",
+            help="IRQ steering policy on multi-core machines: static "
+            "round-robin affinity or RSS-style seeded flow hashing",
+        )
+        command.add_argument(
+            "--isolate-polling",
+            action="store_true",
+            help="dedicate polling cores (role model: core 0 "
+            "housekeeping, up to two polling cores, rest isolated "
+            "IRQ targets)",
+        )
+        command.add_argument(
+            "--coalesce-us",
+            type=float,
+            default=0.0,
+            metavar="US",
+            help="adaptive interrupt-coalescing timer bound for the "
+            "hybrid driver, in microseconds (0 disables)",
+        )
+
     def add_variant_flags(command):
         command.add_argument(
             "--variant",
@@ -128,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 "polling",
                 "clocked",
                 "high_ipl",
+                "hybrid",
             ],
             default="unmodified",
         )
@@ -181,12 +213,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the collected per-series timelines as JSON "
         "(implies --trace)",
     )
+    add_machine_flags(fig)
     add_engine_flags(fig)
     add_resilience_flags(fig)
     add_profile_flags(fig)
 
     trial = sub.add_parser("trial", help="run a single measurement")
     add_variant_flags(trial)
+    add_machine_flags(trial)
     trial.add_argument(
         "--trace",
         action="store_true",
@@ -208,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run one traced trial and export its Perfetto/CSV timeline",
     )
     add_variant_flags(trace)
+    add_machine_flags(trace)
     trace.add_argument(
         "--warmup", type=float, default=None, help="warmup seconds"
     )
@@ -296,6 +331,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulator core (bit-identical results; default: "
         "$REPRO_BACKEND or pure)",
     )
+    add_machine_flags(scenario)
 
     chaos = sub.add_parser(
         "chaos",
@@ -340,6 +376,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="smoke the driver x fault-plan matrix with watchdog + sanitizer",
     )
     matrix.add_argument("--rate", type=float, default=12_000)
+    add_machine_flags(matrix)
     matrix.add_argument("--duration", type=float, default=0.08)
     matrix.add_argument("--warmup", type=float, default=0.03)
     matrix.add_argument(
@@ -408,6 +445,22 @@ def _run_profiled(args, fn):
     return result
 
 
+def _machine_from_args(args: argparse.Namespace):
+    """Round-trip the ``--cores``/``--steering``/``--isolate-polling``/
+    ``--coalesce-us`` flags through one validated MachineSpec; None when
+    the flags spell the default single-core machine, so those runs keep
+    their exact pre-SMP trial identity (and cache fingerprints)."""
+    from .hw.machine import SINGLE_CORE, MachineSpec
+
+    machine = MachineSpec(
+        cores=getattr(args, "cores", 1),
+        steering=getattr(args, "steering", "affinity"),
+        isolate_polling=bool(getattr(args, "isolate_polling", False)),
+        coalesce_us=getattr(args, "coalesce_us", 0.0),
+    )
+    return None if machine == SINGLE_CORE else machine
+
+
 def _config_from_args(args: argparse.Namespace):
     if args.variant == "unmodified":
         return variants.unmodified(
@@ -426,6 +479,11 @@ def _config_from_args(args: argparse.Namespace):
         return variants.clocked(quota=args.quota)
     if args.variant == "high_ipl":
         return variants.high_ipl(
+            quota=args.quota if args.quota is not None else 10,
+            screend=args.screend,
+        )
+    if args.variant == "hybrid":
+        return variants.hybrid(
             quota=args.quota if args.quota is not None else 10,
             screend=args.screend,
         )
@@ -472,6 +530,9 @@ def _dispatch(args) -> int:
             kwargs["trace"] = True
         if args.backend is not None:
             kwargs["backend"] = args.backend
+        machine = _machine_from_args(args)
+        if machine is not None:
+            kwargs["machine"] = machine
         result = _run_profiled(
             args, lambda: ALL_EXPERIMENTS[args.figure_id](**kwargs)
         )
@@ -498,6 +559,7 @@ def _dispatch(args) -> int:
             trial_kwargs["sanitize"] = True
         if args.backend is not None:
             trial_kwargs["backend"] = args.backend
+        trial_kwargs["machine"] = _machine_from_args(args)
         trace_buffer = None
         if args.trace_out:
             # A caller-owned buffer keeps the raw record ring in this
@@ -508,10 +570,15 @@ def _dispatch(args) -> int:
             trial_kwargs["trace"] = trace_buffer
         elif args.trace:
             trial_kwargs["trace"] = True
+        from .experiments.spec import TrialSpec
+
+        spec = TrialSpec.from_kwargs(
+            _config_from_args(args), args.rate, **trial_kwargs
+        )
         [trial] = _run_profiled(
             args,
             lambda: run_trials(
-                [(_config_from_args(args), args.rate, trial_kwargs)],
+                [spec],
                 jobs=args.jobs,
                 cache=not args.no_cache,
                 cache_dir=args.cache_dir,
@@ -639,6 +706,7 @@ def _run_trace(args) -> int:
         kwargs["sanitize"] = True
     if args.backend is not None:
         kwargs["backend"] = args.backend
+    kwargs["machine"] = _machine_from_args(args)
     spec = TrialSpec.from_kwargs(_config_from_args(args), args.rate, **kwargs)
     trial = spec.run()
 
@@ -701,6 +769,7 @@ def _run_scenario(args) -> int:
         seed=args.seed,
         trace=trace,
         backend=args.backend,
+        machine=_machine_from_args(args),
     )
     slo = result.slo
 
@@ -826,6 +895,9 @@ def _run_faultmatrix(args) -> int:
     the paper's signature: the unmodified kernel livelocked above the
     cliff, every fixed variant healthy.
     """
+    from .experiments.spec import TrialSpec
+
+    machine = _machine_from_args(args)
     plans = [None] + sorted(CANNED_PLANS)
     specs = []
     for _, factory in _MATRIX_VARIANTS:
@@ -835,10 +907,11 @@ def _run_faultmatrix(args) -> int:
                 "warmup_s": args.warmup,
                 "watchdog": True,
                 "sanitize": True,
+                "machine": machine,
             }
             if plan is not None:
                 kwargs["fault_plan"] = plan
-            specs.append((factory(), args.rate, kwargs))
+            specs.append(TrialSpec.from_kwargs(factory(), args.rate, **kwargs))
     results = run_trials(
         specs,
         jobs=args.jobs,
@@ -885,7 +958,23 @@ def _run_faultmatrix(args) -> int:
     expected = dict.fromkeys(
         (name for name, _ in _MATRIX_VARIANTS), "healthy"
     )
-    expected["unmodified"] = "livelocked"
+    if machine is None or machine.cores == 1:
+        expected["unmodified"] = "livelocked"
+    else:
+        # Steering the device IRQs off the housekeeping core leaves
+        # netisr runnable: the classic kernel no longer livelocks at
+        # this rate (the point of the SMP column).
+        expected["unmodified"] = "healthy"
+        if machine.isolate_polling:
+            # With a single isolated IRQ target every device line
+            # lands on one core. The high-IPL driver's rx handler
+            # never leaves device IPL under overload, so the output
+            # interface's tx interrupt starves on that core — tx only
+            # ever delivers in the dispatch gap after a handler
+            # completes, and on a saturated dedicated core that gap
+            # never opens (DESIGN.md §14). The SMP analogue of why
+            # the paper prefers the polling thread.
+            expected["high_ipl"] = "livelocked"
     ok = not failures and clean_verdicts == expected
     if not ok:
         for name, plan, result in failures:

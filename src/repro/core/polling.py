@@ -42,13 +42,21 @@ class PollingSystem:
         kernel: Kernel,
         quota: Union[None, int, PollQuota] = 10,
         cycle_limiter=None,
+        name: str = "netpoll",
+        core: int = 0,
     ) -> None:
         self.kernel = kernel
         self.costs = kernel.costs
         self.quota = PollQuota.of(quota)
         self.cycle_limiter = cycle_limiter
+        #: Thread/signal name and the core the daemon is pinned to. On a
+        #: single-core machine the defaults reproduce the pre-SMP system
+        #: exactly; multi-core routers may run one system per polling
+        #: core with the devices partitioned across them.
+        self.name = name
+        self.core = core
         self.devices: List = []
-        self._signal = Signal(kernel.sim, "netpoll")
+        self._signal = Signal(kernel.sim, name)
         self._wake_pending = False
         self._rr_index = 0
         self._inhibit_reasons: Set[str] = set()
@@ -78,7 +86,9 @@ class PollingSystem:
             raise RuntimeError("polling system already started")
         if not self.devices:
             raise RuntimeError("no polled devices registered")
-        self.thread = self.kernel.kernel_thread(self._body(), "netpoll")
+        self.thread = self.kernel.kernel_thread(
+            self._body(), self.name, core=self.core
+        )
 
     # ------------------------------------------------------------------
     # Wake-up and inhibition interfaces

@@ -26,6 +26,7 @@ MODIFIED_NO_POLLING = "modified_no_polling"
 POLLING = "polling"
 CLOCKED = "clocked"
 HIGH_IPL = "high_ipl"
+HYBRID = "hybrid"
 
 
 def unmodified(
@@ -145,6 +146,26 @@ def clocked(
     return config
 
 
+def hybrid(
+    quota: Optional[int] = 10,
+    screend: bool = False,
+    costs: Optional[CostModel] = None,
+) -> KernelConfig:
+    """NAPI-style hybrid driver: per-device interrupt-arm → poll-drain
+    → re-arm threads. The adaptive coalescing timer bound is a
+    *machine* property (``MachineSpec.coalesce_us``), not a kernel one:
+    the same kernel build runs with whatever timer the NIC offers."""
+    config = KernelConfig(
+        use_hybrid=True,
+        poll_quota=quota,
+        screend_enabled=screend,
+    )
+    if costs is not None:
+        config = config.with_options(costs=costs)
+    config.validate()
+    return config
+
+
 def describe(config: KernelConfig) -> str:
     """Human-readable variant label for a configuration."""
     if config.use_clocked_polling:
@@ -155,6 +176,9 @@ def describe(config: KernelConfig) -> str:
     elif config.use_high_ipl:
         quota = "inf" if config.poll_quota is None else str(config.poll_quota)
         label = "high_ipl(quota=%s)" % quota
+    elif config.use_hybrid:
+        quota = "inf" if config.poll_quota is None else str(config.poll_quota)
+        label = "hybrid(quota=%s)" % quota
     elif config.emulate_unmodified:
         label = MODIFIED_NO_POLLING
     elif config.use_polling:

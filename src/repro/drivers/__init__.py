@@ -1,10 +1,12 @@
 """Device drivers: classic interrupt-driven (BSD), modified polled
-(the paper's contribution), and clocked periodic polling (related work)."""
+(the paper's contribution), clocked periodic polling (related work),
+and the NAPI-style hybrid (interrupt-arm → poll-drain → re-arm)."""
 
 from .base import Driver
 from .bsd import BsdDriver, ClassicIPInput
 from .clocked import ClockedPollingDriver
 from .highipl import HighIplDriver
+from .hybrid import HybridDriver
 from .polled import PolledDriver
 
 __all__ = [
@@ -13,5 +15,6 @@ __all__ = [
     "ClockedPollingDriver",
     "Driver",
     "HighIplDriver",
+    "HybridDriver",
     "PolledDriver",
 ]

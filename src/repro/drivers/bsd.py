@@ -185,20 +185,19 @@ class BsdDriver(Driver):
 
     def attach(self) -> None:
         self.ip_input.register_driver(self)
-        self.rx_line = self.kernel.interrupts.line(
+        self.rx_line = self.kernel.irq_line(
             "%s.rx" % self.name,
             IPL_DEVICE,
             self._rx_handler,
             dispatch_cycles=self.costs.interrupt_dispatch,
         )
-        self.tx_line = self.kernel.interrupts.line(
+        self.tx_line = self.kernel.irq_line(
             "%s.tx" % self.name,
             self.tx_ipl,
             self._tx_handler,
             dispatch_cycles=self.costs.interrupt_dispatch,
         )
-        self.nic.rx_line = self.rx_line
-        self.nic.tx_line = self.tx_line
+        self.nic.attach_lines(self.rx_line, self.tx_line)
 
     # ------------------------------------------------------------------
     # RX interrupt handler (device IPL, with batching)

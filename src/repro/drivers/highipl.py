@@ -51,20 +51,19 @@ class HighIplDriver(Driver):
         )
 
     def attach(self) -> None:
-        self.rx_line = self.kernel.interrupts.line(
+        self.rx_line = self.kernel.irq_line(
             "%s.rx" % self.name,
             IPL_DEVICE,
             self._service_handler,
             dispatch_cycles=self.costs.interrupt_dispatch,
         )
-        self.tx_line = self.kernel.interrupts.line(
+        self.tx_line = self.kernel.irq_line(
             "%s.tx" % self.name,
             IPL_DEVICE,
             self._service_handler,
             dispatch_cycles=self.costs.interrupt_dispatch,
         )
-        self.nic.rx_line = self.rx_line
-        self.nic.tx_line = self.tx_line
+        self.nic.attach_lines(self.rx_line, self.tx_line)
 
     # ------------------------------------------------------------------
 

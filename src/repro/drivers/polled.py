@@ -60,20 +60,19 @@ class PolledDriver(Driver):
             raise RuntimeError(
                 "polled driver %s not registered with a polling system" % self.name
             )
-        self.rx_line = self.kernel.interrupts.line(
+        self.rx_line = self.kernel.irq_line(
             "%s.rx" % self.name,
             IPL_DEVICE,
             self._rx_stub,
             dispatch_cycles=self.costs.interrupt_dispatch,
         )
-        self.tx_line = self.kernel.interrupts.line(
+        self.tx_line = self.kernel.irq_line(
             "%s.tx" % self.name,
             self.tx_ipl,
             self._tx_stub,
             dispatch_cycles=self.costs.interrupt_dispatch,
         )
-        self.nic.rx_line = self.rx_line
-        self.nic.tx_line = self.tx_line
+        self.nic.attach_lines(self.rx_line, self.tx_line)
 
     # ------------------------------------------------------------------
     # Stub interrupt handlers (device IPL; "almost no work at all")

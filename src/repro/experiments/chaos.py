@@ -38,7 +38,7 @@ from ..core import variants
 from ..faults import FaultPlan
 from ..sim.backend import FAST, PURE
 from ..sim.randomness import derive_seed
-from .harness import run_trial
+from .harness import _run_trial_impl
 from .spec import (
     WORKLOAD_BURSTY,
     WORKLOAD_COMPOSITE,
@@ -199,7 +199,7 @@ def _diff_keys(a: Dict, b: Dict) -> List[str]:
 
 
 def _run_case_once(case: ChaosCase, backend: str, sanitize: bool):
-    return run_trial(
+    return _run_trial_impl(
         CHAOS_VARIANTS[case.variant](),
         case.rate_pps,
         duration_s=case.duration_s,

@@ -49,6 +49,7 @@ import os
 import pickle
 import tempfile
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -164,9 +165,15 @@ def trial_fingerprint(
         config, rate_pps, kwargs = config.as_tuple()
     if rate_pps is None:
         raise TypeError("trial_fingerprint(config, rate_pps, kwargs)")
+    config_payload = asdict(config)
+    # Config fields added after CACHE_VERSION "4" are omitted at their
+    # default value, so every pre-existing fingerprint (which never saw
+    # the field) is preserved without a version bump.
+    if not config_payload.get("use_hybrid"):
+        config_payload.pop("use_hybrid", None)
     payload = {
         "version": CACHE_VERSION,
-        "config": asdict(config),
+        "config": config_payload,
         "rate_pps": rate_pps,
         "kwargs": _canonical_kwargs(kwargs if kwargs is not None else {}),
     }
@@ -185,7 +192,8 @@ def _canonical_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
     ``TrialResult.backend`` records which core actually computed it.
     """
     plan = kwargs.get("fault_plan")
-    if plan is None and "backend" not in kwargs:
+    machine = kwargs.get("machine")
+    if plan is None and machine is None and "backend" not in kwargs:
         return kwargs
     kwargs = dict(kwargs)
     kwargs.pop("backend", None)
@@ -195,6 +203,10 @@ def _canonical_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
         if isinstance(plan, str):
             plan = canned_plan(plan)
         kwargs["fault_plan"] = plan.to_dict()
+    if machine is not None and not isinstance(machine, dict):
+        # MachineSpec → canonical dict, so the object and its dict form
+        # address the same cache entry.
+        kwargs["machine"] = machine.to_dict()
     return kwargs
 
 
@@ -284,14 +296,14 @@ def _resolve_cache(cache, cache_dir) -> Optional[ResultCache]:
 
 def _run_spec(spec: SpecTuple):
     """Top-level worker so ProcessPoolExecutor can pickle it."""
-    from .harness import run_trial
+    from .harness import _run_trial_impl
 
     config, rate_pps, kwargs = spec
     chaos = kwargs.get("_chaos")
     if chaos is not None:
         kwargs = {k: v for k, v in kwargs.items() if k != "_chaos"}
         _apply_chaos(chaos)
-    return run_trial(config, rate_pps, **kwargs)
+    return _run_trial_impl(config, rate_pps, **kwargs)
 
 
 def _apply_chaos(chaos: Dict[str, Any]) -> None:
@@ -335,9 +347,11 @@ def _warm_init() -> None:
     means a cold first trial."""
     try:
         from ..core import variants
-        from .harness import run_trial
+        from .harness import _run_trial_impl
 
-        run_trial(variants.unmodified(), 0.0, duration_s=0.001, warmup_s=0.0)
+        _run_trial_impl(
+            variants.unmodified(), 0.0, duration_s=0.001, warmup_s=0.0
+        )
     except Exception:  # pragma: no cover - warmup is advisory
         pass
 
@@ -757,7 +771,21 @@ def run_sweep(
     strict: bool = True,
     **trial_kwargs,
 ) -> List:
-    """One trial per input rate (fresh router each time), engine-backed."""
+    """One trial per input rate (fresh router each time), engine-backed.
+
+    Raw trial keywords are deprecated in favour of constructing
+    :class:`~repro.experiments.spec.TrialSpec` instances and calling
+    :func:`run_trials` — same results, same cache fingerprints.
+    """
+    if trial_kwargs:
+        warnings.warn(
+            "run_sweep(config, rates, **trial_kwargs) with raw trial "
+            "keywords is deprecated; build TrialSpec instances "
+            "(TrialSpec.from_kwargs(config, rate, **kw)) and call "
+            "run_trials(specs) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     specs: List[Any] = []
     for rate in rates:
         kwargs = dict(trial_kwargs)

@@ -14,7 +14,7 @@ from ..sim.units import seconds
 from ..workloads.generators import ConstantRateGenerator
 from .endhost import EndHost, HOST_ADDR, SERVICE_PORT
 from .engine import parallel_map
-from .figures import FigureResult
+from .figures import FigureResult, _sweep
 from .harness import (
     DEFAULT_DURATION_S,
     DEFAULT_RATE_GRID,
@@ -41,7 +41,7 @@ def extension_rate_limiting(
         ("Polling (quota = 10)", variants.polling(quota=10)),
     ):
         result.series[label] = sweep_series(
-            run_sweep(config, rates, **trial_kwargs)
+            _sweep(config, rates, **trial_kwargs)
         )
     result.notes = (
         "The cheapest of the paper's fixes recovers most of the overload "
@@ -68,7 +68,7 @@ def extension_high_ipl(
         ("Polling (quota = 10)", variants.polling(quota=10)),
     ):
         result.series[label] = sweep_series(
-            run_sweep(config, rates, **trial_kwargs)
+            _sweep(config, rates, **trial_kwargs)
         )
     result.notes = (
         "Both anti-preemption approaches forward at capacity; they differ "

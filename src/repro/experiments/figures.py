@@ -12,12 +12,38 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import variants
+from ..hw.machine import STEERING_AFFINITY, STEERING_RSS, MachineSpec
 from ..kernel.config import KernelConfig
 from .engine import run_trials
-from .harness import DEFAULT_RATE_GRID, run_sweep, run_trial, sweep_series
+from .harness import DEFAULT_RATE_GRID, sweep_series
 from .spec import TrialSpec
 
 Point = Tuple[float, float]
+
+#: Keywords routed to the engine (parallelism/caching/resilience); the
+#: rest of a figure's ``**trial_kwargs`` describe the trials themselves.
+_ENGINE_KWARGS = (
+    "jobs",
+    "cache",
+    "cache_dir",
+    "timeout_s",
+    "retries",
+    "retry_backoff_s",
+    "strict",
+)
+
+
+def _sweep(config, rates, **trial_kwargs):
+    """One trial per rate as typed specs (the engine fans them out)."""
+    engine_kwargs = {
+        key: trial_kwargs.pop(key)
+        for key in _ENGINE_KWARGS
+        if key in trial_kwargs
+    }
+    specs = [
+        TrialSpec.from_kwargs(config, rate, **trial_kwargs) for rate in rates
+    ]
+    return run_trials(specs, **engine_kwargs)
 
 
 @dataclass
@@ -46,7 +72,7 @@ def _throughput_series(
     rates: Sequence[float],
     **trial_kwargs,
 ) -> List[Point]:
-    return sweep_series(run_sweep(config, rates, **trial_kwargs))
+    return sweep_series(_sweep(config, rates, **trial_kwargs))
 
 
 def _add_series(
@@ -57,7 +83,7 @@ def _add_series(
     **trial_kwargs,
 ) -> None:
     """Run one sweep and record its series (plus timelines when traced)."""
-    trials = run_sweep(config, rates, **trial_kwargs)
+    trials = _sweep(config, rates, **trial_kwargs)
     result.series[label] = sweep_series(trials)
     trace_val = trial_kwargs.get("trace")
     if trace_val is not None and trace_val is not False:
@@ -324,6 +350,164 @@ def figure_7_1(
     return result
 
 
+# ----------------------------------------------------------------------
+# Multi-core extensions (no paper counterpart; DESIGN.md SS14)
+# ----------------------------------------------------------------------
+
+SMP_CORE_GRID = (1, 2, 4)
+
+#: Output must track at least this fraction of the offered rate for a
+#: trial to count as pre-onset.
+ONSET_TRACK_FRACTION = 0.9
+
+
+def _smp_machine(
+    cores: int,
+    steering: str = STEERING_RSS,
+    isolate_polling: bool = True,
+) -> Optional[MachineSpec]:
+    """None at one core, so those trials stay byte-identical (and
+    cache-compatible) with the paper's single-core runs."""
+    if cores == 1:
+        return None
+    return MachineSpec(
+        cores=cores, steering=steering, isolate_polling=isolate_polling
+    )
+
+
+def _onset_rate(trials, rates: Sequence[float]) -> float:
+    """Lowest target rate whose output stops tracking the offered rate.
+
+    Trials past the MLFRR deliver less than
+    :data:`ONSET_TRACK_FRACTION` of what was offered; the first such
+    rate is the livelock onset. A machine that tracks the whole grid
+    reports the top of the grid (onset is off-scale, not absent).
+    """
+    by_rate = {trial.target_rate_pps: trial for trial in trials
+               if not getattr(trial, "failed", False)}
+    for rate in sorted(by_rate):
+        trial = by_rate[rate]
+        if trial.offered_rate_pps <= 0:
+            continue
+        if trial.output_rate_pps < ONSET_TRACK_FRACTION * trial.offered_rate_pps:
+            return rate
+    return max(rates)
+
+
+def figure_smp_onset(
+    rates: Sequence[float] = DEFAULT_RATE_GRID,
+    core_counts: Sequence[int] = SMP_CORE_GRID,
+    **trial_kwargs,
+) -> FigureResult:
+    """Livelock onset rate vs core count (RSS steering + isolation).
+
+    Multi-core machines steer the device IRQs off the housekeeping core
+    (RSS flow hashing) and dedicate polling cores, so both the classic
+    and the polled kernel survive to higher input rates before the
+    output curve detaches from the offered load.
+    """
+    result = FigureResult(
+        figure_id="smp-onset",
+        title="Livelock onset vs core count (RSS steering, isolated polling)",
+        xlabel="Cores",
+        ylabel="Onset input rate (pkts/sec)",
+    )
+    engine_kwargs = {
+        key: trial_kwargs.pop(key)
+        for key in _ENGINE_KWARGS
+        if key in trial_kwargs
+    }
+    drivers = (
+        ("Unmodified", variants.unmodified()),
+        ("Polling (quota = 10)", variants.polling(quota=10)),
+    )
+    specs = [
+        TrialSpec.from_kwargs(
+            config, rate, machine=_smp_machine(cores), **trial_kwargs
+        )
+        for _, config in drivers
+        for cores in core_counts
+        for rate in rates
+    ]
+    trials = run_trials(specs, **engine_kwargs)
+    per_cell = len(rates)
+    index = 0
+    for label, _ in drivers:
+        points: List[Point] = []
+        for cores in core_counts:
+            cell = trials[index : index + per_cell]
+            index += per_cell
+            points.append((float(cores), _onset_rate(cell, rates)))
+        result.series[label] = points
+    result.notes = (
+        "Onset = lowest rate whose output falls below %d%% of offered; "
+        "cores=1 is the paper's machine, multi-core adds RSS IRQ "
+        "steering and dedicated polling cores (top of grid = no onset "
+        "within the swept rates)." % round(ONSET_TRACK_FRACTION * 100)
+    )
+    return result
+
+
+def figure_smp_policy(
+    core_counts: Sequence[int] = SMP_CORE_GRID,
+    rate_pps: float = 12_000,
+    **trial_kwargs,
+) -> FigureResult:
+    """Steering/isolation policy crossovers under heavy overload.
+
+    Fixed input rate, polled driver; one series per (steering,
+    isolation) policy pair showing delivered throughput as cores are
+    added. Affinity and RSS coincide at this topology's two IRQ lines
+    unless hashing happens to co-locate them; isolation splits rx/tx
+    service across dedicated cores.
+    """
+    result = FigureResult(
+        figure_id="smp-policy",
+        title="Steering/isolation policy vs delivered rate (polled, %g pps)"
+        % rate_pps,
+        xlabel="Cores",
+        ylabel="Output packet rate (pkts/sec)",
+    )
+    engine_kwargs = {
+        key: trial_kwargs.pop(key)
+        for key in _ENGINE_KWARGS
+        if key in trial_kwargs
+    }
+    policies = (
+        ("affinity", STEERING_AFFINITY, False),
+        ("affinity + isolate", STEERING_AFFINITY, True),
+        ("rss", STEERING_RSS, False),
+        ("rss + isolate", STEERING_RSS, True),
+    )
+    config = variants.polling(quota=10)
+    specs = [
+        TrialSpec.from_kwargs(
+            config,
+            rate_pps,
+            machine=_smp_machine(cores, steering, isolate),
+            **trial_kwargs,
+        )
+        for _, steering, isolate in policies
+        for cores in core_counts
+    ]
+    trials = run_trials(specs, **engine_kwargs)
+    index = 0
+    for label, _, _ in policies:
+        points = []
+        for cores in core_counts:
+            trial = trials[index]
+            index += 1
+            if not getattr(trial, "failed", False):
+                points.append((float(cores), trial.output_rate_pps))
+        result.series[label] = points
+    result.notes = (
+        "All policies coincide at one core (MachineSpec canonicalizes "
+        "to the paper's machine); crossovers appear as cores are added "
+        "and IRQ steering/polling isolation start to matter."
+    )
+    return result
+
+
 #: Registry used by the CLI and the benchmarks.
 ALL_FIGURES = {
     "6-1": figure_6_1,
@@ -332,4 +516,6 @@ ALL_FIGURES = {
     "6-5": figure_6_5,
     "6-6": figure_6_6,
     "7-1": figure_7_1,
+    "smp-onset": figure_smp_onset,
+    "smp-policy": figure_smp_policy,
 }

@@ -11,10 +11,12 @@ user-mode CPU (§7).
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.variants import describe
+from ..hw.machine import MachineSpec
 from ..kernel.config import KernelConfig
 from ..sim.backend import FAST, PURE, make_simulator, resolve_backend
 from ..sim.randomness import RandomStreams
@@ -202,6 +204,7 @@ def run_trial(
     trace=False,
     trace_capacity: Optional[int] = None,
     backend: Optional[str] = None,
+    machine: Optional[MachineSpec] = None,
 ) -> TrialResult:
     """Run one trial and return its measurements.
 
@@ -211,8 +214,9 @@ def run_trial(
         run_trial(TrialSpec(config, rate_pps=8_000, watchdog=True))
 
     The historical keyword form ``run_trial(config, rate_pps, **kw)``
-    remains supported and is exactly equivalent (same results, same
-    cache fingerprints).
+    still works and is exactly equivalent (same results, same cache
+    fingerprints), but it is **deprecated** — it emits a
+    :class:`DeprecationWarning` and will eventually require a spec.
 
     ``rate_pps`` of 0 runs an unloaded router (used for the fig 7-1
     zero-load point). Pass ``router`` to reuse a pre-built topology
@@ -243,6 +247,11 @@ def run_trial(
     ``sanitize=True`` forces ``pure`` (the sanitizer's per-event hook
     and queue rescans are a pure-core feature); an explicitly injected
     ``router`` keeps whatever simulator it was built with.
+
+    ``machine`` (a :class:`~repro.hw.machine.MachineSpec`) selects the
+    core topology; None is the paper's single-core machine. At
+    ``cores > 1`` the compiled fast path declines to install and the
+    trial runs on the pure bodies.
     """
     if isinstance(config, TrialSpec):
         if rate_pps is not None:
@@ -250,14 +259,70 @@ def run_trial(
                 "run_trial(spec) takes no separate rate_pps; "
                 "it is part of the TrialSpec"
             )
+        kwargs = config.to_kwargs()
         if router is not None:
-            return run_trial(
-                config.config, config.rate_pps, router=router,
-                **config.to_kwargs()
-            )
-        return run_trial(config.config, config.rate_pps, **config.to_kwargs())
+            kwargs["router"] = router
+        return _run_trial_impl(config.config, config.rate_pps, **kwargs)
+    warnings.warn(
+        "run_trial(config, rate_pps, **kwargs) is deprecated; construct "
+        "a TrialSpec (repro.experiments.spec.TrialSpec.from_kwargs takes "
+        "the same keywords) and call run_trial(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_trial_impl(
+        config,
+        rate_pps,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        workload=workload,
+        burst_size=burst_size,
+        attack_rate_pps=attack_rate_pps,
+        with_compute=with_compute,
+        router=router,
+        fault_plan=fault_plan,
+        watchdog=watchdog,
+        sanitize=sanitize,
+        trace=trace,
+        trace_capacity=trace_capacity,
+        backend=backend,
+        machine=machine,
+    )
+
+
+def _run_trial_impl(
+    config,
+    rate_pps: Optional[float] = None,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    seed: int = 0,
+    workload: str = WORKLOAD_CONSTANT,
+    burst_size: int = 32,
+    attack_rate_pps: Optional[float] = None,
+    with_compute: bool = False,
+    router: Optional[Router] = None,
+    fault_plan=None,
+    watchdog: bool = False,
+    sanitize: bool = False,
+    trace=False,
+    trace_capacity: Optional[int] = None,
+    backend: Optional[str] = None,
+    machine: Optional[MachineSpec] = None,
+) -> TrialResult:
+    """The actual trial runner (see :func:`run_trial` for the contract).
+
+    Internal callers (the sweep engine, the spec dispatch above) come
+    here directly so the legacy-keyword deprecation warning fires only
+    for *external* raw-keyword calls.
+    """
     if rate_pps is None:
         raise TypeError("run_trial(config, rate_pps, ...) requires a rate")
+    if router is not None and machine is not None:
+        raise TypeError(
+            "machine= describes the router to build; it cannot be "
+            "combined with a pre-built router"
+        )
     if rate_pps < 0:
         raise ValueError("rate must be non-negative")
     plan = _resolve_fault_plan(fault_plan)
@@ -270,7 +335,9 @@ def run_trial(
                 "(fast was requested)"
             )
             resolved_backend = PURE
-        router = Router(config, sim=make_simulator(resolved_backend))
+        router = Router(
+            config, sim=make_simulator(resolved_backend), machine=machine
+        )
     if plan is not None:
         router.arm_faults(plan)
     if with_compute:
@@ -327,6 +394,12 @@ def run_trial(
                 router.compute.cycles_used if router.compute is not None else None
             ),
             trace=trace_buffer,
+            # Per-core health sampling only exists on multi-core
+            # machines, so single-core verdicts keep their exact
+            # pre-SMP shape.
+            cpus=(
+                router.kernel.cpus if len(router.kernel.cpus) > 1 else None
+            ),
         ).start()
 
     router.run_for(seconds(warmup_s))

@@ -172,6 +172,7 @@ def run_scenario(
     seed: int = 0,
     trace=False,
     backend: Optional[str] = None,
+    machine=None,
 ) -> TrialResult:
     """Run one scenario and return a TrialResult with an ``slo`` verdict.
 
@@ -180,14 +181,18 @@ def run_scenario(
     whether the controller is armed); an explicit config wins and
     ``mitigate`` is ignored. The livelock watchdog always runs. ``trace``
     additionally arms the trace ring + Timeline (phase boundaries become
-    timeline marks and Perfetto instant events).
+    timeline marks and Perfetto instant events). ``machine`` (a
+    :class:`~repro.hw.machine.MachineSpec`) selects the core topology;
+    None is the single-core default.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if config is None:
         config = default_config(mitigate=mitigate)
     resolved_backend = resolve_backend(backend)
-    router = Router(config, sim=make_simulator(resolved_backend))
+    router = Router(
+        config, sim=make_simulator(resolved_backend), machine=machine
+    )
     router.start()
 
     trace_buffer = None

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
+from ..hw.machine import SINGLE_CORE, MachineSpec
 from ..kernel.config import KernelConfig
 from ..sim.backend import BACKENDS
 
@@ -55,6 +56,75 @@ WORKLOADS = (
 #: from deliberate jitter, so windows converge much faster.
 DEFAULT_WARMUP_S = 0.2
 DEFAULT_DURATION_S = 0.5
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Nested sub-spec for the traffic shape.
+
+    ``TrialSpec`` stores the workload flat (``workload`` / ``burst_size``
+    / ``attack_rate_pps`` fields) because the cache fingerprints hash the
+    flat keyword dict; a ``WorkloadSpec`` passed anywhere a workload name
+    is accepted canonicalizes into exactly the flat keywords a legacy
+    caller would have passed, so the nested spelling and the flat one
+    produce the same fingerprint, byte for byte.
+    """
+
+    workload: str = WORKLOAD_CONSTANT
+    burst_size: int = 32
+    attack_rate_pps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError("unknown workload %r" % (self.workload,))
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+
+    def to_kwargs(self) -> Dict[str, Any]:
+        """Minimal flat keywords (defaults omitted, like a legacy call)."""
+        out: Dict[str, Any] = {"workload": self.workload}
+        if self.burst_size != 32:
+            out["burst_size"] = self.burst_size
+        if self.attack_rate_pps is not None:
+            out["attack_rate_pps"] = self.attack_rate_pps
+        return out
+
+
+#: Flat machine keywords accepted by ``from_kwargs``/``replace`` (and
+#: the CLI); they canonicalize into one nested ``MachineSpec``.
+_MACHINE_FLAT = ("cores", "steering", "isolate_polling", "coalesce_us")
+
+
+def _canonicalize_trial_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold flat machine keywords and nested ``WorkloadSpec`` values into
+    the canonical keyword set (mutates and returns ``kwargs``)."""
+    flat = {name: kwargs.pop(name) for name in _MACHINE_FLAT if name in kwargs}
+    if flat:
+        if kwargs.get("machine") is not None:
+            raise TypeError(
+                "pass machine=MachineSpec(...) or the flat %s keywords, "
+                "not both" % "/".join(_MACHINE_FLAT)
+            )
+        kwargs["machine"] = MachineSpec(**flat)
+    elif "machine" in kwargs and kwargs["machine"] is None:
+        # machine=None is the default single-core machine; drop it so
+        # the spec fingerprints identically to one that never mentioned
+        # the keyword.
+        del kwargs["machine"]
+    workload = kwargs.get("workload")
+    if isinstance(workload, WorkloadSpec):
+        # The nested spec owns every workload field, including ones it
+        # left at their defaults — a flat duplicate is ambiguous even
+        # when to_kwargs() would elide the value.
+        owned = {f.name for f in fields(WorkloadSpec)}
+        clash = (owned & set(kwargs)) - {"workload"}
+        if clash:
+            raise TypeError(
+                "workload=WorkloadSpec(...) conflicts with flat keyword(s): "
+                "%s" % ", ".join(sorted(clash))
+            )
+        kwargs.update(workload.to_kwargs())
+    return kwargs
 
 
 @dataclass(frozen=True)
@@ -90,6 +160,12 @@ class TrialSpec:
     #: bit-identical by contract, so this field never enters the cache
     #: fingerprint (engine._canonical_kwargs strips it).
     backend: Optional[str] = None
+    #: Core topology (:class:`~repro.hw.machine.MachineSpec`); None is
+    #: the paper's single-core machine and — crucially — is *absent*
+    #: from ``to_kwargs``, so every pre-SMP trial keeps its exact cache
+    #: fingerprint. Flat ``cores``/``steering``/``isolate_polling``/
+    #: ``coalesce_us`` keywords canonicalize into this field.
+    machine: Optional[MachineSpec] = None
     #: Names of the fields the caller set explicitly (None → derive from
     #: non-default values in ``__post_init__``). Not part of equality:
     #: two specs describing the same trial compare equal even if one
@@ -103,6 +179,20 @@ class TrialSpec:
             raise TypeError(
                 "TrialSpec.config must be a KernelConfig, got %r"
                 % type(self.config).__name__
+            )
+        if isinstance(self.workload, WorkloadSpec):
+            # Nested workload spelled directly at the constructor:
+            # flatten (the sub-spec wins over the flat fields).
+            nested = self.workload
+            object.__setattr__(self, "workload", nested.workload)
+            object.__setattr__(self, "burst_size", nested.burst_size)
+            object.__setattr__(self, "attack_rate_pps", nested.attack_rate_pps)
+        if isinstance(self.machine, dict):
+            object.__setattr__(self, "machine", MachineSpec(**self.machine))
+        if self.machine is not None and not isinstance(self.machine, MachineSpec):
+            raise TypeError(
+                "TrialSpec.machine must be a MachineSpec (or None), got %r"
+                % type(self.machine).__name__
             )
         if self.rate_pps < 0:
             raise ValueError("rate must be non-negative")
@@ -144,6 +234,7 @@ class TrialSpec:
     ) -> "TrialSpec":
         """Build a spec from the legacy keyword form, remembering exactly
         which keywords were passed (fingerprint compatibility)."""
+        kwargs = _canonicalize_trial_kwargs(dict(kwargs))
         unknown = set(kwargs) - _FIELD_NAMES
         if unknown:
             raise TypeError(
@@ -169,12 +260,24 @@ class TrialSpec:
     def explicit_fields(self) -> Tuple[str, ...]:
         return self._explicit
 
+    @property
+    def workload_spec(self) -> WorkloadSpec:
+        """The nested view of the flat workload fields."""
+        return WorkloadSpec(self.workload, self.burst_size, self.attack_rate_pps)
+
+    @property
+    def machine_spec(self) -> MachineSpec:
+        """The machine, with None resolved to the single-core default."""
+        return self.machine if self.machine is not None else SINGLE_CORE
+
     # ------------------------------------------------------------------
 
     def replace(self, **changes) -> "TrialSpec":
         """A copy with ``changes`` applied; changed fields (plus those
         already explicit) count as explicit in the copy."""
-        unknown = set(changes) - _FIELD_NAMES - {"config", "rate_pps"}
+        unknown = (
+            set(changes) - _FIELD_NAMES - set(_MACHINE_FLAT) - {"config", "rate_pps"}
+        )
         if unknown:
             raise TypeError(
                 "unknown trial keyword(s): %s" % ", ".join(sorted(unknown))

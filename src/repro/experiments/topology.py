@@ -27,9 +27,11 @@ from ..core.quota import PollQuota
 from ..drivers.bsd import BsdDriver, ClassicIPInput
 from ..drivers.clocked import ClockedPollingDriver
 from ..drivers.highipl import HighIplDriver
+from ..drivers.hybrid import HybridDriver
 from ..drivers.polled import PolledDriver
 from ..hw.cpu import IPL_DEVICE
 from ..hw.link import Wire
+from ..hw.machine import SINGLE_CORE, MachineSpec
 from ..hw.nic import NIC
 from ..kernel.config import KernelConfig
 from ..kernel.kernel import Kernel
@@ -65,12 +67,17 @@ class Router:
         tx_ipl: int = IPL_DEVICE,
         screen_rule: Optional[ScreenRule] = None,
         recycle_packets: bool = True,
+        machine: Optional[MachineSpec] = None,
     ) -> None:
         config.validate()
         self.config = config
+        #: Core topology (:class:`~repro.hw.machine.MachineSpec`); the
+        #: default is the paper's single-core machine, byte-identical to
+        #: the pre-SMP router.
+        self.machine = machine if machine is not None else SINGLE_CORE
         self.sim = sim if sim is not None else Simulator()
         self.probes = ProbeRegistry(self.sim)
-        self.kernel = Kernel(self.sim, config, self.probes)
+        self.kernel = Kernel(self.sim, config, self.probes, machine=self.machine)
         #: Freelist for the per-packet fast path: generators draw from
         #: it, and the router returns each packet once its transmission
         #: on the output wire completes (RX-overflow rejects are
@@ -123,6 +130,10 @@ class Router:
 
         # --- drivers (variant-dependent) ----------------------------------
         self.polling: Optional[PollingSystem] = None
+        #: Every polling daemon; normally ``[self.polling]``. Multi-core
+        #: machines with dedicated polling cores run one system per core
+        #: with the devices partitioned across them.
+        self.polling_systems: list = []
         self.cycle_limiter: Optional[CycleLimiter] = None
         self.feedback: Optional[QueueStateFeedback] = None
         self.ip_input: Optional[ClassicIPInput] = None
@@ -130,6 +141,8 @@ class Router:
             self._build_clocked(tx_ipl)
         elif config.use_high_ipl:
             self._build_high_ipl()
+        elif config.use_hybrid:
+            self._build_hybrid(tx_ipl)
         elif config.use_polling and not config.emulate_unmodified:
             self._build_polled(tx_ipl)
         else:
@@ -215,19 +228,39 @@ class Router:
             self.cycle_limiter = CycleLimiter(
                 self.kernel, config.cycle_limit_fraction
             )
-        self.polling = PollingSystem(
-            self.kernel,
-            quota=PollQuota.of(config.poll_quota),
-            cycle_limiter=self.cycle_limiter,
-        )
+        polling_cores = self.machine.polling_cores()
+        if len(polling_cores) > 1 and self.cycle_limiter is None:
+            # Dedicated polling cores: one daemon per core, devices
+            # partitioned round-robin in registration order. (The §7
+            # cycle limit is defined against one polling thread's usage,
+            # so a cycle-limited kernel keeps the single daemon.)
+            self.polling_systems = [
+                PollingSystem(
+                    self.kernel,
+                    quota=PollQuota.of(config.poll_quota),
+                    name="netpoll%d" % index,
+                    core=core,
+                )
+                for index, core in enumerate(polling_cores)
+            ]
+            self.polling = self.polling_systems[0]
+        else:
+            self.polling = PollingSystem(
+                self.kernel,
+                quota=PollQuota.of(config.poll_quota),
+                cycle_limiter=self.cycle_limiter,
+                core=polling_cores[0],
+            )
+            self.polling_systems = [self.polling]
         self.driver_in = PolledDriver(
             self.kernel, self.nic_in, self.ip, INPUT_IF, tx_ipl=tx_ipl
         )
         self.driver_out = PolledDriver(
             self.kernel, self.nic_out, self.ip, OUTPUT_IF, tx_ipl=tx_ipl
         )
-        self.polling.register(self.driver_in)
-        self.polling.register(self.driver_out)
+        systems = self.polling_systems
+        systems[0].register(self.driver_in)
+        systems[1 % len(systems)].register(self.driver_out)
         if config.feedback_enabled:
             if self.screen_queue is None:
                 raise ValueError(
@@ -247,6 +280,32 @@ class Router:
         )
         self.driver_out = HighIplDriver(
             self.kernel, self.nic_out, self.ip, OUTPUT_IF, quota=config.poll_quota
+        )
+
+    def _build_hybrid(self, tx_ipl: int) -> None:
+        config = self.config
+        machine = self.machine
+        polling_cores = machine.polling_cores()
+        coalesce_ns = machine.coalesce_ns
+        self.driver_in = HybridDriver(
+            self.kernel,
+            self.nic_in,
+            self.ip,
+            INPUT_IF,
+            tx_ipl=tx_ipl,
+            quota=config.poll_quota,
+            coalesce_max_ns=coalesce_ns,
+            core=polling_cores[0],
+        )
+        self.driver_out = HybridDriver(
+            self.kernel,
+            self.nic_out,
+            self.ip,
+            OUTPUT_IF,
+            tx_ipl=tx_ipl,
+            quota=config.poll_quota,
+            coalesce_max_ns=coalesce_ns,
+            core=polling_cores[1 % len(polling_cores)],
         )
 
     def _build_clocked(self, tx_ipl: int) -> None:
@@ -337,8 +396,8 @@ class Router:
             # The drivers have created their interrupt lines by now, so
             # the injector can attach its IRQ-fault hook.
             self.faults.bind_lines()
-        if self.polling is not None:
-            self.polling.start()
+        for system in self.polling_systems:
+            system.start()
         if self.mitigation is not None:
             self.mitigation.start()
         if self.screend is not None:
@@ -376,7 +435,19 @@ class Router:
             _record(CPU_ACCOUNT, task.name, elapsed, task._eff_ipl)
 
         cpu.account_observers.append(_account)
-        for line in self.kernel.interrupts.lines:
+        # Extra cores account under a "cpuN/" site prefix; the Perfetto
+        # exporter splits these onto per-core tracks. Core 0 keeps bare
+        # task names, so single-core traces are byte-identical.
+        for extra in self.kernel.cpus[1:]:
+            extra.trace = buffer
+
+            def _account_core(
+                task, elapsed, _record=record, _prefix=extra.name + "/"
+            ):
+                _record(CPU_ACCOUNT, _prefix + task.name, elapsed, task._eff_ipl)
+
+            extra.account_observers.append(_account_core)
+        for line in self.kernel.irq_lines():
             line.trace = buffer
         for driver in (self.driver_in, self.driver_out):
             driver.trace = buffer
@@ -385,8 +456,8 @@ class Router:
             self.ip_input.ipintrq.trace = buffer
         if self.screen_queue is not None:
             self.screen_queue.trace = buffer
-        if self.polling is not None:
-            self.polling.trace = buffer
+        for system in self.polling_systems:
+            system.trace = buffer
         if self.feedback is not None:
             self.feedback.trace = buffer
         if self.cycle_limiter is not None:

@@ -138,10 +138,17 @@ class CPU:
         hz: int = 150_000_000,
         context_switch_cycles: int = 0,
         name: str = "cpu0",
+        index: int = 0,
     ) -> None:
         self.sim = sim
         self.hz = hz
         self.name = name
+        #: Core index on a multi-core machine. All cores share one
+        #: calendar-queue simulator; at equal timestamps events fire in
+        #: scheduling order, and the kernel constructs and starts cores
+        #: in index order, so the effective same-instant tie-break is
+        #: the core index (DESIGN.md §14).
+        self.index = index
         self.context_switch_cycles = context_switch_cycles
         # Tasks with pending work, mapped to remaining nanoseconds.
         self._remaining: Dict[CpuTask, int] = {}

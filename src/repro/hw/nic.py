@@ -74,7 +74,10 @@ class NIC:
         self._tx_done = 0
         self._tx_busy = False
 
-        #: Attached by the driver / kernel after construction.
+        #: Attached by the driver / kernel after construction (via
+        #: :meth:`attach_lines`). On a multi-core machine the lines may
+        #: live on any core's interrupt controller — the NIC only ever
+        #: calls ``request()``, which is core-agnostic.
         self.rx_line: Optional[InterruptLine] = None
         self.tx_line: Optional[InterruptLine] = None
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`),
@@ -98,6 +101,16 @@ class NIC:
         self._rx_accepted_inc = self.rx_accepted.increment
         self._rx_overflow_inc = self.rx_overflow_drops.increment
         self._tx_completed_inc = self.tx_completed.increment
+
+    def attach_lines(
+        self,
+        rx_line: Optional[InterruptLine],
+        tx_line: Optional[InterruptLine],
+    ) -> None:
+        """Bind the device's interrupt lines (the driver creates them,
+        possibly on a steered core's controller)."""
+        self.rx_line = rx_line
+        self.tx_line = tx_line
 
     # ------------------------------------------------------------------
     # RX side (wire -> host)

@@ -46,6 +46,13 @@ class KernelConfig:
     #: "Do (almost) everything at high IPL" (§5.3, first approach):
     #: process packets to completion inside the device-IPL handler.
     use_high_ipl: bool = False
+    #: NAPI-style hybrid driver: per-device stub-interrupt → poll-drain
+    #: → re-arm threads with an adaptive coalescing timer (the timer
+    #: bound comes from :class:`repro.hw.machine.MachineSpec`). NOTE:
+    #: new config fields must stay default-omitted in
+    #: ``repro.experiments.engine.trial_fingerprint`` so pre-SMP cache
+    #: fingerprints survive.
+    use_hybrid: bool = False
     #: §5.1 interrupt-rate limiting applied to the *classic* kernel:
     #: disable input interrupts when ipintrq fills, re-enable when it
     #: drains to ``ipintrq_low_fraction`` of its limit.
@@ -177,16 +184,25 @@ class KernelConfig:
         if self.emulate_unmodified and not self.use_polling:
             raise ValueError("emulate_unmodified is a mode of the modified kernel")
         exclusive_modes = sum(
-            (self.use_polling, self.use_clocked_polling, self.use_high_ipl)
+            (
+                self.use_polling,
+                self.use_clocked_polling,
+                self.use_high_ipl,
+                self.use_hybrid,
+            )
         )
         if exclusive_modes > 1:
             raise ValueError(
-                "use_polling, use_clocked_polling and use_high_ipl are exclusive"
+                "use_polling, use_clocked_polling, use_high_ipl and "
+                "use_hybrid are exclusive"
             )
         if self.clocked_poll_interval_ns <= 0:
             raise ValueError("clocked_poll_interval_ns must be positive")
         if self.classic_input_feedback and (
-            self.use_polling or self.use_clocked_polling or self.use_high_ipl
+            self.use_polling
+            or self.use_clocked_polling
+            or self.use_high_ipl
+            or self.use_hybrid
         ):
             raise ValueError("classic_input_feedback applies to the classic kernel")
         if not 0.0 < self.ipintrq_low_fraction < 1.0:

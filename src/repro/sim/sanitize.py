@@ -147,7 +147,11 @@ class InvariantSanitizer:
                 )
 
     def _check_ipl(self) -> None:
-        cpu = self.router.kernel.cpu
+        kernel = self.router.kernel
+        for cpu, controller in zip(kernel.cpus, kernel.controllers):
+            self._check_core_ipl(cpu, controller)
+
+    def _check_core_ipl(self, cpu, controller) -> None:
         best_key = None
         for task in cpu._remaining:
             expected_ipl = (
@@ -183,7 +187,7 @@ class InvariantSanitizer:
                 % (current.name, current._key, best_key)
             )
         ipl = cpu.current_ipl
-        for line in self.router.kernel.interrupts.lines:
+        for line in controller.lines:
             if (
                 line.requested
                 and line.enabled

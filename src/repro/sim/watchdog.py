@@ -70,6 +70,7 @@ class LivelockWatchdog:
         livelock_fraction: float = DEFAULT_LIVELOCK_FRACTION,
         abort_after_stalled_windows: Optional[int] = None,
         trace=None,
+        cpus: Optional[Sequence] = None,
     ) -> None:
         if window_ns <= 0:
             raise ValueError("watchdog window must be positive")
@@ -90,6 +91,22 @@ class LivelockWatchdog:
         self.trace = trace
         self._onset_ns: Optional[int] = None
         self._onset_records = None
+        #: Optional per-core health sampling (multi-core machines only):
+        #: a sequence of :class:`~repro.hw.cpu.CPU` objects whose
+        #: ``busy_ns`` is sampled each window. The verdict then carries
+        #: a ``cores`` entry with each core's busy fraction — single-core
+        #: verdicts keep their exact pre-SMP shape.
+        self.cpus = list(cpus) if cpus is not None else None
+        self._last_busy = (
+            [cpu.busy_ns for cpu in self.cpus] if self.cpus is not None else None
+        )
+        self._core_busy_ns = (
+            [0] * len(self.cpus) if self.cpus is not None else None
+        )
+        self._core_busy_peak = (
+            [0.0] * len(self.cpus) if self.cpus is not None else None
+        )
+        self._sampled_ns = 0
 
         self.windows = 0
         self.idle_windows = 0
@@ -144,6 +161,16 @@ class LivelockWatchdog:
             resident = snap["heap_size"]
             if resident > self.sched_resident_peak:
                 self.sched_resident_peak = resident
+        if self.cpus is not None:
+            self._sampled_ns += self.window_ns
+            for index, cpu in enumerate(self.cpus):
+                busy_now = cpu.busy_ns
+                delta = busy_now - self._last_busy[index]
+                self._last_busy[index] = busy_now
+                self._core_busy_ns[index] += delta
+                fraction = delta / self.window_ns
+                if fraction > self._core_busy_peak[index]:
+                    self._core_busy_peak[index] = fraction
         delivered_now = self.delivered.value
         arrivals_now = self._arrival_total()
         delivered = delivered_now - self._last_delivered
@@ -277,6 +304,19 @@ class LivelockWatchdog:
             "sched_pending_peak": self.sched_pending_peak,
             "sched_resident_peak": self.sched_resident_peak,
         }
+        if self.cpus is not None:
+            report["cores"] = [
+                {
+                    "name": cpu.name,
+                    "busy_fraction": (
+                        self._core_busy_ns[index] / self._sampled_ns
+                        if self._sampled_ns
+                        else 0.0
+                    ),
+                    "busy_peak_fraction": self._core_busy_peak[index],
+                }
+                for index, cpu in enumerate(self.cpus)
+            ]
         if self.trace is not None:
             report["trace_onset"] = (
                 None

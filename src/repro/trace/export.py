@@ -47,9 +47,31 @@ _PID = 1
 _TID_CPU = 1
 _TID_PACKETS = 2
 _TID_CONTROL = 3
+#: Extra cores' CPU tracks occupy [_TID_CPU_BASE, _TID_IRQ_BASE): core N
+#: (N >= 1) maps to tid ``_TID_CPU_BASE + N - 1``, which stays below the
+#: IRQ block for every N < MAX_CORES (repro.hw.machine caps cores at 8).
+_TID_CPU_BASE = 8
 _TID_IRQ_BASE = 16
 
 NS_PER_US = 1_000.0
+
+
+def _cpu_site(name: str) -> tuple:
+    """Map an accounted-chunk site name to ``(tid, display_name)``.
+
+    Extra cores record under a ``cpuN/`` prefix (see
+    ``Router.attach_trace``); the prefix selects a per-core track and is
+    stripped from the event name. Bare names — everything a single-core
+    trial emits — keep the original CPU track, so cores=1 traces are
+    byte-identical to pre-SMP output.
+    """
+    if name.startswith("cpu"):
+        head, sep, rest = name.partition("/")
+        if sep and head[3:].isdigit():
+            core = int(head[3:])
+            if core >= 1:
+                return (_TID_CPU_BASE + core - 1, rest)
+    return (_TID_CPU, name)
 
 
 def _thread_meta(tid: int, name: str) -> Dict:
@@ -79,16 +101,29 @@ def to_perfetto(buffer: TraceBuffer, timeline=None) -> Dict:
     ]
     irq_tids: Dict[int, int] = {}
     irq_open: Dict[int, float] = {}
+    cpu_sites: Dict[int, tuple] = {}
+    seen_core_tids = set()
     for t, kind, sid, a, b in buffer.records():
         ts = t / NS_PER_US
         if kind == CPU_ACCOUNT:
+            site = cpu_sites.get(sid)
+            if site is None:
+                site = _cpu_site(names[sid])
+                cpu_sites[sid] = site
+            tid, name = site
+            if tid != _TID_CPU and tid not in seen_core_tids:
+                seen_core_tids.add(tid)
+                core = tid - _TID_CPU_BASE + 1
+                events.append(
+                    _thread_meta(tid, "cpu%d (accounted chunks)" % core)
+                )
             events.append(
                 {
                     "ph": "X",
-                    "name": names[sid],
+                    "name": name,
                     "cat": "cpu",
                     "pid": _PID,
-                    "tid": _TID_CPU,
+                    "tid": tid,
                     "ts": (t - a) / NS_PER_US,
                     "dur": a / NS_PER_US,
                     "args": {"ipl": b},

@@ -8,6 +8,7 @@ from repro.core import variants
 from repro.core.mitigation import MITIGATION_REASON, MitigationController
 from repro.core.quota import PollQuota
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.sim import ProbeRegistry, Simulator
 
 
@@ -283,10 +284,10 @@ TIMING = dict(duration_s=0.08, warmup_s=0.03)
 def test_mitigated_no_quota_kernel_survives_the_cliff():
     """The paper's livelock case (quota=inf at 12k pps) delivers nothing;
     the same kernel with the controller armed keeps forwarding."""
-    bare = run_trial(variants.polling(quota=None), 12_000, **TIMING)
-    defended = run_trial(
+    bare = run_trial(TrialSpec(variants.polling(quota=None), 12_000, **TIMING))
+    defended = run_trial(TrialSpec(
         variants.polling(quota=None, mitigate=True), 12_000, **TIMING
-    )
+    ))
     assert bare.delivered == 0
     assert bare.output_rate_pps == 0.0
     assert defended.output_rate_pps > 2_000
@@ -294,16 +295,16 @@ def test_mitigated_no_quota_kernel_survives_the_cliff():
 
 
 def test_quiescent_controller_never_escalates_under_benign_load():
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.polling(quota=None, mitigate=True), 4_000, **TIMING
-    )
+    ))
     assert result.counters["mitigation.samples"] > 0
     assert result.counters["mitigation.escalations"] == 0
     assert result.counters["mitigation.inhibit_pulses"] == 0
 
 
 def test_disarmed_config_runs_no_controller():
-    result = run_trial(variants.polling(quota=None), 4_000, **TIMING)
+    result = run_trial(TrialSpec(variants.polling(quota=None), 4_000, **TIMING))
     assert "mitigation.samples" not in result.counters
 
 

@@ -11,13 +11,14 @@ the backlog still in the ring).
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 
 
 def test_clocked_driver_forwards_with_batch_pull():
     config = variants.clocked().with_options(rx_batch_pull=True)
-    result = run_trial(
+    result = run_trial(TrialSpec(
         config, 2_000, seed=0, duration_s=0.1, warmup_s=0.05
-    )
+    ))
     # Light load: everything offered is forwarded (no drops anywhere).
     assert result.generated > 150
     assert result.delivered >= result.generated - 2
@@ -26,9 +27,9 @@ def test_clocked_driver_forwards_with_batch_pull():
 
 def test_high_ipl_driver_forwards_with_batch_pull():
     config = variants.high_ipl().with_options(rx_batch_pull=True)
-    result = run_trial(
+    result = run_trial(TrialSpec(
         config, 2_000, seed=0, duration_s=0.1, warmup_s=0.05
-    )
+    ))
     assert result.generated > 150
     assert result.delivered >= result.generated - 2
     assert not result.drops
@@ -41,7 +42,8 @@ def test_batch_pull_matches_incremental_at_light_load():
     for batch in (False, True):
         config = variants.clocked().with_options(rx_batch_pull=batch)
         results.append(
-            run_trial(config, 1_000, seed=3, duration_s=0.1, warmup_s=0.05)
+            run_trial(TrialSpec(config, 1_000, seed=3, duration_s=0.1,
+                               warmup_s=0.05))
         )
     assert results[0].delivered == results[1].delivered
     assert results[0].generated == results[1].generated
@@ -53,6 +55,6 @@ def test_polled_driver_ignores_batch_pull():
     config = variants.polling().with_options(rx_batch_pull=True)
     baseline = variants.polling()
     kwargs = dict(duration_s=0.08, warmup_s=0.03, seed=0)
-    assert run_trial(config, 12_000, **kwargs) == run_trial(
-        baseline, 12_000, **kwargs
+    assert run_trial(TrialSpec(config, 12_000, **kwargs)) == run_trial(
+        TrialSpec(baseline, 12_000, **kwargs)
     )

@@ -1,0 +1,122 @@
+"""Tests for the NAPI-style hybrid driver (repro.drivers.hybrid)."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import variants
+from repro.drivers.hybrid import MIN_COALESCE_NS, HybridDriver
+from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
+from repro.hw.machine import MachineSpec
+
+TIMING = dict(duration_s=0.08, warmup_s=0.03)
+
+
+def _trial(rate, coalesce_us=0.0, cores=1, **kw):
+    machine = None
+    if coalesce_us or cores > 1:
+        machine = MachineSpec(
+            cores=cores,
+            coalesce_us=coalesce_us,
+            isolate_polling=cores > 1,
+        )
+    return run_trial(TrialSpec.from_kwargs(
+        variants.hybrid(quota=10), rate, machine=machine, **dict(TIMING, **kw)
+    ))
+
+
+def test_forwards_at_light_load_with_no_loss():
+    result = run_trial(TrialSpec(variants.hybrid(quota=10), 2_000, **TIMING))
+    assert result.generated > 100
+    assert result.delivered >= result.generated - 2
+    assert not result.drops
+
+
+def test_survives_overload_without_livelock():
+    """The whole point of interrupt-arm -> poll-drain: under overload
+    the stub handlers stay cheap and the drain thread keeps forwarding."""
+    result = run_trial(TrialSpec.from_kwargs(
+        variants.hybrid(quota=10), 12_000, watchdog=True, **TIMING
+    ))
+    assert result.watchdog["verdict"] == "healthy"
+    assert result.output_rate_pps > 4_000
+
+
+def test_stub_interrupts_disable_and_rearm():
+    result = _trial(9_000)
+    schedules = result.counters["driver.in0.napi_schedules"]
+    polls = result.counters["driver.in0.napi_polls"]
+    assert schedules > 0
+    # Poll passes outnumber scheduling interrupts under load: each
+    # schedule drains in a loop until the device is quiet.
+    assert polls > schedules
+
+
+def test_trials_are_deterministic():
+    first = _trial(9_000, seed=4)
+    second = _trial(9_000, seed=4)
+    assert asdict(first) == asdict(second)
+
+
+def test_coalescing_disabled_by_default():
+    result = _trial(12_000)
+    assert result.counters.get("driver.in0.coalesce_grows", 0) == 0
+    assert result.counters.get("driver.in0.coalesce_decays", 0) == 0
+
+
+def test_coalescing_adapts_under_overload():
+    """With a timer bound, sustained overload grows the delay (fewer,
+    fatter drains) and the trial still forwards."""
+    plain = _trial(12_000)
+    coalesced = _trial(12_000, coalesce_us=50.0)
+    assert coalesced.counters["driver.in0.coalesce_grows"] >= 1
+    schedules_plain = plain.counters["driver.in0.napi_schedules"]
+    schedules_coalesced = coalesced.counters["driver.in0.napi_schedules"]
+    assert schedules_coalesced <= schedules_plain
+    assert coalesced.output_rate_pps > 3_500
+
+
+def test_coalescing_decays_when_load_drops():
+    # Below aggregate capacity, bursts alternate saturated poll passes
+    # (grow) with light drain-closing passes (decay), so the timer
+    # moves in both directions.
+    result = _trial(3_000, coalesce_us=50.0, workload="bursty",
+                    burst_size=32)
+    assert result.counters["driver.in0.coalesce_grows"] >= 1
+    assert result.counters["driver.in0.coalesce_decays"] >= 1
+
+
+def test_runs_multicore():
+    result = _trial(9_000, cores=4, seed=1)
+    assert result.delivered > 0
+    again = _trial(9_000, cores=4, seed=1)
+    assert asdict(result) == asdict(again)
+
+
+def test_constructor_validation():
+    from repro.experiments.topology import Router
+
+    router = Router(variants.hybrid())
+    driver = router.driver_in
+    assert isinstance(driver, HybridDriver)
+    with pytest.raises(ValueError):
+        HybridDriver(router.kernel, router.nic_in, router.ip, "bad", quota=0)
+    with pytest.raises(ValueError):
+        HybridDriver(router.kernel, router.nic_in, router.ip, "bad",
+                     coalesce_max_ns=-1)
+
+
+def test_adapt_arithmetic_snaps_to_zero():
+    from repro.experiments.topology import Router
+
+    router = Router(variants.hybrid())
+    driver = router.driver_in
+    driver.coalesce_max_ns = 8_000
+    driver.coalesce_ns = MIN_COALESCE_NS
+    driver._adapt(0)  # light drain: halving below the floor snaps to 0
+    assert driver.coalesce_ns == 0
+    driver._adapt(driver.quota * 2)  # saturated: growth starts at floor
+    assert driver.coalesce_ns == MIN_COALESCE_NS
+    driver._adapt(driver.quota * 2)
+    assert driver.coalesce_ns == 2 * MIN_COALESCE_NS

@@ -21,6 +21,7 @@ from repro._fastcore import FASTCORE_KIND, FastCore
 from repro.core import variants
 from repro.experiments.engine import trial_fingerprint
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.experiments.results import trial_to_dict
 from repro.sim.backend import make_simulator, resolve_backend
 from repro.sim.simulator import Simulator
@@ -57,7 +58,7 @@ def _run(driver, plan, trace, backend):
         kwargs["watchdog"] = True
     if trace:
         kwargs["trace"] = True
-    return run_trial(DRIVERS[driver](), 9_000, **kwargs)
+    return run_trial(TrialSpec.from_kwargs(DRIVERS[driver](), 9_000, **kwargs))
 
 
 @pytest.mark.parametrize(
@@ -96,14 +97,14 @@ def test_golden_fixture_pinned_to_fast_backend(variant, workload, rate, seed):
     """
     from .test_golden_determinism import GOLDEN, TIMING as GOLDEN_TIMING, _comparable
 
-    result = run_trial(
+    result = run_trial(TrialSpec.from_kwargs(
         DRIVERS[variant](),
         rate,
         seed=seed,
         workload=workload,
         backend="fast",
         **GOLDEN_TIMING,
-    )
+    ))
     assert result.backend == FASTCORE_KIND
     assert _comparable(result) == GOLDEN["%s|%s|%d|%d" % (variant, workload, rate, seed)]
 
@@ -129,8 +130,10 @@ def test_adversarial_workloads_bit_identical(driver, workload, attack_rate):
     kwargs = dict(TIMING, seed=5, workload=workload)
     if attack_rate is not None:
         kwargs["attack_rate_pps"] = attack_rate
-    pure = run_trial(DRIVERS[driver](), 6_000, backend="pure", **kwargs)
-    fast = run_trial(DRIVERS[driver](), 6_000, backend="fast", **kwargs)
+    pure = run_trial(TrialSpec.from_kwargs(DRIVERS[driver](), 6_000,
+                                           backend="pure", **kwargs))
+    fast = run_trial(TrialSpec.from_kwargs(DRIVERS[driver](), 6_000,
+                                           backend="fast", **kwargs))
     assert fast.backend == FASTCORE_KIND
     assert _canonical_bytes(pure) == _canonical_bytes(fast)
 
@@ -155,8 +158,10 @@ def test_mitigation_controller_bit_identical(name, factory):
     kwargs = dict(
         TIMING, seed=5, workload="composite", attack_rate_pps=20_000
     )
-    pure = run_trial(factory(), 5_000, backend="pure", **kwargs)
-    fast = run_trial(factory(), 5_000, backend="fast", **kwargs)
+    pure = run_trial(TrialSpec.from_kwargs(factory(), 5_000,
+                                           backend="pure", **kwargs))
+    fast = run_trial(TrialSpec.from_kwargs(factory(), 5_000,
+                                           backend="fast", **kwargs))
     assert fast.backend == FASTCORE_KIND
     assert _canonical_bytes(pure) == _canonical_bytes(fast)
 
@@ -212,14 +217,14 @@ def test_backend_never_enters_fingerprint():
 
 def test_sanitize_falls_back_to_pure_with_logged_reason(caplog):
     with caplog.at_level(logging.WARNING, logger="repro.backend"):
-        result = run_trial(
+        result = run_trial(TrialSpec.from_kwargs(
             variants.unmodified(),
             4_000,
             seed=0,
             sanitize=True,
             backend="fast",
             **TIMING,
-        )
+        ))
     assert result.backend == "pure"
     assert any("falling back to backend=pure" in rec.message for rec in caplog.records)
 

@@ -7,12 +7,14 @@ asserted bands are correspondingly generous.
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 
 FAST = dict(duration_s=0.2, warmup_s=0.1)
 
 
 def out_rate(config, rate, **kwargs):
-    return run_trial(config, rate, **FAST, **kwargs).output_rate_pps
+    spec = TrialSpec.from_kwargs(config, rate, **FAST, **kwargs)
+    return run_trial(spec).output_rate_pps
 
 
 def test_unmodified_keeps_up_below_mlfrr():
@@ -75,12 +77,12 @@ def test_no_feedback_with_screend_collapses():
 
 def test_cycle_limit_user_share_bands():
     for threshold, low, high in ((0.25, 0.5, 0.8), (1.0, 0.0, 0.05)):
-        trial = run_trial(
+        trial = run_trial(TrialSpec(
             variants.polling(quota=5, cycle_limit=threshold),
             8_000,
             with_compute=True,
             **FAST,
-        )
+        ))
         assert low <= trial.user_cpu_share <= high, (
             threshold,
             trial.user_cpu_share,
@@ -88,7 +90,7 @@ def test_cycle_limit_user_share_bands():
 
 
 def test_zero_load_user_share_is_about_94_percent():
-    trial = run_trial(
+    trial = run_trial(TrialSpec(
         variants.polling(quota=5, cycle_limit=0.5), 0, with_compute=True, **FAST
-    )
+    ))
     assert 0.90 <= trial.user_cpu_share <= 0.98

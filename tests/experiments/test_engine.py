@@ -18,11 +18,18 @@ from repro.experiments.engine import (
     trial_fingerprint,
 )
 from repro.experiments.harness import TrialResult, run_trial
+from repro.experiments.spec import TrialSpec
 from repro.experiments.results import trial_from_dict, trial_to_dict
 
 #: Short but non-trivial trials: long enough that drops/latency fields
 #: are populated, short enough for the full variant matrix.
 FAST = dict(duration_s=0.05, warmup_s=0.02)
+
+# run_sweep's raw trial_kwargs form is deprecated but contractually
+# still works; this module exercises it on purpose.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:run_sweep:DeprecationWarning"
+)
 
 VARIANTS = {
     "unmodified": variants.unmodified(),
@@ -131,14 +138,14 @@ def test_cache_dir_env_override(tmp_path, monkeypatch):
 # ----------------------------------------------------------------------
 
 def test_trial_roundtrip_is_lossless():
-    trial = run_trial(variants.polling(quota=5), 10_000, **FAST)
+    trial = run_trial(TrialSpec(variants.polling(quota=5), 10_000, **FAST))
     assert trial.drops and trial.latency_us  # exercise the dict fields
     data = json.loads(json.dumps(trial_to_dict(trial)))
     assert trial_from_dict(data) == trial
 
 
 def test_trial_from_dict_rejects_unknown_fields():
-    trial = run_trial(variants.unmodified(), 0, **FAST)
+    trial = run_trial(TrialSpec(variants.unmodified(), 0, **FAST))
     data = trial_to_dict(trial)
     data["bogus"] = 1
     with pytest.raises(KeyError):

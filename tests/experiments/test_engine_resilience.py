@@ -20,10 +20,17 @@ from repro.experiments.engine import (
     trial_fingerprint,
 )
 from repro.experiments.harness import TrialResult, run_sweep, run_trial
+from repro.experiments.spec import TrialSpec
 from repro.faults import CANNED_PLANS
 
 CONFIG = variants.polling()
 KW = dict(duration_s=0.03, warmup_s=0.01)
+
+# run_sweep's raw trial_kwargs form is deprecated but contractually
+# still works; the chaos tests exercise it on purpose.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:run_sweep:DeprecationWarning"
+)
 FAST = dict(jobs=2, retry_backoff_s=0.05)
 
 
@@ -200,7 +207,7 @@ def test_missing_entry_is_a_plain_miss_not_an_eviction(tmp_path):
 
 def test_cache_round_trip_includes_new_fields(tmp_path):
     store = ResultCache(tmp_path)
-    result = run_trial(CONFIG, 3_000, **KW)
+    result = run_trial(TrialSpec.from_kwargs(CONFIG, 3_000, **KW))
     store.put("k" * 64, result)
     loaded = store.get("k" * 64)
     assert loaded == result

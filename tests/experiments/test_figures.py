@@ -11,7 +11,9 @@ TINY = dict(duration_s=0.1, warmup_s=0.05)
 
 
 def test_registry_covers_every_reproduced_figure():
-    assert set(ALL_FIGURES) == {"6-1", "6-3", "6-4", "6-5", "6-6", "7-1"}
+    assert set(ALL_FIGURES) == {
+        "6-1", "6-3", "6-4", "6-5", "6-6", "7-1", "smp-onset", "smp-policy",
+    }
 
 
 def test_figure_6_1_structure():

@@ -27,6 +27,7 @@ import pytest
 from repro.core import variants
 from repro.experiments import harness
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.hw.link import packet_time_ns
 from repro.hw.nic import NIC
 from repro.net.addresses import parse_ip
@@ -95,9 +96,9 @@ def _comparable(result):
     ids=["%s-%s-%d-%d" % cell for cell in MATRIX],
 )
 def test_trial_matches_golden(variant, workload, rate, seed):
-    result = run_trial(
+    result = run_trial(TrialSpec(
         VARIANTS[variant](), rate, seed=seed, workload=workload, **TIMING
-    )
+    ))
     golden = GOLDEN["%s|%s|%d|%d" % (variant, workload, rate, seed)]
     assert _comparable(result) == golden
 
@@ -244,8 +245,8 @@ def test_legacy_generators_match_golden(monkeypatch, variant, workload):
     same trial results down to the last counter."""
     for name, cls in LEGACY.items():
         monkeypatch.setattr(harness, name, cls)
-    result = run_trial(
+    result = run_trial(TrialSpec(
         VARIANTS[variant](), 12_000, seed=0, workload=workload, **TIMING
-    )
+    ))
     golden = GOLDEN["%s|%s|%d|%d" % (variant, workload, 12_000, 0)]
     assert _comparable(result) == golden

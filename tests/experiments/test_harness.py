@@ -8,13 +8,14 @@ from repro.experiments.harness import (
     run_trial,
     sweep_series,
 )
+from repro.experiments.spec import TrialSpec
 
 
 FAST = dict(duration_s=0.1, warmup_s=0.05)
 
 
 def test_trial_reports_rates():
-    trial = run_trial(variants.unmodified(), 1_000, **FAST)
+    trial = run_trial(TrialSpec(variants.unmodified(), 1_000, **FAST))
     assert trial.offered_rate_pps == pytest.approx(1_000, rel=0.1)
     assert trial.output_rate_pps == pytest.approx(1_000, rel=0.1)
     assert trial.variant == "unmodified"
@@ -22,7 +23,7 @@ def test_trial_reports_rates():
 
 
 def test_trial_zero_rate_runs_unloaded():
-    trial = run_trial(variants.unmodified(), 0, **FAST)
+    trial = run_trial(TrialSpec(variants.unmodified(), 0, **FAST))
     assert trial.generated == 0
     assert trial.output_rate_pps == 0.0
     assert trial.loss_fraction == 0.0
@@ -30,45 +31,45 @@ def test_trial_zero_rate_runs_unloaded():
 
 def test_negative_rate_rejected():
     with pytest.raises(ValueError):
-        run_trial(variants.unmodified(), -1)
+        TrialSpec(variants.unmodified(), -1)
 
 
 def test_unknown_workload_rejected():
     with pytest.raises(ValueError):
-        run_trial(variants.unmodified(), 1_000, workload="fractal", **FAST)
+        TrialSpec(variants.unmodified(), 1_000, workload="fractal", **FAST)
 
 
 def test_loss_fraction_under_overload():
-    trial = run_trial(variants.unmodified(), 10_000, **FAST)
+    trial = run_trial(TrialSpec(variants.unmodified(), 10_000, **FAST))
     assert trial.loss_fraction > 0.3
     assert trial.drops  # some drop location is reported
 
 
 def test_compute_share_reported_only_when_requested():
-    without = run_trial(variants.unmodified(), 1_000, **FAST)
+    without = run_trial(TrialSpec(variants.unmodified(), 1_000, **FAST))
     assert without.user_cpu_share is None
     with_compute = run_trial(
-        variants.unmodified(), 1_000, with_compute=True, **FAST
+        TrialSpec(variants.unmodified(), 1_000, with_compute=True, **FAST)
     )
     assert 0.0 <= with_compute.user_cpu_share <= 1.0
 
 
 def test_latency_summary_present():
-    trial = run_trial(variants.unmodified(), 1_000, **FAST)
+    trial = run_trial(TrialSpec(variants.unmodified(), 1_000, **FAST))
     assert trial.latency_us["count"] > 50
     assert trial.latency_us["median"] > 0
 
 
 def test_trials_are_deterministic():
-    first = run_trial(variants.unmodified(), 3_000, seed=5, **FAST)
-    second = run_trial(variants.unmodified(), 3_000, seed=5, **FAST)
+    first = run_trial(TrialSpec(variants.unmodified(), 3_000, seed=5, **FAST))
+    second = run_trial(TrialSpec(variants.unmodified(), 3_000, seed=5, **FAST))
     assert first.delivered == second.delivered
     assert first.generated == second.generated
 
 
 def test_different_seeds_differ():
-    first = run_trial(variants.unmodified(), 3_000, seed=1, **FAST)
-    second = run_trial(variants.unmodified(), 3_000, seed=2, **FAST)
+    first = run_trial(TrialSpec(variants.unmodified(), 3_000, seed=1, **FAST))
+    second = run_trial(TrialSpec(variants.unmodified(), 3_000, seed=2, **FAST))
     # Jittered arrivals differ; delivered counts almost surely differ in
     # at least the latency profile. Weak check on generated timing:
     assert (first.delivered, first.latency_us["mean"]) != (
@@ -80,7 +81,7 @@ def test_different_seeds_differ():
 def test_workloads_selectable():
     for workload in ("constant", "poisson", "bursty"):
         trial = run_trial(
-            variants.unmodified(), 2_000, workload=workload, **FAST
+            TrialSpec(variants.unmodified(), 2_000, workload=workload, **FAST)
         )
         assert trial.generated > 50
 
@@ -91,12 +92,13 @@ def test_prebuilt_router_reused():
     config = variants.unmodified()
     router = Router(config)
     monitor = router.add_monitor()
-    trial = run_trial(config, 1_000, router=router, **FAST)
+    trial = run_trial(TrialSpec(config, 1_000, **FAST), router=router)
     assert trial.counters.get("monitor.observed", 0) > 0
 
 
 def test_sweep_and_series():
-    results = run_sweep(variants.unmodified(), (1_000, 2_000), **FAST)
+    with pytest.warns(DeprecationWarning):
+        results = run_sweep(variants.unmodified(), (1_000, 2_000), **FAST)
     assert len(results) == 2
     series = sweep_series(results)
     assert series[0][0] < series[1][0]
@@ -106,8 +108,26 @@ def test_sweep_and_series():
 def test_full_counter_dump_is_deterministic():
     """Two identical trials agree on *every* counter, not just the
     headline rates (a regression net over the whole simulation)."""
-    first = run_trial(variants.polling(quota=10, screend=True), 6_000,
-                      seed=9, **FAST)
-    second = run_trial(variants.polling(quota=10, screend=True), 6_000,
-                       seed=9, **FAST)
+    first = run_trial(
+        TrialSpec(variants.polling(quota=10, screend=True), 6_000,
+                  seed=9, **FAST)
+    )
+    second = run_trial(
+        TrialSpec(variants.polling(quota=10, screend=True), 6_000,
+                  seed=9, **FAST)
+    )
     assert first.counters == second.counters
+
+
+def test_legacy_kwargs_deprecated_but_equivalent():
+    """The raw-keyword form still runs (bit-identically) but warns."""
+    spec_result = run_trial(TrialSpec(variants.unmodified(), 2_000, **FAST))
+    with pytest.warns(DeprecationWarning, match="TrialSpec"):
+        legacy_result = run_trial(variants.unmodified(), 2_000, **FAST)
+    assert legacy_result == spec_result
+
+
+def test_run_sweep_trial_kwargs_deprecated():
+    with pytest.warns(DeprecationWarning, match="TrialSpec"):
+        run_sweep(variants.unmodified(), (1_000,), duration_s=0.05,
+                  warmup_s=0.02)

@@ -146,10 +146,12 @@ def test_spec_tuple_normalizes_both_forms():
 def test_run_trial_accepts_spec_and_rejects_ambiguity():
     config = variants.unmodified()
     spec = TrialSpec.from_kwargs(config, 2_000, **FAST)
-    assert run_trial(spec) == run_trial(config, 2_000, **FAST)
+    with pytest.warns(DeprecationWarning, match="TrialSpec"):
+        legacy = run_trial(config, 2_000, **FAST)
+    assert run_trial(spec) == legacy
     with pytest.raises(TypeError):
         run_trial(spec, 2_000)
-    with pytest.raises(TypeError):
+    with pytest.raises(TypeError), pytest.warns(DeprecationWarning):
         run_trial(config)  # rate required in the legacy form
 
 
@@ -175,7 +177,9 @@ def test_spec_and_tuple_hit_the_same_cache_entry(tmp_path):
         [TrialSpec.from_kwargs(config, 1_000, **FAST)], cache=cache
     )
     assert (cache.hits, cache.misses) == (1, 1)
-    assert result == run_trial(config, 1_000, **FAST)
+    with pytest.warns(DeprecationWarning, match="TrialSpec"):
+        legacy = run_trial(config, 1_000, **FAST)
+    assert result == legacy
 
 
 def test_traced_spec_round_trips_through_the_cache(tmp_path):

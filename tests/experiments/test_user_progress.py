@@ -7,12 +7,13 @@ forwarding and user progress simultaneously.
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 
 FAST = dict(duration_s=0.2, warmup_s=0.1, with_compute=True)
 
 
 def test_unmodified_router_starves_user_but_forwards():
-    trial = run_trial(variants.unmodified(), 10_000, **FAST)
+    trial = run_trial(TrialSpec(variants.unmodified(), 10_000, **FAST))
     assert trial.user_cpu_share < 0.02
     assert trial.output_rate_pps > 1_500  # router still forwarding
 
@@ -20,14 +21,14 @@ def test_unmodified_router_starves_user_but_forwards():
 def test_polling_without_limit_also_starves_user():
     """Polling alone fixes livelock, not user starvation (§7: the
     mechanisms 'are indifferent to the needs of other activities')."""
-    trial = run_trial(variants.polling(quota=10), 10_000, **FAST)
+    trial = run_trial(TrialSpec(variants.polling(quota=10), 10_000, **FAST))
     assert trial.user_cpu_share < 0.02
     assert trial.output_rate_pps > 4_000
 
 
 def test_cycle_limit_restores_user_progress_and_keeps_forwarding():
-    trial = run_trial(
+    trial = run_trial(TrialSpec(
         variants.polling(quota=10, cycle_limit=0.5), 10_000, **FAST
-    )
+    ))
     assert trial.user_cpu_share > 0.25
     assert trial.output_rate_pps > 1_500

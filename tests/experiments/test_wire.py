@@ -11,6 +11,7 @@ import pytest
 
 from repro.core import variants
 from repro.experiments.harness import TrialResult, run_trial
+from repro.experiments.spec import TrialSpec
 from repro.experiments.results import trial_to_dict
 from repro.experiments.wire import MAGIC, WireError, pack_trial, unpack_trial
 
@@ -74,9 +75,9 @@ def test_roundtrip_nested_reports_travel_as_json():
 
 
 def test_roundtrip_real_trial_is_bit_identical():
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.unmodified(), 2_000, duration_s=0.02, warmup_s=0.01
-    )
+    ))
     restored = unpack_trial(pack_trial(result))
     assert trial_to_dict(restored) == trial_to_dict(result)
 
@@ -105,13 +106,13 @@ def test_roundtrip_timeline_travels_as_json():
 
 
 def test_roundtrip_real_traced_trial_is_bit_identical():
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.unmodified(),
         12_000,
         trace=True,
         duration_s=0.04,
         warmup_s=0.02,
-    )
+    ))
     assert result.timeline is not None
     restored = unpack_trial(pack_trial(result))
     assert restored.timeline == result.timeline

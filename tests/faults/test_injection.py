@@ -17,6 +17,7 @@ import pytest
 from repro.core import variants
 from repro.experiments.harness import run_trial
 from repro.experiments.topology import Router
+from repro.experiments.spec import TrialSpec
 from repro.faults import CANNED_PLANS, FaultInjector, FaultPlan
 from repro.sim.errors import FaultError
 from repro.sim.units import seconds
@@ -26,12 +27,12 @@ TIMING = dict(duration_s=0.06, warmup_s=0.02)
 
 
 def _fault_trial(plan, config=None, rate=6_000, **kwargs):
-    return run_trial(
+    return run_trial(TrialSpec.from_kwargs(
         config if config is not None else variants.unmodified(),
         rate,
         fault_plan=plan,
         **dict(TIMING, **kwargs)
-    )
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -176,7 +177,7 @@ def test_generator_rng_isolated_from_fault_rng():
     """Arming a plan must not perturb the traffic pattern: the same
     number of packets is generated with and without faults (frame drops
     happen at the NIC, after generation)."""
-    clean = run_trial(variants.unmodified(), 6_000, **TIMING)
+    clean = run_trial(TrialSpec(variants.unmodified(), 6_000, **TIMING))
     faulty = _fault_trial(FaultPlan(seed=5, tx_spike_prob=0.2,
                                     tx_spike_extra_ns=10_000))
     assert faulty.generated == clean.generated

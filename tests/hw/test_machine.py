@@ -1,0 +1,151 @@
+"""Unit tests for MachineSpec and IRQSteering (repro.hw.machine)."""
+
+import pytest
+
+from repro.hw.machine import (
+    MAX_CORES,
+    MAX_POLLING_CORES,
+    ROLE_HOUSEKEEPING,
+    ROLE_ISOLATED,
+    ROLE_POLLING,
+    SINGLE_CORE,
+    STEERING_AFFINITY,
+    STEERING_RSS,
+    IRQSteering,
+    MachineSpec,
+)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+def test_default_is_the_papers_machine():
+    spec = MachineSpec()
+    assert spec == SINGLE_CORE
+    assert spec.cores == 1
+    assert spec.roles() == (ROLE_HOUSEKEEPING,)
+    assert spec.polling_cores() == (0,)
+    assert spec.irq_cores() == (0,)
+
+
+@pytest.mark.parametrize("cores", [0, -1, MAX_CORES + 1])
+def test_core_count_bounds(cores):
+    with pytest.raises(ValueError):
+        MachineSpec(cores=cores)
+
+
+def test_core_count_type_checked():
+    with pytest.raises(TypeError):
+        MachineSpec(cores=2.0)
+    with pytest.raises(TypeError):
+        MachineSpec(cores=True)
+
+
+def test_unknown_steering_rejected():
+    with pytest.raises(ValueError):
+        MachineSpec(cores=2, steering="round-robin")
+
+
+def test_coalesce_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(coalesce_us=-1.0)
+    with pytest.raises(TypeError):
+        MachineSpec(coalesce_us="fast")
+    assert MachineSpec(coalesce_us=2.5).coalesce_ns == 2_500
+
+
+def test_spec_is_hashable_and_value_equal():
+    a = MachineSpec(cores=4, steering=STEERING_RSS, isolate_polling=True)
+    b = MachineSpec(cores=4, steering=STEERING_RSS, isolate_polling=True)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_dict_round_trip():
+    spec = MachineSpec(cores=2, steering=STEERING_RSS, coalesce_us=5.0)
+    assert MachineSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_replace_produces_validated_copy():
+    spec = MachineSpec(cores=2)
+    assert spec.replace(cores=4).cores == 4
+    with pytest.raises(ValueError):
+        spec.replace(cores=0)
+
+
+# ----------------------------------------------------------------------
+# Roles
+# ----------------------------------------------------------------------
+
+def test_roles_without_isolation_are_all_irq_targets():
+    spec = MachineSpec(cores=4)
+    assert spec.roles() == (
+        ROLE_HOUSEKEEPING, ROLE_ISOLATED, ROLE_ISOLATED, ROLE_ISOLATED,
+    )
+    assert spec.irq_cores() == (1, 2, 3)
+    assert spec.polling_cores() == (0,)
+
+
+def test_isolate_polling_claims_up_to_two_cores():
+    spec = MachineSpec(cores=4, isolate_polling=True)
+    assert spec.roles() == (
+        ROLE_HOUSEKEEPING, ROLE_POLLING, ROLE_POLLING, ROLE_ISOLATED,
+    )
+    assert spec.polling_cores() == (1, 2)
+    assert spec.irq_cores() == (3,)
+    assert len(spec.polling_cores()) <= MAX_POLLING_CORES
+
+
+def test_two_core_isolated_machine_falls_back_to_housekeeping_irqs():
+    """With every extra core claimed for polling, device IRQs land on
+    core 0 — never on a dedicated polling core."""
+    spec = MachineSpec(cores=2, isolate_polling=True)
+    assert spec.roles() == (ROLE_HOUSEKEEPING, ROLE_POLLING)
+    assert spec.irq_cores() == (0,)
+
+
+# ----------------------------------------------------------------------
+# Steering
+# ----------------------------------------------------------------------
+
+def test_affinity_round_robins_in_creation_order():
+    steering = IRQSteering(MachineSpec(cores=3, steering=STEERING_AFFINITY))
+    lines = ["in0.rx", "in0.tx", "out0.rx", "out0.tx"]
+    cores = [steering.core_for(name) for name in lines]
+    assert cores == [1, 2, 1, 2]
+    assert steering.assignments == dict(zip(lines, cores))
+
+
+def test_assignments_are_sticky():
+    steering = IRQSteering(MachineSpec(cores=3))
+    first = steering.core_for("in0.rx")
+    # Re-asking never advances the round-robin cursor.
+    assert steering.core_for("in0.rx") == first
+    assert steering.core_for("in0.tx") != first
+
+
+def test_rss_is_deterministic_in_the_salt():
+    machine = MachineSpec(cores=4, steering=STEERING_RSS)
+    a = IRQSteering(machine, salt=1234)
+    b = IRQSteering(machine, salt=1234)
+    names = ["in0.rx", "in0.tx", "out0.rx", "out0.tx"]
+    assert [a.core_for(n) for n in names] == [b.core_for(n) for n in names]
+
+
+def test_rss_hashes_by_name_not_order():
+    machine = MachineSpec(cores=4, steering=STEERING_RSS)
+    forward = IRQSteering(machine, salt=99)
+    reverse = IRQSteering(machine, salt=99)
+    names = ["in0.rx", "in0.tx", "out0.rx", "out0.tx"]
+    want = {n: forward.core_for(n) for n in names}
+    got = {n: reverse.core_for(n) for n in reversed(names)}
+    assert got == want
+
+
+def test_steering_targets_respect_roles():
+    machine = MachineSpec(cores=4, steering=STEERING_RSS, isolate_polling=True)
+    steering = IRQSteering(machine, salt=7)
+    for name in ("in0.rx", "in0.tx", "out0.rx", "out0.tx"):
+        assert steering.core_for(name) in machine.irq_cores()

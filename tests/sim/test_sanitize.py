@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.experiments.topology import Router
 from repro.faults import CANNED_PLANS
 from repro.sim.errors import InvariantViolation, SchedulingError
@@ -32,13 +33,13 @@ VARIANTS = {
 @pytest.mark.parametrize("variant", sorted(VARIANTS))
 @pytest.mark.parametrize("plan", [None] + sorted(CANNED_PLANS))
 def test_invariants_hold_across_driver_fault_matrix(variant, plan):
-    result = run_trial(
+    result = run_trial(TrialSpec.from_kwargs(
         VARIANTS[variant](),
         8_000,
         fault_plan=plan,
         sanitize=True,
         **TIMING
-    )
+    ))
     assert result.delivered >= 0  # completing without raising is the test
     if plan is not None:
         assert result.faults["teardown"]["leaked"] == 0
@@ -47,8 +48,9 @@ def test_invariants_hold_across_driver_fault_matrix(variant, plan):
 def test_sanitized_trial_measures_identically():
     """The instrumented drain loop must be observationally equivalent:
     same events, same order, same counters."""
-    plain = run_trial(variants.unmodified(), 6_000, **TIMING)
-    checked = run_trial(variants.unmodified(), 6_000, sanitize=True, **TIMING)
+    plain = run_trial(TrialSpec(variants.unmodified(), 6_000, **TIMING))
+    checked = run_trial(TrialSpec(variants.unmodified(), 6_000, sanitize=True,
+                                  **TIMING))
     plain_dict = asdict(plain)
     checked_dict = asdict(checked)
     # The sanitized trial reconciles at teardown; the counters and

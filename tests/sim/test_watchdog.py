@@ -10,6 +10,7 @@ import pytest
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.sim.errors import WatchdogTimeout
 from repro.sim.simulator import Simulator
 from repro.sim.watchdog import (
@@ -36,9 +37,9 @@ class FakeCounter:
 
 
 def test_unmodified_kernel_flagged_livelocked_above_cliff():
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.unmodified(), CLIFF_RATE, watchdog=True, **TIMING
-    )
+    ))
     assert result.watchdog["verdict"] == VERDICT_LIVELOCKED
     assert result.watchdog["delivered_fraction"] < DEFAULT_LIVELOCK_FRACTION
 
@@ -47,13 +48,13 @@ def test_unmodified_kernel_flagged_livelocked_above_cliff():
     "factory", [variants.polling, variants.clocked, variants.high_ipl]
 )
 def test_fixed_variants_stay_healthy_above_cliff(factory):
-    result = run_trial(factory(), CLIFF_RATE, watchdog=True, **TIMING)
+    result = run_trial(TrialSpec(factory(), CLIFF_RATE, watchdog=True, **TIMING))
     assert result.watchdog["verdict"] == VERDICT_HEALTHY
     assert result.watchdog["delivered_fraction"] > DEFAULT_LIVELOCK_FRACTION
 
 
 def test_watchdog_off_by_default():
-    result = run_trial(variants.unmodified(), CLIFF_RATE, **TIMING)
+    result = run_trial(TrialSpec(variants.unmodified(), CLIFF_RATE, **TIMING))
     assert result.watchdog is None
 
 
@@ -255,13 +256,13 @@ def test_verdict_has_no_trace_key_without_a_trace():
 def test_livelocked_trial_carries_the_onset_excerpt():
     """End to end: a traced, watched 12k-pps unmodified trial ends with
     a livelocked verdict whose onset excerpt shows the drop storm."""
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.unmodified(),
         CLIFF_RATE,
         watchdog=True,
         trace=True,
         **TIMING
-    )
+    ))
     assert result.watchdog["verdict"] == VERDICT_LIVELOCKED
     onset = result.watchdog["trace_onset"]
     assert onset is not None
@@ -272,9 +273,9 @@ def test_livelocked_trial_carries_the_onset_excerpt():
     # The excerpt ends at (or before) the moment the verdict flagged.
     assert onset["records"][-1][0] <= onset["t_ns"]
     # The same trial without a trace has a bare verdict.
-    bare = run_trial(
+    bare = run_trial(TrialSpec(
         variants.unmodified(), CLIFF_RATE, watchdog=True, **TIMING
-    )
+    ))
     assert "trace_onset" not in bare.watchdog
 
 

@@ -1,5 +1,7 @@
 """The documented public API surface must exist and be importable."""
 
+import pytest
+
 import repro
 
 
@@ -47,12 +49,12 @@ def test_subpackages_have_docstrings():
 
 def test_readme_quickstart_numbers_hold():
     """The README promises these two outcomes; keep it honest."""
-    livelocked = repro.run_trial(
+    livelocked = repro.run_trial(repro.TrialSpec(
         repro.variants.unmodified(), 8_000, duration_s=0.2, warmup_s=0.1
-    )
-    fixed = repro.run_trial(
+    ))
+    fixed = repro.run_trial(repro.TrialSpec(
         repro.variants.polling(quota=5), 8_000, duration_s=0.2, warmup_s=0.1
-    )
+    ))
     assert livelocked.output_rate_pps < 4_000
     assert fixed.output_rate_pps > 4_800
 
@@ -64,7 +66,8 @@ def test_spec_and_kwargs_forms_equivalent():
     kwargs = {"duration_s": 0.05, "warmup_s": 0.02, "seed": 3}
     spec = repro.TrialSpec.from_kwargs(config, 5_000, **kwargs)
     by_spec = repro.run_trial(spec)
-    by_kwargs = repro.run_trial(config, 5_000, **kwargs)
+    with pytest.warns(DeprecationWarning, match="TrialSpec"):
+        by_kwargs = repro.run_trial(config, 5_000, **kwargs)
     assert by_spec == by_kwargs
     assert spec.fingerprint() == repro.experiments.trial_fingerprint(
         config, 5_000, kwargs

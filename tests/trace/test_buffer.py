@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.trace.buffer import (
     DEFAULT_CAPACITY,
     KIND_NAMES,
@@ -154,7 +155,7 @@ TIMING = dict(duration_s=0.1, warmup_s=0.05, seed=0)
 def test_bounded_memory_at_saturation():
     """A small ring traced through a 12k-pps livelock stays bounded."""
     buf = TraceBuffer(capacity=2048)
-    run_trial(variants.unmodified(), 12_000, trace=buf, **TIMING)
+    run_trial(TrialSpec(variants.unmodified(), 12_000, trace=buf, **TIMING))
     assert buf.recorded > 2048
     assert len(buf) == 2048
     assert buf.overwritten == buf.recorded - 2048
@@ -168,7 +169,8 @@ def test_traced_trial_is_deterministic():
     streams = []
     for _ in range(2):
         buf = TraceBuffer(capacity=200_000)
-        run_trial(variants.polling(quota=5), 9_000, trace=buf, **TIMING)
+        run_trial(TrialSpec(variants.polling(quota=5), 9_000, trace=buf,
+                            **TIMING))
         streams.append((buf.records(), buf.site_names, buf.recorded))
     assert streams[0] == streams[1]
 
@@ -178,8 +180,9 @@ def test_tracing_does_not_perturb_the_trial():
     one in every field except ``timeline``."""
     from dataclasses import asdict
 
-    plain = run_trial(variants.unmodified(), 12_000, **TIMING)
-    traced = run_trial(variants.unmodified(), 12_000, trace=True, **TIMING)
+    plain = run_trial(TrialSpec(variants.unmodified(), 12_000, **TIMING))
+    traced = run_trial(TrialSpec(variants.unmodified(), 12_000, trace=True,
+                                 **TIMING))
     plain_d, traced_d = asdict(plain), asdict(traced)
     assert plain_d.pop("timeline") is None
     assert traced_d.pop("timeline") is not None

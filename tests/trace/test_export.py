@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.trace.buffer import (
     CPU_ACCOUNT,
     IRQ_DISPATCH,
@@ -151,14 +152,14 @@ def test_livelocked_trial_exports_onset(tmp_path):
     the export is valid Perfetto JSON whose late windows show the
     livelock signature: input pressure with collapsed deliveries."""
     buf = TraceBuffer(capacity=400_000)
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.unmodified(),
         12_000,
         trace=buf,
         duration_s=0.15,
         warmup_s=0.05,
         seed=0,
-    )
+    ))
     assert result.output_rate_pps < 4_000  # livelocked, per fig 6-1
 
     path = tmp_path / "livelock.json"

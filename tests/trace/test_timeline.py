@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import variants
 from repro.experiments.harness import run_trial
+from repro.experiments.spec import TrialSpec
 from repro.trace.buffer import (
     CPU_ACCOUNT,
     INPUT_ALLOW,
@@ -134,14 +135,14 @@ def test_timeline_reconciles_with_probe_counters():
     """The timeline is an independent accounting of the same trial the
     probes count; their totals must reconcile exactly."""
     buf = TraceBuffer(capacity=400_000)
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.unmodified(),
         12_000,
         trace=buf,
         duration_s=0.1,
         warmup_s=0.05,
         seed=0,
-    )
+    ))
     totals = buf.timeline.totals
     counters = result.counters
     # Every injected packet hits the input NIC: accepted or overflowed.
@@ -170,12 +171,12 @@ def test_timeline_reconciles_with_probe_counters():
 
 def test_result_timeline_matches_attached_timeline():
     buf = TraceBuffer(capacity=400_000)
-    result = run_trial(
+    result = run_trial(TrialSpec(
         variants.polling(quota=5),
         9_000,
         trace=buf,
         duration_s=0.06,
         warmup_s=0.03,
         seed=1,
-    )
+    ))
     assert result.timeline == buf.timeline.to_dict()
